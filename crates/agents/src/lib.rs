@@ -1,0 +1,38 @@
+//! The TACOMA system agents.
+//!
+//! Section 2 of the paper makes the point that "no additional abstractions are
+//! required … services for agents — communication, synchronization, and so on —
+//! are provided directly by other agents."  This crate implements those
+//! service agents:
+//!
+//! * [`ag_tac::AgTacAgent`] — the interpreter agent (the prototype's
+//!   `ag_tcl`): pops a TacoScript procedure from the `CODE` folder and
+//!   executes it, bridging the script's briefcase and cabinet operations to
+//!   the kernel.
+//! * [`rexec::RexecAgent`] — migration: expects `HOST` and `CONTACT` folders
+//!   and ships the rest of the briefcase to the named agent at the named site.
+//! * [`courier::CourierAgent`] — transfers a folder to a specified agent on a
+//!   specified machine, so agents can communicate without meeting.
+//! * [`diffusion::DiffusionAgent`] — flooding bounded by site-local visited
+//!   folders, plus [`diffusion::NaiveFloodAgent`], the unbounded-cloning
+//!   baseline the paper warns about (used by experiment E2).
+//! * [`testing`] — tiny agents (echo, sink, blackhole) used across the
+//!   workspace's tests and benchmarks.
+//!
+//! [`standard_agents`] returns the default set every site installs, matching
+//! the prototype's description of "a collection of system agents".
+
+#![warn(missing_docs)]
+
+pub mod ag_tac;
+pub mod courier;
+pub mod diffusion;
+pub mod helpers;
+pub mod rexec;
+pub mod testing;
+
+pub use ag_tac::AgTacAgent;
+pub use courier::CourierAgent;
+pub use diffusion::{diffusion_briefcase, naive_flood_briefcase, DiffusionAgent, NaiveFloodAgent};
+pub use helpers::{parse_site, script_briefcase, site_folder_value, standard_agents};
+pub use rexec::RexecAgent;

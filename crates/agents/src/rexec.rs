@@ -1,0 +1,150 @@
+//! The `rexec` agent: migration between sites.
+//!
+//! From the paper (§2): "an agent moves from one site to another by meeting
+//! with the local rexec agent.  The rexec agent expects to find two folders in
+//! the briefcase with which it is invoked: a HOST folder names the site where
+//! execution is to be moved and a CONTACT folder names the agent to be
+//! executed at that site."  The CONTACT agent is typically `ag_tac`, which
+//! re-evaluates the agent's CODE folder at the destination — which is how an
+//! agent written in TacoScript travels to a site with a completely different
+//! machine architecture.
+
+use crate::helpers::{parse_site, transport_from};
+use tacoma_core::prelude::*;
+
+/// The migration agent.  Stateless; one instance is installed per site.
+#[derive(Debug, Default)]
+pub struct RexecAgent;
+
+impl RexecAgent {
+    /// Creates the agent.
+    pub fn new() -> Self {
+        RexecAgent
+    }
+}
+
+impl Agent for RexecAgent {
+    fn name(&self) -> AgentName {
+        AgentName::new(wellknown::REXEC)
+    }
+
+    fn meet(&mut self, ctx: &mut MeetCtx<'_>, mut bc: Briefcase) -> MeetOutcome {
+        let host_folder = bc
+            .take(wellknown::HOST)
+            .ok_or_else(|| TacomaError::missing(wellknown::HOST))?;
+        let host = parse_site(&host_folder)
+            .ok_or_else(|| TacomaError::bad_folder(wellknown::HOST, "not a site id"))?;
+        let contact = bc
+            .take_string(wellknown::CONTACT)
+            .ok_or_else(|| TacomaError::missing(wellknown::CONTACT))?;
+        if host.0 >= ctx.site_count() {
+            return Err(TacomaError::bad_folder(
+                wellknown::HOST,
+                format!("site {host} does not exist"),
+            ));
+        }
+        if !ctx.site_is_up(host) {
+            return Err(TacomaError::SiteDown(host));
+        }
+        let transport = transport_from(&bc);
+        bc.take(wellknown::TRANSPORT);
+        ctx.log(format!("rexec: moving agent to {host} contact {contact}"));
+        // Everything that remains in the briefcase travels with the agent.
+        ctx.remote_meet(host, AgentName::new(contact), bc, transport);
+        // The meet terminates with an empty briefcase: the caller's copy of
+        // the computation is now the remote one.
+        Ok(Briefcase::new())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::helpers::standard_agents;
+    use tacoma_core::{Folder, TacomaSystem};
+    use tacoma_net::{LinkSpec, Topology};
+
+    fn system(sites: u32) -> TacomaSystem {
+        TacomaSystem::builder()
+            .topology(Topology::full_mesh(sites, LinkSpec::default()))
+            .seed(3)
+            .with_agents(standard_agents)
+            .build()
+    }
+
+    #[test]
+    fn missing_folders_are_rejected() {
+        let mut sys = system(2);
+        let err = sys
+            .try_direct_meet(SiteId(0), &AgentName::new(wellknown::REXEC), Briefcase::new())
+            .unwrap_err();
+        assert!(matches!(err, TacomaError::MissingFolder(_)));
+
+        let mut bc = Briefcase::new();
+        bc.put_string(wellknown::HOST, "1");
+        let err = sys
+            .try_direct_meet(SiteId(0), &AgentName::new(wellknown::REXEC), bc)
+            .unwrap_err();
+        assert!(matches!(err, TacomaError::MissingFolder(_)));
+    }
+
+    #[test]
+    fn bad_host_is_rejected() {
+        let mut sys = system(2);
+        let mut bc = Briefcase::new();
+        bc.put(wellknown::HOST, Folder::of_str("not-a-site"));
+        bc.put_string(wellknown::CONTACT, "ag_tac");
+        let err = sys
+            .try_direct_meet(SiteId(0), &AgentName::new(wellknown::REXEC), bc)
+            .unwrap_err();
+        assert!(matches!(err, TacomaError::BadFolder { .. }));
+
+        let mut bc = Briefcase::new();
+        bc.put_string(wellknown::HOST, "99");
+        bc.put_string(wellknown::CONTACT, "ag_tac");
+        let err = sys
+            .try_direct_meet(SiteId(0), &AgentName::new(wellknown::REXEC), bc)
+            .unwrap_err();
+        assert!(matches!(err, TacomaError::BadFolder { .. }));
+    }
+
+    #[test]
+    fn migration_to_dead_site_is_refused_at_the_source() {
+        let mut sys = system(3);
+        sys.net_mut().crash_now(SiteId(2));
+        let mut bc = Briefcase::new();
+        bc.put_string(wellknown::HOST, "2");
+        bc.put_string(wellknown::CONTACT, wellknown::AG_TAC);
+        let err = sys
+            .try_direct_meet(SiteId(0), &AgentName::new(wellknown::REXEC), bc)
+            .unwrap_err();
+        assert!(matches!(err, TacomaError::SiteDown(_)));
+    }
+
+    #[test]
+    fn rexec_ships_the_remaining_briefcase() {
+        let mut sys = system(3);
+        // A script agent that records its arrival in a cabinet at the target.
+        let code = r#"
+            cab_append arrivals LOG "arrived at [my_site]"
+            cab_append arrivals PAYLOAD [bc_peek DATA]
+        "#;
+        let mut bc = Briefcase::new();
+        bc.put_string(wellknown::HOST, "2");
+        bc.put_string(wellknown::CONTACT, wellknown::AG_TAC);
+        bc.put(wellknown::CODE, Folder::of_str(code));
+        bc.put_string("DATA", "precious-cargo");
+        bc.put_string(wellknown::TRANSPORT, "rsh");
+
+        sys.inject_meet(SiteId(0), AgentName::new(wellknown::REXEC), bc);
+        sys.run_until_quiescent(1_000);
+
+        let cab = sys.place(SiteId(2)).cabinets().get("arrivals").unwrap();
+        assert!(cab.payload_bytes() > 0, "agent must have executed at site 2");
+        assert_eq!(sys.stats().remote_meets, 1);
+        assert!(sys.net_metrics().total_bytes().get() > 0);
+        // HOST/CONTACT/TRANSPORT are consumed, DATA and CODE travel.
+        let trace = sys.trace().join("\n");
+        assert!(trace.contains("rexec: moving agent to site2"));
+    }
+}

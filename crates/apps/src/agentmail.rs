@@ -1,0 +1,259 @@
+//! AgentMail: the paper's "interactive mail system where messages are
+//! implemented by agents" (§6).
+//!
+//! A mail message is a TacoScript agent: its CODE folder travels to the
+//! recipient's home site, consults the site-local `mail_forwarding` cabinet
+//! (users move; their old home site knows where they went), and either
+//! deposits its body into the recipient's `mailbox` cabinet or hops onward.
+//! Because the message is an agent, forwarding needs no central server and no
+//! cooperation from the sender — exactly the argument the paper is making.
+
+use tacoma_agents::{script_briefcase, standard_agents};
+use tacoma_core::prelude::*;
+use tacoma_core::TacomaSystem;
+use tacoma_net::{LinkSpec, Topology};
+use tacoma_util::DetRng;
+
+/// Cabinet holding delivered mail, one folder per user.
+pub const MAILBOX_CABINET: &str = "mailbox";
+/// Cabinet holding forwarding addresses: folder per user, top element = new site.
+pub const FORWARDING_CABINET: &str = "mail_forwarding";
+
+/// The TacoScript source of a mail-message agent.
+///
+/// Expects briefcase folders `TO` (user name), `BODY` (message text), and
+/// `HOPS` (forwarding hops used so far).
+pub fn mail_agent_code() -> &'static str {
+    r#"
+        set to [bc_peek TO]
+        set fwd [cab_list mail_forwarding $to]
+        if {[llength $fwd] > 0} {
+            # The user moved: hop to their new home site (last known address).
+            set target [lindex $fwd [expr [llength $fwd] - 1]]
+            set hops [bc_peek HOPS]
+            if {$hops eq ""} { set hops 0 }
+            if {$hops > 8} {
+                cab_append mailbox dead_letter "undeliverable to $to"
+                return dead_letter
+            }
+            bc_put HOPS [expr $hops + 1]
+            bc_push CODE [bc_peek ORIGCODE]
+            bc_put HOST $target
+            bc_put CONTACT ag_tac
+            meet rexec
+            return forwarded
+        }
+        cab_append mailbox $to "[bc_peek FROM]: [bc_peek BODY]"
+        return delivered
+    "#
+}
+
+/// Parameters of the mail experiment.
+#[derive(Debug, Clone)]
+pub struct MailConfig {
+    /// Number of sites.
+    pub sites: u32,
+    /// Number of users (user `u<i>` starts at site `i % sites`).
+    pub users: u32,
+    /// Number of messages to send between random users.
+    pub messages: u32,
+    /// Fraction of users that have moved (and left a forwarding address).
+    pub moved_fraction: f64,
+    /// Random seed.
+    pub seed: u64,
+}
+
+impl Default for MailConfig {
+    fn default() -> Self {
+        MailConfig {
+            sites: 6,
+            users: 12,
+            messages: 40,
+            moved_fraction: 0.25,
+            seed: 3,
+        }
+    }
+}
+
+/// What the mail experiment measured.
+#[derive(Debug, Clone)]
+pub struct MailResult {
+    /// Messages sent.
+    pub sent: u32,
+    /// Messages found in some mailbox afterwards.
+    pub delivered: u32,
+    /// Messages delivered to users who had moved (i.e. needed forwarding).
+    pub forwarded_deliveries: u32,
+    /// Messages that gave up (dead letters).
+    pub dead_letters: u32,
+    /// Bytes moved over the network.
+    pub network_bytes: u64,
+}
+
+/// Builds the system, places users, moves some of them, sends messages, and
+/// counts deliveries.
+pub fn run_mail_experiment(config: &MailConfig) -> MailResult {
+    let mut sys = TacomaSystem::builder()
+        .topology(Topology::full_mesh(config.sites, LinkSpec::default()))
+        .seed(config.seed)
+        .with_agents(standard_agents)
+        .build();
+    let mut rng = DetRng::new(config.seed ^ 0xA11);
+
+    // Place users and move a fraction of them, leaving forwarding addresses.
+    let mut home: Vec<SiteId> = (0..config.users)
+        .map(|u| SiteId(u % config.sites))
+        .collect();
+    let mut moved = vec![false; config.users as usize];
+    for u in 0..config.users as usize {
+        if rng.chance(config.moved_fraction) {
+            let old = home[u];
+            let mut new = old;
+            while new == old {
+                new = SiteId(rng.next_below(config.sites as u64) as u32);
+            }
+            // Forwarding address at the old home site.
+            sys.place_mut(old)
+                .cabinets_mut()
+                .cabinet(FORWARDING_CABINET)
+                .append_str(format!("u{u}").as_str(), new.0.to_string());
+            home[u] = new;
+            moved[u] = true;
+        }
+    }
+
+    // Send messages: each goes to the recipient's *original* home site (the
+    // sender does not know about moves) and forwards itself if needed.
+    let mut sent = 0;
+    let mut to_moved = 0u32;
+    for m in 0..config.messages {
+        let from = rng.next_below(config.users as u64) as usize;
+        let to = rng.next_below(config.users as u64) as usize;
+        let original_home = SiteId(to as u32 % config.sites);
+        if moved[to] {
+            to_moved += 1;
+        }
+        let code = mail_agent_code();
+        let mut bc = script_briefcase(
+            code,
+            &[
+                ("TO", &format!("u{to}")),
+                ("FROM", &format!("u{from}")),
+                ("BODY", &format!("message {m} hello from u{from}")),
+                ("HOPS", "0"),
+            ],
+        );
+        bc.put_string("ORIGCODE", code);
+        sys.inject_meet(original_home, AgentName::new(wellknown::AG_TAC), bc);
+        sent += 1;
+    }
+    sys.run_until_quiescent(1_000_000);
+
+    // Count deliveries in the mailboxes at each user's *current* home site.
+    let mut delivered = 0u32;
+    let mut forwarded_deliveries = 0u32;
+    let mut dead_letters = 0u32;
+    for u in 0..config.users as usize {
+        let user = format!("u{u}");
+        let count = sys
+            .place(home[u])
+            .cabinets()
+            .get(MAILBOX_CABINET)
+            .and_then(|c| c.folder_ref(&user).map(|f| f.len() as u32))
+            .unwrap_or(0);
+        delivered += count;
+        if moved[u] {
+            forwarded_deliveries += count;
+        }
+    }
+    for s in 0..config.sites {
+        dead_letters += sys
+            .place(SiteId(s))
+            .cabinets()
+            .get(MAILBOX_CABINET)
+            .and_then(|c| c.folder_ref("dead_letter").map(|f| f.len() as u32))
+            .unwrap_or(0);
+    }
+    let _ = to_moved;
+
+    MailResult {
+        sent,
+        delivered,
+        forwarded_deliveries,
+        dead_letters,
+        network_bytes: sys.net_metrics().total_bytes().get(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_message_is_delivered_even_to_moved_users() {
+        let result = run_mail_experiment(&MailConfig::default());
+        assert_eq!(result.sent, 40);
+        assert_eq!(result.delivered, 40, "no message may be lost");
+        assert_eq!(result.dead_letters, 0);
+        assert!(result.network_bytes > 0);
+        assert!(
+            result.forwarded_deliveries > 0,
+            "with 25% moved users some deliveries must have required forwarding"
+        );
+    }
+
+    #[test]
+    fn no_moves_means_no_forwarded_deliveries() {
+        let result = run_mail_experiment(&MailConfig {
+            moved_fraction: 0.0,
+            messages: 20,
+            ..Default::default()
+        });
+        assert_eq!(result.delivered, 20);
+        assert_eq!(result.forwarded_deliveries, 0);
+    }
+
+    #[test]
+    fn results_are_deterministic() {
+        let a = run_mail_experiment(&MailConfig::default());
+        let b = run_mail_experiment(&MailConfig::default());
+        assert_eq!(a.delivered, b.delivered);
+        assert_eq!(a.network_bytes, b.network_bytes);
+    }
+
+    #[test]
+    fn chained_forwarding_follows_the_user() {
+        // One user, moved twice: home site 0 -> 1 -> 2.  The message starts at
+        // site 0 and must follow both forwarding addresses.
+        let mut sys = TacomaSystem::builder()
+            .topology(Topology::full_mesh(3, LinkSpec::default()))
+            .seed(9)
+            .with_agents(standard_agents)
+            .build();
+        sys.place_mut(SiteId(0))
+            .cabinets_mut()
+            .cabinet(FORWARDING_CABINET)
+            .append_str("u0", "1");
+        sys.place_mut(SiteId(1))
+            .cabinets_mut()
+            .cabinet(FORWARDING_CABINET)
+            .append_str("u0", "2");
+        let code = mail_agent_code();
+        let mut bc = script_briefcase(
+            code,
+            &[("TO", "u0"), ("FROM", "u1"), ("BODY", "find me"), ("HOPS", "0")],
+        );
+        bc.put_string("ORIGCODE", code);
+        sys.inject_meet(SiteId(0), AgentName::new(wellknown::AG_TAC), bc);
+        sys.run_until_quiescent(10_000);
+        let mailbox = sys
+            .place(SiteId(2))
+            .cabinets()
+            .get(MAILBOX_CABINET)
+            .and_then(|c| c.folder_ref("u0").map(|f| f.strings()))
+            .unwrap_or_default();
+        assert_eq!(mailbox.len(), 1);
+        assert!(mailbox[0].contains("find me"));
+        assert_eq!(sys.stats().meets_failed, 0);
+    }
+}

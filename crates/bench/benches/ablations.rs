@@ -1,0 +1,32 @@
+//! Criterion benches for the design-choice ablations called out in DESIGN.md
+//! (A3: rear-guard chain depth, A4: load-report period).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use tacoma_bench::{ablation_guard_depth, ablation_report_period};
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1500))
+}
+
+fn bench_ablation_guard_depth(c: &mut Criterion) {
+    c.bench_function("a3_guard_depth", |b| {
+        b.iter(|| std::hint::black_box(ablation_guard_depth()))
+    });
+}
+
+fn bench_ablation_report_period(c: &mut Criterion) {
+    c.bench_function("a4_report_period", |b| {
+        b.iter(|| std::hint::black_box(ablation_report_period()))
+    });
+}
+
+criterion_group! {
+    name = ablations;
+    config = config();
+    targets = bench_ablation_guard_depth, bench_ablation_report_period
+}
+criterion_main!(ablations);

@@ -1,0 +1,72 @@
+//! Criterion benches, one per system-level experiment table (E1–E2, E5–E10).
+//!
+//! Each bench times the same driver the harness uses to print its table, at a
+//! reduced ("quick") configuration so a full `cargo bench` stays fast.  The
+//! micro-benchmarks for E3 (meet/rexec) and E4 (folders) live in `micro.rs`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use tacoma_bench as exp;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1200))
+}
+
+fn bench_e1_bandwidth(c: &mut Criterion) {
+    c.bench_function("e1_bandwidth_quick", |b| {
+        b.iter(|| std::hint::black_box(exp::e1_bandwidth(true)))
+    });
+}
+
+fn bench_e2_diffusion(c: &mut Criterion) {
+    c.bench_function("e2_diffusion_quick", |b| {
+        b.iter(|| std::hint::black_box(exp::e2_diffusion(true)))
+    });
+}
+
+fn bench_e5_cash(c: &mut Criterion) {
+    c.bench_function("e5_cash_quick", |b| {
+        b.iter(|| std::hint::black_box(exp::e5_cash(true)))
+    });
+}
+
+fn bench_e6_exchange(c: &mut Criterion) {
+    c.bench_function("e6_exchange_quick", |b| {
+        b.iter(|| std::hint::black_box(exp::e6_exchange(true)))
+    });
+}
+
+fn bench_e7_scheduling(c: &mut Criterion) {
+    c.bench_function("e7_scheduling_quick", |b| {
+        b.iter(|| std::hint::black_box(exp::e7_scheduling(true)))
+    });
+}
+
+fn bench_e8_protected(c: &mut Criterion) {
+    c.bench_function("e8_protected_quick", |b| {
+        b.iter(|| std::hint::black_box(exp::e8_protected(20)))
+    });
+}
+
+fn bench_e9_rear_guard(c: &mut Criterion) {
+    c.bench_function("e9_rear_guard_quick", |b| {
+        b.iter(|| std::hint::black_box(exp::e9_rear_guard(true)))
+    });
+}
+
+fn bench_e10_apps(c: &mut Criterion) {
+    c.bench_function("e10_apps_quick", |b| {
+        b.iter(|| std::hint::black_box(exp::e10_apps(true)))
+    });
+}
+
+criterion_group! {
+    name = experiments;
+    config = config();
+    targets = bench_e1_bandwidth, bench_e2_diffusion, bench_e5_cash, bench_e6_exchange,
+              bench_e7_scheduling, bench_e8_protected, bench_e9_rear_guard, bench_e10_apps
+}
+criterion_main!(experiments);

@@ -1,0 +1,107 @@
+//! Criterion micro-benchmarks for E3 (meet / rexec migration) and E4
+//! (folders, briefcases, cabinets), plus the TacoScript interpreter and the
+//! wire codec that both sit on every migration's critical path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use tacoma_bench::{e3_local_meets, e3_migrate_once};
+use tacoma_core::{codec, Briefcase, FileCabinet, Folder};
+use tacoma_net::TransportKind;
+use tacoma_script::{Interp, NullHost};
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1200))
+}
+
+fn bench_e3_meet_rexec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_meet_rexec");
+    group.bench_function("local_meet_x100", |b| {
+        b.iter(|| std::hint::black_box(e3_local_meets(100)))
+    });
+    for payload in [1_024usize, 65_536] {
+        for transport in TransportKind::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(transport.label(), payload),
+                &payload,
+                |b, &payload| b.iter(|| std::hint::black_box(e3_migrate_once(payload, transport))),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_e4_folders(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_folders");
+    for n in [100usize, 10_000] {
+        group.bench_with_input(BenchmarkId::new("push_pop", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut f = Folder::new();
+                for i in 0..n {
+                    f.push_u64(i as u64);
+                }
+                while f.pop().is_some() {}
+                std::hint::black_box(f)
+            })
+        });
+        let mut bc = Briefcase::new();
+        let mut cab = FileCabinet::new();
+        for i in 0..n {
+            bc.folder_mut("DATA").push_str(format!("element-{i:08}"));
+            cab.append_str("DATA", format!("element-{i:08}"));
+        }
+        let needle = format!("element-{:08}", n - 1);
+        group.bench_with_input(BenchmarkId::new("briefcase_scan_lookup", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(bc.folder("DATA").unwrap().contains_elem(needle.as_bytes())))
+        });
+        group.bench_with_input(BenchmarkId::new("cabinet_indexed_lookup", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(cab.contains_elem(needle.as_bytes())))
+        });
+        group.bench_with_input(BenchmarkId::new("briefcase_encode", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(codec::encode_briefcase(&bc).len()))
+        });
+        let encoded = codec::encode_briefcase(&bc);
+        group.bench_with_input(BenchmarkId::new("briefcase_decode", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(codec::decode_briefcase(&encoded).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_tacoscript(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tacoscript");
+    let loop_script = r#"
+        set total 0
+        set i 0
+        while {$i < 200} { incr i; set total [expr $total + $i] }
+        set total
+    "#;
+    group.bench_function("loop_200", |b| {
+        b.iter(|| {
+            let mut host = NullHost;
+            let mut interp = Interp::new(&mut host);
+            std::hint::black_box(interp.run(loop_script).unwrap().result)
+        })
+    });
+    let proc_script = r#"
+        proc fib {n} { if {$n < 2} { return $n }; expr [fib [expr $n - 1]] + [fib [expr $n - 2]] }
+        fib 12
+    "#;
+    group.bench_function("fib_12", |b| {
+        b.iter(|| {
+            let mut host = NullHost;
+            let mut interp = Interp::new(&mut host);
+            std::hint::black_box(interp.run(proc_script).unwrap().result)
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = micro;
+    config = config();
+    targets = bench_e3_meet_rexec, bench_e4_folders, bench_tacoscript
+}
+criterion_main!(micro);

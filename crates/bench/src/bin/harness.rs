@@ -1,0 +1,14 @@
+//! The experiment harness: regenerates every table of the reproduction.
+//!
+//! Run with `cargo run -p tacoma-bench --bin harness --release` (add `--
+//! --quick` for a fast smoke run).  The output of this binary is the source of
+//! the numbers recorded in EXPERIMENTS.md.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    println!("# TACOMA reproduction — experiment harness ({})", if quick { "quick" } else { "full" });
+    println!();
+    for table in tacoma_bench::all_experiments(quick) {
+        print!("{}", table.render());
+    }
+}

@@ -1,0 +1,16 @@
+//! Experiment drivers for the TACOMA reproduction.
+//!
+//! The paper (a HotOS position paper) contains no numbered tables or figures;
+//! DESIGN.md §3 defines experiments E1–E10, one per measurable claim in the
+//! text.  Each `eN_*` function here runs one experiment and returns a
+//! [`Table`]; the `harness` binary prints them all (this is the artifact that
+//! stands in for "regenerating the paper's tables"), and the Criterion
+//! benches in `benches/` time the same code paths.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod table;
+
+pub use experiments::*;
+pub use table::Table;

@@ -1,0 +1,264 @@
+//! The audit court: assigning blame from signed action records.
+//!
+//! Per §3, the exchange protocol relies on "the threat of audits … a third
+//! party (a court, in real life) can perform an audit to find violations of a
+//! contract.  An aggrieved agent requests an audit."  The court here receives
+//! the records both parties hold for one exchange and decides who, if anyone,
+//! violated the contract.
+//!
+//! The evidence rules follow from who can sign what:
+//!
+//! * only the *provider* can produce a verifying `PaymentReceived` record, so
+//!   a customer holding one has proven payment;
+//! * only the *provider* can produce `ServiceDelivered`, and only the
+//!   *customer* can produce `ServiceAcknowledged`, so a provider holding the
+//!   acknowledgement is safe against false "no service" claims;
+//! * a `PaymentSent` record is self-signed by the customer and therefore
+//!   proves nothing by itself.
+
+use crate::exchange::{ActionKind, ActionRecord, ExchangeOutcome};
+use crate::SigningKey;
+use serde::{Deserialize, Serialize};
+
+/// The court's finding for one exchange.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Verdict {
+    /// The exchange completed; no violation.
+    NoViolation,
+    /// The provider took payment and withheld the service.
+    ProviderCheated,
+    /// The customer claims to have paid but cannot substantiate it.
+    CustomerCheated,
+    /// The records are insufficient to decide either way.
+    Inconclusive,
+}
+
+/// Statistics over a batch of audits (experiment E6).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AuditStats {
+    /// Audits performed.
+    pub audits: u64,
+    /// Verdicts that matched the ground truth.
+    pub correct: u64,
+    /// Cheaters that escaped detection.
+    pub missed: u64,
+    /// Honest parties wrongly blamed.
+    pub false_accusations: u64,
+}
+
+/// The trusted third party that replays records.
+#[derive(Debug, Clone, Default)]
+pub struct AuditCourt {
+    stats: AuditStats,
+}
+
+impl AuditCourt {
+    /// Creates a court.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counters accumulated by [`AuditCourt::audit_outcome`].
+    pub fn stats(&self) -> AuditStats {
+        self.stats
+    }
+
+    /// Decides a verdict from the two parties' records for one exchange.
+    pub fn decide(
+        &self,
+        exchange_id: u64,
+        customer_key: SigningKey,
+        provider_key: SigningKey,
+        customer_records: &[ActionRecord],
+        provider_records: &[ActionRecord],
+    ) -> Verdict {
+        let valid = |records: &[ActionRecord], kind: ActionKind, signer: SigningKey| {
+            records
+                .iter()
+                .any(|r| r.exchange_id == exchange_id && r.kind == kind && r.signer == signer && r.verifies())
+        };
+
+        let provider_has_ack = valid(provider_records, ActionKind::ServiceAcknowledged, customer_key);
+        let customer_has_delivery = valid(customer_records, ActionKind::ServiceDelivered, provider_key);
+        if provider_has_ack || customer_has_delivery {
+            return Verdict::NoViolation;
+        }
+
+        let customer_proves_payment = valid(customer_records, ActionKind::PaymentReceived, provider_key);
+        if customer_proves_payment {
+            // Paid, but no evidence of delivery anywhere: the provider is at fault.
+            return Verdict::ProviderCheated;
+        }
+
+        let customer_claims_payment = valid(customer_records, ActionKind::PaymentSent, customer_key);
+        let provider_saw_payment = valid(provider_records, ActionKind::PaymentReceived, provider_key);
+        if customer_claims_payment && !provider_saw_payment {
+            // The customer asserts payment but holds no provider receipt and
+            // the provider has none either: an unsubstantiated claim.
+            return Verdict::CustomerCheated;
+        }
+
+        Verdict::Inconclusive
+    }
+
+    /// Audits a full [`ExchangeOutcome`] produced by the protocol driver,
+    /// comparing the verdict against the ground truth recorded in the outcome
+    /// and updating the statistics.
+    pub fn audit_outcome(
+        &mut self,
+        outcome: &ExchangeOutcome,
+        customer_key: SigningKey,
+        provider_key: SigningKey,
+        customer_was_honest: bool,
+        provider_was_honest: bool,
+    ) -> Verdict {
+        let verdict = self.decide(
+            outcome.config_id,
+            customer_key,
+            provider_key,
+            &outcome.customer_records,
+            &outcome.provider_records,
+        );
+        self.stats.audits += 1;
+        let expected = if customer_was_honest && provider_was_honest {
+            Verdict::NoViolation
+        } else if !provider_was_honest && outcome.payment_made {
+            Verdict::ProviderCheated
+        } else if !customer_was_honest {
+            Verdict::CustomerCheated
+        } else {
+            Verdict::NoViolation
+        };
+        if verdict == expected {
+            self.stats.correct += 1;
+        } else {
+            match verdict {
+                Verdict::NoViolation | Verdict::Inconclusive => self.stats.missed += 1,
+                Verdict::ProviderCheated if provider_was_honest => {
+                    self.stats.false_accusations += 1
+                }
+                Verdict::CustomerCheated if customer_was_honest => {
+                    self.stats.false_accusations += 1
+                }
+                _ => self.stats.missed += 1,
+            }
+        }
+        verdict
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use crate::exchange::{ExchangeConfig, ExchangeProtocol, PartyBehavior};
+    use crate::mint::Mint;
+
+    const CK: SigningKey = 0x1111;
+    const PK: SigningKey = 0x2222;
+
+    fn run(customer: PartyBehavior, provider: PartyBehavior) -> crate::exchange::ExchangeOutcome {
+        let mut mint = Mint::new(21);
+        let mut wallet = mint.issue_wallet(2, 10);
+        ExchangeProtocol::run(
+            &mut mint,
+            ExchangeConfig {
+                exchange_id: 5,
+                price: 10,
+                customer_key: CK,
+                provider_key: PK,
+                customer,
+                provider,
+            },
+            &mut wallet,
+        )
+    }
+
+    #[test]
+    fn honest_exchange_has_no_violation() {
+        let out = run(PartyBehavior::Honest, PartyBehavior::Honest);
+        let mut court = AuditCourt::new();
+        let v = court.audit_outcome(&out, CK, PK, true, true);
+        assert_eq!(v, Verdict::NoViolation);
+        assert_eq!(court.stats().correct, 1);
+    }
+
+    #[test]
+    fn provider_cheating_is_detected() {
+        let out = run(PartyBehavior::Honest, PartyBehavior::Cheats);
+        let mut court = AuditCourt::new();
+        let v = court.audit_outcome(&out, CK, PK, true, false);
+        assert_eq!(v, Verdict::ProviderCheated);
+        assert_eq!(court.stats().correct, 1);
+        assert_eq!(court.stats().false_accusations, 0);
+    }
+
+    #[test]
+    fn customer_cheating_is_detected() {
+        let out = run(PartyBehavior::Cheats, PartyBehavior::Honest);
+        let mut court = AuditCourt::new();
+        let v = court.audit_outcome(&out, CK, PK, false, true);
+        assert_eq!(v, Verdict::CustomerCheated);
+        assert_eq!(court.stats().correct, 1);
+    }
+
+    #[test]
+    fn fabricated_receipt_does_not_frame_the_provider() {
+        // A cheating customer forges a PaymentReceived record "signed" by the
+        // provider.  Without the provider's key the signature fails and the
+        // court does not blame the provider.
+        let mut out = run(PartyBehavior::Cheats, PartyBehavior::Honest);
+        let mut forged = ActionRecord::signed(5, ActionKind::PaymentReceived, CK, 10);
+        forged.signer = PK; // claim the provider signed it
+        out.customer_records.push(forged);
+        let court = AuditCourt::new();
+        let v = court.decide(5, CK, PK, &out.customer_records, &out.provider_records);
+        assert_ne!(v, Verdict::ProviderCheated);
+    }
+
+    #[test]
+    fn false_no_service_claim_fails_against_acknowledgement() {
+        // The exchange completed, but the customer later claims no service.
+        // The provider's copy of the customer-signed acknowledgement protects it.
+        let out = run(PartyBehavior::Honest, PartyBehavior::Honest);
+        let customer_records_hiding_delivery: Vec<ActionRecord> = out
+            .customer_records
+            .iter()
+            .copied()
+            .filter(|r| r.kind != ActionKind::ServiceDelivered && r.kind != ActionKind::ServiceAcknowledged)
+            .collect();
+        let court = AuditCourt::new();
+        let v = court.decide(5, CK, PK, &customer_records_hiding_delivery, &out.provider_records);
+        assert_eq!(v, Verdict::NoViolation);
+    }
+
+    #[test]
+    fn no_records_is_inconclusive() {
+        let court = AuditCourt::new();
+        assert_eq!(court.decide(1, CK, PK, &[], &[]), Verdict::Inconclusive);
+    }
+
+    #[test]
+    fn batch_statistics_accumulate() {
+        let mut court = AuditCourt::new();
+        for (c, p) in [
+            (PartyBehavior::Honest, PartyBehavior::Honest),
+            (PartyBehavior::Honest, PartyBehavior::Cheats),
+            (PartyBehavior::Cheats, PartyBehavior::Honest),
+        ] {
+            let out = run(c, p);
+            court.audit_outcome(
+                &out,
+                CK,
+                PK,
+                c == PartyBehavior::Honest,
+                p == PartyBehavior::Honest,
+            );
+        }
+        let stats = court.stats();
+        assert_eq!(stats.audits, 3);
+        assert_eq!(stats.correct, 3);
+        assert_eq!(stats.missed, 0);
+        assert_eq!(stats.false_accusations, 0);
+    }
+}

@@ -1,0 +1,204 @@
+//! ECUs and wallets.
+//!
+//! An ECU (electronic cash unit) is exactly the paper's record: an amount and
+//! a large random serial number.  ECUs move between agents as elements of a
+//! `CASH` folder; a [`Wallet`] is just a convenient in-memory view of such a
+//! folder with selection helpers.
+
+use serde::{Deserialize, Serialize};
+use tacoma_core::Folder;
+
+/// One unit of electronic cash: an amount and a large random serial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Ecu {
+    /// Face value.
+    pub amount: u64,
+    /// The "large random number" identifying this bill (128 bits).
+    pub serial: u128,
+}
+
+impl Ecu {
+    /// Encodes the ECU as a folder element (24 bytes, little-endian).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(24);
+        out.extend_from_slice(&self.amount.to_le_bytes());
+        out.extend_from_slice(&self.serial.to_le_bytes());
+        out
+    }
+
+    /// Decodes an ECU from a folder element.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Ecu> {
+        if bytes.len() != 24 {
+            return None;
+        }
+        let amount = u64::from_le_bytes(bytes[..8].try_into().ok()?);
+        let serial = u128::from_le_bytes(bytes[8..].try_into().ok()?);
+        Some(Ecu { amount, serial })
+    }
+}
+
+/// A collection of ECUs held by an agent.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Wallet {
+    ecus: Vec<Ecu>,
+}
+
+impl Wallet {
+    /// Creates an empty wallet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a wallet from an iterator of ECUs.
+    pub fn from_ecus(ecus: impl IntoIterator<Item = Ecu>) -> Self {
+        Wallet {
+            ecus: ecus.into_iter().collect(),
+        }
+    }
+
+    /// Total face value held.
+    pub fn total(&self) -> u64 {
+        self.ecus.iter().map(|e| e.amount).sum()
+    }
+
+    /// Number of ECUs held.
+    pub fn len(&self) -> usize {
+        self.ecus.len()
+    }
+
+    /// Whether the wallet is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ecus.is_empty()
+    }
+
+    /// Adds one ECU.
+    pub fn deposit(&mut self, ecu: Ecu) {
+        self.ecus.push(ecu);
+    }
+
+    /// Adds many ECUs.
+    pub fn deposit_all(&mut self, ecus: impl IntoIterator<Item = Ecu>) {
+        self.ecus.extend(ecus);
+    }
+
+    /// The ECUs currently held (in insertion order).
+    pub fn ecus(&self) -> &[Ecu] {
+        &self.ecus
+    }
+
+    /// Withdraws ECUs covering at least `amount`, greedily using the largest
+    /// bills first.  Returns `None` (and leaves the wallet untouched) if the
+    /// balance is insufficient.  The withdrawal may exceed `amount`; making
+    /// change is the mint's job (see `Mint::reissue_with_change`).
+    pub fn withdraw_at_least(&mut self, amount: u64) -> Option<Vec<Ecu>> {
+        if self.total() < amount {
+            return None;
+        }
+        let mut sorted: Vec<usize> = (0..self.ecus.len()).collect();
+        sorted.sort_by_key(|&i| std::cmp::Reverse(self.ecus[i].amount));
+        let mut picked = Vec::new();
+        let mut covered = 0u64;
+        for idx in sorted {
+            if covered >= amount {
+                break;
+            }
+            picked.push(idx);
+            covered += self.ecus[idx].amount;
+        }
+        picked.sort_unstable_by(|a, b| b.cmp(a));
+        let mut out = Vec::new();
+        for idx in picked {
+            out.push(self.ecus.remove(idx));
+        }
+        Some(out)
+    }
+
+    /// Serializes the wallet into a `CASH`-style folder (one ECU per element).
+    pub fn to_folder(&self) -> Folder {
+        let mut f = Folder::new();
+        for ecu in &self.ecus {
+            f.push(ecu.to_bytes());
+        }
+        f
+    }
+
+    /// Rebuilds a wallet from a `CASH`-style folder, skipping malformed
+    /// elements and reporting how many were skipped.
+    pub fn from_folder(folder: &Folder) -> (Wallet, usize) {
+        let mut wallet = Wallet::new();
+        let mut skipped = 0;
+        for elem in folder.iter() {
+            match Ecu::from_bytes(elem) {
+                Some(ecu) => wallet.deposit(ecu),
+                None => skipped += 1,
+            }
+        }
+        (wallet, skipped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ecu(amount: u64, serial: u128) -> Ecu {
+        Ecu { amount, serial }
+    }
+
+    #[test]
+    fn ecu_byte_round_trip() {
+        let e = ecu(250, 0xDEAD_BEEF_0123_4567_89AB_CDEF_0011_2233);
+        assert_eq!(Ecu::from_bytes(&e.to_bytes()), Some(e));
+        assert_eq!(Ecu::from_bytes(&[0u8; 23]), None);
+        assert_eq!(Ecu::from_bytes(&[0u8; 25]), None);
+    }
+
+    #[test]
+    fn wallet_totals_and_deposits() {
+        let mut w = Wallet::new();
+        assert!(w.is_empty());
+        w.deposit(ecu(10, 1));
+        w.deposit_all([ecu(5, 2), ecu(20, 3)]);
+        assert_eq!(w.total(), 35);
+        assert_eq!(w.len(), 3);
+    }
+
+    #[test]
+    fn withdraw_greedy_covers_amount() {
+        let mut w = Wallet::from_ecus([ecu(5, 1), ecu(10, 2), ecu(20, 3), ecu(1, 4)]);
+        let taken = w.withdraw_at_least(22).unwrap();
+        let taken_total: u64 = taken.iter().map(|e| e.amount).sum();
+        assert!(taken_total >= 22);
+        assert_eq!(taken_total + w.total(), 36, "no value created or destroyed");
+        // Greedy large-first: 20 + 10.
+        assert_eq!(taken_total, 30);
+    }
+
+    #[test]
+    fn withdraw_insufficient_leaves_wallet_intact() {
+        let mut w = Wallet::from_ecus([ecu(5, 1)]);
+        assert!(w.withdraw_at_least(6).is_none());
+        assert_eq!(w.total(), 5);
+        assert!(w.withdraw_at_least(5).is_some());
+        assert_eq!(w.total(), 0);
+    }
+
+    #[test]
+    fn withdraw_zero_is_empty_but_some() {
+        let mut w = Wallet::from_ecus([ecu(5, 1)]);
+        let taken = w.withdraw_at_least(0).unwrap();
+        assert!(taken.is_empty());
+        assert_eq!(w.total(), 5);
+    }
+
+    #[test]
+    fn folder_round_trip_skips_garbage() {
+        let w = Wallet::from_ecus([ecu(1, 10), ecu(2, 20)]);
+        let mut folder = w.to_folder();
+        folder.push_str("not an ecu");
+        let (restored, skipped) = Wallet::from_folder(&folder);
+        assert_eq!(restored.total(), 3);
+        assert_eq!(restored.len(), 2);
+        assert_eq!(skipped, 1);
+    }
+}

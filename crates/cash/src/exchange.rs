@@ -1,0 +1,337 @@
+//! The funds-for-services exchange protocol.
+//!
+//! Section 3 of the paper observes that exchanging payment for service "must
+//! not [make it] possible to obtain a service without paying for it or to pay
+//! without obtaining the service", rejects transactional support (performance,
+//! trust, and unfamiliarity to the computer illiterate), and instead adopts
+//! the business-world solution: *participants document their actions* so that
+//! a third party can audit them, and "an aggrieved agent requests an audit."
+//!
+//! [`ExchangeProtocol::run`] simulates one purchase between a customer and a
+//! provider, each of which may be honest or may cheat, producing the signed
+//! [`ActionRecord`]s both parties keep in their `RECEIPTS` folders.  The
+//! [`crate::audit::AuditCourt`] replays those records to assign blame
+//! (experiment E6).
+
+use crate::ecu::Wallet;
+use crate::mint::Mint;
+use crate::{sign, SigningKey};
+use serde::{Deserialize, Serialize};
+
+/// The step of the protocol an action record documents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ActionKind {
+    /// Customer: "I sent payment of `amount`."
+    PaymentSent,
+    /// Provider: "I received (and validated) payment of `amount`."
+    PaymentReceived,
+    /// Provider: "I delivered the service."
+    ServiceDelivered,
+    /// Customer: "I received the service."
+    ServiceAcknowledged,
+}
+
+/// One signed statement about a protocol step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ActionRecord {
+    /// Which exchange this record belongs to.
+    pub exchange_id: u64,
+    /// What the signer asserts happened.
+    pub kind: ActionKind,
+    /// Key identifier of the asserting party (customer or provider).
+    pub signer: SigningKey,
+    /// The amount of money involved.
+    pub amount: u64,
+    /// Toy MAC over the record contents under the signer's key.
+    pub signature: u64,
+}
+
+impl ActionRecord {
+    /// Creates and signs a record.
+    pub fn signed(exchange_id: u64, kind: ActionKind, signer: SigningKey, amount: u64) -> Self {
+        let mut rec = ActionRecord {
+            exchange_id,
+            kind,
+            signer,
+            amount,
+            signature: 0,
+        };
+        rec.signature = sign(signer, &rec.canonical_bytes());
+        rec
+    }
+
+    /// The bytes covered by the signature.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32);
+        out.extend_from_slice(&self.exchange_id.to_le_bytes());
+        out.push(match self.kind {
+            ActionKind::PaymentSent => 1,
+            ActionKind::PaymentReceived => 2,
+            ActionKind::ServiceDelivered => 3,
+            ActionKind::ServiceAcknowledged => 4,
+        });
+        out.extend_from_slice(&self.signer.to_le_bytes());
+        out.extend_from_slice(&self.amount.to_le_bytes());
+        out
+    }
+
+    /// Whether the signature verifies under the claimed signer's key.
+    pub fn verifies(&self) -> bool {
+        sign(self.signer, &self.canonical_bytes()) == self.signature
+    }
+}
+
+/// How a party behaves during an exchange.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PartyBehavior {
+    /// Follows the protocol.
+    Honest,
+    /// Cheats: the customer withholds payment but later claims to have paid;
+    /// the provider keeps the payment but withholds the service.
+    Cheats,
+}
+
+/// Static configuration of one exchange.
+#[derive(Debug, Clone, Copy)]
+pub struct ExchangeConfig {
+    /// Unique id of the exchange (used in records and by the court).
+    pub exchange_id: u64,
+    /// Price of the service.
+    pub price: u64,
+    /// Customer signing key.
+    pub customer_key: SigningKey,
+    /// Provider signing key.
+    pub provider_key: SigningKey,
+    /// Customer behaviour.
+    pub customer: PartyBehavior,
+    /// Provider behaviour.
+    pub provider: PartyBehavior,
+}
+
+/// Everything that came out of one simulated exchange.
+#[derive(Debug, Clone)]
+pub struct ExchangeOutcome {
+    /// The configuration that produced this outcome.
+    pub config_id: u64,
+    /// Records the customer ended up holding.
+    pub customer_records: Vec<ActionRecord>,
+    /// Records the provider ended up holding.
+    pub provider_records: Vec<ActionRecord>,
+    /// Whether payment actually reached (and validated at) the provider.
+    pub payment_made: bool,
+    /// Whether the service was actually delivered.
+    pub service_delivered: bool,
+    /// Protocol messages exchanged (for overhead comparisons).
+    pub messages: u32,
+    /// ECUs the provider banked (validated and reissued).
+    pub provider_income: u64,
+}
+
+/// The exchange protocol driver.
+#[derive(Debug, Default)]
+pub struct ExchangeProtocol;
+
+impl ExchangeProtocol {
+    /// Runs one exchange.
+    ///
+    /// The customer pays out of `customer_wallet`; money the provider accepts
+    /// is validated (and thereby re-issued) at `mint` before the service is
+    /// rendered, exactly as §3 prescribes.
+    pub fn run(
+        mint: &mut Mint,
+        config: ExchangeConfig,
+        customer_wallet: &mut Wallet,
+    ) -> ExchangeOutcome {
+        let mut out = ExchangeOutcome {
+            config_id: config.exchange_id,
+            customer_records: Vec::new(),
+            provider_records: Vec::new(),
+            payment_made: false,
+            service_delivered: false,
+            messages: 0,
+            provider_income: 0,
+        };
+
+        // Step 1: customer sends payment (or doesn't, if cheating).
+        let payment = if config.customer == PartyBehavior::Honest {
+            customer_wallet.withdraw_at_least(config.price)
+        } else {
+            None
+        };
+        // Either way the customer records a PaymentSent claim; a cheating
+        // customer fabricates it (the record is self-signed, so it proves
+        // nothing to the court on its own).
+        out.customer_records.push(ActionRecord::signed(
+            config.exchange_id,
+            ActionKind::PaymentSent,
+            config.customer_key,
+            config.price,
+        ));
+        out.messages += 1; // request + (possibly empty) payment
+
+        // Step 2: provider validates whatever arrived at the mint.
+        let validated = match &payment {
+            Some(ecus) => mint.validate_and_reissue(ecus).ok(),
+            None => None,
+        };
+        out.messages += 2; // provider <-> mint round trip
+        if let Some(fresh) = validated {
+            out.payment_made = true;
+            out.provider_income = fresh.iter().map(|e| e.amount).sum();
+            // The provider acknowledges payment; the customer keeps this
+            // provider-signed receipt — it is the evidence an audit needs.
+            let receipt = ActionRecord::signed(
+                config.exchange_id,
+                ActionKind::PaymentReceived,
+                config.provider_key,
+                config.price,
+            );
+            out.customer_records.push(receipt);
+            out.provider_records.push(receipt);
+            out.messages += 1;
+
+            // Step 3: provider delivers the service (or keeps the money).
+            if config.provider == PartyBehavior::Honest {
+                out.service_delivered = true;
+                let delivery = ActionRecord::signed(
+                    config.exchange_id,
+                    ActionKind::ServiceDelivered,
+                    config.provider_key,
+                    config.price,
+                );
+                out.customer_records.push(delivery);
+                out.provider_records.push(delivery);
+                out.messages += 1;
+
+                // Step 4: customer acknowledges; the provider keeps this
+                // customer-signed receipt as protection against false claims.
+                let ack = ActionRecord::signed(
+                    config.exchange_id,
+                    ActionKind::ServiceAcknowledged,
+                    config.customer_key,
+                    config.price,
+                );
+                out.provider_records.push(ack);
+                out.customer_records.push(ack);
+                out.messages += 1;
+            }
+        } else if payment.is_some() {
+            // Payment was sent but did not validate (double spend upstream);
+            // the provider refuses service.  Return the ECUs to the customer
+            // (they were not retired).
+            if let Some(ecus) = payment {
+                customer_wallet.deposit_all(ecus);
+            }
+        }
+
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(price: u64) -> (Mint, Wallet) {
+        let mut mint = Mint::new(11);
+        let wallet = mint.issue_wallet(4, price);
+        (mint, wallet)
+    }
+
+    fn config(customer: PartyBehavior, provider: PartyBehavior) -> ExchangeConfig {
+        ExchangeConfig {
+            exchange_id: 1,
+            price: 10,
+            customer_key: 0xAAAA,
+            provider_key: 0xBBBB,
+            customer,
+            provider,
+        }
+    }
+
+    #[test]
+    fn honest_exchange_completes_with_four_record_kinds() {
+        let (mut mint, mut wallet) = setup(10);
+        let out = ExchangeProtocol::run(
+            &mut mint,
+            config(PartyBehavior::Honest, PartyBehavior::Honest),
+            &mut wallet,
+        );
+        assert!(out.payment_made);
+        assert!(out.service_delivered);
+        assert_eq!(out.provider_income, 10);
+        assert_eq!(wallet.total(), 30);
+        assert_eq!(out.customer_records.len(), 4);
+        assert_eq!(out.provider_records.len(), 3);
+        assert!(out.customer_records.iter().all(|r| r.verifies()));
+    }
+
+    #[test]
+    fn cheating_customer_pays_nothing_and_gets_nothing() {
+        let (mut mint, mut wallet) = setup(10);
+        let out = ExchangeProtocol::run(
+            &mut mint,
+            config(PartyBehavior::Cheats, PartyBehavior::Honest),
+            &mut wallet,
+        );
+        assert!(!out.payment_made);
+        assert!(!out.service_delivered);
+        assert_eq!(wallet.total(), 40, "no money left the wallet");
+        // The customer holds only its own self-signed claim.
+        assert_eq!(out.customer_records.len(), 1);
+        assert_eq!(out.customer_records[0].kind, ActionKind::PaymentSent);
+    }
+
+    #[test]
+    fn cheating_provider_keeps_money_without_delivering() {
+        let (mut mint, mut wallet) = setup(10);
+        let out = ExchangeProtocol::run(
+            &mut mint,
+            config(PartyBehavior::Honest, PartyBehavior::Cheats),
+            &mut wallet,
+        );
+        assert!(out.payment_made);
+        assert!(!out.service_delivered);
+        assert_eq!(out.provider_income, 10);
+        assert_eq!(wallet.total(), 30);
+        // The customer holds the provider-signed payment receipt — the
+        // evidence the audit court will use.
+        assert!(out
+            .customer_records
+            .iter()
+            .any(|r| r.kind == ActionKind::PaymentReceived && r.signer == 0xBBBB && r.verifies()));
+        assert!(!out
+            .customer_records
+            .iter()
+            .any(|r| r.kind == ActionKind::ServiceDelivered));
+    }
+
+    #[test]
+    fn double_spent_payment_is_refused_and_returned() {
+        let mut mint = Mint::new(12);
+        let bill = mint.issue(10);
+        // Spend the bill once directly at the mint, so the wallet's copy is stale.
+        mint.validate_and_reissue(&[bill]).unwrap();
+        let mut wallet = Wallet::from_ecus([bill]);
+        let out = ExchangeProtocol::run(
+            &mut mint,
+            config(PartyBehavior::Honest, PartyBehavior::Honest),
+            &mut wallet,
+        );
+        assert!(!out.payment_made);
+        assert!(!out.service_delivered);
+        assert_eq!(wallet.total(), 10, "stale bill returned to the customer");
+    }
+
+    #[test]
+    fn records_do_not_verify_after_tampering() {
+        let rec = ActionRecord::signed(7, ActionKind::PaymentReceived, 99, 25);
+        assert!(rec.verifies());
+        let mut tampered = rec;
+        tampered.amount = 2500;
+        assert!(!tampered.verifies());
+        let mut forged = rec;
+        forged.signer = 100; // claim someone else signed it
+        assert!(!forged.verifies());
+    }
+}

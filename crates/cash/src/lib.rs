@@ -1,0 +1,91 @@
+//! Electronic cash for TACOMA agents (paper §3).
+//!
+//! The paper explores electronic cash as the negotiable instrument agents use
+//! to obtain and pay for services, and as a brake on runaway agents.  Three
+//! pieces are described, and all three are implemented here:
+//!
+//! * **ECUs** ([`ecu::Ecu`]) — "each unit of electronic cash … a record
+//!   containing an amount and a large random number.  Only certain of these
+//!   random numbers appear on the records for valid ECUs."  Wallets
+//!   ([`ecu::Wallet`]) hold ECU records and move them between agents inside a
+//!   `CASH` folder.
+//! * **The validation agent** ([`mint::Mint`], wrapped as the native
+//!   [`mint::MintAgent`]) — "this agent can check whether a record it is
+//!   shown corresponds to a valid ECU.  If it is valid, then a record for an
+//!   equivalent ECU is returned, but this record has a new random number
+//!   (effectively retiring an old bill and replacing it by a new one)."
+//!   Double spending a copied or retired ECU is therefore foiled whenever the
+//!   recipient validates before rendering service (experiment E5).
+//! * **Funds-for-service exchange with audits** ([`exchange`], [`audit`]) —
+//!   the paper rejects transactional support and instead has participants
+//!   sign *action records* so that "a third party (a court, in real life) can
+//!   perform an audit to find violations of a contract" (experiment E6).
+//!
+//! ## Security caveat
+//!
+//! The prototype "used the security mechanisms provided by UNIX" and the
+//! paper flags this as provisional.  We follow suit: signatures here are a
+//! keyed mixing function ([`sign`]), good enough to make forgery by the
+//! *modelled* adversaries (agents replaying or fabricating records without
+//! the signer's key) detectable, but **not** cryptographically secure.
+
+#![warn(missing_docs)]
+
+pub mod audit;
+pub mod ecu;
+pub mod exchange;
+pub mod mint;
+
+pub use audit::{AuditCourt, Verdict};
+pub use ecu::{Ecu, Wallet};
+pub use exchange::{ActionKind, ActionRecord, ExchangeConfig, ExchangeOutcome, ExchangeProtocol, PartyBehavior};
+pub use mint::{cash_briefcase, wallet_from_briefcase, Mint, MintAgent, MintError, MintStats};
+
+/// A party's signing key for the toy MAC scheme.
+pub type SigningKey = u64;
+
+/// Computes the toy keyed signature of a byte string.
+///
+/// This is a SplitMix-style mixing of the key and content — adequate for the
+/// audit experiments (a party without the key cannot produce a record that
+/// verifies under it against this implementation), but not real cryptography.
+pub fn sign(key: SigningKey, content: &[u8]) -> u64 {
+    let mut acc = key ^ 0x9E37_79B9_7F4A_7C15;
+    for chunk in content.chunks(8) {
+        let mut word = [0u8; 8];
+        word[..chunk.len()].copy_from_slice(chunk);
+        let mut z = acc ^ u64::from_le_bytes(word);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        acc = z ^ (z >> 31);
+    }
+    acc
+}
+
+/// Verifies a toy signature.
+pub fn verify(key: SigningKey, content: &[u8], signature: u64) -> bool {
+    sign(key, content) == signature
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_verify_round_trip() {
+        let sig = sign(42, b"pay 10 to provider");
+        assert!(verify(42, b"pay 10 to provider", sig));
+        assert!(!verify(42, b"pay 99 to provider", sig));
+        assert!(!verify(43, b"pay 10 to provider", sig));
+    }
+
+    #[test]
+    fn signatures_differ_across_contents_and_keys() {
+        let a = sign(1, b"x");
+        let b = sign(1, b"y");
+        let c = sign(2, b"x");
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(sign(1, b""), 0);
+    }
+}

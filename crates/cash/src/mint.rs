@@ -1,0 +1,373 @@
+//! The validation agent (mint): issuing, validating and retiring ECUs.
+//!
+//! The paper's §3 solution to double spending is indirection-free: "a trusted
+//! validation agent is employed.  This agent can check whether a record it is
+//! shown corresponds to a valid ECU.  If it is valid, then a record for an
+//! equivalent ECU is returned, but this record has a new random number
+//! (effectively retiring an old bill and replacing it by a new one).  An
+//! attempt by an agent to spend retired or copied ECUs will be foiled if a
+//! validation agent is always consulted before any service is rendered."
+//! Untraceability is preserved because the mint never learns who paid whom —
+//! it only sees bills.
+//!
+//! [`Mint`] is the plain-Rust state machine; [`MintAgent`] wraps it as a
+//! native TACOMA agent reachable by `meet mint` with a `CASH` folder.
+
+use crate::ecu::{Ecu, Wallet};
+use std::collections::BTreeSet;
+use tacoma_core::prelude::*;
+// Folder is used in the test module below.
+#[cfg(test)]
+use tacoma_core::Folder;
+use tacoma_util::DetRng;
+
+/// Errors from mint operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MintError {
+    /// A presented ECU's serial is not on the valid list (already retired,
+    /// copied, or simply forged).
+    InvalidEcu(Ecu),
+    /// The requested change denominations do not sum to the presented value.
+    AmountMismatch {
+        /// Value presented.
+        presented: u64,
+        /// Value requested back.
+        requested: u64,
+    },
+}
+
+impl std::fmt::Display for MintError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MintError::InvalidEcu(e) => {
+                write!(f, "ECU with amount {} is not valid (retired, copied or forged)", e.amount)
+            }
+            MintError::AmountMismatch { presented, requested } => {
+                write!(f, "requested {requested} does not match presented {presented}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MintError {}
+
+/// Counters the mint keeps, reported by experiment E5.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MintStats {
+    /// ECUs issued (initial issuance plus re-issuance).
+    pub issued: u64,
+    /// ECUs successfully validated and retired.
+    pub validated: u64,
+    /// Validation attempts rejected (double spends, forgeries).
+    pub rejected: u64,
+}
+
+/// The trusted validation agent's state: the set of valid serial numbers.
+#[derive(Debug, Clone)]
+pub struct Mint {
+    valid: BTreeSet<u128>,
+    rng: DetRng,
+    stats: MintStats,
+}
+
+impl Mint {
+    /// Creates a mint with a deterministic serial-number generator.
+    pub fn new(seed: u64) -> Self {
+        Mint {
+            valid: BTreeSet::new(),
+            rng: DetRng::new(seed ^ 0xC0FF_EE00_D00D_F00D),
+            stats: MintStats::default(),
+        }
+    }
+
+    /// Counters for experiments.
+    pub fn stats(&self) -> MintStats {
+        self.stats
+    }
+
+    /// Number of serials currently valid (the mint's state size).
+    pub fn outstanding(&self) -> usize {
+        self.valid.len()
+    }
+
+    /// Total face value the mint believes is in circulation is not tracked —
+    /// deliberately: the mint never learns amounts per holder, only serials.
+    /// Issues a brand-new ECU of the given amount (e.g. initial funding).
+    pub fn issue(&mut self, amount: u64) -> Ecu {
+        let serial = self.fresh_serial();
+        self.valid.insert(serial);
+        self.stats.issued += 1;
+        Ecu { amount, serial }
+    }
+
+    /// Issues a wallet holding `count` ECUs of `denomination` each.
+    pub fn issue_wallet(&mut self, count: usize, denomination: u64) -> Wallet {
+        Wallet::from_ecus((0..count).map(|_| self.issue(denomination)))
+    }
+
+    /// Checks whether an ECU is currently valid, without retiring it.
+    pub fn is_valid(&self, ecu: &Ecu) -> bool {
+        self.valid.contains(&ecu.serial)
+    }
+
+    /// The paper's validate-and-reissue: each presented ECU is checked and
+    /// retired, and an equivalent ECU with a fresh serial is returned.  If any
+    /// presented ECU is invalid the whole batch is rejected and nothing is
+    /// retired.
+    pub fn validate_and_reissue(&mut self, presented: &[Ecu]) -> Result<Vec<Ecu>, MintError> {
+        // Reject first (also rejecting duplicates within the batch itself).
+        let mut seen = BTreeSet::new();
+        for ecu in presented {
+            if !self.valid.contains(&ecu.serial) || !seen.insert(ecu.serial) {
+                self.stats.rejected += 1;
+                return Err(MintError::InvalidEcu(*ecu));
+            }
+        }
+        let mut fresh = Vec::with_capacity(presented.len());
+        for ecu in presented {
+            self.valid.remove(&ecu.serial);
+            self.stats.validated += 1;
+            let serial = self.fresh_serial();
+            self.valid.insert(serial);
+            self.stats.issued += 1;
+            fresh.push(Ecu {
+                amount: ecu.amount,
+                serial,
+            });
+        }
+        Ok(fresh)
+    }
+
+    /// Validates `presented` and reissues the same total value split as
+    /// `denominations` (change making).  The denominations must sum to the
+    /// presented value.
+    pub fn reissue_with_change(
+        &mut self,
+        presented: &[Ecu],
+        denominations: &[u64],
+    ) -> Result<Vec<Ecu>, MintError> {
+        let presented_total: u64 = presented.iter().map(|e| e.amount).sum();
+        let requested_total: u64 = denominations.iter().sum();
+        if presented_total != requested_total {
+            return Err(MintError::AmountMismatch {
+                presented: presented_total,
+                requested: requested_total,
+            });
+        }
+        // Validate and retire, then mint the requested denominations.
+        let mut seen = BTreeSet::new();
+        for ecu in presented {
+            if !self.valid.contains(&ecu.serial) || !seen.insert(ecu.serial) {
+                self.stats.rejected += 1;
+                return Err(MintError::InvalidEcu(*ecu));
+            }
+        }
+        for ecu in presented {
+            self.valid.remove(&ecu.serial);
+            self.stats.validated += 1;
+        }
+        Ok(denominations.iter().map(|&amount| self.issue(amount)).collect())
+    }
+
+    fn fresh_serial(&mut self) -> u128 {
+        loop {
+            let serial = ((self.rng.next_u64() as u128) << 64) | self.rng.next_u64() as u128;
+            if !self.valid.contains(&serial) {
+                return serial;
+            }
+        }
+    }
+}
+
+/// The mint as a native TACOMA agent.
+///
+/// Meet it with a briefcase whose `CASH` folder holds ECU records; the reply's
+/// `CASH` folder holds the reissued records, or the meet fails with
+/// [`TacomaError::Cash`] if any record is invalid — which is exactly the check
+/// a service provider performs "before any service is rendered".
+pub struct MintAgent {
+    mint: Mint,
+}
+
+impl MintAgent {
+    /// Creates the agent with its own mint state.
+    pub fn new(seed: u64) -> Self {
+        MintAgent {
+            mint: Mint::new(seed),
+        }
+    }
+
+    /// Creates the agent around an existing mint (sharing issued serials).
+    pub fn from_mint(mint: Mint) -> Self {
+        MintAgent { mint }
+    }
+
+    /// Read access to the wrapped mint.
+    pub fn mint(&self) -> &Mint {
+        &self.mint
+    }
+
+    /// Mutable access to the wrapped mint (funding wallets in tests/benches).
+    pub fn mint_mut(&mut self) -> &mut Mint {
+        &mut self.mint
+    }
+}
+
+impl Agent for MintAgent {
+    fn name(&self) -> AgentName {
+        AgentName::new(wellknown::MINT)
+    }
+
+    fn meet(&mut self, ctx: &mut MeetCtx<'_>, mut bc: Briefcase) -> MeetOutcome {
+        let cash = bc
+            .take(wellknown::CASH)
+            .ok_or_else(|| TacomaError::missing(wellknown::CASH))?;
+        let (wallet, skipped) = Wallet::from_folder(&cash);
+        if skipped > 0 {
+            return Err(TacomaError::Cash(format!("{skipped} malformed ECU record(s)")));
+        }
+        match self.mint.validate_and_reissue(wallet.ecus()) {
+            Ok(fresh) => {
+                ctx.log(format!(
+                    "mint: validated and reissued {} ECU(s) worth {}",
+                    fresh.len(),
+                    fresh.iter().map(|e| e.amount).sum::<u64>()
+                ));
+                let mut out = Briefcase::new();
+                out.put(wellknown::CASH, Wallet::from_ecus(fresh).to_folder());
+                out.put_string("STATUS", "valid");
+                Ok(out)
+            }
+            Err(e) => Err(TacomaError::Cash(e.to_string())),
+        }
+    }
+}
+
+/// Convenience: puts a wallet into a briefcase's `CASH` folder.
+pub fn cash_briefcase(wallet: &Wallet) -> Briefcase {
+    let mut bc = Briefcase::new();
+    bc.put(wellknown::CASH, wallet.to_folder());
+    bc
+}
+
+/// Convenience: extracts the wallet from a briefcase's `CASH` folder.
+pub fn wallet_from_briefcase(bc: &Briefcase) -> Wallet {
+    bc.folder(wellknown::CASH)
+        .map(|f| Wallet::from_folder(f).0)
+        .unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn issue_and_validate() {
+        let mut mint = Mint::new(1);
+        let a = mint.issue(10);
+        let b = mint.issue(5);
+        assert_ne!(a.serial, b.serial);
+        assert!(mint.is_valid(&a));
+        assert_eq!(mint.outstanding(), 2);
+
+        let fresh = mint.validate_and_reissue(&[a, b]).unwrap();
+        assert_eq!(fresh.iter().map(|e| e.amount).sum::<u64>(), 15);
+        assert!(!mint.is_valid(&a), "old serials are retired");
+        assert!(mint.is_valid(&fresh[0]));
+        assert_eq!(mint.outstanding(), 2);
+        assert_eq!(mint.stats().validated, 2);
+    }
+
+    #[test]
+    fn double_spend_is_rejected() {
+        let mut mint = Mint::new(2);
+        let bill = mint.issue(100);
+        let copy = bill; // "copy is a cheap operation"
+        assert!(mint.validate_and_reissue(&[bill]).is_ok());
+        let err = mint.validate_and_reissue(&[copy]).unwrap_err();
+        assert!(matches!(err, MintError::InvalidEcu(_)));
+        assert_eq!(mint.stats().rejected, 1);
+    }
+
+    #[test]
+    fn duplicate_in_one_batch_is_rejected_atomically() {
+        let mut mint = Mint::new(3);
+        let bill = mint.issue(10);
+        let err = mint.validate_and_reissue(&[bill, bill]).unwrap_err();
+        assert!(matches!(err, MintError::InvalidEcu(_)));
+        // Nothing was retired: the bill is still spendable once.
+        assert!(mint.is_valid(&bill));
+        assert!(mint.validate_and_reissue(&[bill]).is_ok());
+    }
+
+    #[test]
+    fn forged_ecu_is_rejected() {
+        let mut mint = Mint::new(4);
+        let forged = Ecu { amount: 1_000_000, serial: 0x1234 };
+        assert!(mint.validate_and_reissue(&[forged]).is_err());
+        assert_eq!(mint.stats().validated, 0);
+    }
+
+    #[test]
+    fn change_making_preserves_value() {
+        let mut mint = Mint::new(5);
+        let bill = mint.issue(100);
+        let change = mint.reissue_with_change(&[bill], &[50, 30, 20]).unwrap();
+        assert_eq!(change.len(), 3);
+        assert_eq!(change.iter().map(|e| e.amount).sum::<u64>(), 100);
+        assert!(!mint.is_valid(&bill));
+
+        let bill2 = mint.issue(10);
+        let err = mint.reissue_with_change(&[bill2], &[5, 4]).unwrap_err();
+        assert!(matches!(err, MintError::AmountMismatch { .. }));
+        assert!(mint.is_valid(&bill2), "mismatch must not retire the bill");
+    }
+
+    #[test]
+    fn issue_wallet_and_stats() {
+        let mut mint = Mint::new(6);
+        let w = mint.issue_wallet(10, 5);
+        assert_eq!(w.total(), 50);
+        assert_eq!(mint.stats().issued, 10);
+        assert_eq!(mint.outstanding(), 10);
+    }
+
+    #[test]
+    fn mint_agent_validates_cash_folders() {
+        use tacoma_core::TacomaSystem;
+        use tacoma_net::{LinkSpec, Topology};
+
+        let mut sys = TacomaSystem::new(Topology::full_mesh(1, LinkSpec::default()), 9);
+        let mut agent = MintAgent::new(7);
+        let wallet = agent.mint_mut().issue_wallet(3, 10);
+        sys.register_agent(SiteId(0), Box::new(agent));
+
+        // Valid cash validates and comes back with new serials.
+        let reply = sys
+            .try_direct_meet(SiteId(0), &AgentName::new(wellknown::MINT), cash_briefcase(&wallet))
+            .unwrap();
+        let fresh = wallet_from_briefcase(&reply);
+        assert_eq!(fresh.total(), 30);
+        for (old, new) in wallet.ecus().iter().zip(fresh.ecus()) {
+            assert_ne!(old.serial, new.serial);
+        }
+
+        // Replaying the old (now retired) cash is foiled.
+        let err = sys
+            .try_direct_meet(SiteId(0), &AgentName::new(wellknown::MINT), cash_briefcase(&wallet))
+            .unwrap_err();
+        assert!(matches!(err, TacomaError::Cash(_)));
+
+        // Missing CASH folder and malformed records are rejected.
+        let err = sys
+            .try_direct_meet(SiteId(0), &AgentName::new(wellknown::MINT), Briefcase::new())
+            .unwrap_err();
+        assert!(matches!(err, TacomaError::MissingFolder(_)));
+        let mut bad = Briefcase::new();
+        bad.put(wellknown::CASH, Folder::of_str("garbage"));
+        let err = sys
+            .try_direct_meet(SiteId(0), &AgentName::new(wellknown::MINT), bad)
+            .unwrap_err();
+        assert!(matches!(err, TacomaError::Cash(_)));
+    }
+}

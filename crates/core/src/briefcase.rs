@@ -1,0 +1,210 @@
+//! Briefcases: the named folder collections that travel with agents.
+//!
+//! The paper (§2) associates a *briefcase* with each agent so that "its future
+//! actions [can] depend on its past ones", and uses a briefcase as the
+//! argument list of a `meet` (each folder is one argument).  A briefcase must
+//! be cheap to serialize and ship, since that happens on every migration.
+
+use crate::folder::Folder;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A collection of named folders.
+///
+/// Folder names are ordinary strings; lookups are by exact name.  The map is
+/// ordered (`BTreeMap`) so serialization and wire sizes are deterministic.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Briefcase {
+    folders: BTreeMap<String, Folder>,
+}
+
+impl Briefcase {
+    /// Creates an empty briefcase.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of folders in the briefcase.
+    pub fn len(&self) -> usize {
+        self.folders.len()
+    }
+
+    /// Whether the briefcase holds no folders.
+    pub fn is_empty(&self) -> bool {
+        self.folders.is_empty()
+    }
+
+    /// Whether a folder with the given name exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.folders.contains_key(name)
+    }
+
+    /// Read access to a folder, if present.
+    pub fn folder(&self, name: &str) -> Option<&Folder> {
+        self.folders.get(name)
+    }
+
+    /// Mutable access to a folder, creating an empty one if absent.
+    pub fn folder_mut(&mut self, name: &str) -> &mut Folder {
+        self.folders.entry(name.to_string()).or_default()
+    }
+
+    /// Inserts (or replaces) a folder under the given name.
+    pub fn put(&mut self, name: impl Into<String>, folder: Folder) -> Option<Folder> {
+        self.folders.insert(name.into(), folder)
+    }
+
+    /// Removes and returns a folder.
+    pub fn take(&mut self, name: &str) -> Option<Folder> {
+        self.folders.remove(name)
+    }
+
+    /// Removes a folder, returning an error-friendly `Option` of its single
+    /// string element (convenience for `HOST`/`CONTACT`-style folders).
+    pub fn take_string(&mut self, name: &str) -> Option<String> {
+        self.take(name).and_then(|mut f| f.pop_str())
+    }
+
+    /// Reads the top string element of a folder without consuming it.
+    pub fn peek_string(&self, name: &str) -> Option<String> {
+        self.folder(name).and_then(|f| f.peek_str())
+    }
+
+    /// Reads the top `u64` element of a folder without consuming it.
+    pub fn peek_u64(&self, name: &str) -> Option<u64> {
+        self.folder(name).and_then(|f| f.peek_u64())
+    }
+
+    /// Convenience: creates/overwrites a folder holding a single string.
+    pub fn put_string(&mut self, name: impl Into<String>, value: impl AsRef<str>) {
+        self.put(name, Folder::of_str(value));
+    }
+
+    /// Convenience: creates/overwrites a folder holding a single `u64`.
+    pub fn put_u64(&mut self, name: impl Into<String>, value: u64) {
+        let mut f = Folder::new();
+        f.push_u64(value);
+        self.put(name, f);
+    }
+
+    /// Iterates over `(name, folder)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Folder)> {
+        self.folders.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// The folder names, in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.folders.keys().map(|k| k.as_str()).collect()
+    }
+
+    /// Merges every folder of `other` into this briefcase.  Folders with the
+    /// same name are concatenated (other's elements appended).
+    pub fn merge(&mut self, other: Briefcase) {
+        for (name, mut folder) in other.folders {
+            self.folders.entry(name).or_default().append(&mut folder);
+        }
+    }
+
+    /// Total payload bytes across all folders (excluding framing).
+    pub fn payload_bytes(&self) -> usize {
+        self.folders
+            .iter()
+            .map(|(k, v)| k.len() + v.payload_bytes())
+            .sum()
+    }
+
+    /// The number of bytes this briefcase occupies on the wire when encoded
+    /// with the TACOMA codec (see [`crate::codec`]).
+    pub fn wire_size(&self) -> usize {
+        crate::codec::encode_briefcase(self).len()
+    }
+}
+
+impl FromIterator<(String, Folder)> for Briefcase {
+    fn from_iter<T: IntoIterator<Item = (String, Folder)>>(iter: T) -> Self {
+        Briefcase {
+            folders: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_take() {
+        let mut bc = Briefcase::new();
+        assert!(bc.is_empty());
+        bc.put_string("HOST", "site3");
+        bc.put_u64("HOPS", 4);
+        assert_eq!(bc.len(), 2);
+        assert!(bc.contains("HOST"));
+        assert_eq!(bc.peek_string("HOST").as_deref(), Some("site3"));
+        assert_eq!(bc.peek_u64("HOPS"), Some(4));
+        assert_eq!(bc.take_string("HOST").as_deref(), Some("site3"));
+        assert!(!bc.contains("HOST"));
+        assert!(bc.take("HOST").is_none());
+    }
+
+    #[test]
+    fn folder_mut_creates_on_demand() {
+        let mut bc = Briefcase::new();
+        bc.folder_mut("RESULTS").push_str("r1");
+        bc.folder_mut("RESULTS").push_str("r2");
+        assert_eq!(bc.folder("RESULTS").unwrap().len(), 2);
+        assert!(bc.folder("MISSING").is_none());
+    }
+
+    #[test]
+    fn put_replaces_and_returns_old() {
+        let mut bc = Briefcase::new();
+        bc.put_string("X", "old");
+        let old = bc.put("X", Folder::of_str("new")).unwrap();
+        assert_eq!(old.strings(), vec!["old"]);
+        assert_eq!(bc.peek_string("X").as_deref(), Some("new"));
+    }
+
+    #[test]
+    fn merge_concatenates_same_name() {
+        let mut a = Briefcase::new();
+        a.folder_mut("SITES").push_str("site0");
+        let mut b = Briefcase::new();
+        b.folder_mut("SITES").push_str("site1");
+        b.put_string("EXTRA", "e");
+        a.merge(b);
+        assert_eq!(a.folder("SITES").unwrap().strings(), vec!["site0", "site1"]);
+        assert!(a.contains("EXTRA"));
+    }
+
+    #[test]
+    fn names_are_sorted_and_iteration_matches() {
+        let mut bc = Briefcase::new();
+        bc.put_string("B", "2");
+        bc.put_string("A", "1");
+        bc.put_string("C", "3");
+        assert_eq!(bc.names(), vec!["A", "B", "C"]);
+        let via_iter: Vec<&str> = bc.iter().map(|(n, _)| n).collect();
+        assert_eq!(via_iter, vec!["A", "B", "C"]);
+    }
+
+    #[test]
+    fn payload_and_wire_sizes_grow_with_content() {
+        let mut bc = Briefcase::new();
+        let empty_wire = bc.wire_size();
+        bc.folder_mut("DATA").push(vec![0u8; 1000]);
+        assert!(bc.payload_bytes() >= 1000);
+        assert!(bc.wire_size() > empty_wire + 1000);
+    }
+
+    #[test]
+    fn from_iterator() {
+        let bc: Briefcase = vec![
+            ("A".to_string(), Folder::of_str("x")),
+            ("B".to_string(), Folder::of_str("y")),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(bc.len(), 2);
+    }
+}

@@ -1,0 +1,381 @@
+//! File cabinets: site-local folder groupings.
+//!
+//! The paper (§2) distinguishes the folders an agent carries (its briefcase)
+//! from *site-local* folders that stay behind: they "allow more efficient use
+//! of network bandwidth" and "allow communication between agents that are not
+//! simultaneously resident at a given site".  Groupings of site-local folders
+//! are called *file cabinets*; unlike briefcases, cabinets are rarely moved,
+//! so they may be implemented with structures that optimise access time even
+//! if that makes them more expensive to move.  The prototype (§6) notes that
+//! cabinets "can be flushed to disk when permanence is required".
+//!
+//! Our [`FileCabinet`] keeps, besides the folders themselves, an inverted
+//! index from element bytes to folder names — deliberately the kind of
+//! access-accelerating structure the paper says briefcases must *not* carry —
+//! and supports snapshot/restore to model flushing to stable storage.
+
+use crate::folder::{Folder, FolderElem};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A site-local grouping of named folders with an access index.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FileCabinet {
+    folders: BTreeMap<String, Folder>,
+    /// Inverted index: element bytes → names of folders containing them.
+    index: BTreeMap<FolderElem, BTreeSet<String>>,
+    /// Access statistics (reads + writes), used by the E4 experiment.
+    accesses: u64,
+}
+
+impl FileCabinet {
+    /// Creates an empty cabinet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of folders in the cabinet.
+    pub fn len(&self) -> usize {
+        self.folders.len()
+    }
+
+    /// Whether the cabinet holds no folders.
+    pub fn is_empty(&self) -> bool {
+        self.folders.is_empty()
+    }
+
+    /// Whether a folder with the given name exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.folders.contains_key(name)
+    }
+
+    /// Read access to a folder.
+    pub fn folder(&mut self, name: &str) -> Option<&Folder> {
+        self.accesses += 1;
+        self.folders.get(name)
+    }
+
+    /// Read access to a folder without touching the access counter (used by
+    /// experiment drivers and assertions that inspect state from outside the
+    /// agent world).
+    pub fn folder_ref(&self, name: &str) -> Option<&Folder> {
+        self.folders.get(name)
+    }
+
+    /// Appends an element to a named folder, creating the folder if needed.
+    pub fn append(&mut self, name: &str, elem: impl Into<FolderElem>) {
+        self.accesses += 1;
+        let elem = elem.into();
+        self.index
+            .entry(elem.clone())
+            .or_default()
+            .insert(name.to_string());
+        self.folders.entry(name.to_string()).or_default().push(elem);
+    }
+
+    /// Appends a string element to a named folder.
+    pub fn append_str(&mut self, name: &str, s: impl AsRef<str>) {
+        self.append(name, s.as_ref().as_bytes().to_vec());
+    }
+
+    /// Replaces a folder wholesale (rebuilding index entries).
+    pub fn put(&mut self, name: impl Into<String>, folder: Folder) {
+        self.accesses += 1;
+        let name = name.into();
+        self.remove_from_index(&name);
+        for elem in folder.iter() {
+            self.index
+                .entry(elem.clone())
+                .or_default()
+                .insert(name.clone());
+        }
+        self.folders.insert(name, folder);
+    }
+
+    /// Removes and returns a folder.
+    pub fn take(&mut self, name: &str) -> Option<Folder> {
+        self.accesses += 1;
+        self.remove_from_index(name);
+        self.folders.remove(name)
+    }
+
+    /// Pops the last element of a named folder (stack discipline).
+    pub fn pop(&mut self, name: &str) -> Option<FolderElem> {
+        self.accesses += 1;
+        let folder = self.folders.get_mut(name)?;
+        let elem = folder.pop()?;
+        // An identical element may appear in the folder more than once; only
+        // drop the index entry when the last copy is gone.
+        if !folder.contains_elem(&elem) {
+            if let Some(set) = self.index.get_mut(&elem) {
+                set.remove(name);
+                if set.is_empty() {
+                    self.index.remove(&elem);
+                }
+            }
+        }
+        Some(elem)
+    }
+
+    /// Dequeues the first element of a named folder (queue discipline).
+    pub fn dequeue(&mut self, name: &str) -> Option<FolderElem> {
+        self.accesses += 1;
+        let folder = self.folders.get_mut(name)?;
+        let elem = folder.dequeue()?;
+        if !folder.contains_elem(&elem) {
+            if let Some(set) = self.index.get_mut(&elem) {
+                set.remove(name);
+                if set.is_empty() {
+                    self.index.remove(&elem);
+                }
+            }
+        }
+        Some(elem)
+    }
+
+    /// Whether any folder of the cabinet contains the given element — an
+    /// indexed lookup, O(log n), the access-time optimisation cabinets are
+    /// allowed to have.
+    pub fn contains_elem(&mut self, elem: &[u8]) -> bool {
+        self.accesses += 1;
+        self.index.contains_key(elem)
+    }
+
+    /// Whether a *specific folder* contains the element (still indexed).
+    pub fn folder_contains(&mut self, name: &str, elem: &[u8]) -> bool {
+        self.accesses += 1;
+        self.index
+            .get(elem)
+            .map(|set| set.contains(name))
+            .unwrap_or(false)
+    }
+
+    /// Names of all folders, in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.folders.keys().map(|k| k.as_str()).collect()
+    }
+
+    /// Total payload bytes stored in the cabinet (excluding the index).
+    pub fn payload_bytes(&self) -> usize {
+        self.folders
+            .iter()
+            .map(|(k, v)| k.len() + v.payload_bytes())
+            .sum()
+    }
+
+    /// Number of access operations performed since creation or restore.
+    pub fn access_count(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Serializes the cabinet's folders to a stable-storage snapshot
+    /// ("flushed to disk when permanence is required", §6).  The index is not
+    /// stored; it is rebuilt on restore.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let bc: crate::briefcase::Briefcase = self
+            .folders
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        crate::codec::encode_briefcase(&bc)
+    }
+
+    /// Rebuilds a cabinet from a snapshot produced by [`FileCabinet::snapshot`].
+    pub fn restore(snapshot: &[u8]) -> Result<Self, crate::error::TacomaError> {
+        let bc = crate::codec::decode_briefcase(snapshot)?;
+        let mut cab = FileCabinet::new();
+        for (name, folder) in bc.iter() {
+            cab.put(name.to_string(), folder.clone());
+        }
+        cab.accesses = 0;
+        Ok(cab)
+    }
+
+    /// The cost (in bytes) of moving this cabinet to another site: the
+    /// snapshot plus the rebuilt index, making cabinets measurably more
+    /// expensive to move than briefcases of the same content (E4).
+    pub fn move_cost_bytes(&self) -> usize {
+        let index_bytes: usize = self
+            .index
+            .iter()
+            .map(|(elem, names)| elem.len() + names.iter().map(|n| n.len() + 8).sum::<usize>())
+            .sum();
+        self.snapshot().len() + index_bytes
+    }
+
+    fn remove_from_index(&mut self, name: &str) {
+        if let Some(folder) = self.folders.get(name) {
+            for elem in folder.iter() {
+                if let Some(set) = self.index.get_mut(elem) {
+                    set.remove(name);
+                    if set.is_empty() {
+                        self.index.remove(elem);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// All file cabinets of one site, keyed by cabinet name.
+///
+/// The paper groups site-local folders into cabinets; a site may have several
+/// (the scheduling service and the mail application each keep their own).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CabinetStore {
+    cabinets: BTreeMap<String, FileCabinet>,
+}
+
+impl CabinetStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Access to a cabinet, creating it empty if absent.
+    pub fn cabinet(&mut self, name: &str) -> &mut FileCabinet {
+        self.cabinets.entry(name.to_string()).or_default()
+    }
+
+    /// Read-only access to a cabinet if it exists.
+    pub fn get(&self, name: &str) -> Option<&FileCabinet> {
+        self.cabinets.get(name)
+    }
+
+    /// Whether a cabinet with the given name exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.cabinets.contains_key(name)
+    }
+
+    /// Inserts (or replaces) a whole cabinet under the given name.
+    pub fn put_cabinet(&mut self, name: impl Into<String>, cabinet: FileCabinet) {
+        self.cabinets.insert(name.into(), cabinet);
+    }
+
+    /// Names of all cabinets.
+    pub fn names(&self) -> Vec<&str> {
+        self.cabinets.keys().map(|k| k.as_str()).collect()
+    }
+
+    /// Removes every cabinet (volatile state lost in a crash).
+    pub fn clear(&mut self) {
+        self.cabinets.clear();
+    }
+
+    /// Snapshots every cabinet, keyed by name (flush-to-disk for the whole site).
+    pub fn snapshot_all(&self) -> BTreeMap<String, Vec<u8>> {
+        self.cabinets
+            .iter()
+            .map(|(name, cab)| (name.clone(), cab.snapshot()))
+            .collect()
+    }
+
+    /// Restores cabinets from snapshots, replacing current contents.
+    pub fn restore_all(
+        &mut self,
+        snapshots: &BTreeMap<String, Vec<u8>>,
+    ) -> Result<(), crate::error::TacomaError> {
+        self.cabinets.clear();
+        for (name, snap) in snapshots {
+            self.cabinets
+                .insert(name.clone(), FileCabinet::restore(snap)?);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_and_indexed_lookup() {
+        let mut cab = FileCabinet::new();
+        cab.append_str("VISITED", "site1");
+        cab.append_str("VISITED", "site2");
+        assert!(cab.contains_elem(b"site1"));
+        assert!(cab.folder_contains("VISITED", b"site2"));
+        assert!(!cab.contains_elem(b"site9"));
+        assert!(!cab.folder_contains("OTHER", b"site1"));
+        assert_eq!(cab.folder("VISITED").unwrap().len(), 2);
+        assert!(cab.access_count() > 0);
+    }
+
+    #[test]
+    fn pop_and_dequeue_update_index() {
+        let mut cab = FileCabinet::new();
+        cab.append_str("Q", "a");
+        cab.append_str("Q", "b");
+        assert_eq!(cab.dequeue("Q").unwrap(), b"a");
+        assert!(!cab.contains_elem(b"a"));
+        assert!(cab.contains_elem(b"b"));
+        assert_eq!(cab.pop("Q").unwrap(), b"b");
+        assert!(!cab.contains_elem(b"b"));
+        assert!(cab.pop("Q").is_none());
+        assert!(cab.dequeue("MISSING").is_none());
+    }
+
+    #[test]
+    fn duplicate_elements_keep_index_until_last_copy_gone() {
+        let mut cab = FileCabinet::new();
+        cab.append_str("F", "dup");
+        cab.append_str("F", "dup");
+        cab.pop("F");
+        assert!(cab.contains_elem(b"dup"), "one copy remains");
+        cab.pop("F");
+        assert!(!cab.contains_elem(b"dup"));
+    }
+
+    #[test]
+    fn put_and_take_rebuild_index() {
+        let mut cab = FileCabinet::new();
+        cab.put("F", Folder::from_elems([b"x".to_vec(), b"y".to_vec()]));
+        assert!(cab.contains_elem(b"x"));
+        cab.put("F", Folder::of_str("z"));
+        assert!(!cab.contains_elem(b"x"), "replaced folder's elements leave the index");
+        assert!(cab.contains_elem(b"z"));
+        let taken = cab.take("F").unwrap();
+        assert_eq!(taken.strings(), vec!["z"]);
+        assert!(!cab.contains_elem(b"z"));
+        assert!(cab.is_empty());
+    }
+
+    #[test]
+    fn snapshot_restore_round_trip() {
+        let mut cab = FileCabinet::new();
+        cab.append_str("MAIL", "msg1");
+        cab.append("BLOB", vec![0u8, 1, 2]);
+        let snap = cab.snapshot();
+        let mut restored = FileCabinet::restore(&snap).unwrap();
+        assert_eq!(restored.names(), vec!["BLOB", "MAIL"]);
+        assert!(restored.contains_elem(b"msg1"), "index rebuilt on restore");
+        assert_eq!(restored.payload_bytes(), cab.payload_bytes());
+        assert!(FileCabinet::restore(&snap[..snap.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn move_cost_exceeds_snapshot_size() {
+        let mut cab = FileCabinet::new();
+        for i in 0..100 {
+            cab.append_str("DATA", format!("element-{i}"));
+        }
+        assert!(cab.move_cost_bytes() > cab.snapshot().len());
+    }
+
+    #[test]
+    fn cabinet_store_lifecycle() {
+        let mut store = CabinetStore::new();
+        store.cabinet("scheduler").append_str("LOAD", "0.5");
+        store.cabinet("mail").append_str("INBOX", "hello");
+        assert!(store.contains("scheduler"));
+        assert_eq!(store.names(), vec!["mail", "scheduler"]);
+        assert!(store.get("mail").is_some());
+        assert!(store.get("nope").is_none());
+
+        let snaps = store.snapshot_all();
+        store.clear();
+        assert!(store.names().is_empty());
+        store.restore_all(&snaps).unwrap();
+        assert!(store.cabinet("mail").contains_elem(b"hello"));
+    }
+}

@@ -1,0 +1,118 @@
+//! Error types shared by the TACOMA runtime and its agents.
+
+use tacoma_net::NetError;
+use tacoma_util::{AgentName, SiteId};
+
+/// Errors produced by the TACOMA kernel, its codec, and its agents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TacomaError {
+    /// No agent with the given name is registered at the site.
+    NoSuchAgent {
+        /// The name that failed to resolve.
+        name: AgentName,
+        /// The site where resolution was attempted.
+        site: SiteId,
+    },
+    /// The named agent is already executing a meet (re-entrant meets of the
+    /// same agent are not supported, mirroring a single-threaded interpreter
+    /// per agent in the prototype).
+    AgentBusy(AgentName),
+    /// The target site is down.
+    SiteDown(SiteId),
+    /// A required folder is missing from a briefcase.
+    MissingFolder(String),
+    /// A folder exists but its contents are malformed for the operation.
+    BadFolder {
+        /// Folder name.
+        name: String,
+        /// Why the contents were rejected.
+        reason: String,
+    },
+    /// Wire encoding/decoding failed.
+    Codec(String),
+    /// The network layer refused or failed the operation.
+    Net(String),
+    /// A script agent failed to parse or execute.
+    Script(String),
+    /// An electronic-cash operation was rejected (double spend, bad ECU, ...).
+    Cash(String),
+    /// An agent explicitly refused the meet (policy, missing payment, ...).
+    Refused(String),
+    /// The interpreter or kernel exhausted a resource budget.
+    BudgetExceeded(String),
+    /// Any other error.
+    Other(String),
+}
+
+impl TacomaError {
+    /// Convenience constructor for [`TacomaError::MissingFolder`].
+    pub fn missing(name: &str) -> Self {
+        TacomaError::MissingFolder(name.to_string())
+    }
+
+    /// Convenience constructor for [`TacomaError::BadFolder`].
+    pub fn bad_folder(name: &str, reason: impl Into<String>) -> Self {
+        TacomaError::BadFolder {
+            name: name.to_string(),
+            reason: reason.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for TacomaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TacomaError::NoSuchAgent { name, site } => {
+                write!(f, "no agent named '{name}' at {site}")
+            }
+            TacomaError::AgentBusy(name) => write!(f, "agent '{name}' is busy"),
+            TacomaError::SiteDown(site) => write!(f, "{site} is down"),
+            TacomaError::MissingFolder(name) => write!(f, "missing folder '{name}'"),
+            TacomaError::BadFolder { name, reason } => {
+                write!(f, "bad folder '{name}': {reason}")
+            }
+            TacomaError::Codec(msg) => write!(f, "codec error: {msg}"),
+            TacomaError::Net(msg) => write!(f, "network error: {msg}"),
+            TacomaError::Script(msg) => write!(f, "script error: {msg}"),
+            TacomaError::Cash(msg) => write!(f, "cash error: {msg}"),
+            TacomaError::Refused(msg) => write!(f, "meet refused: {msg}"),
+            TacomaError::BudgetExceeded(msg) => write!(f, "budget exceeded: {msg}"),
+            TacomaError::Other(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TacomaError {}
+
+impl From<NetError> for TacomaError {
+    fn from(e: NetError) -> Self {
+        TacomaError::Net(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = TacomaError::NoSuchAgent {
+            name: AgentName::new("ghost"),
+            site: SiteId(4),
+        };
+        assert!(e.to_string().contains("ghost"));
+        assert!(e.to_string().contains("site4"));
+        assert!(TacomaError::missing("CODE").to_string().contains("CODE"));
+        assert!(TacomaError::bad_folder("HOST", "not a site id")
+            .to_string()
+            .contains("not a site id"));
+    }
+
+    #[test]
+    fn net_error_converts() {
+        let net = NetError::DestinationDown(SiteId(2));
+        let e: TacomaError = net.into();
+        assert!(matches!(e, TacomaError::Net(_)));
+        assert!(e.to_string().contains("site2"));
+    }
+}

@@ -1,0 +1,310 @@
+//! Folders: named lists of uninterpreted byte sequences.
+//!
+//! The paper (§2) defines a folder as "a list of elements, each of which is an
+//! uninterpreted sequence of bits.  Because it is a list, it can be treated as
+//! a stack or a queue."  Folders must be cheap to move between sites, so —
+//! unlike files — they carry no elaborate index structures.
+//!
+//! Elements are raw bytes; the typed accessors (`push_str`, `push_u64`, ...)
+//! are conveniences over the byte representation and never change what is
+//! stored on the wire.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// One element of a folder: an uninterpreted sequence of bytes.
+pub type FolderElem = Vec<u8>;
+
+/// A list of uninterpreted byte sequences, usable as a stack or a queue.
+///
+/// Stack operations ([`Folder::push`]/[`Folder::pop`]) work on the *back* of
+/// the list; queue operations ([`Folder::enqueue`]/[`Folder::dequeue`]) add at
+/// the back and remove from the front.  This matches the paper's description
+/// of a folder being usable either way.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Folder {
+    elements: VecDeque<FolderElem>,
+}
+
+impl Folder {
+    /// Creates an empty folder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a folder holding a single byte-string element.
+    pub fn single(elem: impl Into<FolderElem>) -> Self {
+        let mut f = Folder::new();
+        f.push(elem.into());
+        f
+    }
+
+    /// Creates a folder holding a single UTF-8 string element.
+    pub fn of_str(s: impl AsRef<str>) -> Self {
+        Folder::single(s.as_ref().as_bytes().to_vec())
+    }
+
+    /// Creates a folder from an iterator of elements.
+    pub fn from_elems(elems: impl IntoIterator<Item = FolderElem>) -> Self {
+        Folder {
+            elements: elems.into_iter().collect(),
+        }
+    }
+
+    /// Number of elements in the folder.
+    pub fn len(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// Whether the folder has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.elements.is_empty()
+    }
+
+    /// Pushes an element on the back (stack push).
+    pub fn push(&mut self, elem: impl Into<FolderElem>) {
+        self.elements.push_back(elem.into());
+    }
+
+    /// Pops the element from the back (stack pop).
+    pub fn pop(&mut self) -> Option<FolderElem> {
+        self.elements.pop_back()
+    }
+
+    /// Adds an element at the back (queue enqueue, same end as `push`).
+    pub fn enqueue(&mut self, elem: impl Into<FolderElem>) {
+        self.elements.push_back(elem.into());
+    }
+
+    /// Removes the element at the front (queue dequeue).
+    pub fn dequeue(&mut self) -> Option<FolderElem> {
+        self.elements.pop_front()
+    }
+
+    /// The element at the back (what `pop` would return), without removing it.
+    pub fn peek_back(&self) -> Option<&FolderElem> {
+        self.elements.back()
+    }
+
+    /// The element at the front (what `dequeue` would return), without removing it.
+    pub fn peek_front(&self) -> Option<&FolderElem> {
+        self.elements.front()
+    }
+
+    /// The element at position `idx` from the front.
+    pub fn get(&self, idx: usize) -> Option<&FolderElem> {
+        self.elements.get(idx)
+    }
+
+    /// Iterates over elements from front to back.
+    pub fn iter(&self) -> impl Iterator<Item = &FolderElem> {
+        self.elements.iter()
+    }
+
+    /// Removes every element.
+    pub fn clear(&mut self) {
+        self.elements.clear();
+    }
+
+    /// Appends all elements of `other`, leaving `other` empty.
+    pub fn append(&mut self, other: &mut Folder) {
+        self.elements.append(&mut other.elements);
+    }
+
+    /// Total payload bytes across all elements (excluding framing).
+    pub fn payload_bytes(&self) -> usize {
+        self.elements.iter().map(|e| e.len()).sum()
+    }
+
+    /// Whether any element equals the given bytes.
+    pub fn contains_elem(&self, elem: &[u8]) -> bool {
+        self.elements.iter().any(|e| e == elem)
+    }
+
+    // ----- typed conveniences ------------------------------------------------
+
+    /// Pushes a UTF-8 string element.
+    pub fn push_str(&mut self, s: impl AsRef<str>) {
+        self.push(s.as_ref().as_bytes().to_vec());
+    }
+
+    /// Pops an element and decodes it as UTF-8 (lossily).
+    pub fn pop_str(&mut self) -> Option<String> {
+        self.pop().map(|b| String::from_utf8_lossy(&b).into_owned())
+    }
+
+    /// Dequeues an element and decodes it as UTF-8 (lossily).
+    pub fn dequeue_str(&mut self) -> Option<String> {
+        self.dequeue().map(|b| String::from_utf8_lossy(&b).into_owned())
+    }
+
+    /// Reads the back element as UTF-8 without removing it.
+    pub fn peek_str(&self) -> Option<String> {
+        self.peek_back().map(|b| String::from_utf8_lossy(b).into_owned())
+    }
+
+    /// Pushes a `u64` in little-endian encoding.
+    pub fn push_u64(&mut self, v: u64) {
+        self.push(v.to_le_bytes().to_vec());
+    }
+
+    /// Pops an element and decodes it as a little-endian `u64`.
+    ///
+    /// Returns `None` if the folder is empty or the element is not 8 bytes.
+    pub fn pop_u64(&mut self) -> Option<u64> {
+        let e = self.pop()?;
+        let arr: [u8; 8] = e.try_into().ok()?;
+        Some(u64::from_le_bytes(arr))
+    }
+
+    /// Reads the back element as a `u64` without removing it.
+    pub fn peek_u64(&self) -> Option<u64> {
+        let e = self.peek_back()?;
+        let arr: [u8; 8] = e.as_slice().try_into().ok()?;
+        Some(u64::from_le_bytes(arr))
+    }
+
+    /// Pushes an `f64` in little-endian encoding.
+    pub fn push_f64(&mut self, v: f64) {
+        self.push(v.to_le_bytes().to_vec());
+    }
+
+    /// Pops an element and decodes it as a little-endian `f64`.
+    pub fn pop_f64(&mut self) -> Option<f64> {
+        let e = self.pop()?;
+        let arr: [u8; 8] = e.try_into().ok()?;
+        Some(f64::from_le_bytes(arr))
+    }
+
+    /// Collects every element decoded as UTF-8, front to back.
+    pub fn strings(&self) -> Vec<String> {
+        self.iter()
+            .map(|b| String::from_utf8_lossy(b).into_owned())
+            .collect()
+    }
+}
+
+impl FromIterator<FolderElem> for Folder {
+    fn from_iter<T: IntoIterator<Item = FolderElem>>(iter: T) -> Self {
+        Folder::from_elems(iter)
+    }
+}
+
+impl<'a> IntoIterator for &'a Folder {
+    type Item = &'a FolderElem;
+    type IntoIter = std::collections::vec_deque::Iter<'a, FolderElem>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.elements.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stack_order_is_lifo() {
+        let mut f = Folder::new();
+        f.push_str("a");
+        f.push_str("b");
+        f.push_str("c");
+        assert_eq!(f.pop_str().as_deref(), Some("c"));
+        assert_eq!(f.pop_str().as_deref(), Some("b"));
+        assert_eq!(f.pop_str().as_deref(), Some("a"));
+        assert!(f.pop().is_none());
+    }
+
+    #[test]
+    fn queue_order_is_fifo() {
+        let mut f = Folder::new();
+        f.enqueue(b"1".to_vec());
+        f.enqueue(b"2".to_vec());
+        f.enqueue(b"3".to_vec());
+        assert_eq!(f.dequeue_str().as_deref(), Some("1"));
+        assert_eq!(f.dequeue_str().as_deref(), Some("2"));
+        assert_eq!(f.dequeue_str().as_deref(), Some("3"));
+        assert!(f.dequeue().is_none());
+    }
+
+    #[test]
+    fn mixed_stack_and_queue_use_shared_list() {
+        // The paper stresses a folder IS one list that can be treated either way.
+        let mut f = Folder::new();
+        f.push_str("bottom");
+        f.push_str("top");
+        assert_eq!(f.dequeue_str().as_deref(), Some("bottom"));
+        assert_eq!(f.pop_str().as_deref(), Some("top"));
+    }
+
+    #[test]
+    fn peeks_do_not_remove() {
+        let mut f = Folder::new();
+        f.push_str("x");
+        assert_eq!(f.peek_str().as_deref(), Some("x"));
+        assert_eq!(f.peek_front().unwrap(), b"x");
+        assert_eq!(f.peek_back().unwrap(), b"x");
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn u64_and_f64_round_trip() {
+        let mut f = Folder::new();
+        f.push_u64(123_456_789);
+        assert_eq!(f.peek_u64(), Some(123_456_789));
+        assert_eq!(f.pop_u64(), Some(123_456_789));
+        f.push_f64(2.5);
+        assert_eq!(f.pop_f64(), Some(2.5));
+        // Wrong-width element decodes to None but is still consumed.
+        f.push_str("not a number");
+        assert_eq!(f.pop_u64(), None);
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn bytes_are_uninterpreted() {
+        let mut f = Folder::new();
+        let blob = vec![0u8, 255, 128, 7];
+        f.push(blob.clone());
+        assert!(f.contains_elem(&blob));
+        assert_eq!(f.pop(), Some(blob));
+    }
+
+    #[test]
+    fn append_moves_elements() {
+        let mut a = Folder::from_elems([b"1".to_vec(), b"2".to_vec()]);
+        let mut b = Folder::from_elems([b"3".to_vec()]);
+        a.append(&mut b);
+        assert_eq!(a.len(), 3);
+        assert!(b.is_empty());
+        assert_eq!(a.strings(), vec!["1", "2", "3"]);
+    }
+
+    #[test]
+    fn payload_bytes_counts_all_elements() {
+        let mut f = Folder::new();
+        f.push(vec![0u8; 10]);
+        f.push(vec![0u8; 22]);
+        assert_eq!(f.payload_bytes(), 32);
+        f.clear();
+        assert_eq!(f.payload_bytes(), 0);
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn constructors() {
+        assert_eq!(Folder::of_str("hi").len(), 1);
+        assert_eq!(Folder::single(vec![1, 2, 3]).payload_bytes(), 3);
+        let f: Folder = [b"a".to_vec(), b"b".to_vec()].into_iter().collect();
+        assert_eq!(f.len(), 2);
+        assert_eq!(f.get(1).unwrap(), b"b");
+        assert!(f.get(2).is_none());
+    }
+
+    #[test]
+    fn iteration_is_front_to_back() {
+        let f = Folder::from_elems([b"x".to_vec(), b"y".to_vec()]);
+        let collected: Vec<&FolderElem> = (&f).into_iter().collect();
+        assert_eq!(collected.len(), 2);
+        assert_eq!(f.strings(), vec!["x", "y"]);
+    }
+}

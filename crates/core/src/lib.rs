@@ -1,0 +1,80 @@
+//! TACOMA core: the operating-system abstractions the paper proposes for
+//! mobile agents.
+//!
+//! The paper's §2 argues that a surprisingly small set of abstractions
+//! suffices to support mobile agents:
+//!
+//! * a **folder** — a named list of uninterpreted byte sequences that can be
+//!   used as a stack or a queue ([`folder::Folder`]);
+//! * a **briefcase** — the collection of named folders that travels with an
+//!   agent and doubles as the argument list of a meet ([`briefcase::Briefcase`]);
+//! * a **file cabinet** — a site-local grouping of folders optimised for
+//!   access rather than transfer ([`cabinet::FileCabinet`]);
+//! * the **meet** operation — one agent causes another to execute, passing a
+//!   briefcase, analogous to a procedure call ([`agent::Agent::meet`]).
+//!
+//! Everything else — migration, couriers, diffusion, brokers, electronic
+//! cash — is provided *by other agents* built on these primitives; those live
+//! in the `tacoma-agents`, `tacoma-cash`, `tacoma-sched` and `tacoma-ft`
+//! crates.  This crate supplies the per-site kernel ([`place::Place`]) and the
+//! whole-system driver ([`system::TacomaSystem`]) that executes meets, routes
+//! remote meet requests over the simulated network, and applies site failures.
+//!
+//! # Quick start
+//!
+//! ```
+//! use tacoma_core::prelude::*;
+//!
+//! // A trivial native agent that counts how many times it has been met.
+//! struct Counter { count: u64 }
+//! impl Agent for Counter {
+//!     fn name(&self) -> AgentName { AgentName::new("counter") }
+//!     fn meet(&mut self, _ctx: &mut MeetCtx<'_>, mut bc: Briefcase) -> MeetOutcome {
+//!         self.count += 1;
+//!         bc.folder_mut("COUNT").push_u64(self.count);
+//!         Ok(bc)
+//!     }
+//! }
+//!
+//! let mut sys = TacomaSystem::builder()
+//!     .topology(tacoma_net::Topology::full_mesh(2, tacoma_net::LinkSpec::default()))
+//!     .seed(7)
+//!     .build();
+//! sys.register_agent(SiteId(0), Box::new(Counter { count: 0 }));
+//! sys.inject_meet(SiteId(0), AgentName::new("counter"), Briefcase::new());
+//! sys.run_until_quiescent(10_000);
+//! assert_eq!(sys.stats().meets_completed, 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod agent;
+pub mod briefcase;
+pub mod cabinet;
+pub mod codec;
+pub mod error;
+pub mod folder;
+pub mod place;
+pub mod system;
+pub mod wellknown;
+
+pub use agent::{Agent, MeetCtx, MeetOutcome};
+pub use briefcase::Briefcase;
+pub use cabinet::{CabinetStore, FileCabinet};
+pub use error::TacomaError;
+pub use folder::{Folder, FolderElem};
+pub use place::Place;
+pub use system::{SystemBuilder, SystemStats, TacomaSystem};
+
+/// Convenient glob import for building agents and systems.
+pub mod prelude {
+    pub use crate::agent::{Agent, MeetCtx, MeetOutcome};
+    pub use crate::briefcase::Briefcase;
+    pub use crate::cabinet::FileCabinet;
+    pub use crate::error::TacomaError;
+    pub use crate::folder::Folder;
+    pub use crate::system::{SystemBuilder, TacomaSystem};
+    pub use crate::wellknown;
+    pub use tacoma_net::{Duration, SimTime, TransportKind};
+    pub use tacoma_util::{AgentId, AgentName, SiteId};
+}

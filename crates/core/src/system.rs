@@ -1,0 +1,803 @@
+//! The whole-system driver: places wired onto the simulated network.
+//!
+//! [`TacomaSystem`] owns one [`Place`] per site of a
+//! [`tacoma_net::Topology`] plus the [`tacoma_net::SimNet`] event queue, and
+//! implements the glue the paper leaves to the operating system:
+//!
+//! * remote meet requests are encoded with the TACOMA codec, shipped over the
+//!   network (charging bytes and latency), and dispatched to the contact
+//!   agent at the destination site;
+//! * timers become delayed meets carrying a `TIMER` folder;
+//! * site crashes destroy the resident agents and unflushed cabinets, and
+//!   recoveries re-install the default agent set and restore flushed
+//!   cabinets from the stable store;
+//! * byte, meet and migration counters are collected for the experiments.
+
+use crate::agent::{Action, Agent};
+use crate::briefcase::Briefcase;
+use crate::codec::{self, MeetRequest};
+use crate::error::TacomaError;
+use crate::place::{DispatchEnv, Place};
+use crate::wellknown;
+use std::collections::BTreeMap;
+use tacoma_net::{
+    Duration, Event, FailurePlan, LinkSpec, NetMetrics, SendOptions, SimNet, SimTime, Topology,
+    TransportKind,
+};
+use tacoma_util::{AgentId, AgentIdGen, AgentName, DetRng, SiteId};
+
+/// Message kind used on the wire for meet requests.
+const KIND_MEET: u16 = 1;
+
+/// A factory that produces the default agents installed at every site (and
+/// re-installed after a recovery).
+pub type AgentFactory = Box<dyn Fn(SiteId) -> Vec<Box<dyn Agent>>>;
+
+/// Whole-run counters kept by the system driver.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SystemStats {
+    /// Meets requested (injected, remote, local-async and timer-driven).
+    pub meets_requested: u64,
+    /// Meets that completed successfully.
+    pub meets_completed: u64,
+    /// Meets that returned an error.
+    pub meets_failed: u64,
+    /// Remote meet requests shipped over the network.
+    pub remote_meets: u64,
+    /// Local asynchronous meets executed.
+    pub local_meets: u64,
+    /// Timer meets fired.
+    pub timer_meets: u64,
+    /// Remote sends that failed (unreachable or dead destination).
+    pub send_failures: u64,
+    /// Agents installed across all sites (including recoveries).
+    pub agents_installed: u64,
+    /// Site crashes observed.
+    pub crashes: u64,
+    /// Site recoveries observed.
+    pub recoveries: u64,
+    /// Cabinet flushes to stable storage.
+    pub cabinet_flushes: u64,
+}
+
+/// Builder for [`TacomaSystem`].
+pub struct SystemBuilder {
+    topology: Topology,
+    seed: u64,
+    default_transport: TransportKind,
+    factories: Vec<AgentFactory>,
+}
+
+impl SystemBuilder {
+    /// Starts a builder with a 2-site full mesh and seed 0.
+    pub fn new() -> Self {
+        SystemBuilder {
+            topology: Topology::full_mesh(2, LinkSpec::default()),
+            seed: 0,
+            default_transport: TransportKind::Tcp,
+            factories: Vec::new(),
+        }
+    }
+
+    /// Sets the network topology.
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// Sets the master random seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the transport used when an agent does not specify one.
+    pub fn default_transport(mut self, transport: TransportKind) -> Self {
+        self.default_transport = transport;
+        self
+    }
+
+    /// Adds a factory whose agents are installed at every site (now and after
+    /// every recovery).
+    pub fn with_agents(mut self, factory: impl Fn(SiteId) -> Vec<Box<dyn Agent>> + 'static) -> Self {
+        self.factories.push(Box::new(factory));
+        self
+    }
+
+    /// Builds the system, installing the factory agents everywhere.
+    pub fn build(self) -> TacomaSystem {
+        let master = DetRng::new(self.seed);
+        let site_count = self.topology.site_count();
+        let neighbors: Vec<Vec<SiteId>> = (0..site_count)
+            .map(|s| self.topology.neighbors(SiteId(s)))
+            .collect();
+        let net = SimNet::new(self.topology);
+        let mut places: Vec<Place> = (0..site_count)
+            .map(|s| Place::new(SiteId(s), master.derive(1000 + s as u64)))
+            .collect();
+        let mut idgen = AgentIdGen::new();
+        let mut stats = SystemStats::default();
+        for place in &mut places {
+            for factory in &self.factories {
+                for agent in factory(place.site()) {
+                    place.install_agent(idgen.fresh(), agent);
+                    stats.agents_installed += 1;
+                }
+            }
+        }
+        let mut sys = TacomaSystem {
+            net,
+            places,
+            neighbors,
+            factories: self.factories,
+            idgen,
+            stable: vec![BTreeMap::new(); site_count as usize],
+            pending_timers: BTreeMap::new(),
+            next_timer_key: 1,
+            default_transport: self.default_transport,
+            stats,
+            rng: master.derive(1),
+            trace: Vec::new(),
+        };
+        sys.run_install_hooks();
+        sys
+    }
+}
+
+impl Default for SystemBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The TACOMA system: every place, the network, and the event loop.
+pub struct TacomaSystem {
+    net: SimNet,
+    places: Vec<Place>,
+    neighbors: Vec<Vec<SiteId>>,
+    factories: Vec<AgentFactory>,
+    idgen: AgentIdGen,
+    /// Per-site stable store holding flushed cabinet snapshots.
+    stable: Vec<BTreeMap<String, Vec<u8>>>,
+    /// Timer key → (site, contact, briefcase) for scheduled meets.
+    pending_timers: BTreeMap<u64, (SiteId, AgentName, Briefcase)>,
+    next_timer_key: u64,
+    default_transport: TransportKind,
+    stats: SystemStats,
+    rng: DetRng,
+    trace: Vec<String>,
+}
+
+impl TacomaSystem {
+    /// Starts building a system.
+    pub fn builder() -> SystemBuilder {
+        SystemBuilder::new()
+    }
+
+    /// Convenience constructor: given topology and seed, no default agents.
+    pub fn new(topology: Topology, seed: u64) -> Self {
+        SystemBuilder::new().topology(topology).seed(seed).build()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.net.now()
+    }
+
+    /// Number of sites.
+    pub fn site_count(&self) -> u32 {
+        self.net.site_count()
+    }
+
+    /// Whole-run counters.
+    pub fn stats(&self) -> SystemStats {
+        self.stats
+    }
+
+    /// A deterministic random stream derived from the system seed, for
+    /// experiment drivers that need randomness outside any agent.
+    pub fn driver_rng(&mut self) -> &mut DetRng {
+        &mut self.rng
+    }
+
+    /// Network byte/message counters.
+    pub fn net_metrics(&self) -> &NetMetrics {
+        self.net.metrics()
+    }
+
+    /// Resets the network byte/message counters (e.g. between experiment phases).
+    pub fn reset_net_metrics(&mut self) {
+        self.net.reset_metrics();
+    }
+
+    /// Read access to the network simulator.
+    pub fn net(&self) -> &SimNet {
+        &self.net
+    }
+
+    /// Mutable access to the network simulator (partitions, manual failures).
+    pub fn net_mut(&mut self) -> &mut SimNet {
+        &mut self.net
+    }
+
+    /// Read access to a site's place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the site id is out of range.
+    pub fn place(&self, site: SiteId) -> &Place {
+        &self.places[site.index()]
+    }
+
+    /// Mutable access to a site's place (seeding cabinets, installing agents).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the site id is out of range.
+    pub fn place_mut(&mut self, site: SiteId) -> &mut Place {
+        &mut self.places[site.index()]
+    }
+
+    /// The system-wide trace (agent `ctx.log` lines plus kernel notes).
+    pub fn trace(&self) -> Vec<String> {
+        let mut all = self.trace.clone();
+        for place in &self.places {
+            all.extend_from_slice(place.trace());
+        }
+        all
+    }
+
+    /// Installs a native agent at one site with a fresh instance id, running
+    /// its `on_install` hook immediately.
+    pub fn register_agent(&mut self, site: SiteId, agent: Box<dyn Agent>) -> AgentId {
+        let id = self.idgen.fresh();
+        let name = agent.name();
+        self.stats.agents_installed += 1;
+        self.places[site.index()].install_agent(id, agent);
+        self.run_install_hook_for(site, &name);
+        id
+    }
+
+    /// Applies a failure plan (scheduled crashes/recoveries).
+    pub fn apply_failure_plan(&mut self, plan: &FailurePlan) {
+        self.net.apply_failure_plan(plan);
+    }
+
+    /// Requests a meet with `contact` at `site`, as an external client would.
+    ///
+    /// The request is queued as a local message so it executes inside the
+    /// event loop with proper timing.
+    pub fn inject_meet(&mut self, site: SiteId, contact: AgentName, briefcase: Briefcase) {
+        self.inject_meet_at(site, site, contact, briefcase);
+    }
+
+    /// Requests a meet at `site` whose request is recorded as originating
+    /// from `origin` (used by experiments that model an off-network client
+    /// attached to `origin`).
+    pub fn inject_meet_at(
+        &mut self,
+        origin: SiteId,
+        site: SiteId,
+        contact: AgentName,
+        briefcase: Briefcase,
+    ) {
+        self.stats.meets_requested += 1;
+        let req = MeetRequest {
+            contact,
+            sender: AgentId::SYSTEM,
+            origin,
+            briefcase,
+        };
+        let payload = codec::encode_meet_request(&req);
+        let result = self.net.send(SendOptions {
+            from: site,
+            to: site,
+            payload,
+            kind: KIND_MEET,
+            transport: self.default_transport,
+        });
+        if result.is_err() {
+            self.stats.send_failures += 1;
+        }
+    }
+
+    /// Runs the event loop until no events remain or `max_events` have been
+    /// processed.  Returns the number of events processed.
+    pub fn run_until_quiescent(&mut self, max_events: u64) -> u64 {
+        let mut processed = 0;
+        while processed < max_events {
+            let Some(event) = self.net.step() else {
+                break;
+            };
+            processed += 1;
+            self.handle_event(event);
+        }
+        processed
+    }
+
+    /// Runs the event loop until simulated time passes `deadline` or the
+    /// queue drains.  Returns the number of events processed.
+    pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        let mut processed = 0;
+        while let Some(next) = self.net.peek_time() {
+            if next > deadline {
+                break;
+            }
+            let Some(event) = self.net.step() else {
+                break;
+            };
+            processed += 1;
+            self.handle_event(event);
+        }
+        processed
+    }
+
+    /// Runs for an additional `span` of simulated time.
+    pub fn run_for(&mut self, span: Duration) -> u64 {
+        let deadline = self.now() + span;
+        self.run_until(deadline)
+    }
+
+    fn handle_event(&mut self, event: Event) {
+        match event {
+            Event::Message(msg) => {
+                if msg.kind != KIND_MEET {
+                    self.trace.push(format!(
+                        "[{}] dropping unknown message kind {} at {}",
+                        self.net.now(),
+                        msg.kind,
+                        msg.to
+                    ));
+                    return;
+                }
+                match codec::decode_meet_request(&msg.payload) {
+                    Ok(req) => {
+                        self.execute_meet(msg.to, req);
+                    }
+                    Err(e) => {
+                        self.trace.push(format!(
+                            "[{}] undecodable meet request at {}: {e}",
+                            self.net.now(),
+                            msg.to
+                        ));
+                        self.stats.meets_failed += 1;
+                    }
+                }
+            }
+            Event::Timer { site, key } => {
+                if let Some((timer_site, contact, mut briefcase)) = self.pending_timers.remove(&key)
+                {
+                    debug_assert_eq!(site, timer_site);
+                    self.stats.timer_meets += 1;
+                    self.stats.meets_requested += 1;
+                    briefcase.folder_mut(wellknown::TIMER).push_u64(key);
+                    let req = MeetRequest {
+                        contact,
+                        sender: AgentId::SYSTEM,
+                        origin: site,
+                        briefcase,
+                    };
+                    self.execute_meet(site, req);
+                }
+            }
+            Event::SiteCrashed(site) => {
+                self.stats.crashes += 1;
+                self.places[site.index()].crash();
+                self.trace
+                    .push(format!("[{}] {site} crashed", self.net.now()));
+            }
+            Event::SiteRecovered(site) => {
+                self.stats.recoveries += 1;
+                self.recover_site(site);
+                self.trace
+                    .push(format!("[{}] {site} recovered", self.net.now()));
+            }
+        }
+    }
+
+    fn execute_meet(&mut self, site: SiteId, req: MeetRequest) {
+        let alive: Vec<bool> = (0..self.net.site_count())
+            .map(|s| self.net.is_up(SiteId(s)))
+            .collect();
+        let mut outbox: Vec<Action> = Vec::new();
+        let env = DispatchEnv {
+            now: self.net.now(),
+            origin: req.origin,
+            sender: req.sender,
+            neighbors: &self.neighbors[site.index()],
+            alive: &alive,
+        };
+        let outcome =
+            self.places[site.index()].dispatch(&req.contact, req.briefcase, env, &mut outbox);
+        match outcome {
+            Ok(_) => self.stats.meets_completed += 1,
+            Err(e) => {
+                self.stats.meets_failed += 1;
+                self.trace.push(format!(
+                    "[{}] meet '{}' at {site} failed: {e}",
+                    self.net.now(),
+                    req.contact
+                ));
+            }
+        }
+        self.process_actions(site, outbox);
+    }
+
+    fn process_actions(&mut self, site: SiteId, actions: Vec<Action>) {
+        for action in actions {
+            match action {
+                Action::RemoteMeet {
+                    to,
+                    contact,
+                    briefcase,
+                    transport,
+                } => {
+                    self.stats.meets_requested += 1;
+                    self.stats.remote_meets += 1;
+                    let req = MeetRequest {
+                        contact,
+                        sender: AgentId::SYSTEM,
+                        origin: site,
+                        briefcase,
+                    };
+                    let payload = codec::encode_meet_request(&req);
+                    let result = self.net.send(SendOptions {
+                        from: site,
+                        to,
+                        payload,
+                        kind: KIND_MEET,
+                        transport,
+                    });
+                    if let Err(e) = result {
+                        self.stats.send_failures += 1;
+                        self.trace.push(format!(
+                            "[{}] remote meet from {site} to {to} failed: {e}",
+                            self.net.now()
+                        ));
+                    }
+                }
+                Action::LocalMeet { contact, briefcase } => {
+                    self.stats.meets_requested += 1;
+                    self.stats.local_meets += 1;
+                    let req = MeetRequest {
+                        contact,
+                        sender: AgentId::SYSTEM,
+                        origin: site,
+                        briefcase,
+                    };
+                    let payload = codec::encode_meet_request(&req);
+                    if self
+                        .net
+                        .send(SendOptions {
+                            from: site,
+                            to: site,
+                            payload,
+                            kind: KIND_MEET,
+                            transport: self.default_transport,
+                        })
+                        .is_err()
+                    {
+                        self.stats.send_failures += 1;
+                    }
+                }
+                Action::Timer {
+                    contact,
+                    key: _user_key,
+                    delay,
+                    briefcase,
+                } => {
+                    let key = self.next_timer_key;
+                    self.next_timer_key += 1;
+                    self.pending_timers.insert(key, (site, contact, briefcase));
+                    self.net.schedule_timer(site, delay, key);
+                }
+                Action::RegisterAgent { agent } => {
+                    let id = self.idgen.fresh();
+                    let name = agent.name();
+                    self.stats.agents_installed += 1;
+                    self.places[site.index()].install_agent(id, agent);
+                    self.run_install_hook_for(site, &name);
+                }
+                Action::FlushCabinet { name } => {
+                    self.stats.cabinet_flushes += 1;
+                    let place = &self.places[site.index()];
+                    if let Some(cab) = place.cabinets().get(&name) {
+                        self.stable[site.index()].insert(name, cab.snapshot());
+                    }
+                }
+                Action::Unregister { name } => {
+                    self.places[site.index()].remove_agent(&name);
+                }
+            }
+        }
+    }
+
+    fn recover_site(&mut self, site: SiteId) {
+        let place = &mut self.places[site.index()];
+        place.recover();
+        // Re-install the default agent set.
+        for factory in &self.factories {
+            for agent in factory(site) {
+                place.install_agent(self.idgen.fresh(), agent);
+                self.stats.agents_installed += 1;
+            }
+        }
+        // Restore flushed cabinets from the stable store.
+        for (name, snapshot) in &self.stable[site.index()] {
+            if let Ok(cab) = crate::cabinet::FileCabinet::restore(snapshot) {
+                place.cabinets_mut().put_cabinet(name.clone(), cab);
+            }
+        }
+        self.run_install_hooks_at(site);
+    }
+
+    fn run_install_hooks(&mut self) {
+        for s in 0..self.site_count() {
+            self.run_install_hooks_at(SiteId(s));
+        }
+    }
+
+    fn run_install_hooks_at(&mut self, site: SiteId) {
+        let names = self.places[site.index()].agent_names();
+        for name in names {
+            self.run_install_hook_for(site, &name);
+        }
+    }
+
+    /// Runs one agent's `on_install` hook and carries out any actions it
+    /// queued (installed agents may schedule timers or send reports).
+    fn run_install_hook_for(&mut self, site: SiteId, name: &AgentName) {
+        let alive: Vec<bool> = (0..self.net.site_count())
+            .map(|s| self.net.is_up(SiteId(s)))
+            .collect();
+        let env = DispatchEnv {
+            now: self.net.now(),
+            origin: site,
+            sender: AgentId::SYSTEM,
+            neighbors: &self.neighbors[site.index()],
+            alive: &alive,
+        };
+        let mut outbox = Vec::new();
+        self.places[site.index()].run_install_hook(name, env, &mut outbox);
+        self.process_actions(site, outbox);
+    }
+
+    /// Returns an error descriptor if the agent name cannot be met at the site
+    /// right now (used by tests to assert protected-agent isolation without
+    /// going through the event loop).
+    pub fn try_direct_meet(
+        &mut self,
+        site: SiteId,
+        contact: &AgentName,
+        briefcase: Briefcase,
+    ) -> Result<Briefcase, TacomaError> {
+        let alive: Vec<bool> = (0..self.net.site_count())
+            .map(|s| self.net.is_up(SiteId(s)))
+            .collect();
+        let mut outbox = Vec::new();
+        let env = DispatchEnv {
+            now: self.net.now(),
+            origin: site,
+            sender: AgentId::SYSTEM,
+            neighbors: &self.neighbors[site.index()],
+            alive: &alive,
+        };
+        self.stats.meets_requested += 1;
+        let outcome = self.places[site.index()].dispatch(contact, briefcase, env, &mut outbox);
+        match &outcome {
+            Ok(_) => self.stats.meets_completed += 1,
+            Err(_) => self.stats.meets_failed += 1,
+        }
+        self.process_actions(site, outbox);
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agent::{Agent, MeetCtx, MeetOutcome};
+    use crate::folder::Folder;
+
+    /// Visits every site in its ITINERARY folder, appending a mark at each.
+    struct Tourist;
+    impl Agent for Tourist {
+        fn name(&self) -> AgentName {
+            AgentName::new("tourist")
+        }
+        fn meet(&mut self, ctx: &mut MeetCtx<'_>, mut bc: Briefcase) -> MeetOutcome {
+            let here = ctx.site();
+            ctx.cabinet("guestbook")
+                .append_str("VISITS", format!("visited-{here}"));
+            bc.folder_mut(wellknown::RESULTS)
+                .push_str(format!("{}", ctx.site()));
+            let next = bc.folder_mut(wellknown::ITINERARY).dequeue_str();
+            if let Some(next) = next {
+                let to = SiteId(next.parse::<u32>().unwrap());
+                ctx.remote_meet(to, AgentName::new("tourist"), bc.clone(), TransportKind::Tcp);
+            }
+            Ok(bc)
+        }
+    }
+
+    struct Pinger;
+    impl Agent for Pinger {
+        fn name(&self) -> AgentName {
+            AgentName::new("pinger")
+        }
+        fn meet(&mut self, ctx: &mut MeetCtx<'_>, bc: Briefcase) -> MeetOutcome {
+            let count = bc.peek_u64("COUNT").unwrap_or(0);
+            ctx.cabinet("pings").append_str("LOG", format!("ping-{count}"));
+            if count > 0 {
+                let mut next = Briefcase::new();
+                next.put_u64("COUNT", count - 1);
+                ctx.schedule(
+                    AgentName::new("pinger"),
+                    count,
+                    Duration::from_millis(10),
+                    next,
+                );
+            }
+            Ok(bc)
+        }
+    }
+
+    struct CabinetWriter;
+    impl Agent for CabinetWriter {
+        fn name(&self) -> AgentName {
+            AgentName::new("writer")
+        }
+        fn meet(&mut self, ctx: &mut MeetCtx<'_>, bc: Briefcase) -> MeetOutcome {
+            ctx.cabinet("durable").append_str("DATA", "precious");
+            ctx.flush_cabinet("durable");
+            ctx.cabinet("volatile").append_str("DATA", "ephemeral");
+            Ok(bc)
+        }
+    }
+
+    fn system(sites: u32) -> TacomaSystem {
+        TacomaSystem::builder()
+            .topology(Topology::full_mesh(sites, LinkSpec::default()))
+            .seed(42)
+            .with_agents(|_| vec![Box::new(Tourist), Box::new(Pinger), Box::new(CabinetWriter)])
+            .build()
+    }
+
+    #[test]
+    fn itinerary_walk_visits_every_site() {
+        let mut sys = system(4);
+        let mut bc = Briefcase::new();
+        let mut itinerary = Folder::new();
+        for s in [1u32, 2, 3] {
+            itinerary.enqueue(s.to_string().into_bytes());
+        }
+        bc.put(wellknown::ITINERARY, itinerary);
+        sys.inject_meet(SiteId(0), AgentName::new("tourist"), bc);
+        sys.run_until_quiescent(1_000);
+
+        for s in 0..4 {
+            let cab = sys.place(SiteId(s)).cabinets().get("guestbook").unwrap();
+            assert!(cab.payload_bytes() > 0, "site {s} should have been visited");
+        }
+        let stats = sys.stats();
+        assert_eq!(stats.meets_completed, 4);
+        assert_eq!(stats.remote_meets, 3);
+        assert!(sys.net_metrics().total_bytes().get() > 0);
+        assert!(sys.now() > SimTime::ZERO);
+    }
+
+    #[test]
+    fn timers_drive_repeated_meets() {
+        let mut sys = system(1);
+        let mut bc = Briefcase::new();
+        bc.put_u64("COUNT", 3);
+        sys.inject_meet(SiteId(0), AgentName::new("pinger"), bc);
+        sys.run_until_quiescent(1_000);
+        let stats = sys.stats();
+        assert_eq!(stats.timer_meets, 3);
+        assert_eq!(stats.meets_completed, 4);
+        let cab = sys.place(SiteId(0)).cabinets().get("pings").unwrap();
+        assert!(cab.payload_bytes() > 0);
+    }
+
+    #[test]
+    fn meet_with_unknown_agent_counts_as_failure() {
+        let mut sys = system(2);
+        sys.inject_meet(SiteId(0), AgentName::new("nobody"), Briefcase::new());
+        sys.run_until_quiescent(100);
+        assert_eq!(sys.stats().meets_failed, 1);
+        assert_eq!(sys.stats().meets_completed, 0);
+        assert!(!sys.trace().is_empty());
+    }
+
+    #[test]
+    fn crash_loses_volatile_but_flushed_cabinet_survives() {
+        let mut sys = system(2);
+        sys.inject_meet(SiteId(1), AgentName::new("writer"), Briefcase::new());
+        sys.run_until_quiescent(100);
+        assert!(sys.place(SiteId(1)).cabinets().contains("volatile"));
+        assert!(sys.place(SiteId(1)).cabinets().contains("durable"));
+        assert_eq!(sys.stats().cabinet_flushes, 1);
+
+        // Crash and recover site 1 via a failure plan.
+        let plan = FailurePlan::none().outage(
+            SiteId(1),
+            sys.now() + Duration::from_millis(1),
+            Duration::from_millis(5),
+        );
+        sys.apply_failure_plan(&plan);
+        sys.run_until_quiescent(100);
+
+        assert_eq!(sys.stats().crashes, 1);
+        assert_eq!(sys.stats().recoveries, 1);
+        let place = sys.place(SiteId(1));
+        assert!(place.is_up());
+        assert!(
+            place.cabinets().contains("durable"),
+            "flushed cabinet must be restored after recovery"
+        );
+        assert!(
+            !place.cabinets().contains("volatile"),
+            "unflushed cabinet must be lost"
+        );
+        // Default agents are re-installed after recovery.
+        assert!(place.has_agent(&AgentName::new("tourist")));
+    }
+
+    #[test]
+    fn send_to_dead_site_is_counted_not_fatal() {
+        let mut sys = system(3);
+        sys.net_mut().crash_now(SiteId(2));
+        let mut bc = Briefcase::new();
+        let mut itinerary = Folder::new();
+        itinerary.enqueue(b"2".to_vec());
+        bc.put(wellknown::ITINERARY, itinerary);
+        sys.inject_meet(SiteId(0), AgentName::new("tourist"), bc);
+        sys.run_until_quiescent(100);
+        assert_eq!(sys.stats().send_failures, 1);
+        assert_eq!(sys.stats().meets_completed, 1);
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        let mut sys = system(1);
+        let mut bc = Briefcase::new();
+        bc.put_u64("COUNT", 100);
+        sys.inject_meet(SiteId(0), AgentName::new("pinger"), bc);
+        // Each ping reschedules itself after 10 ms; in 35 ms we expect only a few.
+        sys.run_until(SimTime::ZERO + Duration::from_millis(35));
+        assert!(sys.stats().meets_completed >= 2);
+        assert!(sys.stats().meets_completed <= 5);
+        assert!(sys.now() <= SimTime::ZERO + Duration::from_millis(36));
+    }
+
+    #[test]
+    fn try_direct_meet_bypasses_network() {
+        let mut sys = system(2);
+        let outcome = sys.try_direct_meet(SiteId(0), &AgentName::new("writer"), Briefcase::new());
+        assert!(outcome.is_ok());
+        assert!(sys.place(SiteId(0)).cabinets().contains("durable"));
+        let missing = sys.try_direct_meet(SiteId(0), &AgentName::new("ghost"), Briefcase::new());
+        assert!(missing.is_err());
+    }
+
+    #[test]
+    fn register_agent_at_single_site() {
+        struct Once;
+        impl Agent for Once {
+            fn name(&self) -> AgentName {
+                AgentName::new("once")
+            }
+            fn meet(&mut self, _ctx: &mut MeetCtx<'_>, bc: Briefcase) -> MeetOutcome {
+                Ok(bc)
+            }
+        }
+        let mut sys = TacomaSystem::new(Topology::full_mesh(2, LinkSpec::default()), 1);
+        sys.register_agent(SiteId(1), Box::new(Once));
+        assert!(sys.place(SiteId(1)).has_agent(&AgentName::new("once")));
+        assert!(!sys.place(SiteId(0)).has_agent(&AgentName::new("once")));
+        assert!(sys
+            .try_direct_meet(SiteId(1), &AgentName::new("once"), Briefcase::new())
+            .is_ok());
+    }
+}

@@ -1,0 +1,78 @@
+//! Well-known folder and agent names used by the TACOMA conventions.
+//!
+//! The paper's system agents communicate through folders with conventional
+//! names: `rexec` expects a `HOST` and a `CONTACT` folder, interpreters expect
+//! a `CODE` folder, the diffusion agent keeps a `SITES` folder both in its
+//! briefcase and site-locally, and so on.  Centralising the names here keeps
+//! the crates from drifting apart on spelling.
+
+/// Folder holding the source text of a script agent.
+pub const CODE: &str = "CODE";
+/// Folder naming the destination site of a migration (one element, the site id).
+pub const HOST: &str = "HOST";
+/// Folder naming the agent to execute at the destination of a migration.
+pub const CONTACT: &str = "CONTACT";
+/// Folder listing site ids (diffusion's visited set, itineraries, ...).
+pub const SITES: &str = "SITES";
+/// Folder carrying the remaining itinerary of a travelling agent.
+pub const ITINERARY: &str = "ITINERARY";
+/// Folder carrying an agent's accumulated results.
+pub const RESULTS: &str = "RESULTS";
+/// Folder carrying a request payload for a service agent.
+pub const REQUEST: &str = "REQUEST";
+/// Folder carrying a reply payload from a service agent.
+pub const REPLY: &str = "REPLY";
+/// Folder carrying electronic cash (ECU records).
+pub const CASH: &str = "CASH";
+/// Folder collecting signed action records for later audits.
+pub const RECEIPTS: &str = "RECEIPTS";
+/// Folder identifying the original requester (site and agent name) of a task.
+pub const ORIGIN: &str = "ORIGIN";
+/// Folder carrying a timer key when the kernel fires a scheduled meet.
+pub const TIMER: &str = "TIMER";
+/// Folder carrying an error description when a meet is refused or fails.
+pub const ERROR: &str = "ERROR";
+/// Folder naming the transport personality a migration should use.
+pub const TRANSPORT: &str = "TRANSPORT";
+
+/// The interpreter agent that executes `CODE` folders (the prototype's `ag_tcl`).
+pub const AG_TAC: &str = "ag_tac";
+/// The migration agent (expects `HOST` and `CONTACT`).
+pub const REXEC: &str = "rexec";
+/// The folder-transfer agent.
+pub const COURIER: &str = "courier";
+/// The flooding agent.
+pub const DIFFUSION: &str = "diffusion";
+/// The matchmaking/scheduling broker.
+pub const BROKER: &str = "broker";
+/// The load-monitoring agent.
+pub const MONITOR: &str = "monitor";
+/// The admission-ticket agent of the scheduling service.
+pub const TICKET: &str = "ticket";
+/// The validation (mint) agent of the electronic-cash subsystem.
+pub const MINT: &str = "mint";
+/// The audit-court agent of the exchange protocol.
+pub const COURT: &str = "court";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_distinct() {
+        let folders = [
+            CODE, HOST, CONTACT, SITES, ITINERARY, RESULTS, REQUEST, REPLY, CASH, RECEIPTS,
+            ORIGIN, TIMER, ERROR, TRANSPORT,
+        ];
+        let mut sorted = folders.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), folders.len());
+
+        let agents = [AG_TAC, REXEC, COURIER, DIFFUSION, BROKER, MONITOR, TICKET, MINT, COURT];
+        let mut sorted = agents.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), agents.len());
+    }
+}

@@ -1,0 +1,239 @@
+//! The fault-tolerance experiment driver (E9).
+//!
+//! Launches a fleet of itinerary-following travellers over a network with a
+//! randomized crash schedule and measures how many computations complete with
+//! and without rear guards, how much duplicate work relaunching causes, and
+//! what the guards cost in extra messages and bytes.
+
+use crate::rear_guard::{
+    traveller_briefcase, MissionControlAgent, TravellerAgent, COMPLETED, MISSION_CABINET, TRAVELLER,
+    VISITS_CABINET,
+};
+use tacoma_core::prelude::*;
+use tacoma_core::TacomaSystem;
+use tacoma_net::{FailurePlan, LinkSpec, Topology};
+use tacoma_util::DetRng;
+
+/// The shape of the itinerary each traveller follows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ItineraryShape {
+    /// Visit distinct sites in a chain.
+    Chain,
+    /// Visit sites in a chain and then revisit the first half (a cycle).
+    Cycle,
+}
+
+/// Parameters of one fault-tolerance run.
+#[derive(Debug, Clone)]
+pub struct FtConfig {
+    /// Number of sites in the (full-mesh) network; site 0 is the origin and
+    /// never crashes.
+    pub sites: u32,
+    /// Length of each traveller's itinerary.
+    pub itinerary_len: usize,
+    /// Shape of the itinerary.
+    pub shape: ItineraryShape,
+    /// Number of travellers launched.
+    pub travellers: u32,
+    /// Probability that each non-origin site suffers one outage during the run.
+    pub crash_prob: f64,
+    /// Window (milliseconds from the start) in which outages begin.  Keep it
+    /// comparable to the travellers' journey time so failures actually
+    /// intersect the computations being protected.
+    pub crash_window_ms: u64,
+    /// Outage duration range (milliseconds).
+    pub downtime_ms: (u64, u64),
+    /// Whether rear guards are installed.
+    pub guarded: bool,
+    /// Random seed.
+    pub seed: u64,
+}
+
+impl Default for FtConfig {
+    fn default() -> Self {
+        FtConfig {
+            sites: 8,
+            itinerary_len: 6,
+            shape: ItineraryShape::Chain,
+            travellers: 20,
+            crash_prob: 0.2,
+            crash_window_ms: 20,
+            downtime_ms: (200, 1_500),
+            guarded: true,
+            seed: 99,
+        }
+    }
+}
+
+/// What one fault-tolerance run measured.
+#[derive(Debug, Clone)]
+pub struct FtResult {
+    /// Whether rear guards were enabled.
+    pub guarded: bool,
+    /// Travellers launched.
+    pub launched: u32,
+    /// Travellers whose completion reached mission control.
+    pub completed: u32,
+    /// Fraction completed.
+    pub completion_rate: f64,
+    /// Site-visits performed more than once (relaunch duplicates).
+    pub duplicate_visits: u64,
+    /// Total meets requested (guard overhead shows up here).
+    pub meets: u64,
+    /// Total bytes moved over the network.
+    pub network_bytes: u64,
+    /// Site crashes that actually occurred during the run.
+    pub crashes: u64,
+}
+
+/// Runs one fault-tolerance experiment.
+pub fn run_itinerary_experiment(config: &FtConfig) -> FtResult {
+    let mut sys = TacomaSystem::builder()
+        .topology(Topology::full_mesh(config.sites, LinkSpec::default()))
+        .seed(config.seed)
+        .with_agents(|_| vec![Box::new(TravellerAgent::new()) as Box<dyn Agent>])
+        .build();
+    sys.register_agent(SiteId(0), Box::new(MissionControlAgent::new()));
+
+    // Failure schedule: non-origin sites may suffer one outage each, starting
+    // inside the crash window so the outages overlap the travellers' journeys.
+    let mut fail_rng = DetRng::new(config.seed ^ 0xFA11);
+    let plan = FailurePlan::random(
+        &mut fail_rng,
+        config.sites,
+        &[SiteId(0)],
+        config.crash_prob,
+        Duration::from_millis(config.crash_window_ms.max(1)),
+        Duration::from_millis(config.downtime_ms.0),
+        Duration::from_millis(config.downtime_ms.1),
+    );
+    let crashes = plan.crashed_sites().len() as u64;
+    sys.apply_failure_plan(&plan);
+
+    // Launch the travellers with itineraries drawn from the non-origin sites.
+    let mut itin_rng = DetRng::new(config.seed ^ 0x17E4);
+    for t in 0..config.travellers {
+        let mut pool: Vec<SiteId> = (1..config.sites).map(SiteId).collect();
+        itin_rng.shuffle(&mut pool);
+        let mut itinerary: Vec<SiteId> = pool
+            .into_iter()
+            .take(config.itinerary_len.min(config.sites as usize - 1))
+            .collect();
+        if config.shape == ItineraryShape::Cycle {
+            let revisit: Vec<SiteId> = itinerary.iter().copied().take(itinerary.len() / 2).collect();
+            itinerary.extend(revisit);
+        }
+        let job = format!("job-{t}");
+        sys.inject_meet(
+            SiteId(0),
+            AgentName::new(TRAVELLER),
+            traveller_briefcase(&job, SiteId(0), &itinerary, config.guarded),
+        );
+    }
+
+    sys.run_for(Duration::from_secs(40));
+
+    let completed = sys
+        .place(SiteId(0))
+        .cabinets()
+        .get(MISSION_CABINET)
+        .and_then(|c| c.folder_ref(COMPLETED).map(|f| f.len() as u32))
+        .unwrap_or(0);
+    let duplicate_visits: u64 = (0..config.sites)
+        .map(|s| {
+            sys.place(SiteId(s))
+                .cabinets()
+                .get(VISITS_CABINET)
+                .and_then(|c| c.folder_ref("DUPLICATES").map(|f| f.len() as u64))
+                .unwrap_or(0)
+        })
+        .sum();
+
+    FtResult {
+        guarded: config.guarded,
+        launched: config.travellers,
+        completed,
+        completion_rate: completed as f64 / config.travellers.max(1) as f64,
+        duplicate_visits,
+        meets: sys.stats().meets_requested,
+        network_bytes: sys.net_metrics().total_bytes().get(),
+        crashes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_failures_everyone_completes_either_way() {
+        for guarded in [false, true] {
+            let result = run_itinerary_experiment(&FtConfig {
+                crash_prob: 0.0,
+                guarded,
+                travellers: 10,
+                ..Default::default()
+            });
+            assert_eq!(result.completed, 10, "guarded={guarded}");
+            assert_eq!(result.crashes, 0);
+        }
+    }
+
+    #[test]
+    fn guards_cost_messages_but_nothing_else_when_no_failures() {
+        let base = FtConfig {
+            crash_prob: 0.0,
+            travellers: 10,
+            ..Default::default()
+        };
+        let unguarded = run_itinerary_experiment(&FtConfig { guarded: false, ..base.clone() });
+        let guarded = run_itinerary_experiment(&FtConfig { guarded: true, ..base });
+        assert!(guarded.meets > unguarded.meets, "guard installs/retires cost meets");
+        assert_eq!(guarded.completed, unguarded.completed);
+    }
+
+    #[test]
+    fn guards_improve_completion_under_failures() {
+        let base = FtConfig {
+            sites: 10,
+            itinerary_len: 7,
+            travellers: 25,
+            crash_prob: 0.5,
+            crash_window_ms: 15,
+            downtime_ms: (500, 3_000),
+            seed: 2024,
+            ..Default::default()
+        };
+        let unguarded = run_itinerary_experiment(&FtConfig { guarded: false, ..base.clone() });
+        let guarded = run_itinerary_experiment(&FtConfig { guarded: true, ..base });
+        assert!(guarded.crashes > 0, "the schedule must actually crash sites");
+        assert!(
+            guarded.completion_rate > unguarded.completion_rate,
+            "guarded {} should beat unguarded {}",
+            guarded.completion_rate,
+            unguarded.completion_rate
+        );
+        assert!(guarded.completion_rate >= 0.8, "guards should recover most computations");
+    }
+
+    #[test]
+    fn cyclic_itineraries_complete() {
+        let result = run_itinerary_experiment(&FtConfig {
+            shape: ItineraryShape::Cycle,
+            crash_prob: 0.1,
+            travellers: 10,
+            ..Default::default()
+        });
+        assert!(result.completed >= 8);
+    }
+
+    #[test]
+    fn results_are_deterministic() {
+        let cfg = FtConfig::default();
+        let a = run_itinerary_experiment(&cfg);
+        let b = run_itinerary_experiment(&cfg);
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.meets, b.meets);
+        assert_eq!(a.network_bytes, b.network_bytes);
+    }
+}

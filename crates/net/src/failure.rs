@@ -1,0 +1,201 @@
+//! Failure plans: scheduled site crashes and recoveries.
+//!
+//! Section 5 of the paper assumes "sites in a computer network will fail" and
+//! proposes rear-guard agents so a computation survives.  The fault-tolerance
+//! experiments (E9) drive the simulator with failure plans built here: either
+//! explicit scripted crash/recover events or randomized plans drawn from a
+//! seeded generator (crash probability per site per interval, bounded
+//! downtime).
+
+use crate::time::{Duration, SimTime};
+use serde::{Deserialize, Serialize};
+use tacoma_util::{DetRng, SiteId};
+
+/// What happens to a site at a scheduled instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FailureAction {
+    /// The site crashes: resident agents vanish, in-flight messages to it drop.
+    Crash,
+    /// The site recovers with empty volatile state (file cabinets may have
+    /// been snapshotted by the core layer; that is the core layer's business).
+    Recover,
+}
+
+/// One scheduled failure event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FailureEvent {
+    /// When the action takes effect.
+    pub at: SimTime,
+    /// Which site is affected.
+    pub site: SiteId,
+    /// Crash or recover.
+    pub action: FailureAction,
+}
+
+/// An ordered list of scheduled crash/recover events.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FailurePlan {
+    events: Vec<FailureEvent>,
+}
+
+impl FailurePlan {
+    /// An empty plan (no failures).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Adds a crash of `site` at time `at`.
+    pub fn crash(mut self, site: SiteId, at: SimTime) -> Self {
+        self.events.push(FailureEvent {
+            at,
+            site,
+            action: FailureAction::Crash,
+        });
+        self
+    }
+
+    /// Adds a recovery of `site` at time `at`.
+    pub fn recover(mut self, site: SiteId, at: SimTime) -> Self {
+        self.events.push(FailureEvent {
+            at,
+            site,
+            action: FailureAction::Recover,
+        });
+        self
+    }
+
+    /// Adds a crash at `at` followed by a recovery after `downtime`.
+    pub fn outage(self, site: SiteId, at: SimTime, downtime: Duration) -> Self {
+        self.crash(site, at).recover(site, at + downtime)
+    }
+
+    /// Builds a randomized plan: each site other than those in `spare` crashes
+    /// independently with probability `crash_prob`, at a uniformly random time
+    /// in `[0, horizon)`, and recovers after a uniformly random downtime in
+    /// `[min_down, max_down]`.
+    pub fn random(
+        rng: &mut DetRng,
+        sites: u32,
+        spare: &[SiteId],
+        crash_prob: f64,
+        horizon: Duration,
+        min_down: Duration,
+        max_down: Duration,
+    ) -> Self {
+        let mut plan = FailurePlan::none();
+        for s in 0..sites {
+            let site = SiteId(s);
+            if spare.contains(&site) || !rng.chance(crash_prob) {
+                continue;
+            }
+            let at = SimTime(rng.next_below(horizon.micros().max(1)));
+            let down = Duration(rng.range_u64(min_down.micros(), max_down.micros().max(min_down.micros())));
+            plan = plan.outage(site, at, down);
+        }
+        plan
+    }
+
+    /// The scheduled events, sorted by time (stable for equal times).
+    pub fn events(&self) -> Vec<FailureEvent> {
+        let mut evs = self.events.clone();
+        evs.sort_by_key(|e| e.at);
+        evs
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The set of sites that crash at least once under this plan.
+    pub fn crashed_sites(&self) -> Vec<SiteId> {
+        let mut sites: Vec<SiteId> = self
+            .events
+            .iter()
+            .filter(|e| e.action == FailureAction::Crash)
+            .map(|e| e.site)
+            .collect();
+        sites.sort_unstable();
+        sites.dedup();
+        sites
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_sorting() {
+        let plan = FailurePlan::none()
+            .crash(SiteId(2), SimTime(500))
+            .recover(SiteId(2), SimTime(900))
+            .crash(SiteId(1), SimTime(100));
+        assert_eq!(plan.len(), 3);
+        let evs = plan.events();
+        assert_eq!(evs[0].site, SiteId(1));
+        assert_eq!(evs[1].at, SimTime(500));
+        assert_eq!(plan.crashed_sites(), vec![SiteId(1), SiteId(2)]);
+    }
+
+    #[test]
+    fn outage_produces_pair() {
+        let plan = FailurePlan::none().outage(SiteId(3), SimTime(1_000), Duration::from_micros(250));
+        let evs = plan.events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].action, FailureAction::Crash);
+        assert_eq!(evs[1].action, FailureAction::Recover);
+        assert_eq!(evs[1].at, SimTime(1_250));
+    }
+
+    #[test]
+    fn random_plan_respects_spares_and_probability() {
+        let mut rng = DetRng::new(9);
+        let plan = FailurePlan::random(
+            &mut rng,
+            20,
+            &[SiteId(0)],
+            1.0,
+            Duration::from_secs(10),
+            Duration::from_millis(10),
+            Duration::from_millis(50),
+        );
+        // Every non-spare site crashes exactly once with p=1.
+        assert_eq!(plan.crashed_sites().len(), 19);
+        assert!(!plan.crashed_sites().contains(&SiteId(0)));
+
+        let mut rng = DetRng::new(9);
+        let quiet = FailurePlan::random(
+            &mut rng,
+            20,
+            &[],
+            0.0,
+            Duration::from_secs(10),
+            Duration::from_millis(10),
+            Duration::from_millis(50),
+        );
+        assert!(quiet.is_empty());
+    }
+
+    #[test]
+    fn random_plan_is_deterministic_per_seed() {
+        let mk = || {
+            let mut rng = DetRng::new(1234);
+            FailurePlan::random(
+                &mut rng,
+                10,
+                &[],
+                0.5,
+                Duration::from_secs(5),
+                Duration::from_millis(1),
+                Duration::from_millis(100),
+            )
+        };
+        assert_eq!(mk().events(), mk().events());
+    }
+}

@@ -1,0 +1,215 @@
+//! A Horus-flavoured process-group layer: membership views and multicast.
+//!
+//! The TACOMA prototype's third `rexec` implementation ran on Tcl/Horus,
+//! using Horus [vRHB94] for group communication and fault tolerance.  The
+//! fault-tolerance experiments here use this small stand-in: a process group
+//! is a named set of sites with a monotonically numbered membership *view*;
+//! joins, leaves and failures install new views, and a multicast in view `v`
+//! is delivered only to the members of `v` that are still up.
+//!
+//! This is deliberately far simpler than Horus (no virtual-synchrony message
+//! flushing), but it preserves the property the paper relies on: surviving
+//! group members agree on who is in the group after a failure, which is what
+//! rear guards need in order to decide who relaunches a lost agent.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use tacoma_util::SiteId;
+
+/// Identifier of a process group.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct GroupId(pub String);
+
+impl GroupId {
+    /// Creates a group id from anything string-like.
+    pub fn new(name: impl Into<String>) -> Self {
+        GroupId(name.into())
+    }
+}
+
+/// Monotonically increasing view number.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct ViewId(pub u64);
+
+/// Membership-change events produced by the group layer.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GroupEvent {
+    /// A new view was installed.
+    ViewChange {
+        /// The group whose membership changed.
+        group: GroupId,
+        /// The new view number.
+        view: ViewId,
+        /// The members of the new view, in ascending order.
+        members: Vec<SiteId>,
+    },
+}
+
+/// A process group: a named membership set with numbered views.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProcessGroup {
+    id: GroupId,
+    view: ViewId,
+    members: BTreeSet<SiteId>,
+}
+
+impl ProcessGroup {
+    /// Creates a group with the given initial members (view 1).
+    pub fn new(id: GroupId, members: impl IntoIterator<Item = SiteId>) -> Self {
+        ProcessGroup {
+            id,
+            view: ViewId(1),
+            members: members.into_iter().collect(),
+        }
+    }
+
+    /// The group's identifier.
+    pub fn id(&self) -> &GroupId {
+        &self.id
+    }
+
+    /// The current view number.
+    pub fn view(&self) -> ViewId {
+        self.view
+    }
+
+    /// Current members in ascending order.
+    pub fn members(&self) -> Vec<SiteId> {
+        self.members.iter().copied().collect()
+    }
+
+    /// Number of current members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the group has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Whether `site` is a member of the current view.
+    pub fn contains(&self, site: SiteId) -> bool {
+        self.members.contains(&site)
+    }
+
+    /// Adds a member, installing a new view; no-op if already present.
+    pub fn join(&mut self, site: SiteId) -> Option<GroupEvent> {
+        if self.members.insert(site) {
+            Some(self.bump())
+        } else {
+            None
+        }
+    }
+
+    /// Removes a member (leave or failure), installing a new view; no-op if absent.
+    pub fn remove(&mut self, site: SiteId) -> Option<GroupEvent> {
+        if self.members.remove(&site) {
+            Some(self.bump())
+        } else {
+            None
+        }
+    }
+
+    /// Removes every member for which `alive` is false, installing at most one
+    /// new view.  Returns the event if anything changed.
+    pub fn reconcile(&mut self, alive: impl Fn(SiteId) -> bool) -> Option<GroupEvent> {
+        let before = self.members.len();
+        self.members.retain(|&s| alive(s));
+        if self.members.len() != before {
+            Some(self.bump())
+        } else {
+            None
+        }
+    }
+
+    /// The delivery set of a multicast sent from `sender` in the current view:
+    /// every member except the sender.  (Whether the recipients are still up
+    /// at delivery time is the simulator's business.)
+    pub fn multicast_targets(&self, sender: SiteId) -> Vec<SiteId> {
+        self.members.iter().copied().filter(|&m| m != sender).collect()
+    }
+
+    /// The lowest-numbered member, conventionally the group coordinator.
+    pub fn coordinator(&self) -> Option<SiteId> {
+        self.members.iter().next().copied()
+    }
+
+    fn bump(&mut self) -> GroupEvent {
+        self.view = ViewId(self.view.0 + 1);
+        GroupEvent::ViewChange {
+            group: self.id.clone(),
+            view: self.view,
+            members: self.members(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn group() -> ProcessGroup {
+        ProcessGroup::new(GroupId::new("guards"), [SiteId(0), SiteId(1), SiteId(2)])
+    }
+
+    #[test]
+    fn initial_view() {
+        let g = group();
+        assert_eq!(g.view(), ViewId(1));
+        assert_eq!(g.len(), 3);
+        assert!(!g.is_empty());
+        assert!(g.contains(SiteId(1)));
+        assert_eq!(g.coordinator(), Some(SiteId(0)));
+        assert_eq!(g.id(), &GroupId::new("guards"));
+    }
+
+    #[test]
+    fn join_and_remove_bump_views() {
+        let mut g = group();
+        let ev = g.join(SiteId(5)).unwrap();
+        match ev {
+            GroupEvent::ViewChange { view, ref members, .. } => {
+                assert_eq!(view, ViewId(2));
+                assert_eq!(members.len(), 4);
+            }
+        }
+        assert!(g.join(SiteId(5)).is_none(), "duplicate join is a no-op");
+        let ev = g.remove(SiteId(0)).unwrap();
+        match ev {
+            GroupEvent::ViewChange { view, ref members, .. } => {
+                assert_eq!(view, ViewId(3));
+                assert!(!members.contains(&SiteId(0)));
+            }
+        }
+        assert!(g.remove(SiteId(0)).is_none());
+        assert_eq!(g.coordinator(), Some(SiteId(1)));
+    }
+
+    #[test]
+    fn reconcile_removes_dead_members_once() {
+        let mut g = group();
+        let ev = g.reconcile(|s| s != SiteId(1) && s != SiteId(2));
+        assert!(ev.is_some());
+        assert_eq!(g.members(), vec![SiteId(0)]);
+        assert_eq!(g.view(), ViewId(2), "one view change for the whole reconcile");
+        assert!(g.reconcile(|_| true).is_none());
+    }
+
+    #[test]
+    fn multicast_excludes_sender() {
+        let g = group();
+        assert_eq!(g.multicast_targets(SiteId(1)), vec![SiteId(0), SiteId(2)]);
+        assert_eq!(g.multicast_targets(SiteId(9)).len(), 3);
+    }
+
+    #[test]
+    fn empty_group_behaves() {
+        let mut g = ProcessGroup::new(GroupId::new("empty"), []);
+        assert!(g.is_empty());
+        assert_eq!(g.coordinator(), None);
+        assert!(g.reconcile(|_| false).is_none());
+    }
+}

@@ -1,0 +1,48 @@
+//! Deterministic discrete-event network simulator for the TACOMA reproduction.
+//!
+//! The TACOMA paper (§6) ran on a small testbed of UNIX workstations connected
+//! by `rsh`, Tcl/TCP streams, and the Horus group-communication system.  None
+//! of the paper's claims depend on absolute hardware speeds; they are about
+//! *bytes moved*, *numbers of agents and messages*, and *which computations
+//! survive site failures*.  This crate therefore substitutes the testbed with
+//! a deterministic discrete-event simulation that measures exactly those
+//! quantities and is reproducible from a seed.
+//!
+//! The simulator provides:
+//!
+//! * [`topology::Topology`] — sites and links with latency and bandwidth,
+//!   plus builders for the standard shapes used by the experiments (ring,
+//!   star, grid, full mesh, random connected graphs).
+//! * [`sim::SimNet`] — the event queue: message delivery with per-hop latency
+//!   and bandwidth charging, timers, scheduled site crashes/recoveries and
+//!   network partitions.
+//! * [`transport`] — the three transport personalities of the prototype
+//!   (`rsh`-like per-message setup, persistent TCP-like streams, Horus-like
+//!   group multicast), which differ only in how connection setup overhead is
+//!   charged.
+//! * [`group::ProcessGroup`] — a small Horus-flavoured process-group layer
+//!   (membership views and ordered multicast) used by the fault-tolerance
+//!   experiments.
+//! * [`metrics::NetMetrics`] — byte and message accounting, the raw material
+//!   of the bandwidth-conservation experiment (E1).
+
+#![warn(missing_docs)]
+
+pub mod failure;
+pub mod group;
+pub mod metrics;
+pub mod routing;
+pub mod sim;
+pub mod time;
+pub mod topology;
+pub mod transport;
+
+pub use failure::FailurePlan;
+pub use group::{GroupEvent, GroupId, ProcessGroup, ViewId};
+pub use metrics::NetMetrics;
+pub use sim::{DeliveredMessage, Event, MessageId, NetError, SendOptions, SimNet};
+pub use time::{Duration, SimTime};
+pub use topology::{LinkSpec, Topology, TopologyKind};
+pub use transport::{Transport, TransportKind};
+
+pub use tacoma_util::SiteId;

@@ -1,0 +1,148 @@
+//! Network accounting: bytes and messages moved, per link and in total.
+//!
+//! These counters are the primary measured quantity of experiment E1
+//! (bandwidth conservation, §1 of the paper) and contribute the overhead
+//! columns of E2 (diffusion), E6 (exchange protocol), E7 (scheduling) and E9
+//! (rear guards).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use tacoma_util::{ByteCount, SiteId};
+
+/// Byte and message counters for a whole simulation run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct NetMetrics {
+    total_bytes: ByteCount,
+    total_messages: u64,
+    total_hops: u64,
+    dropped_messages: u64,
+    per_link_bytes: BTreeMap<(SiteId, SiteId), ByteCount>,
+    per_site_sent: BTreeMap<SiteId, u64>,
+    per_site_received: BTreeMap<SiteId, u64>,
+}
+
+impl NetMetrics {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one message traversing one hop of `bytes` bytes.
+    pub fn record_hop(&mut self, from: SiteId, to: SiteId, bytes: u64) {
+        self.total_bytes.add_bytes(bytes);
+        self.total_hops += 1;
+        let key = if from <= to { (from, to) } else { (to, from) };
+        self.per_link_bytes.entry(key).or_default().add_bytes(bytes);
+    }
+
+    /// Records a message accepted for sending at `from`.
+    pub fn record_send(&mut self, from: SiteId) {
+        self.total_messages += 1;
+        *self.per_site_sent.entry(from).or_default() += 1;
+    }
+
+    /// Records a message delivered at `to`.
+    pub fn record_delivery(&mut self, to: SiteId) {
+        *self.per_site_received.entry(to).or_default() += 1;
+    }
+
+    /// Records a message dropped in flight (dead destination, partition, ...).
+    pub fn record_drop(&mut self) {
+        self.dropped_messages += 1;
+    }
+
+    /// Total bytes moved across all links (counted per hop).
+    pub fn total_bytes(&self) -> ByteCount {
+        self.total_bytes
+    }
+
+    /// Total messages accepted for sending.
+    pub fn total_messages(&self) -> u64 {
+        self.total_messages
+    }
+
+    /// Total link hops traversed.
+    pub fn total_hops(&self) -> u64 {
+        self.total_hops
+    }
+
+    /// Messages dropped before delivery.
+    pub fn dropped_messages(&self) -> u64 {
+        self.dropped_messages
+    }
+
+    /// Bytes moved over a particular link (orientation-insensitive).
+    pub fn link_bytes(&self, a: SiteId, b: SiteId) -> ByteCount {
+        let key = if a <= b { (a, b) } else { (b, a) };
+        self.per_link_bytes.get(&key).copied().unwrap_or_default()
+    }
+
+    /// Messages sent from a site.
+    pub fn sent_by(&self, site: SiteId) -> u64 {
+        self.per_site_sent.get(&site).copied().unwrap_or(0)
+    }
+
+    /// Messages delivered at a site.
+    pub fn received_by(&self, site: SiteId) -> u64 {
+        self.per_site_received.get(&site).copied().unwrap_or(0)
+    }
+
+    /// The busiest link and its byte count, if any traffic has flowed.
+    pub fn busiest_link(&self) -> Option<((SiteId, SiteId), ByteCount)> {
+        self.per_link_bytes
+            .iter()
+            .max_by_key(|(_, bytes)| bytes.get())
+            .map(|(&link, &bytes)| (link, bytes))
+    }
+
+    /// Resets all counters to zero (used between experiment phases).
+    pub fn reset(&mut self) {
+        *self = NetMetrics::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = NetMetrics::new();
+        m.record_send(SiteId(0));
+        m.record_hop(SiteId(0), SiteId(1), 100);
+        m.record_hop(SiteId(1), SiteId(2), 100);
+        m.record_delivery(SiteId(2));
+        assert_eq!(m.total_messages(), 1);
+        assert_eq!(m.total_hops(), 2);
+        assert_eq!(m.total_bytes().get(), 200);
+        assert_eq!(m.sent_by(SiteId(0)), 1);
+        assert_eq!(m.received_by(SiteId(2)), 1);
+        assert_eq!(m.received_by(SiteId(1)), 0);
+    }
+
+    #[test]
+    fn link_bytes_symmetric() {
+        let mut m = NetMetrics::new();
+        m.record_hop(SiteId(3), SiteId(1), 50);
+        m.record_hop(SiteId(1), SiteId(3), 25);
+        assert_eq!(m.link_bytes(SiteId(1), SiteId(3)).get(), 75);
+        assert_eq!(m.link_bytes(SiteId(3), SiteId(1)).get(), 75);
+        assert_eq!(m.link_bytes(SiteId(0), SiteId(1)).get(), 0);
+    }
+
+    #[test]
+    fn busiest_link_and_reset() {
+        let mut m = NetMetrics::new();
+        assert!(m.busiest_link().is_none());
+        m.record_hop(SiteId(0), SiteId(1), 10);
+        m.record_hop(SiteId(1), SiteId(2), 99);
+        let (link, bytes) = m.busiest_link().unwrap();
+        assert_eq!(link, (SiteId(1), SiteId(2)));
+        assert_eq!(bytes.get(), 99);
+        m.record_drop();
+        assert_eq!(m.dropped_messages(), 1);
+        m.reset();
+        assert_eq!(m.total_bytes().get(), 0);
+        assert_eq!(m.dropped_messages(), 0);
+    }
+}

@@ -1,0 +1,162 @@
+//! Shortest-path routing over a topology.
+//!
+//! The paper's agents migrate between arbitrary sites; when the topology is
+//! not a full mesh the simulator routes a message over the shortest live path
+//! (fewest hops, BFS) and charges every hop's latency, serialization time and
+//! byte counters.  §4 of the paper remarks that broker state dissemination
+//! "seems to be equivalent to routing in a wide-area network"; the routing
+//! table built here is also reused by the scheduling crate for that purpose.
+
+use crate::topology::Topology;
+use std::collections::{BTreeMap, VecDeque};
+use tacoma_util::SiteId;
+
+/// A routing oracle that answers shortest-path queries over a topology,
+/// honouring a per-site liveness mask.
+#[derive(Debug, Clone)]
+pub struct Router {
+    topology: Topology,
+}
+
+impl Router {
+    /// Creates a router for the given topology.
+    pub fn new(topology: Topology) -> Self {
+        Router { topology }
+    }
+
+    /// Read access to the underlying topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Mutable access, for dynamic link changes (partitions heal, links die).
+    pub fn topology_mut(&mut self) -> &mut Topology {
+        &mut self.topology
+    }
+
+    /// The shortest path from `src` to `dst` visiting only sites for which
+    /// `alive` returns true (the endpoints must also be alive).  Returns the
+    /// full path including both endpoints, or `None` if unreachable.
+    pub fn shortest_path(
+        &self,
+        src: SiteId,
+        dst: SiteId,
+        alive: impl Fn(SiteId) -> bool,
+    ) -> Option<Vec<SiteId>> {
+        if !alive(src) || !alive(dst) {
+            return None;
+        }
+        if src == dst {
+            return Some(vec![src]);
+        }
+        let mut prev: BTreeMap<SiteId, SiteId> = BTreeMap::new();
+        let mut queue = VecDeque::new();
+        queue.push_back(src);
+        prev.insert(src, src);
+        while let Some(cur) = queue.pop_front() {
+            for n in self.topology.neighbors(cur) {
+                if !alive(n) || prev.contains_key(&n) {
+                    continue;
+                }
+                prev.insert(n, cur);
+                if n == dst {
+                    // Reconstruct.
+                    let mut path = vec![dst];
+                    let mut at = dst;
+                    while at != src {
+                        at = prev[&at];
+                        path.push(at);
+                    }
+                    path.reverse();
+                    return Some(path);
+                }
+                queue.push_back(n);
+            }
+        }
+        None
+    }
+
+    /// Number of hops on the shortest live path, or `None` if unreachable.
+    pub fn hop_count(
+        &self,
+        src: SiteId,
+        dst: SiteId,
+        alive: impl Fn(SiteId) -> bool,
+    ) -> Option<usize> {
+        self.shortest_path(src, dst, alive).map(|p| p.len().saturating_sub(1))
+    }
+
+    /// All sites reachable from `src` over live sites (including `src`).
+    pub fn reachable_from(&self, src: SiteId, alive: impl Fn(SiteId) -> bool) -> Vec<SiteId> {
+        if !alive(src) {
+            return Vec::new();
+        }
+        let mut seen = BTreeMap::new();
+        let mut queue = VecDeque::new();
+        seen.insert(src, ());
+        queue.push_back(src);
+        while let Some(cur) = queue.pop_front() {
+            for n in self.topology.neighbors(cur) {
+                if alive(n) && seen.insert(n, ()).is_none() {
+                    queue.push_back(n);
+                }
+            }
+        }
+        seen.into_keys().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::LinkSpec;
+
+    fn all_alive(_: SiteId) -> bool {
+        true
+    }
+
+    #[test]
+    fn path_on_ring() {
+        let r = Router::new(Topology::ring(6, LinkSpec::default()));
+        let p = r.shortest_path(SiteId(0), SiteId(2), all_alive).unwrap();
+        assert_eq!(p, vec![SiteId(0), SiteId(1), SiteId(2)]);
+        assert_eq!(r.hop_count(SiteId(0), SiteId(3), all_alive), Some(3));
+        assert_eq!(r.hop_count(SiteId(0), SiteId(0), all_alive), Some(0));
+    }
+
+    #[test]
+    fn path_avoids_dead_sites() {
+        let r = Router::new(Topology::ring(6, LinkSpec::default()));
+        // Kill site 1: 0 -> 2 must go the long way around.
+        let alive = |s: SiteId| s != SiteId(1);
+        let p = r.shortest_path(SiteId(0), SiteId(2), alive).unwrap();
+        assert_eq!(p, vec![SiteId(0), SiteId(5), SiteId(4), SiteId(3), SiteId(2)]);
+    }
+
+    #[test]
+    fn unreachable_when_cut() {
+        let mut t = Topology::empty(4);
+        t.add_link(SiteId(0), SiteId(1), LinkSpec::default());
+        t.add_link(SiteId(2), SiteId(3), LinkSpec::default());
+        let r = Router::new(t);
+        assert!(r.shortest_path(SiteId(0), SiteId(3), all_alive).is_none());
+        assert_eq!(r.reachable_from(SiteId(0), all_alive), vec![SiteId(0), SiteId(1)]);
+    }
+
+    #[test]
+    fn dead_endpoint_is_unreachable() {
+        let r = Router::new(Topology::full_mesh(3, LinkSpec::default()));
+        let alive = |s: SiteId| s != SiteId(2);
+        assert!(r.shortest_path(SiteId(0), SiteId(2), alive).is_none());
+        assert!(r.shortest_path(SiteId(2), SiteId(0), alive).is_none());
+        assert!(r.reachable_from(SiteId(2), alive).is_empty());
+    }
+
+    #[test]
+    fn full_mesh_is_single_hop() {
+        let r = Router::new(Topology::full_mesh(5, LinkSpec::default()));
+        for dst in 1..5 {
+            assert_eq!(r.hop_count(SiteId(0), SiteId(dst), all_alive), Some(1));
+        }
+    }
+}

@@ -1,0 +1,688 @@
+//! The discrete-event simulator core: message delivery, timers, failures.
+//!
+//! [`SimNet`] owns a priority queue of pending events ordered by simulated
+//! time (ties broken by insertion order, so runs are deterministic).  The
+//! TACOMA kernel ([`tacoma-core`]'s `TacomaSystem`) drives the simulation by
+//! calling [`SimNet::send`] / [`SimNet::schedule_timer`] and repeatedly
+//! popping events with [`SimNet::step`].
+//!
+//! Failure semantics follow the paper's §5 model: when a site crashes, agents
+//! resident there vanish (that is enforced by the core layer), messages in
+//! flight *to* the site are dropped, and established transport streams through
+//! it are torn down.  Messages are routed over the shortest path of live
+//! sites, so a crash can also make two live sites temporarily unreachable on
+//! sparse topologies.
+
+use crate::failure::{FailureAction, FailurePlan};
+use crate::metrics::NetMetrics;
+use crate::routing::Router;
+use crate::time::{Duration, SimTime};
+use crate::topology::Topology;
+use crate::transport::{Transport, TransportKind};
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap};
+use tacoma_util::SiteId;
+
+/// Identifier of a message accepted by [`SimNet::send`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MessageId(pub u64);
+
+/// Errors returned by the simulator's send/schedule operations.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NetError {
+    /// The source site is down.
+    SourceDown(SiteId),
+    /// The destination site is down.
+    DestinationDown(SiteId),
+    /// No live path exists between source and destination.
+    Unreachable {
+        /// Sending site.
+        from: SiteId,
+        /// Intended destination.
+        to: SiteId,
+    },
+    /// A site id was outside the topology.
+    UnknownSite(SiteId),
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::SourceDown(s) => write!(f, "source {s} is down"),
+            NetError::DestinationDown(s) => write!(f, "destination {s} is down"),
+            NetError::Unreachable { from, to } => write!(f, "no live path from {from} to {to}"),
+            NetError::UnknownSite(s) => write!(f, "unknown site {s}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// Parameters of a single message send.
+#[derive(Debug, Clone)]
+pub struct SendOptions {
+    /// Sending site.
+    pub from: SiteId,
+    /// Destination site.
+    pub to: SiteId,
+    /// Application payload carried to the destination.
+    pub payload: Vec<u8>,
+    /// Application-defined message kind (the core layer uses this to tell
+    /// meet requests, meet replies and control traffic apart).
+    pub kind: u16,
+    /// Transport personality to charge overhead with.
+    pub transport: TransportKind,
+}
+
+/// A message delivered to its destination site.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeliveredMessage {
+    /// The id assigned at send time.
+    pub id: MessageId,
+    /// Original sender.
+    pub from: SiteId,
+    /// Destination (the site the event is delivered at).
+    pub to: SiteId,
+    /// Application payload.
+    pub payload: Vec<u8>,
+    /// Application-defined message kind.
+    pub kind: u16,
+    /// When the message was sent.
+    pub sent_at: SimTime,
+    /// Number of link hops the message traversed.
+    pub hops: u32,
+}
+
+/// An event surfaced to the driver of the simulation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Event {
+    /// A message arrived at its destination.
+    Message(DeliveredMessage),
+    /// A timer scheduled with [`SimNet::schedule_timer`] fired.
+    Timer {
+        /// Site the timer belongs to.
+        site: SiteId,
+        /// Caller-chosen key identifying the timer.
+        key: u64,
+    },
+    /// A site crashed (from the failure plan or an explicit call).
+    SiteCrashed(SiteId),
+    /// A site recovered.
+    SiteRecovered(SiteId),
+}
+
+/// Internal queued event payload.
+#[derive(Debug, Clone)]
+enum Pending {
+    Deliver(DeliveredMessage),
+    Timer { site: SiteId, key: u64 },
+    Failure { site: SiteId, action: FailureAction },
+}
+
+/// Heap entry ordered by (time, sequence number).
+#[derive(Debug, Clone)]
+struct QueuedEvent {
+    at: SimTime,
+    seq: u64,
+    pending: Pending,
+}
+
+impl PartialEq for QueuedEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for QueuedEvent {}
+impl PartialOrd for QueuedEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueuedEvent {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The deterministic discrete-event network simulator.
+#[derive(Debug)]
+pub struct SimNet {
+    router: Router,
+    up: Vec<bool>,
+    clock: SimTime,
+    queue: BinaryHeap<Reverse<QueuedEvent>>,
+    seq: u64,
+    next_msg_id: u64,
+    transport: Transport,
+    metrics: NetMetrics,
+    blocked_pairs: BTreeSet<(SiteId, SiteId)>,
+}
+
+impl SimNet {
+    /// Creates a simulator over `topology` with every site up.
+    pub fn new(topology: Topology) -> Self {
+        let sites = topology.site_count() as usize;
+        SimNet {
+            router: Router::new(topology),
+            up: vec![true; sites],
+            clock: SimTime::ZERO,
+            queue: BinaryHeap::new(),
+            seq: 0,
+            next_msg_id: 1,
+            transport: Transport::new(),
+            metrics: NetMetrics::new(),
+            blocked_pairs: BTreeSet::new(),
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Number of sites in the topology.
+    pub fn site_count(&self) -> u32 {
+        self.router.topology().site_count()
+    }
+
+    /// Whether `site` is currently up.
+    pub fn is_up(&self, site: SiteId) -> bool {
+        self.up.get(site.index()).copied().unwrap_or(false)
+    }
+
+    /// The routing oracle (topology + shortest paths).
+    pub fn router(&self) -> &Router {
+        &self.router
+    }
+
+    /// Accumulated byte/message counters.
+    pub fn metrics(&self) -> &NetMetrics {
+        &self.metrics
+    }
+
+    /// Resets the byte/message counters (the clock keeps running).
+    pub fn reset_metrics(&mut self) {
+        self.metrics.reset();
+    }
+
+    /// Schedules every event of a failure plan.
+    pub fn apply_failure_plan(&mut self, plan: &FailurePlan) {
+        for ev in plan.events() {
+            self.push(ev.at, Pending::Failure { site: ev.site, action: ev.action });
+        }
+    }
+
+    /// Crashes a site immediately.
+    pub fn crash_now(&mut self, site: SiteId) {
+        self.apply_failure(site, FailureAction::Crash);
+    }
+
+    /// Recovers a site immediately.
+    pub fn recover_now(&mut self, site: SiteId) {
+        self.apply_failure(site, FailureAction::Recover);
+    }
+
+    /// Installs a partition: messages between the listed group and all other
+    /// sites are blocked until [`SimNet::heal_partition`] is called.
+    pub fn partition(&mut self, group: &[SiteId]) {
+        let group: BTreeSet<SiteId> = group.iter().copied().collect();
+        for a in self.router.topology().sites() {
+            for b in self.router.topology().sites() {
+                if a < b && group.contains(&a) != group.contains(&b) {
+                    self.blocked_pairs.insert((a, b));
+                }
+            }
+        }
+    }
+
+    /// Removes every partition-induced block.
+    pub fn heal_partition(&mut self) {
+        self.blocked_pairs.clear();
+    }
+
+    /// Whether direct communication between two sites is blocked by a partition.
+    pub fn is_blocked(&self, a: SiteId, b: SiteId) -> bool {
+        let key = if a <= b { (a, b) } else { (b, a) };
+        self.blocked_pairs.contains(&key)
+    }
+
+    /// Schedules a timer on `site` to fire after `delay`, tagged with `key`.
+    pub fn schedule_timer(&mut self, site: SiteId, delay: Duration, key: u64) {
+        let at = self.clock + delay;
+        self.push(at, Pending::Timer { site, key });
+    }
+
+    /// Sends a message, charging latency, bandwidth and transport overhead on
+    /// every hop of the shortest live path from `from` to `to`.
+    ///
+    /// Local sends (`from == to`) are delivered after a fixed small kernel
+    /// overhead without touching the network counters.
+    pub fn send(&mut self, opts: SendOptions) -> Result<MessageId, NetError> {
+        let SendOptions { from, to, payload, kind, transport } = opts;
+        let sites = self.site_count();
+        if from.0 >= sites {
+            return Err(NetError::UnknownSite(from));
+        }
+        if to.0 >= sites {
+            return Err(NetError::UnknownSite(to));
+        }
+        if !self.is_up(from) {
+            return Err(NetError::SourceDown(from));
+        }
+        if !self.is_up(to) {
+            return Err(NetError::DestinationDown(to));
+        }
+
+        let id = MessageId(self.next_msg_id);
+        self.next_msg_id += 1;
+
+        if from == to {
+            // Local delivery: a small constant kernel cost, no network bytes.
+            let msg = DeliveredMessage {
+                id,
+                from,
+                to,
+                payload,
+                kind,
+                sent_at: self.clock,
+                hops: 0,
+            };
+            self.metrics.record_send(from);
+            let at = self.clock + Duration::from_micros(10);
+            self.push(at, Pending::Deliver(msg));
+            return Ok(id);
+        }
+
+        // Route over live, unpartitioned sites.
+        let blocked = self.blocked_pairs.clone();
+        let up = self.up.clone();
+        let alive = |s: SiteId| up.get(s.index()).copied().unwrap_or(false);
+        let path = self
+            .router
+            .shortest_path(from, to, |s| alive(s))
+            .filter(|p| {
+                p.windows(2)
+                    .all(|w| !blocked.contains(&Self::pair(w[0], w[1])))
+            })
+            .ok_or(NetError::Unreachable { from, to })?;
+
+        let payload_len = payload.len() as u64;
+        let overhead = self.transport.overhead(transport, from, to);
+        let mut delay = overhead.setup_latency;
+        let wire_bytes = payload_len + overhead.extra_bytes;
+        for hop in path.windows(2) {
+            let (a, b) = (hop[0], hop[1]);
+            let spec = self
+                .router
+                .topology()
+                .link(a, b)
+                .copied()
+                .unwrap_or_default();
+            delay += spec.transfer_time(wire_bytes);
+            self.metrics.record_hop(a, b, wire_bytes);
+        }
+        self.metrics.record_send(from);
+
+        let msg = DeliveredMessage {
+            id,
+            from,
+            to,
+            payload,
+            kind,
+            sent_at: self.clock,
+            hops: (path.len() - 1) as u32,
+        };
+        let at = self.clock + delay;
+        self.push(at, Pending::Deliver(msg));
+        Ok(id)
+    }
+
+    /// Advances to the next event and returns it, or `None` if the queue is
+    /// empty.  Dropped deliveries (dead destination) are consumed internally
+    /// and do not surface.
+    pub fn step(&mut self) -> Option<Event> {
+        loop {
+            let Reverse(ev) = self.queue.pop()?;
+            debug_assert!(ev.at >= self.clock, "time must not go backwards");
+            self.clock = self.clock.max(ev.at);
+            match ev.pending {
+                Pending::Deliver(msg) => {
+                    if self.is_up(msg.to) {
+                        self.metrics.record_delivery(msg.to);
+                        return Some(Event::Message(msg));
+                    }
+                    self.metrics.record_drop();
+                    // Keep looping: the drop is not surfaced.
+                }
+                Pending::Timer { site, key } => {
+                    if self.is_up(site) {
+                        return Some(Event::Timer { site, key });
+                    }
+                    // Timers on dead sites are silently discarded.
+                }
+                Pending::Failure { site, action } => {
+                    let changed = self.apply_failure(site, action);
+                    if changed {
+                        return Some(match action {
+                            FailureAction::Crash => Event::SiteCrashed(site),
+                            FailureAction::Recover => Event::SiteRecovered(site),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// The time of the next pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.queue.peek().map(|Reverse(ev)| ev.at)
+    }
+
+    /// Whether any events are pending.
+    pub fn has_pending(&self) -> bool {
+        !self.queue.is_empty()
+    }
+
+    /// Number of pending events (messages in flight, timers, failures).
+    pub fn pending_count(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn apply_failure(&mut self, site: SiteId, action: FailureAction) -> bool {
+        let Some(slot) = self.up.get_mut(site.index()) else {
+            return false;
+        };
+        match action {
+            FailureAction::Crash => {
+                if !*slot {
+                    return false;
+                }
+                *slot = false;
+                self.transport.drop_streams_of(site);
+                true
+            }
+            FailureAction::Recover => {
+                if *slot {
+                    return false;
+                }
+                *slot = true;
+                true
+            }
+        }
+    }
+
+    fn push(&mut self, at: SimTime, pending: Pending) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(QueuedEvent { at, seq, pending }));
+    }
+
+    fn pair(a: SiteId, b: SiteId) -> (SiteId, SiteId) {
+        if a <= b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::LinkSpec;
+
+    fn mesh(n: u32) -> SimNet {
+        SimNet::new(Topology::full_mesh(n, LinkSpec::default()))
+    }
+
+    fn send_simple(net: &mut SimNet, from: u32, to: u32, bytes: usize) -> MessageId {
+        net.send(SendOptions {
+            from: SiteId(from),
+            to: SiteId(to),
+            payload: vec![0u8; bytes],
+            kind: 1,
+            transport: TransportKind::Tcp,
+        })
+        .expect("send should succeed")
+    }
+
+    #[test]
+    fn message_is_delivered_in_order_of_time() {
+        let mut net = mesh(3);
+        let id1 = send_simple(&mut net, 0, 1, 10);
+        let id2 = send_simple(&mut net, 0, 2, 10_000_000); // much larger, arrives later
+        let ev1 = net.step().unwrap();
+        match ev1 {
+            Event::Message(m) => assert_eq!(m.id, id1),
+            other => panic!("expected message, got {other:?}"),
+        }
+        let ev2 = net.step().unwrap();
+        match ev2 {
+            Event::Message(m) => {
+                assert_eq!(m.id, id2);
+                assert_eq!(m.hops, 1);
+            }
+            other => panic!("expected message, got {other:?}"),
+        }
+        assert!(net.step().is_none());
+        assert!(net.now() > SimTime::ZERO);
+    }
+
+    #[test]
+    fn local_send_has_no_network_bytes() {
+        let mut net = mesh(2);
+        send_simple(&mut net, 1, 1, 500);
+        let ev = net.step().unwrap();
+        assert!(matches!(ev, Event::Message(ref m) if m.hops == 0));
+        assert_eq!(net.metrics().total_bytes().get(), 0);
+        assert_eq!(net.metrics().total_messages(), 1);
+    }
+
+    #[test]
+    fn bytes_charged_per_hop_on_ring() {
+        let mut net = SimNet::new(Topology::ring(4, LinkSpec::default()));
+        // 0 -> 2 is two hops on a 4-ring.
+        send_simple(&mut net, 0, 2, 1000);
+        let ev = net.step().unwrap();
+        match ev {
+            Event::Message(m) => assert_eq!(m.hops, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Wire bytes = payload + tcp first-contact overhead (128), charged twice.
+        assert_eq!(net.metrics().total_bytes().get(), 2 * (1000 + 128));
+        assert_eq!(net.metrics().total_hops(), 2);
+    }
+
+    #[test]
+    fn send_to_dead_site_fails_fast() {
+        let mut net = mesh(3);
+        net.crash_now(SiteId(2));
+        let err = net
+            .send(SendOptions {
+                from: SiteId(0),
+                to: SiteId(2),
+                payload: vec![],
+                kind: 0,
+                transport: TransportKind::Tcp,
+            })
+            .unwrap_err();
+        assert_eq!(err, NetError::DestinationDown(SiteId(2)));
+        let err = net
+            .send(SendOptions {
+                from: SiteId(2),
+                to: SiteId(0),
+                payload: vec![],
+                kind: 0,
+                transport: TransportKind::Tcp,
+            })
+            .unwrap_err();
+        assert_eq!(err, NetError::SourceDown(SiteId(2)));
+    }
+
+    #[test]
+    fn unknown_site_rejected() {
+        let mut net = mesh(2);
+        let err = net
+            .send(SendOptions {
+                from: SiteId(0),
+                to: SiteId(9),
+                payload: vec![],
+                kind: 0,
+                transport: TransportKind::Tcp,
+            })
+            .unwrap_err();
+        assert_eq!(err, NetError::UnknownSite(SiteId(9)));
+    }
+
+    #[test]
+    fn message_in_flight_to_crashing_site_is_dropped() {
+        let mut net = mesh(2);
+        send_simple(&mut net, 0, 1, 100);
+        net.crash_now(SiteId(1));
+        assert!(net.step().is_none(), "delivery should be swallowed");
+        assert_eq!(net.metrics().dropped_messages(), 1);
+    }
+
+    #[test]
+    fn scheduled_failure_plan_surfaces_events() {
+        let mut net = mesh(2);
+        let plan = FailurePlan::none().outage(
+            SiteId(1),
+            SimTime(1_000),
+            Duration::from_micros(500),
+        );
+        net.apply_failure_plan(&plan);
+        assert_eq!(net.step(), Some(Event::SiteCrashed(SiteId(1))));
+        assert!(!net.is_up(SiteId(1)));
+        assert_eq!(net.step(), Some(Event::SiteRecovered(SiteId(1))));
+        assert!(net.is_up(SiteId(1)));
+        assert_eq!(net.now(), SimTime(1_500));
+    }
+
+    #[test]
+    fn duplicate_crash_is_idempotent() {
+        let mut net = mesh(2);
+        let plan = FailurePlan::none()
+            .crash(SiteId(1), SimTime(10))
+            .crash(SiteId(1), SimTime(20));
+        net.apply_failure_plan(&plan);
+        assert_eq!(net.step(), Some(Event::SiteCrashed(SiteId(1))));
+        assert!(net.step().is_none(), "second crash is a no-op");
+    }
+
+    #[test]
+    fn timers_fire_in_order_and_die_with_site() {
+        let mut net = mesh(2);
+        net.schedule_timer(SiteId(0), Duration::from_millis(5), 7);
+        net.schedule_timer(SiteId(1), Duration::from_millis(1), 9);
+        net.schedule_timer(SiteId(1), Duration::from_millis(10), 11);
+        assert_eq!(net.step(), Some(Event::Timer { site: SiteId(1), key: 9 }));
+        assert_eq!(net.step(), Some(Event::Timer { site: SiteId(0), key: 7 }));
+        net.crash_now(SiteId(1));
+        assert!(net.step().is_none(), "timer on dead site is discarded");
+    }
+
+    #[test]
+    fn routing_detours_around_crashed_site() {
+        let mut net = SimNet::new(Topology::ring(5, LinkSpec::default()));
+        net.crash_now(SiteId(1));
+        send_simple(&mut net, 0, 2, 10);
+        match net.step().unwrap() {
+            Event::Message(m) => assert_eq!(m.hops, 3, "must detour the long way"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sparse_topology_can_become_unreachable() {
+        let mut net = SimNet::new(Topology::star(4, LinkSpec::default()));
+        net.crash_now(SiteId(0)); // hub down
+        let err = net
+            .send(SendOptions {
+                from: SiteId(1),
+                to: SiteId(2),
+                payload: vec![],
+                kind: 0,
+                transport: TransportKind::Tcp,
+            })
+            .unwrap_err();
+        assert_eq!(err, NetError::Unreachable { from: SiteId(1), to: SiteId(2) });
+    }
+
+    #[test]
+    fn partition_blocks_and_heals() {
+        let mut net = mesh(4);
+        net.partition(&[SiteId(0), SiteId(1)]);
+        assert!(net.is_blocked(SiteId(0), SiteId(2)));
+        assert!(!net.is_blocked(SiteId(0), SiteId(1)));
+        let err = net
+            .send(SendOptions {
+                from: SiteId(0),
+                to: SiteId(3),
+                payload: vec![],
+                kind: 0,
+                transport: TransportKind::Tcp,
+            })
+            .unwrap_err();
+        assert_eq!(err, NetError::Unreachable { from: SiteId(0), to: SiteId(3) });
+        // Inside the partition traffic still flows.
+        assert!(net
+            .send(SendOptions {
+                from: SiteId(0),
+                to: SiteId(1),
+                payload: vec![],
+                kind: 0,
+                transport: TransportKind::Tcp,
+            })
+            .is_ok());
+        net.heal_partition();
+        assert!(net
+            .send(SendOptions {
+                from: SiteId(0),
+                to: SiteId(3),
+                payload: vec![],
+                kind: 0,
+                transport: TransportKind::Tcp,
+            })
+            .is_ok());
+    }
+
+    #[test]
+    fn rsh_transport_is_slower_than_tcp() {
+        let mut net_rsh = mesh(2);
+        let mut net_tcp = mesh(2);
+        net_rsh
+            .send(SendOptions {
+                from: SiteId(0),
+                to: SiteId(1),
+                payload: vec![0; 100],
+                kind: 0,
+                transport: TransportKind::Rsh,
+            })
+            .unwrap();
+        net_tcp
+            .send(SendOptions {
+                from: SiteId(0),
+                to: SiteId(1),
+                payload: vec![0; 100],
+                kind: 0,
+                transport: TransportKind::Tcp,
+            })
+            .unwrap();
+        net_rsh.step();
+        net_tcp.step();
+        assert!(net_rsh.now() > net_tcp.now());
+    }
+
+    #[test]
+    fn peek_and_pending_counts() {
+        let mut net = mesh(2);
+        assert!(!net.has_pending());
+        assert!(net.peek_time().is_none());
+        send_simple(&mut net, 0, 1, 1);
+        net.schedule_timer(SiteId(0), Duration::from_secs(1), 1);
+        assert_eq!(net.pending_count(), 2);
+        assert!(net.peek_time().unwrap() < SimTime(1_000_000));
+    }
+}

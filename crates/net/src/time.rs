@@ -1,0 +1,193 @@
+//! Simulated time.
+//!
+//! The simulator runs on virtual time measured in microseconds.  All latency
+//! and bandwidth parameters in [`crate::topology`] are expressed in these
+//! units, so experiment results are deterministic and independent of the host
+//! machine.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, in microseconds since the start of the run.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(pub u64);
+
+/// A span of simulated time, in microseconds.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Duration(pub u64);
+
+impl SimTime {
+    /// The start of the simulation.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Raw microsecond value.
+    pub fn micros(self) -> u64 {
+        self.0
+    }
+
+    /// The time expressed in (fractional) milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// The time expressed in (fractional) seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Duration elapsed since an earlier instant (saturating).
+    pub fn since(self, earlier: SimTime) -> Duration {
+        Duration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Duration {
+    /// Zero-length duration.
+    pub const ZERO: Duration = Duration(0);
+
+    /// Builds a duration from microseconds.
+    pub fn from_micros(us: u64) -> Self {
+        Duration(us)
+    }
+
+    /// Builds a duration from milliseconds.
+    pub fn from_millis(ms: u64) -> Self {
+        Duration(ms * 1_000)
+    }
+
+    /// Builds a duration from whole seconds.
+    pub fn from_secs(s: u64) -> Self {
+        Duration(s * 1_000_000)
+    }
+
+    /// Builds a duration from fractional seconds, rounding to microseconds.
+    pub fn from_secs_f64(s: f64) -> Self {
+        Duration((s.max(0.0) * 1_000_000.0).round() as u64)
+    }
+
+    /// Raw microsecond value.
+    pub fn micros(self) -> u64 {
+        self.0
+    }
+
+    /// The duration expressed in (fractional) milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// The duration expressed in (fractional) seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Multiplies the duration by an integer factor (saturating).
+    pub fn times(self, factor: u64) -> Duration {
+        Duration(self.0.saturating_mul(factor))
+    }
+}
+
+impl Add<Duration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: Duration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<Duration> for SimTime {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = Duration;
+    fn sub(self, rhs: SimTime) -> Duration {
+        Duration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for Duration {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.3}ms", self.as_millis_f64())
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else {
+            write!(f, "{}µs", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_conversion() {
+        assert_eq!(Duration::from_millis(3).micros(), 3_000);
+        assert_eq!(Duration::from_secs(2).micros(), 2_000_000);
+        assert_eq!(Duration::from_secs_f64(0.5).micros(), 500_000);
+        assert_eq!(Duration::from_secs_f64(-1.0), Duration::ZERO);
+        assert_eq!(SimTime(1_500).as_millis_f64(), 1.5);
+        assert_eq!(SimTime(2_000_000).as_secs_f64(), 2.0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::ZERO + Duration::from_millis(10);
+        assert_eq!(t, SimTime(10_000));
+        let mut t2 = t;
+        t2 += Duration::from_micros(5);
+        assert_eq!(t2 - t, Duration(5));
+        assert_eq!(t.since(t2), Duration::ZERO, "since saturates");
+        assert_eq!(Duration(3).times(4), Duration(12));
+        let mut d = Duration(1);
+        d += Duration(2);
+        assert_eq!(d + Duration(3), Duration(6));
+    }
+
+    #[test]
+    fn saturating_behaviour() {
+        let huge = SimTime(u64::MAX);
+        assert_eq!(huge + Duration(10), SimTime(u64::MAX));
+        assert_eq!(Duration(u64::MAX).times(2), Duration(u64::MAX));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Duration(500).to_string(), "500µs");
+        assert_eq!(Duration(2_500).to_string(), "2.500ms");
+        assert_eq!(Duration(1_500_000).to_string(), "1.500s");
+        assert_eq!(SimTime(1_000).to_string(), "t=1.000ms");
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime(1) < SimTime(2));
+        assert!(Duration(1) < Duration(2));
+    }
+}

@@ -1,0 +1,471 @@
+//! The scheduling service's agents: broker, monitor, ticket and worker.
+//!
+//! The prototype's scheduling service (§6) "assigns to processors based on
+//! load" and "uses four different agents … the broker, another … monitoring
+//! the status of a site and reporting that to the brokers, one is a courier,
+//! and one issues tickets to allow access to the service."  The courier is the
+//! generic one from `tacoma-agents`; the other three are here, together with
+//! the worker (provider) agent that actually executes jobs.
+//!
+//! Briefcase conventions:
+//!
+//! * submit a job to the broker: `REQUEST`="submit", `JOB`=id, `JOB_SIZE`=work
+//!   in milliseconds at capacity 1.0;
+//! * ask the broker for a provider without dispatching: `REQUEST`="lookup";
+//! * monitors report with `REQUEST`="report" plus a [`LoadReport`];
+//! * workers accept jobs only when a `TICKET` folder is present (issued by the
+//!   ticket agent at the broker's site).
+
+use crate::load::LoadReport;
+use crate::policy::PlacementPolicy;
+use std::collections::{BTreeMap, VecDeque};
+use tacoma_core::prelude::*;
+
+/// Folder holding the request verb for broker meets.
+pub const REQUEST: &str = "REQUEST";
+/// Folder holding a job identifier.
+pub const JOB: &str = "JOB";
+/// Folder holding the job's size in milliseconds of work at capacity 1.0.
+pub const JOB_SIZE: &str = "JOB_SIZE";
+/// Folder holding an admission ticket.
+pub const TICKET_FOLDER: &str = "TICKET";
+/// Folder naming the provider chosen by a lookup.
+pub const PROVIDER: &str = "PROVIDER";
+/// Cabinet where workers record completed jobs.
+pub const JOBS_CABINET: &str = "jobs";
+/// Folder (in the jobs cabinet) holding completion records `id:wait_us:finish_us`.
+pub const DONE: &str = "DONE";
+
+/// The matchmaking/scheduling broker (§4).
+pub struct BrokerAgent {
+    policy: PlacementPolicy,
+    reports: BTreeMap<SiteId, LoadReport>,
+    rr_counter: u64,
+    jobs_placed: u64,
+}
+
+impl BrokerAgent {
+    /// Creates a broker using the given placement policy.
+    pub fn new(policy: PlacementPolicy) -> Self {
+        BrokerAgent {
+            policy,
+            reports: BTreeMap::new(),
+            rr_counter: 0,
+            jobs_placed: 0,
+        }
+    }
+
+    /// Number of jobs this broker has placed.
+    pub fn jobs_placed(&self) -> u64 {
+        self.jobs_placed
+    }
+}
+
+impl Agent for BrokerAgent {
+    fn name(&self) -> AgentName {
+        AgentName::new(wellknown::BROKER)
+    }
+
+    fn meet(&mut self, ctx: &mut MeetCtx<'_>, mut bc: Briefcase) -> MeetOutcome {
+        let request = bc
+            .peek_string(REQUEST)
+            .ok_or_else(|| TacomaError::missing(REQUEST))?;
+        match request.as_str() {
+            "report" => {
+                let report = LoadReport::from_briefcase(&bc)
+                    .ok_or_else(|| TacomaError::bad_folder("LOAD_SITE", "malformed load report"))?;
+                self.reports.insert(report.site, report);
+                Ok(Briefcase::new())
+            }
+            "lookup" | "submit" => {
+                let reports: Vec<LoadReport> = self
+                    .reports
+                    .values()
+                    .copied()
+                    .filter(|r| ctx.site_is_up(r.site))
+                    .collect();
+                let chosen = self
+                    .policy
+                    .choose(&reports, ctx.rng(), &mut self.rr_counter)
+                    .ok_or_else(|| TacomaError::Refused("no providers registered".into()))?;
+                let mut reply = Briefcase::new();
+                reply.put_string(PROVIDER, chosen.0.to_string());
+                if request == "submit" {
+                    // Obtain an admission ticket from the co-located ticket agent.
+                    let ticket_reply =
+                        ctx.meet_local(&AgentName::new(wellknown::TICKET), Briefcase::new())?;
+                    let ticket = ticket_reply
+                        .folder(TICKET_FOLDER)
+                        .cloned()
+                        .ok_or_else(|| TacomaError::missing(TICKET_FOLDER))?;
+                    bc.put(TICKET_FOLDER, ticket);
+                    bc.take(REQUEST);
+                    // Optimistically bump the chosen provider's queue so a burst
+                    // of submissions spreads even before the next report.
+                    if let Some(r) = self.reports.get_mut(&chosen) {
+                        r.queue_len += 1;
+                    }
+                    self.jobs_placed += 1;
+                    ctx.remote_meet(chosen, AgentName::new("worker"), bc, TransportKind::Tcp);
+                }
+                Ok(reply)
+            }
+            other => Err(TacomaError::Refused(format!("unknown broker request '{other}'"))),
+        }
+    }
+}
+
+/// The load monitor installed at every provider site.
+///
+/// On installation it starts a periodic timer; every period it samples the
+/// co-located worker's queue and reports to the broker site.
+pub struct MonitorAgent {
+    broker_site: SiteId,
+    period: Duration,
+    capacity: f64,
+}
+
+impl MonitorAgent {
+    /// Creates a monitor reporting to `broker_site` every `period`.
+    pub fn new(broker_site: SiteId, period: Duration, capacity: f64) -> Self {
+        MonitorAgent {
+            broker_site,
+            period,
+            capacity,
+        }
+    }
+
+    fn sample_and_report(&self, ctx: &mut MeetCtx<'_>) {
+        let mut query = Briefcase::new();
+        query.put_string("QUERY", "load");
+        let queue_len = match ctx.meet_local(&AgentName::new("worker"), query) {
+            Ok(reply) => reply.peek_u64("QUEUE_LEN").unwrap_or(0),
+            Err(_) => 0,
+        };
+        let report = LoadReport {
+            site: ctx.site(),
+            queue_len,
+            capacity: self.capacity,
+            at_micros: ctx.now().micros(),
+        };
+        let mut bc = report.to_briefcase();
+        bc.put_string(REQUEST, "report");
+        ctx.remote_meet(
+            self.broker_site,
+            AgentName::new(wellknown::BROKER),
+            bc,
+            TransportKind::Tcp,
+        );
+    }
+}
+
+impl Agent for MonitorAgent {
+    fn name(&self) -> AgentName {
+        AgentName::new(wellknown::MONITOR)
+    }
+
+    fn on_install(&mut self, ctx: &mut MeetCtx<'_>) {
+        // Report immediately so the broker knows this provider exists, then
+        // keep reporting on the period.
+        self.sample_and_report(ctx);
+        ctx.schedule(
+            AgentName::new(wellknown::MONITOR),
+            1,
+            self.period,
+            Briefcase::new(),
+        );
+    }
+
+    fn meet(&mut self, ctx: &mut MeetCtx<'_>, bc: Briefcase) -> MeetOutcome {
+        if bc.contains(wellknown::TIMER) {
+            self.sample_and_report(ctx);
+            ctx.schedule(
+                AgentName::new(wellknown::MONITOR),
+                1,
+                self.period,
+                Briefcase::new(),
+            );
+        }
+        Ok(Briefcase::new())
+    }
+}
+
+/// The admission-ticket agent of the scheduling service.
+#[derive(Debug, Default)]
+pub struct TicketAgent {
+    issued: u64,
+}
+
+impl TicketAgent {
+    /// Creates the agent.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of tickets issued so far.
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+}
+
+impl Agent for TicketAgent {
+    fn name(&self) -> AgentName {
+        AgentName::new(wellknown::TICKET)
+    }
+
+    fn meet(&mut self, ctx: &mut MeetCtx<'_>, _bc: Briefcase) -> MeetOutcome {
+        self.issued += 1;
+        let mut reply = Briefcase::new();
+        reply.put_string(
+            TICKET_FOLDER,
+            format!("ticket-{}-{}", ctx.site(), self.issued),
+        );
+        Ok(reply)
+    }
+}
+
+/// A service provider: executes jobs one at a time at a configured capacity.
+pub struct WorkerAgent {
+    capacity: f64,
+    queue: VecDeque<QueuedJob>,
+    next_timer_key: u64,
+    executed: u64,
+}
+
+#[derive(Debug, Clone)]
+struct QueuedJob {
+    id: String,
+    size_ms: u64,
+    enqueued_at: u64,
+}
+
+impl WorkerAgent {
+    /// Creates a worker with the given capacity (1.0 = nominal speed).
+    pub fn new(capacity: f64) -> Self {
+        WorkerAgent {
+            capacity: capacity.max(0.01),
+            queue: VecDeque::new(),
+            next_timer_key: 1,
+            executed: 0,
+        }
+    }
+
+    /// Jobs completed so far.
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    fn service_time(&self, size_ms: u64) -> Duration {
+        Duration::from_micros(((size_ms as f64 * 1000.0) / self.capacity) as u64)
+    }
+
+    fn start_head_job(&mut self, ctx: &mut MeetCtx<'_>) {
+        if let Some(head) = self.queue.front() {
+            let delay = self.service_time(head.size_ms);
+            let key = self.next_timer_key;
+            self.next_timer_key += 1;
+            ctx.schedule(AgentName::new("worker"), key, delay, Briefcase::new());
+        }
+    }
+}
+
+impl Agent for WorkerAgent {
+    fn name(&self) -> AgentName {
+        AgentName::new("worker")
+    }
+
+    fn meet(&mut self, ctx: &mut MeetCtx<'_>, bc: Briefcase) -> MeetOutcome {
+        // Load query from the monitor.
+        if bc.peek_string("QUERY").as_deref() == Some("load") {
+            let mut reply = Briefcase::new();
+            reply.put_u64("QUEUE_LEN", self.queue.len() as u64);
+            return Ok(reply);
+        }
+        // Timer: the job at the head of the queue finished.
+        if bc.contains(wellknown::TIMER) {
+            if let Some(done) = self.queue.pop_front() {
+                self.executed += 1;
+                let now = ctx.now().micros();
+                let wait = now
+                    .saturating_sub(done.enqueued_at)
+                    .saturating_sub(self.service_time(done.size_ms).micros());
+                ctx.cabinet(JOBS_CABINET)
+                    .append_str(DONE, format!("{}:{}:{}", done.id, wait, now));
+                self.start_head_job(ctx);
+            }
+            return Ok(Briefcase::new());
+        }
+        // Otherwise: a job submission.
+        let job_id = bc.peek_string(JOB).ok_or_else(|| TacomaError::missing(JOB))?;
+        let size_ms = bc
+            .peek_string(JOB_SIZE)
+            .and_then(|s| s.parse::<u64>().ok())
+            .ok_or_else(|| TacomaError::bad_folder(JOB_SIZE, "missing or not a number"))?;
+        if !bc.contains(TICKET_FOLDER) {
+            return Err(TacomaError::Refused("no admission ticket".into()));
+        }
+        let was_idle = self.queue.is_empty();
+        self.queue.push_back(QueuedJob {
+            id: job_id,
+            size_ms,
+            enqueued_at: ctx.now().micros(),
+        });
+        if was_idle {
+            self.start_head_job(ctx);
+        }
+        Ok(Briefcase::new())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tacoma_core::TacomaSystem;
+    use tacoma_net::{LinkSpec, Topology};
+
+    fn worker_system(capacity: f64) -> TacomaSystem {
+        let mut sys = TacomaSystem::new(Topology::full_mesh(1, LinkSpec::default()), 1);
+        sys.register_agent(SiteId(0), Box::new(WorkerAgent::new(capacity)));
+        sys.register_agent(SiteId(0), Box::new(TicketAgent::new()));
+        sys
+    }
+
+    fn job_briefcase(id: &str, size_ms: u64, ticketed: bool) -> Briefcase {
+        let mut bc = Briefcase::new();
+        bc.put_string(JOB, id);
+        bc.put_string(JOB_SIZE, size_ms.to_string());
+        if ticketed {
+            bc.put_string(TICKET_FOLDER, "t");
+        }
+        bc
+    }
+
+    #[test]
+    fn worker_requires_a_ticket() {
+        let mut sys = worker_system(1.0);
+        let err = sys
+            .try_direct_meet(SiteId(0), &AgentName::new("worker"), job_briefcase("j", 10, false))
+            .unwrap_err();
+        assert!(matches!(err, TacomaError::Refused(_)));
+    }
+
+    #[test]
+    fn worker_executes_jobs_in_fifo_order_and_records_them() {
+        let mut sys = worker_system(2.0);
+        for i in 0..3 {
+            sys.inject_meet(
+                SiteId(0),
+                AgentName::new("worker"),
+                job_briefcase(&format!("job{i}"), 100, true),
+            );
+        }
+        sys.run_until_quiescent(10_000);
+        let cab = sys.place(SiteId(0)).cabinets().get(JOBS_CABINET).unwrap();
+        let done = cab.folder_ref(DONE).unwrap().strings();
+        assert_eq!(done.len(), 3);
+        assert!(done[0].starts_with("job0:"));
+        assert!(done[2].starts_with("job2:"));
+        // Later jobs waited longer.
+        let wait = |s: &str| s.split(':').nth(1).unwrap().parse::<u64>().unwrap();
+        assert!(wait(&done[2]) >= wait(&done[1]));
+        assert!(wait(&done[1]) >= wait(&done[0]));
+    }
+
+    #[test]
+    fn faster_workers_finish_sooner() {
+        let mut slow = worker_system(1.0);
+        let mut fast = worker_system(4.0);
+        for sys in [&mut slow, &mut fast] {
+            sys.inject_meet(SiteId(0), AgentName::new("worker"), job_briefcase("j", 200, true));
+            sys.run_until_quiescent(10_000);
+        }
+        assert!(fast.now() < slow.now());
+    }
+
+    #[test]
+    fn worker_answers_load_queries() {
+        let mut sys = worker_system(1.0);
+        let mut q = Briefcase::new();
+        q.put_string("QUERY", "load");
+        let reply = sys
+            .try_direct_meet(SiteId(0), &AgentName::new("worker"), q)
+            .unwrap();
+        assert_eq!(reply.peek_u64("QUEUE_LEN"), Some(0));
+    }
+
+    #[test]
+    fn ticket_agent_issues_unique_tickets() {
+        let mut sys = worker_system(1.0);
+        let a = sys
+            .try_direct_meet(SiteId(0), &AgentName::new(wellknown::TICKET), Briefcase::new())
+            .unwrap();
+        let b = sys
+            .try_direct_meet(SiteId(0), &AgentName::new(wellknown::TICKET), Briefcase::new())
+            .unwrap();
+        assert_ne!(
+            a.peek_string(TICKET_FOLDER),
+            b.peek_string(TICKET_FOLDER)
+        );
+    }
+
+    #[test]
+    fn broker_places_jobs_on_registered_providers() {
+        // Site 0: broker + ticket.  Sites 1, 2: workers + monitors.
+        let mut sys = TacomaSystem::new(Topology::full_mesh(3, LinkSpec::default()), 2);
+        sys.register_agent(SiteId(0), Box::new(BrokerAgent::new(PlacementPolicy::LoadBased)));
+        sys.register_agent(SiteId(0), Box::new(TicketAgent::new()));
+        for s in [1u32, 2] {
+            sys.register_agent(SiteId(s), Box::new(WorkerAgent::new(1.0)));
+        }
+        // Monitors register their providers with the broker via their install hook.
+        sys.register_agent(
+            SiteId(1),
+            Box::new(MonitorAgent::new(SiteId(0), Duration::from_millis(50), 1.0)),
+        );
+        sys.register_agent(
+            SiteId(2),
+            Box::new(MonitorAgent::new(SiteId(0), Duration::from_millis(50), 4.0)),
+        );
+        // Let the initial reports reach the broker.
+        sys.run_for(Duration::from_millis(20));
+
+        // Submit four jobs.
+        for i in 0..4 {
+            let mut bc = job_briefcase(&format!("j{i}"), 100, false);
+            bc.put_string(REQUEST, "submit");
+            sys.inject_meet(SiteId(0), AgentName::new(wellknown::BROKER), bc);
+        }
+        sys.run_for(Duration::from_secs(5));
+
+        let total_done: usize = [1u32, 2]
+            .iter()
+            .map(|s| {
+                sys.place(SiteId(*s))
+                    .cabinets()
+                    .get(JOBS_CABINET)
+                    .and_then(|c| c.folder_ref(DONE).map(|f| f.len()))
+                    .unwrap_or(0)
+            })
+            .sum();
+        assert_eq!(total_done, 4, "all submitted jobs complete somewhere");
+        assert_eq!(sys.stats().meets_failed, 0);
+    }
+
+    #[test]
+    fn broker_with_no_providers_refuses() {
+        let mut sys = TacomaSystem::new(Topology::full_mesh(1, LinkSpec::default()), 2);
+        sys.register_agent(SiteId(0), Box::new(BrokerAgent::new(PlacementPolicy::Random)));
+        let mut bc = Briefcase::new();
+        bc.put_string(REQUEST, "lookup");
+        let err = sys
+            .try_direct_meet(SiteId(0), &AgentName::new(wellknown::BROKER), bc)
+            .unwrap_err();
+        assert!(matches!(err, TacomaError::Refused(_)));
+        // Unknown verbs are refused too.
+        let mut bc = Briefcase::new();
+        bc.put_string(REQUEST, "dance");
+        assert!(sys
+            .try_direct_meet(SiteId(0), &AgentName::new(wellknown::BROKER), bc)
+            .is_err());
+    }
+}

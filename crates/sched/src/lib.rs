@@ -1,0 +1,40 @@
+//! Agent scheduling (paper §4 and the prototype's scheduling service of §6).
+//!
+//! The paper's scheduling story has three parts, all implemented here:
+//!
+//! * **Broker agents as matchmakers.**  "Some broker agents maintain databases
+//!   of service providers; these brokers serve as matchmakers. … Brokers are
+//!   expected to communicate among themselves and with the service providers,
+//!   so that requests can be distributed amongst service providers based on
+//!   load and capacity."  [`agents::BrokerAgent`] keeps the provider database
+//!   and the latest load reports and places jobs using a configurable
+//!   [`policy::PlacementPolicy`].
+//! * **The four-agent scheduling service.**  The prototype "uses four
+//!   different agents …: one of these agents is the broker, another is
+//!   responsible for monitoring the status of a site and reporting that to
+//!   the brokers, one is a courier, and one issues tickets to allow access to
+//!   the service."  Those are [`agents::BrokerAgent`], [`agents::MonitorAgent`],
+//!   the `courier` from `tacoma-agents`, and [`agents::TicketAgent`];
+//!   [`agents::WorkerAgent`] plays the provider being scheduled onto.
+//! * **Protected agents.**  "Another use of broker agents is to enforce some
+//!   protected agent's policies with regard to meeting other agents … the
+//!   broker provides the only way to meet with the protected agent."
+//!   [`protected::ProtectedBrokerAgent`] relays meets to an agent whose real
+//!   name is secret and queues each request in a folder, as §4 describes.
+//!
+//! [`experiment::run_scheduling_experiment`] wires a whole system together and
+//! is what experiment E7's bench harness calls.
+
+#![warn(missing_docs)]
+
+pub mod agents;
+pub mod experiment;
+pub mod load;
+pub mod policy;
+pub mod protected;
+
+pub use agents::{BrokerAgent, MonitorAgent, TicketAgent, WorkerAgent};
+pub use experiment::{run_scheduling_experiment, SchedulingConfig, SchedulingResult};
+pub use load::LoadReport;
+pub use policy::PlacementPolicy;
+pub use protected::ProtectedBrokerAgent;

@@ -1,0 +1,77 @@
+//! Load reports: what monitors tell brokers about provider sites.
+
+use serde::{Deserialize, Serialize};
+use tacoma_core::Briefcase;
+use tacoma_util::SiteId;
+
+/// One monitoring sample for a provider site.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LoadReport {
+    /// The provider site this report describes.
+    pub site: SiteId,
+    /// Jobs currently queued (including the one in service).
+    pub queue_len: u64,
+    /// Relative processing capacity (jobs per simulated second at nominal size).
+    pub capacity: f64,
+    /// Simulated time (microseconds) the sample was taken.
+    pub at_micros: u64,
+}
+
+impl LoadReport {
+    /// Expected wait for a newly arriving job, in seconds: queue length
+    /// divided by capacity.  Lower is better; brokers pick the minimum.
+    pub fn expected_wait(&self) -> f64 {
+        if self.capacity <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.queue_len as f64 / self.capacity
+        }
+    }
+
+    /// Serializes the report into briefcase folders (strings, so TacoScript
+    /// agents can also read them).
+    pub fn to_briefcase(&self) -> Briefcase {
+        let mut bc = Briefcase::new();
+        bc.put_string("LOAD_SITE", self.site.0.to_string());
+        bc.put_string("LOAD_QUEUE", self.queue_len.to_string());
+        bc.put_string("LOAD_CAPACITY", format!("{}", self.capacity));
+        bc.put_string("LOAD_AT", self.at_micros.to_string());
+        bc
+    }
+
+    /// Parses a report out of briefcase folders, if all fields are present.
+    pub fn from_briefcase(bc: &Briefcase) -> Option<LoadReport> {
+        Some(LoadReport {
+            site: SiteId(bc.peek_string("LOAD_SITE")?.parse().ok()?),
+            queue_len: bc.peek_string("LOAD_QUEUE")?.parse().ok()?,
+            capacity: bc.peek_string("LOAD_CAPACITY")?.parse().ok()?,
+            at_micros: bc.peek_string("LOAD_AT")?.parse().ok()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expected_wait_orders_sites_sensibly() {
+        let idle_fast = LoadReport { site: SiteId(0), queue_len: 0, capacity: 4.0, at_micros: 0 };
+        let busy_fast = LoadReport { site: SiteId(1), queue_len: 8, capacity: 4.0, at_micros: 0 };
+        let idle_slow = LoadReport { site: SiteId(2), queue_len: 0, capacity: 1.0, at_micros: 0 };
+        let busy_slow = LoadReport { site: SiteId(3), queue_len: 8, capacity: 1.0, at_micros: 0 };
+        assert!(idle_fast.expected_wait() <= idle_slow.expected_wait());
+        assert!(busy_fast.expected_wait() < busy_slow.expected_wait());
+        assert!(idle_slow.expected_wait() < busy_fast.expected_wait() || idle_slow.expected_wait() == 0.0);
+        let broken = LoadReport { site: SiteId(4), queue_len: 1, capacity: 0.0, at_micros: 0 };
+        assert!(broken.expected_wait().is_infinite());
+    }
+
+    #[test]
+    fn briefcase_round_trip() {
+        let r = LoadReport { site: SiteId(7), queue_len: 3, capacity: 2.5, at_micros: 42 };
+        let parsed = LoadReport::from_briefcase(&r.to_briefcase()).unwrap();
+        assert_eq!(parsed, r);
+        assert!(LoadReport::from_briefcase(&Briefcase::new()).is_none());
+    }
+}

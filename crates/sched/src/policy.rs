@@ -1,0 +1,155 @@
+//! Placement policies: how a broker picks a provider for a job.
+//!
+//! The paper's broker distributes requests "based on load and capacity";
+//! experiment E7 compares that policy against the baselines a system without
+//! load reports would have to use.
+
+use crate::load::LoadReport;
+use serde::{Deserialize, Serialize};
+use tacoma_util::{DetRng, SiteId};
+
+/// The placement policy a broker uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlacementPolicy {
+    /// The paper's policy: pick the provider with the lowest expected wait
+    /// (queue length divided by capacity), using the latest load reports.
+    LoadBased,
+    /// Uniformly random provider.
+    Random,
+    /// Cycle through providers in order.
+    RoundRobin,
+    /// Pick the provider with the shortest queue ignoring capacity — a
+    /// common heuristic that the load/capacity policy should beat on
+    /// heterogeneous providers.
+    ShortestQueue,
+}
+
+impl PlacementPolicy {
+    /// All policies, in the order experiment tables report them.
+    pub const ALL: [PlacementPolicy; 4] = [
+        PlacementPolicy::LoadBased,
+        PlacementPolicy::Random,
+        PlacementPolicy::RoundRobin,
+        PlacementPolicy::ShortestQueue,
+    ];
+
+    /// Human-readable label for experiment tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            PlacementPolicy::LoadBased => "load-based (paper)",
+            PlacementPolicy::Random => "random",
+            PlacementPolicy::RoundRobin => "round-robin",
+            PlacementPolicy::ShortestQueue => "shortest-queue",
+        }
+    }
+
+    /// Chooses a provider site from the current reports.
+    ///
+    /// `rr_counter` is the broker's running counter for round-robin.  Returns
+    /// `None` when no providers are known.
+    pub fn choose(
+        self,
+        reports: &[LoadReport],
+        rng: &mut DetRng,
+        rr_counter: &mut u64,
+    ) -> Option<SiteId> {
+        if reports.is_empty() {
+            return None;
+        }
+        let site = match self {
+            PlacementPolicy::LoadBased => {
+                reports
+                    .iter()
+                    .min_by(|a, b| {
+                        a.expected_wait()
+                            .partial_cmp(&b.expected_wait())
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                    })?
+                    .site
+            }
+            PlacementPolicy::Random => reports[rng.index(reports.len())].site,
+            PlacementPolicy::RoundRobin => {
+                let idx = (*rr_counter as usize) % reports.len();
+                *rr_counter += 1;
+                reports[idx].site
+            }
+            PlacementPolicy::ShortestQueue => {
+                reports.iter().min_by_key(|r| r.queue_len)?.site
+            }
+        };
+        Some(site)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reports() -> Vec<LoadReport> {
+        vec![
+            LoadReport { site: SiteId(1), queue_len: 4, capacity: 8.0, at_micros: 0 }, // wait 0.5
+            LoadReport { site: SiteId(2), queue_len: 1, capacity: 1.0, at_micros: 0 }, // wait 1.0
+            LoadReport { site: SiteId(3), queue_len: 3, capacity: 2.0, at_micros: 0 }, // wait 1.5
+        ]
+    }
+
+    #[test]
+    fn load_based_uses_capacity_not_just_queue_length() {
+        let mut rng = DetRng::new(1);
+        let mut rr = 0;
+        let choice = PlacementPolicy::LoadBased
+            .choose(&reports(), &mut rng, &mut rr)
+            .unwrap();
+        assert_eq!(choice, SiteId(1), "longest queue but fastest machine wins");
+        let sq = PlacementPolicy::ShortestQueue
+            .choose(&reports(), &mut rng, &mut rr)
+            .unwrap();
+        assert_eq!(sq, SiteId(2), "shortest-queue ignores capacity");
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut rng = DetRng::new(1);
+        let mut rr = 0;
+        let picks: Vec<SiteId> = (0..6)
+            .map(|_| {
+                PlacementPolicy::RoundRobin
+                    .choose(&reports(), &mut rng, &mut rr)
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(picks[0], picks[3]);
+        assert_eq!(picks[1], picks[4]);
+        assert_ne!(picks[0], picks[1]);
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed_and_in_range() {
+        let sites: Vec<SiteId> = {
+            let mut rng = DetRng::new(9);
+            let mut rr = 0;
+            (0..20)
+                .map(|_| PlacementPolicy::Random.choose(&reports(), &mut rng, &mut rr).unwrap())
+                .collect()
+        };
+        let again: Vec<SiteId> = {
+            let mut rng = DetRng::new(9);
+            let mut rr = 0;
+            (0..20)
+                .map(|_| PlacementPolicy::Random.choose(&reports(), &mut rng, &mut rr).unwrap())
+                .collect()
+        };
+        assert_eq!(sites, again);
+        assert!(sites.iter().all(|s| [SiteId(1), SiteId(2), SiteId(3)].contains(s)));
+    }
+
+    #[test]
+    fn empty_reports_give_none() {
+        let mut rng = DetRng::new(1);
+        let mut rr = 0;
+        for policy in PlacementPolicy::ALL {
+            assert!(policy.choose(&[], &mut rng, &mut rr).is_none());
+            assert!(!policy.label().is_empty());
+        }
+    }
+}

@@ -1,0 +1,333 @@
+//! The host interface: how TacoScript reaches the TACOMA kernel.
+//!
+//! The interpreter itself knows nothing about briefcases or sites; every
+//! TACOMA-specific command (`bc_push`, `cab_append`, `meet`, `move_to`, ...)
+//! is routed through the [`ScriptHost`] trait.  The `ag_tac` agent in
+//! `tacoma-agents` implements the trait on top of a real `MeetCtx` and the
+//! running agent's briefcase; tests use [`RecordingHost`], an in-memory fake
+//! that records calls and simulates folders.
+
+use std::collections::BTreeMap;
+
+/// A record of one host call, kept by [`RecordingHost`] for assertions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HostCall {
+    /// A `meet` command was executed with the named agent.
+    Meet(String),
+    /// A `move_to` command was executed: (site, contact).
+    MoveTo(u64, String),
+    /// A `send_remote` command was executed: (site, contact, folders).
+    SendRemote(u64, String, Vec<String>),
+    /// A `log`/`puts` line was emitted.
+    Log(String),
+}
+
+/// Kernel services exposed to a running TacoScript agent.
+///
+/// Briefcase folders hold string elements from the script's point of view;
+/// the implementation is free to store them as raw bytes.
+pub trait ScriptHost {
+    // --- briefcase -----------------------------------------------------------
+
+    /// Replaces `folder` with a single element `value`.
+    fn bc_put(&mut self, folder: &str, value: &str);
+    /// Appends `value` to `folder` (stack push / queue enqueue).
+    fn bc_push(&mut self, folder: &str, value: &str);
+    /// Pops the most recently pushed element of `folder`.
+    fn bc_pop(&mut self, folder: &str) -> Option<String>;
+    /// Dequeues the oldest element of `folder`.
+    fn bc_dequeue(&mut self, folder: &str) -> Option<String>;
+    /// Reads the most recently pushed element without removing it.
+    fn bc_peek(&mut self, folder: &str) -> Option<String>;
+    /// All elements of `folder`, oldest first.
+    fn bc_list(&mut self, folder: &str) -> Vec<String>;
+    /// Removes `folder` entirely.
+    fn bc_delete(&mut self, folder: &str);
+
+    // --- site-local cabinets -------------------------------------------------
+
+    /// Appends `value` to `folder` of the site-local cabinet `cabinet`.
+    fn cab_append(&mut self, cabinet: &str, folder: &str, value: &str);
+    /// Whether `folder` of `cabinet` contains `value`.
+    fn cab_contains(&mut self, cabinet: &str, folder: &str, value: &str) -> bool;
+    /// All elements of `folder` in `cabinet`, oldest first.
+    fn cab_list(&mut self, cabinet: &str, folder: &str) -> Vec<String>;
+    /// Pops the most recent element of `folder` in `cabinet`.
+    fn cab_pop(&mut self, cabinet: &str, folder: &str) -> Option<String>;
+
+    // --- agents and migration ------------------------------------------------
+
+    /// Meets a co-located agent, passing the current briefcase; folders the
+    /// callee returns replace/merge into the current briefcase.
+    fn meet(&mut self, agent: &str) -> Result<(), String>;
+    /// Requests migration: the current briefcase (including its CODE folder)
+    /// is shipped to `site` and handed to `contact` there after this meet ends.
+    fn move_to(&mut self, site: u64, contact: &str) -> Result<(), String>;
+    /// Ships copies of the named folders to `contact` at `site` (courier-style).
+    fn send_remote(&mut self, site: u64, contact: &str, folders: &[String]) -> Result<(), String>;
+
+    // --- environment ---------------------------------------------------------
+
+    /// The site the agent is executing at.
+    fn site(&self) -> u64;
+    /// Total number of sites in the system.
+    fn site_count(&self) -> u64;
+    /// Neighbouring sites of the current site.
+    fn neighbors(&self) -> Vec<u64>;
+    /// A deterministic random value in `[0, bound)`; `bound = 0` yields 0.
+    fn random(&mut self, bound: u64) -> u64;
+    /// Current simulated time in microseconds.
+    fn now_micros(&self) -> u64;
+    /// Emits a log/trace line.
+    fn log(&mut self, message: &str);
+}
+
+/// A host that refuses agent/migration operations and ignores logs.
+///
+/// Useful for evaluating pure scripts (expression-only agents, parsing tests).
+#[derive(Debug, Default)]
+pub struct NullHost;
+
+impl ScriptHost for NullHost {
+    fn bc_put(&mut self, _folder: &str, _value: &str) {}
+    fn bc_push(&mut self, _folder: &str, _value: &str) {}
+    fn bc_pop(&mut self, _folder: &str) -> Option<String> {
+        None
+    }
+    fn bc_dequeue(&mut self, _folder: &str) -> Option<String> {
+        None
+    }
+    fn bc_peek(&mut self, _folder: &str) -> Option<String> {
+        None
+    }
+    fn bc_list(&mut self, _folder: &str) -> Vec<String> {
+        Vec::new()
+    }
+    fn bc_delete(&mut self, _folder: &str) {}
+    fn cab_append(&mut self, _cabinet: &str, _folder: &str, _value: &str) {}
+    fn cab_contains(&mut self, _cabinet: &str, _folder: &str, _value: &str) -> bool {
+        false
+    }
+    fn cab_list(&mut self, _cabinet: &str, _folder: &str) -> Vec<String> {
+        Vec::new()
+    }
+    fn cab_pop(&mut self, _cabinet: &str, _folder: &str) -> Option<String> {
+        None
+    }
+    fn meet(&mut self, agent: &str) -> Result<(), String> {
+        Err(format!("no host: cannot meet '{agent}'"))
+    }
+    fn move_to(&mut self, _site: u64, _contact: &str) -> Result<(), String> {
+        Err("no host: cannot migrate".into())
+    }
+    fn send_remote(&mut self, _site: u64, _contact: &str, _folders: &[String]) -> Result<(), String> {
+        Err("no host: cannot send".into())
+    }
+    fn site(&self) -> u64 {
+        0
+    }
+    fn site_count(&self) -> u64 {
+        1
+    }
+    fn neighbors(&self) -> Vec<u64> {
+        Vec::new()
+    }
+    fn random(&mut self, _bound: u64) -> u64 {
+        0
+    }
+    fn now_micros(&self) -> u64 {
+        0
+    }
+    fn log(&mut self, _message: &str) {}
+}
+
+/// An in-memory fake host used by the interpreter's tests.
+#[derive(Debug, Default)]
+pub struct RecordingHost {
+    /// The simulated briefcase: folder → elements (oldest first).
+    pub briefcase: BTreeMap<String, Vec<String>>,
+    /// Simulated cabinets: (cabinet, folder) → elements.
+    pub cabinets: BTreeMap<(String, String), Vec<String>>,
+    /// Calls recorded in order.
+    pub calls: Vec<HostCall>,
+    /// The value returned by [`ScriptHost::site`].
+    pub site: u64,
+    /// The value returned by [`ScriptHost::site_count`].
+    pub site_count: u64,
+    /// The value returned by [`ScriptHost::neighbors`].
+    pub neighbors: Vec<u64>,
+    /// Deterministic counter backing `random`.
+    pub random_counter: u64,
+    /// Names of agents `meet` will accept; others error.
+    pub known_agents: Vec<String>,
+}
+
+impl RecordingHost {
+    /// Creates a recording host for a 4-site system with two neighbours.
+    pub fn new() -> Self {
+        RecordingHost {
+            site: 0,
+            site_count: 4,
+            neighbors: vec![1, 2],
+            known_agents: vec!["rexec".into(), "courier".into(), "helper".into()],
+            ..Default::default()
+        }
+    }
+
+    /// All log lines recorded so far.
+    pub fn logs(&self) -> Vec<&str> {
+        self.calls
+            .iter()
+            .filter_map(|c| match c {
+                HostCall::Log(m) => Some(m.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+impl ScriptHost for RecordingHost {
+    fn bc_put(&mut self, folder: &str, value: &str) {
+        self.briefcase.insert(folder.into(), vec![value.into()]);
+    }
+    fn bc_push(&mut self, folder: &str, value: &str) {
+        self.briefcase.entry(folder.into()).or_default().push(value.into());
+    }
+    fn bc_pop(&mut self, folder: &str) -> Option<String> {
+        self.briefcase.get_mut(folder)?.pop()
+    }
+    fn bc_dequeue(&mut self, folder: &str) -> Option<String> {
+        let v = self.briefcase.get_mut(folder)?;
+        if v.is_empty() {
+            None
+        } else {
+            Some(v.remove(0))
+        }
+    }
+    fn bc_peek(&mut self, folder: &str) -> Option<String> {
+        self.briefcase.get(folder)?.last().cloned()
+    }
+    fn bc_list(&mut self, folder: &str) -> Vec<String> {
+        self.briefcase.get(folder).cloned().unwrap_or_default()
+    }
+    fn bc_delete(&mut self, folder: &str) {
+        self.briefcase.remove(folder);
+    }
+    fn cab_append(&mut self, cabinet: &str, folder: &str, value: &str) {
+        self.cabinets
+            .entry((cabinet.into(), folder.into()))
+            .or_default()
+            .push(value.into());
+    }
+    fn cab_contains(&mut self, cabinet: &str, folder: &str, value: &str) -> bool {
+        self.cabinets
+            .get(&(cabinet.into(), folder.into()))
+            .map(|v| v.iter().any(|e| e == value))
+            .unwrap_or(false)
+    }
+    fn cab_list(&mut self, cabinet: &str, folder: &str) -> Vec<String> {
+        self.cabinets
+            .get(&(cabinet.into(), folder.into()))
+            .cloned()
+            .unwrap_or_default()
+    }
+    fn cab_pop(&mut self, cabinet: &str, folder: &str) -> Option<String> {
+        self.cabinets.get_mut(&(cabinet.into(), folder.into()))?.pop()
+    }
+    fn meet(&mut self, agent: &str) -> Result<(), String> {
+        self.calls.push(HostCall::Meet(agent.into()));
+        if self.known_agents.iter().any(|a| a == agent) {
+            Ok(())
+        } else {
+            Err(format!("no agent named '{agent}'"))
+        }
+    }
+    fn move_to(&mut self, site: u64, contact: &str) -> Result<(), String> {
+        if site >= self.site_count {
+            return Err(format!("no such site {site}"));
+        }
+        self.calls.push(HostCall::MoveTo(site, contact.into()));
+        Ok(())
+    }
+    fn send_remote(&mut self, site: u64, contact: &str, folders: &[String]) -> Result<(), String> {
+        if site >= self.site_count {
+            return Err(format!("no such site {site}"));
+        }
+        self.calls
+            .push(HostCall::SendRemote(site, contact.into(), folders.to_vec()));
+        Ok(())
+    }
+    fn site(&self) -> u64 {
+        self.site
+    }
+    fn site_count(&self) -> u64 {
+        self.site_count
+    }
+    fn neighbors(&self) -> Vec<u64> {
+        self.neighbors.clone()
+    }
+    fn random(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            return 0;
+        }
+        self.random_counter += 1;
+        self.random_counter % bound
+    }
+    fn now_micros(&self) -> u64 {
+        123_000
+    }
+    fn log(&mut self, message: &str) {
+        self.calls.push(HostCall::Log(message.into()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recording_host_briefcase_behaviour() {
+        let mut h = RecordingHost::new();
+        h.bc_push("SITES", "1");
+        h.bc_push("SITES", "2");
+        assert_eq!(h.bc_peek("SITES").as_deref(), Some("2"));
+        assert_eq!(h.bc_dequeue("SITES").as_deref(), Some("1"));
+        assert_eq!(h.bc_pop("SITES").as_deref(), Some("2"));
+        assert!(h.bc_pop("SITES").is_none());
+        h.bc_put("HOST", "3");
+        h.bc_put("HOST", "4");
+        assert_eq!(h.bc_list("HOST"), vec!["4"]);
+        h.bc_delete("HOST");
+        assert!(h.bc_list("HOST").is_empty());
+    }
+
+    #[test]
+    fn recording_host_cabinets_and_calls() {
+        let mut h = RecordingHost::new();
+        h.cab_append("local", "VISITED", "site0");
+        assert!(h.cab_contains("local", "VISITED", "site0"));
+        assert!(!h.cab_contains("local", "VISITED", "site9"));
+        assert_eq!(h.cab_list("local", "VISITED"), vec!["site0"]);
+        assert_eq!(h.cab_pop("local", "VISITED").as_deref(), Some("site0"));
+
+        assert!(h.meet("rexec").is_ok());
+        assert!(h.meet("ghost").is_err());
+        assert!(h.move_to(2, "ag_tac").is_ok());
+        assert!(h.move_to(99, "ag_tac").is_err());
+        h.log("hello");
+        assert_eq!(h.logs(), vec!["hello"]);
+        assert_eq!(h.calls.len(), 4);
+    }
+
+    #[test]
+    fn null_host_refuses_agent_operations() {
+        let mut h = NullHost;
+        assert!(h.meet("x").is_err());
+        assert!(h.move_to(0, "x").is_err());
+        assert!(h.send_remote(0, "x", &[]).is_err());
+        assert_eq!(h.site_count(), 1);
+        assert_eq!(h.random(10), 0);
+        h.bc_push("F", "v");
+        assert!(h.bc_list("F").is_empty());
+    }
+}

@@ -1,0 +1,473 @@
+//! The TacoScript parser: scripts → commands → words → word parts.
+//!
+//! Parsing follows Tcl's model: a script is a sequence of commands separated
+//! by newlines or semicolons; a command is a sequence of words; a word is a
+//! concatenation of parts, each of which is literal text, a `$variable`
+//! substitution, or a `[command]` substitution.  Brace-quoted words `{...}`
+//! are single literal parts with no substitution (that is how control-flow
+//! bodies are passed around unevaluated), and double-quoted words allow
+//! substitutions but group whitespace.
+
+use std::fmt;
+
+/// One component of a word after parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WordPart {
+    /// Literal text, copied as-is.
+    Literal(String),
+    /// A `$name` variable substitution.
+    Variable(String),
+    /// A `[script]` command substitution (the raw inner script).
+    Command(String),
+}
+
+/// A word: either a brace-quoted literal or a concatenation of parts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Word {
+    /// `{...}` — literal text, no substitution performed.
+    Braced(String),
+    /// Bare or double-quoted word made of parts to be substituted and joined.
+    Parts(Vec<WordPart>),
+}
+
+impl Word {
+    /// A purely literal (non-braced) word, convenient for tests.
+    pub fn literal(s: impl Into<String>) -> Self {
+        Word::Parts(vec![WordPart::Literal(s.into())])
+    }
+}
+
+/// One command: a non-empty list of words.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Command {
+    /// The words of the command; the first is the command name.
+    pub words: Vec<Word>,
+    /// 1-based line number where the command starts (for error messages).
+    pub line: u32,
+}
+
+/// Errors produced by the parser.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// 1-based line number.
+    pub line: u32,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Cursor<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    _src: &'a str,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor {
+            chars: src.chars().collect(),
+            pos: 0,
+            line: 1,
+            _src: src,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            message: message.into(),
+            line: self.line,
+        }
+    }
+}
+
+/// Parses a whole script into a list of commands.
+pub fn parse_script(src: &str) -> Result<Vec<Command>, ParseError> {
+    let mut cursor = Cursor::new(src);
+    let mut commands = Vec::new();
+    loop {
+        skip_blank(&mut cursor);
+        if cursor.peek().is_none() {
+            break;
+        }
+        let line = cursor.line;
+        let words = parse_command(&mut cursor)?;
+        if !words.is_empty() {
+            commands.push(Command { words, line });
+        }
+    }
+    Ok(commands)
+}
+
+/// Skips whitespace, command separators and comments between commands.
+fn skip_blank(cursor: &mut Cursor<'_>) {
+    loop {
+        match cursor.peek() {
+            Some(c) if c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == ';' => {
+                cursor.bump();
+            }
+            Some('#') => {
+                // Comment to end of line.
+                while let Some(c) = cursor.peek() {
+                    if c == '\n' {
+                        break;
+                    }
+                    cursor.bump();
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Parses one command (up to a newline or `;` at depth zero).
+fn parse_command(cursor: &mut Cursor<'_>) -> Result<Vec<Word>, ParseError> {
+    let mut words = Vec::new();
+    loop {
+        // Skip spaces/tabs inside the command.
+        while matches!(cursor.peek(), Some(' ') | Some('\t') | Some('\r')) {
+            cursor.bump();
+        }
+        match cursor.peek() {
+            None => break,
+            Some('\n') | Some(';') => {
+                cursor.bump();
+                break;
+            }
+            Some('#') if words.is_empty() => {
+                // Comment-only line.
+                while let Some(c) = cursor.peek() {
+                    if c == '\n' {
+                        break;
+                    }
+                    cursor.bump();
+                }
+                break;
+            }
+            Some('\\') => {
+                // Line continuation: backslash-newline acts as a space.
+                let save = cursor.pos;
+                cursor.bump();
+                if cursor.peek() == Some('\n') {
+                    cursor.bump();
+                    continue;
+                }
+                cursor.pos = save;
+                words.push(parse_word(cursor)?);
+            }
+            Some(_) => {
+                words.push(parse_word(cursor)?);
+            }
+        }
+    }
+    Ok(words)
+}
+
+fn parse_word(cursor: &mut Cursor<'_>) -> Result<Word, ParseError> {
+    match cursor.peek() {
+        Some('{') => {
+            let inner = parse_braced(cursor)?;
+            Ok(Word::Braced(inner))
+        }
+        Some('"') => {
+            cursor.bump();
+            let parts = parse_parts(cursor, true)?;
+            Ok(Word::Parts(parts))
+        }
+        _ => {
+            let parts = parse_parts(cursor, false)?;
+            Ok(Word::Parts(parts))
+        }
+    }
+}
+
+/// Parses a `{...}` word, returning the inner text with nested braces kept.
+fn parse_braced(cursor: &mut Cursor<'_>) -> Result<String, ParseError> {
+    cursor.bump(); // consume '{'
+    let mut depth = 1;
+    let mut out = String::new();
+    loop {
+        match cursor.bump() {
+            None => return Err(cursor.err("unclosed brace")),
+            Some('{') => {
+                depth += 1;
+                out.push('{');
+            }
+            Some('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Ok(out);
+                }
+                out.push('}');
+            }
+            Some('\\') => {
+                // Inside braces, backslash is literal except before braces.
+                match cursor.peek() {
+                    Some('{') | Some('}') => {
+                        out.push('\\');
+                        out.push(cursor.bump().unwrap_or_default());
+                    }
+                    _ => out.push('\\'),
+                }
+            }
+            Some(c) => out.push(c),
+        }
+    }
+}
+
+/// Parses a `[...]` substitution, returning the inner script text.
+fn parse_bracketed(cursor: &mut Cursor<'_>) -> Result<String, ParseError> {
+    cursor.bump(); // consume '['
+    let mut depth = 1;
+    let mut out = String::new();
+    loop {
+        match cursor.bump() {
+            None => return Err(cursor.err("unclosed bracket")),
+            Some('[') => {
+                depth += 1;
+                out.push('[');
+            }
+            Some(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Ok(out);
+                }
+                out.push(']');
+            }
+            Some(c) => out.push(c),
+        }
+    }
+}
+
+/// Parses the parts of a bare or quoted word.
+fn parse_parts(cursor: &mut Cursor<'_>, quoted: bool) -> Result<Vec<WordPart>, ParseError> {
+    let mut parts = Vec::new();
+    let mut literal = String::new();
+    macro_rules! flush {
+        () => {
+            if !literal.is_empty() {
+                parts.push(WordPart::Literal(std::mem::take(&mut literal)));
+            }
+        };
+    }
+    loop {
+        let Some(c) = cursor.peek() else {
+            if quoted {
+                return Err(cursor.err("unclosed quote"));
+            }
+            break;
+        };
+        match c {
+            '"' if quoted => {
+                cursor.bump();
+                break;
+            }
+            ' ' | '\t' | '\n' | '\r' | ';' if !quoted => break,
+            '$' => {
+                cursor.bump();
+                let mut name = String::new();
+                // ${name} form.
+                if cursor.peek() == Some('{') {
+                    cursor.bump();
+                    while let Some(c) = cursor.peek() {
+                        if c == '}' {
+                            cursor.bump();
+                            break;
+                        }
+                        name.push(c);
+                        cursor.bump();
+                    }
+                } else {
+                    while let Some(c) = cursor.peek() {
+                        if c.is_alphanumeric() || c == '_' {
+                            name.push(c);
+                            cursor.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                if name.is_empty() {
+                    literal.push('$');
+                } else {
+                    flush!();
+                    parts.push(WordPart::Variable(name));
+                }
+            }
+            '[' => {
+                let inner = parse_bracketed(cursor)?;
+                flush!();
+                parts.push(WordPart::Command(inner));
+            }
+            '\\' => {
+                cursor.bump();
+                match cursor.bump() {
+                    Some('n') => literal.push('\n'),
+                    Some('t') => literal.push('\t'),
+                    Some(c) => literal.push(c),
+                    None => literal.push('\\'),
+                }
+            }
+            _ => {
+                literal.push(c);
+                cursor.bump();
+            }
+        }
+    }
+    flush!();
+    if parts.is_empty() {
+        parts.push(WordPart::Literal(String::new()));
+    }
+    Ok(parts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_commands() {
+        let cmds = parse_script("set x 1\nset y 2").unwrap();
+        assert_eq!(cmds.len(), 2);
+        assert_eq!(cmds[0].words.len(), 3);
+        assert_eq!(cmds[0].words[0], Word::literal("set"));
+        assert_eq!(cmds[1].line, 2);
+    }
+
+    #[test]
+    fn semicolons_separate_commands() {
+        let cmds = parse_script("set x 1; set y 2 ;; set z 3").unwrap();
+        assert_eq!(cmds.len(), 3);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let cmds = parse_script("\n# a comment\n  # another\nset x 1\n\n").unwrap();
+        assert_eq!(cmds.len(), 1);
+        assert_eq!(cmds[0].line, 4);
+    }
+
+    #[test]
+    fn braced_words_keep_content_verbatim() {
+        let cmds = parse_script("if {$x > 1} { set y [foo] }").unwrap();
+        assert_eq!(cmds.len(), 1);
+        assert_eq!(cmds[0].words[1], Word::Braced("$x > 1".into()));
+        assert_eq!(cmds[0].words[2], Word::Braced(" set y [foo] ".into()));
+    }
+
+    #[test]
+    fn nested_braces() {
+        let cmds = parse_script("proc f {a} { if {$a} { return 1 } }").unwrap();
+        match &cmds[0].words[3] {
+            Word::Braced(body) => assert!(body.contains("{ return 1 }")),
+            other => panic!("expected braced body, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn variable_and_command_substitution_parts() {
+        let cmds = parse_script("set msg \"x=$x y=[get y] done\"").unwrap();
+        let Word::Parts(parts) = &cmds[0].words[2] else {
+            panic!("expected parts")
+        };
+        assert_eq!(
+            parts,
+            &vec![
+                WordPart::Literal("x=".into()),
+                WordPart::Variable("x".into()),
+                WordPart::Literal(" y=".into()),
+                WordPart::Command("get y".into()),
+                WordPart::Literal(" done".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn bare_word_with_substitutions() {
+        let cmds = parse_script("puts $a[b]c").unwrap();
+        let Word::Parts(parts) = &cmds[0].words[1] else {
+            panic!("expected parts")
+        };
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[0], WordPart::Variable("a".into()));
+        assert_eq!(parts[1], WordPart::Command("b".into()));
+        assert_eq!(parts[2], WordPart::Literal("c".into()));
+    }
+
+    #[test]
+    fn dollar_brace_variable() {
+        let cmds = parse_script("puts ${long name}").unwrap();
+        let Word::Parts(parts) = &cmds[0].words[1] else {
+            panic!("expected parts")
+        };
+        assert_eq!(parts, &vec![WordPart::Variable("long name".into())]);
+    }
+
+    #[test]
+    fn lone_dollar_is_literal() {
+        let cmds = parse_script("puts $ x").unwrap();
+        assert_eq!(cmds[0].words.len(), 3);
+        assert_eq!(cmds[0].words[1], Word::literal("$"));
+    }
+
+    #[test]
+    fn escapes_in_words() {
+        let cmds = parse_script(r#"puts "a\nb\t\"q\"""#).unwrap();
+        let Word::Parts(parts) = &cmds[0].words[1] else {
+            panic!("expected parts")
+        };
+        assert_eq!(parts, &vec![WordPart::Literal("a\nb\t\"q\"".into())]);
+    }
+
+    #[test]
+    fn line_continuation_joins_commands() {
+        let cmds = parse_script("set x \\\n 42").unwrap();
+        assert_eq!(cmds.len(), 1);
+        assert_eq!(cmds[0].words.len(), 3);
+    }
+
+    #[test]
+    fn unclosed_constructs_error() {
+        assert!(parse_script("set x {oops").is_err());
+        assert!(parse_script("set x [oops").is_err());
+        assert!(parse_script("set x \"oops").is_err());
+        let err = parse_script("\n\nset x {").unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn nested_brackets() {
+        let cmds = parse_script("set x [a [b c] d]").unwrap();
+        let Word::Parts(parts) = &cmds[0].words[2] else {
+            panic!("expected parts")
+        };
+        assert_eq!(parts, &vec![WordPart::Command("a [b c] d".into())]);
+    }
+
+    #[test]
+    fn empty_script_is_ok() {
+        assert!(parse_script("").unwrap().is_empty());
+        assert!(parse_script("   \n # only a comment \n").unwrap().is_empty());
+    }
+}

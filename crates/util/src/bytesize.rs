@@ -1,0 +1,131 @@
+//! Byte-size accounting and formatting.
+//!
+//! The paper's central quantitative claim (§1) is that structuring an
+//! application as agents conserves network bandwidth, because data is filtered
+//! where it lives instead of being shipped raw.  Every experiment that tests
+//! that claim reports *bytes moved over links*; this module provides the
+//! counter type and human-readable formatting used in those tables.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// A monotonically accumulating byte counter.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct ByteCount(pub u64);
+
+impl ByteCount {
+    /// Zero bytes.
+    pub const ZERO: ByteCount = ByteCount(0);
+
+    /// Creates a counter holding `n` bytes.
+    pub fn new(n: u64) -> Self {
+        ByteCount(n)
+    }
+
+    /// Raw byte value.
+    pub fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Adds `n` bytes.
+    pub fn add_bytes(&mut self, n: u64) {
+        self.0 = self.0.saturating_add(n);
+    }
+
+    /// Returns the value in KiB as a float.
+    pub fn kib(self) -> f64 {
+        self.0 as f64 / 1024.0
+    }
+
+    /// Returns the value in MiB as a float.
+    pub fn mib(self) -> f64 {
+        self.0 as f64 / (1024.0 * 1024.0)
+    }
+}
+
+impl Add for ByteCount {
+    type Output = ByteCount;
+    fn add(self, rhs: ByteCount) -> ByteCount {
+        ByteCount(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for ByteCount {
+    fn add_assign(&mut self, rhs: ByteCount) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl From<u64> for ByteCount {
+    fn from(v: u64) -> Self {
+        ByteCount(v)
+    }
+}
+
+impl From<usize> for ByteCount {
+    fn from(v: usize) -> Self {
+        ByteCount(v as u64)
+    }
+}
+
+impl fmt::Display for ByteCount {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&human_bytes(self.0))
+    }
+}
+
+/// Formats a byte count with a binary unit suffix (B, KiB, MiB, GiB).
+pub fn human_bytes(bytes: u64) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    if bytes < 1024 {
+        return format!("{bytes} B");
+    }
+    let mut value = bytes as f64;
+    let mut unit = 0;
+    while value >= 1024.0 && unit < UNITS.len() - 1 {
+        value /= 1024.0;
+        unit += 1;
+    }
+    format!("{value:.2} {}", UNITS[unit])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn human_bytes_units() {
+        assert_eq!(human_bytes(0), "0 B");
+        assert_eq!(human_bytes(512), "512 B");
+        assert_eq!(human_bytes(1024), "1.00 KiB");
+        assert_eq!(human_bytes(1536), "1.50 KiB");
+        assert_eq!(human_bytes(1024 * 1024), "1.00 MiB");
+        assert_eq!(human_bytes(3 * 1024 * 1024 * 1024), "3.00 GiB");
+    }
+
+    #[test]
+    fn byte_count_arithmetic() {
+        let mut c = ByteCount::ZERO;
+        c.add_bytes(100);
+        c += ByteCount::new(24);
+        assert_eq!(c.get(), 124);
+        assert_eq!((c + ByteCount::new(1)).get(), 125);
+        assert_eq!(ByteCount::from(2048u64).kib(), 2.0);
+        assert_eq!(ByteCount::from(1024usize * 1024).mib(), 1.0);
+    }
+
+    #[test]
+    fn byte_count_saturates() {
+        let mut c = ByteCount::new(u64::MAX - 1);
+        c.add_bytes(100);
+        assert_eq!(c.get(), u64::MAX);
+    }
+
+    #[test]
+    fn display_uses_human_format() {
+        assert_eq!(ByteCount::new(2048).to_string(), "2.00 KiB");
+    }
+}

@@ -1,0 +1,175 @@
+//! Strongly typed identifiers used across the TACOMA reproduction.
+//!
+//! The paper's model has two kinds of named entities: *sites* (the places
+//! agents execute, one Tcl interpreter per site in the prototype) and
+//! *agents*.  System agents additionally have well-known *names* (`rexec`,
+//! `broker`, ...), which is how other agents find them — the paper's §2 notes
+//! that services for agents are provided directly by other agents addressed
+//! by name.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a site (a place where agents execute).
+///
+/// Sites are dense small integers assigned by the network simulator, which
+/// makes them convenient indices into per-site vectors.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct SiteId(pub u32);
+
+impl SiteId {
+    /// Returns the site id as a usable vector index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SiteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "site{}", self.0)
+    }
+}
+
+impl From<u32> for SiteId {
+    fn from(v: u32) -> Self {
+        SiteId(v)
+    }
+}
+
+/// Unique identifier of an agent *instance*.
+///
+/// Each time an agent is created (including a migrated or cloned copy) it gets
+/// a fresh `AgentId`; the lineage is tracked by the runtime where needed
+/// (e.g. rear guards in the fault-tolerance crate).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct AgentId(pub u64);
+
+impl AgentId {
+    /// A reserved id used by the runtime itself (e.g. kernel-initiated meets).
+    pub const SYSTEM: AgentId = AgentId(0);
+
+    /// Returns true if this is the reserved system id.
+    pub fn is_system(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for AgentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "agent{}", self.0)
+    }
+}
+
+/// Well-known name of an agent, used to address it in a `meet`.
+///
+/// The paper addresses system agents by name (`rexec`, `ag_tcl`, brokers);
+/// this is a thin newtype over a string so briefcase folders can carry agent
+/// names as uninterpreted bytes and the runtime can still compare them
+/// cheaply.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct AgentName(pub String);
+
+impl AgentName {
+    /// Creates an agent name from anything string-like.
+    pub fn new(name: impl Into<String>) -> Self {
+        AgentName(name.into())
+    }
+
+    /// Returns the name as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for AgentName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for AgentName {
+    fn from(s: &str) -> Self {
+        AgentName(s.to_string())
+    }
+}
+
+impl From<String> for AgentName {
+    fn from(s: String) -> Self {
+        AgentName(s)
+    }
+}
+
+/// A monotonic generator of fresh [`AgentId`]s.
+///
+/// Each [`crate::ids::AgentId`] is unique per generator; the TACOMA system
+/// owns a single generator so ids are globally unique within a simulation.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct AgentIdGen {
+    next: u64,
+}
+
+impl AgentIdGen {
+    /// Creates a generator whose first issued id is 1 (0 is reserved).
+    pub fn new() -> Self {
+        AgentIdGen { next: 1 }
+    }
+
+    /// Issues a fresh agent id.
+    pub fn fresh(&mut self) -> AgentId {
+        if self.next == 0 {
+            self.next = 1;
+        }
+        let id = AgentId(self.next);
+        self.next += 1;
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn site_display_and_index() {
+        let s = SiteId(7);
+        assert_eq!(s.to_string(), "site7");
+        assert_eq!(s.index(), 7);
+        assert_eq!(SiteId::from(3u32), SiteId(3));
+    }
+
+    #[test]
+    fn agent_id_gen_is_monotonic_and_skips_zero() {
+        let mut g = AgentIdGen::new();
+        let a = g.fresh();
+        let b = g.fresh();
+        assert!(a.0 > 0);
+        assert!(b.0 > a.0);
+        assert!(!a.is_system());
+        assert!(AgentId::SYSTEM.is_system());
+    }
+
+    #[test]
+    fn default_gen_never_issues_system_id() {
+        let mut g = AgentIdGen::default();
+        assert!(!g.fresh().is_system());
+    }
+
+    #[test]
+    fn agent_name_round_trips() {
+        let n = AgentName::new("rexec");
+        assert_eq!(n.as_str(), "rexec");
+        assert_eq!(n.to_string(), "rexec");
+        assert_eq!(AgentName::from("rexec"), n);
+        assert_eq!(AgentName::from(String::from("rexec")), n);
+    }
+
+    #[test]
+    fn ids_are_ordered() {
+        assert!(AgentId(1) < AgentId(2));
+        assert!(SiteId(0) < SiteId(1));
+    }
+}

@@ -1,0 +1,29 @@
+//! Utility substrate for the TACOMA reproduction.
+//!
+//! This crate collects the small, dependency-free building blocks that every
+//! other crate in the workspace relies on:
+//!
+//! * [`rng::DetRng`] — a deterministic, seedable pseudo-random number
+//!   generator (SplitMix64 seeding an xoshiro256** core) so that every
+//!   simulation run and every experiment in the paper reproduction is exactly
+//!   repeatable from a seed.
+//! * [`ids`] — strongly typed identifiers for sites and agents.
+//! * [`stats`] — tiny online statistics and histogram helpers used by the
+//!   benchmark harness to print the experiment tables.
+//! * [`bytesize`] — human-readable byte-size formatting for reports.
+//!
+//! Nothing in this crate knows about agents, folders, or the simulated
+//! network; it exists so those crates can stay focused on the paper's
+//! abstractions.
+
+#![warn(missing_docs)]
+
+pub mod bytesize;
+pub mod ids;
+pub mod rng;
+pub mod stats;
+
+pub use bytesize::{human_bytes, ByteCount};
+pub use ids::{AgentId, AgentIdGen, AgentName, SiteId};
+pub use rng::DetRng;
+pub use stats::{factor, Histogram, Summary};

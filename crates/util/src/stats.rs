@@ -1,0 +1,272 @@
+//! Small statistics helpers used by the experiment harness.
+//!
+//! The bench harness regenerates the paper's (qualitative) results as small
+//! tables: bytes moved, agents spawned, completion times, queue waits.  This
+//! module provides the online summary statistics and fixed-bucket histograms
+//! those tables are printed from, without pulling in a statistics crate.
+
+use serde::{Deserialize, Serialize};
+
+/// Online summary statistics over a stream of `f64` samples.
+///
+/// Tracks count, mean (Welford), min, max and an exact list of samples for
+/// percentile queries.  The sample list is retained because experiment sizes
+/// in this reproduction are modest (≤ a few hundred thousand samples).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Summary {
+    samples: Vec<f64>,
+    sum: f64,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one sample.
+    pub fn add(&mut self, value: f64) {
+        self.samples.push(value);
+        self.sum += value;
+    }
+
+    /// Adds every sample from an iterator.
+    pub fn extend(&mut self, values: impl IntoIterator<Item = f64>) {
+        for v in values {
+            self.add(v);
+        }
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns true if no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Arithmetic mean, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.sum / self.samples.len() as f64
+        }
+    }
+
+    /// Smallest sample, or 0.0 when empty.
+    pub fn min(&self) -> f64 {
+        self.samples.iter().copied().fold(f64::INFINITY, f64::min).min_finite()
+    }
+
+    /// Largest sample, or 0.0 when empty.
+    pub fn max(&self) -> f64 {
+        self.samples
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+            .max_finite()
+    }
+
+    /// Population standard deviation, or 0.0 when fewer than two samples.
+    pub fn std_dev(&self) -> f64 {
+        if self.samples.len() < 2 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        let var = self
+            .samples
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f64>()
+            / self.samples.len() as f64;
+        var.sqrt()
+    }
+
+    /// The `p`-th percentile (0.0–100.0) by nearest-rank, or 0.0 when empty.
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let p = p.clamp(0.0, 100.0);
+        let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+        sorted[rank.min(sorted.len() - 1)]
+    }
+
+    /// Median (50th percentile).
+    pub fn median(&self) -> f64 {
+        self.percentile(50.0)
+    }
+}
+
+/// Extension trait turning non-finite fold results into 0.0 for empty inputs.
+trait FiniteOrZero {
+    fn min_finite(self) -> f64;
+    fn max_finite(self) -> f64;
+}
+
+impl FiniteOrZero for f64 {
+    fn min_finite(self) -> f64 {
+        if self.is_finite() {
+            self
+        } else {
+            0.0
+        }
+    }
+    fn max_finite(self) -> f64 {
+        if self.is_finite() {
+            self
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A fixed-width-bucket histogram over non-negative samples.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    bucket_width: f64,
+    buckets: Vec<u64>,
+    overflow: u64,
+    count: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `buckets` buckets of width `bucket_width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_width` is not positive or `buckets` is zero.
+    pub fn new(bucket_width: f64, buckets: usize) -> Self {
+        assert!(bucket_width > 0.0, "bucket width must be positive");
+        assert!(buckets > 0, "need at least one bucket");
+        Self {
+            bucket_width,
+            buckets: vec![0; buckets],
+            overflow: 0,
+            count: 0,
+        }
+    }
+
+    /// Records one sample (negative samples land in the first bucket).
+    pub fn record(&mut self, value: f64) {
+        self.count += 1;
+        let idx = (value.max(0.0) / self.bucket_width) as usize;
+        if idx < self.buckets.len() {
+            self.buckets[idx] += 1;
+        } else {
+            self.overflow += 1;
+        }
+    }
+
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Number of samples beyond the last bucket.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Returns `(bucket_lower_bound, count)` pairs for non-empty buckets.
+    pub fn non_empty_buckets(&self) -> Vec<(f64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i as f64 * self.bucket_width, c))
+            .collect()
+    }
+}
+
+/// Formats a ratio as a `x.yz×` factor string for experiment tables.
+pub fn factor(numerator: f64, denominator: f64) -> String {
+    if denominator == 0.0 {
+        "∞×".to_string()
+    } else {
+        format!("{:.2}×", numerator / denominator)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary_is_safe() {
+        let s = Summary::new();
+        assert_eq!(s.count(), 0);
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+        assert_eq!(s.median(), 0.0);
+        assert_eq!(s.std_dev(), 0.0);
+    }
+
+    #[test]
+    fn summary_basic_stats() {
+        let mut s = Summary::new();
+        s.extend([1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.count(), 5);
+        assert_eq!(s.sum(), 15.0);
+        assert_eq!(s.mean(), 3.0);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 5.0);
+        assert_eq!(s.median(), 3.0);
+        assert!((s.std_dev() - 1.4142).abs() < 0.001);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let mut s = Summary::new();
+        s.extend((1..=100).map(|i| i as f64));
+        assert_eq!(s.percentile(0.0), 1.0);
+        assert_eq!(s.percentile(100.0), 100.0);
+        let p95 = s.percentile(95.0);
+        assert!((94.0..=96.0).contains(&p95));
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let mut h = Histogram::new(10.0, 5);
+        for v in [0.0, 5.0, 9.9, 10.0, 49.9, 50.0, 1000.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.overflow(), 2);
+        let buckets = h.non_empty_buckets();
+        assert_eq!(buckets[0], (0.0, 3));
+        assert!(buckets.contains(&(10.0, 1)));
+        assert!(buckets.contains(&(40.0, 1)));
+    }
+
+    #[test]
+    fn negative_samples_clamp_to_first_bucket() {
+        let mut h = Histogram::new(1.0, 3);
+        h.record(-5.0);
+        assert_eq!(h.non_empty_buckets(), vec![(0.0, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket width")]
+    fn zero_width_histogram_panics() {
+        let _ = Histogram::new(0.0, 3);
+    }
+
+    #[test]
+    fn factor_formats() {
+        assert_eq!(factor(10.0, 5.0), "2.00×");
+        assert_eq!(factor(1.0, 0.0), "∞×");
+    }
+}

@@ -1,0 +1,65 @@
+//! TACOMA-rs: a reproduction of *Operating System Support for Mobile Agents*
+//! (Johansen, van Renesse, Schneider — HotOS-V, 1995).
+//!
+//! This facade crate re-exports the whole workspace under one roof so that
+//! applications (and the examples in `examples/`) can depend on a single
+//! crate:
+//!
+//! * [`core`] — folders, briefcases, file cabinets, agents, `meet`, places and
+//!   the [`core::TacomaSystem`] driver on a simulated network;
+//! * [`net`] — the deterministic discrete-event network simulator;
+//! * [`script`] — TacoScript, the Tcl-like language mobile agents are written in;
+//! * [`agents`] — the system agents (`ag_tac`, `rexec`, `courier`, `diffusion`);
+//! * [`cash`] — electronic cash, the validation agent and the audit protocol;
+//! * [`sched`] — broker-based scheduling and protected agents;
+//! * [`ft`] — rear-guard fault tolerance;
+//! * [`apps`] — the StormCast and AgentMail applications;
+//! * [`util`] — deterministic RNG, ids and statistics helpers.
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the system inventory and
+//! `EXPERIMENTS.md` for the paper-claim-vs-measured record.
+//!
+//! # Example
+//!
+//! ```
+//! use tacoma::prelude::*;
+//!
+//! // Two sites, the default system agents everywhere.
+//! let mut sys = TacomaSystem::builder()
+//!     .topology(Topology::full_mesh(2, LinkSpec::default()))
+//!     .seed(7)
+//!     .with_agents(tacoma::agents::standard_agents)
+//!     .build();
+//!
+//! // A script agent that migrates to site 1 and leaves a note there.
+//! let code = r#"
+//!     if {[my_site] == 0} { move_to 1 } else { cab_append notes LOG "hello" }
+//! "#;
+//! sys.inject_meet(
+//!     SiteId(0),
+//!     AgentName::new("ag_tac"),
+//!     tacoma::agents::script_briefcase(code, &[]),
+//! );
+//! sys.run_until_quiescent(1_000);
+//! assert!(sys.place(SiteId(1)).cabinets().contains("notes"));
+//! ```
+
+#![warn(missing_docs)]
+
+pub use tacoma_agents as agents;
+pub use tacoma_apps as apps;
+pub use tacoma_cash as cash;
+pub use tacoma_core as core;
+pub use tacoma_ft as ft;
+pub use tacoma_net as net;
+pub use tacoma_sched as sched;
+pub use tacoma_script as script;
+pub use tacoma_util as util;
+
+/// The most commonly used items, re-exported for `use tacoma::prelude::*`.
+pub mod prelude {
+    pub use tacoma_core::prelude::*;
+    pub use tacoma_core::{Briefcase, FileCabinet, Folder, TacomaSystem};
+    pub use tacoma_net::{Duration, LinkSpec, SimTime, Topology, TransportKind};
+    pub use tacoma_util::{AgentName, DetRng, SiteId};
+}

@@ -1,0 +1,172 @@
+//! Property-based tests over the core data structures and protocols.
+
+use proptest::prelude::*;
+use tacoma::cash::Mint;
+use tacoma::core::codec;
+use tacoma::core::{Briefcase, FileCabinet, Folder};
+use tacoma::script::{parse_script, Interp, NullHost, RecordingHost};
+
+proptest! {
+    /// Folders behave as a stack: pushing then popping returns elements in
+    /// reverse order and leaves the folder empty.
+    #[test]
+    fn folder_stack_law(elems in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..64), 0..32)) {
+        let mut folder = Folder::new();
+        for e in &elems {
+            folder.push(e.clone());
+        }
+        prop_assert_eq!(folder.len(), elems.len());
+        let mut popped = Vec::new();
+        while let Some(e) = folder.pop() {
+            popped.push(e);
+        }
+        popped.reverse();
+        prop_assert_eq!(popped, elems);
+        prop_assert!(folder.is_empty());
+    }
+
+    /// Folders behave as a queue: dequeue order equals enqueue order.
+    #[test]
+    fn folder_queue_law(elems in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..64), 0..32)) {
+        let mut folder = Folder::new();
+        for e in &elems {
+            folder.enqueue(e.clone());
+        }
+        let mut dequeued = Vec::new();
+        while let Some(e) = folder.dequeue() {
+            dequeued.push(e);
+        }
+        prop_assert_eq!(dequeued, elems);
+    }
+
+    /// Briefcase wire encoding round-trips arbitrary folder contents exactly.
+    #[test]
+    fn briefcase_codec_round_trip(
+        folders in proptest::collection::btree_map(
+            "[A-Za-z_][A-Za-z0-9_]{0,12}",
+            proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..48), 0..8),
+            0..8,
+        )
+    ) {
+        let mut bc = Briefcase::new();
+        for (name, elems) in &folders {
+            bc.put(name.clone(), Folder::from_elems(elems.clone()));
+        }
+        let encoded = codec::encode_briefcase(&bc);
+        let decoded = codec::decode_briefcase(&encoded).expect("decode");
+        prop_assert_eq!(decoded, bc);
+    }
+
+    /// The codec never panics on arbitrary byte soup and never silently
+    /// accepts trailing garbage after a valid briefcase.
+    #[test]
+    fn briefcase_codec_is_total(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = codec::decode_briefcase(&bytes);
+        let mut valid = codec::encode_briefcase(&Briefcase::new());
+        valid.extend_from_slice(&bytes);
+        if !bytes.is_empty() {
+            prop_assert!(codec::decode_briefcase(&valid).is_err());
+        }
+    }
+
+    /// Cabinet snapshot/restore preserves contents and rebuilds the index.
+    #[test]
+    fn cabinet_snapshot_round_trip(
+        entries in proptest::collection::vec(("[A-Z]{1,6}", proptest::collection::vec(any::<u8>(), 1..32)), 0..24)
+    ) {
+        let mut cab = FileCabinet::new();
+        for (folder, elem) in &entries {
+            cab.append(folder, elem.clone());
+        }
+        let mut restored = FileCabinet::restore(&cab.snapshot()).expect("restore");
+        prop_assert_eq!(restored.payload_bytes(), cab.payload_bytes());
+        for (folder, elem) in &entries {
+            prop_assert!(restored.folder_contains(folder, elem));
+        }
+    }
+
+    /// The TacoScript parser never panics on arbitrary input, and whenever it
+    /// parses successfully the interpreter also terminates (possibly with an
+    /// error) within its step budget.
+    #[test]
+    fn script_pipeline_is_total(src in "[ -~\\n]{0,200}") {
+        if let Ok(_cmds) = parse_script(&src) {
+            let mut host = NullHost;
+            let mut interp = Interp::with_config(
+                &mut host,
+                tacoma::script::InterpConfig { max_steps: 2_000, max_depth: 16 },
+            );
+            let _ = interp.run(&src);
+        }
+    }
+
+    /// expr evaluates any pair of small integers combined by an operator to
+    /// the mathematically correct result.
+    #[test]
+    fn expr_arithmetic_matches_rust(a in -1000i64..1000, b in -1000i64..1000, op in 0usize..4) {
+        let ops = ["+", "-", "*", "=="];
+        let src = format!("expr {a} {} {b}", ops[op]);
+        let mut host = NullHost;
+        let mut interp = Interp::new(&mut host);
+        let out = interp.run(&src).expect("arithmetic never fails").result;
+        let expected = match op {
+            0 => (a + b).to_string(),
+            1 => (a - b).to_string(),
+            2 => (a * b).to_string(),
+            _ => if a == b { "1".to_string() } else { "0".to_string() },
+        };
+        prop_assert_eq!(out, expected);
+    }
+
+    /// Total value is conserved by any sequence of mint operations, and no
+    /// retired bill is ever accepted again (no double spend succeeds).
+    #[test]
+    fn cash_conservation_and_no_double_spend(
+        denominations in proptest::collection::vec(1u64..100, 1..12),
+        spend_order in proptest::collection::vec(any::<u16>(), 0..24),
+    ) {
+        let mut mint = Mint::new(9);
+        let mut live: Vec<_> = denominations.iter().map(|&d| mint.issue(d)).collect();
+        let mut retired: Vec<_> = Vec::new();
+        let total: u64 = denominations.iter().sum();
+        for pick in spend_order {
+            if live.is_empty() { break; }
+            let idx = pick as usize % live.len();
+            let bill = live[idx];
+            // Occasionally try to double-spend a retired bill instead.
+            if !retired.is_empty() && pick % 3 == 0 {
+                let old = retired[pick as usize % retired.len()];
+                prop_assert!(mint.validate_and_reissue(&[old]).is_err());
+                continue;
+            }
+            let fresh = mint.validate_and_reissue(&[bill]).expect("live bill validates");
+            prop_assert_eq!(fresh[0].amount, bill.amount);
+            live[idx] = fresh[0];
+            retired.push(bill);
+        }
+        let live_total: u64 = live.iter().map(|e| e.amount).sum();
+        prop_assert_eq!(live_total, total, "no value created or destroyed");
+        prop_assert_eq!(mint.outstanding(), live.len());
+    }
+
+    /// Tcl-style list formatting and parsing round-trip arbitrary words.
+    #[test]
+    fn list_round_trip(words in proptest::collection::vec("[a-z0-9 ]{0,12}", 0..12)) {
+        let formatted = tacoma::script::format_list(words.iter());
+        let parsed = tacoma::script::parse_list(&formatted);
+        prop_assert_eq!(parsed, words);
+    }
+}
+
+#[test]
+fn recording_host_is_reusable_across_property_runs() {
+    // A plain (non-property) sanity check that the test host used above
+    // behaves: scripts can read back what they pushed.
+    let mut host = RecordingHost::new();
+    let mut interp = Interp::new(&mut host);
+    let out = interp
+        .run("bc_push X 1; bc_push X 2; bc_list X")
+        .unwrap()
+        .result;
+    assert_eq!(out, "1 2");
+}
