@@ -1,6 +1,6 @@
 //! The experiment harness: regenerates every table of the reproduction.
 //!
-//! Run with `cargo run -p tacoma-bench --bin harness --release` (add `--
+//! Run with `cargo run -p tacoma_bench --bin harness --release` (add `--
 //! --quick` for a fast smoke run).  The output of this binary is the source of
 //! the numbers recorded in EXPERIMENTS.md.
 

@@ -799,7 +799,7 @@ mod tests {
     #[test]
     fn e5_validation_blocks_all_double_spends() {
         let table = e5_cash(true);
-        assert_eq!(table.rows[0][5].is_empty(), false);
+        assert!(!table.rows[0][5].is_empty());
         let with_validation: u64 = table.rows[0][4].parse().unwrap();
         let without: u64 = table.rows[0][3].parse().unwrap();
         assert_eq!(with_validation, 0);

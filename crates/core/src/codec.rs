@@ -306,6 +306,6 @@ mod tests {
         let mut bc = Briefcase::new();
         bc.folder_mut("D").push(vec![0u8; 10_000]);
         let size = encode_briefcase(&bc).len();
-        assert!(size >= 10_000 && size < 10_100, "size {size} should be payload plus small framing");
+        assert!((10_000..10_100).contains(&size), "size {size} should be payload plus small framing");
     }
 }

@@ -782,6 +782,91 @@ mod tests {
     }
 
     #[test]
+    fn remote_meet_accounting_spans_sites_and_failures() {
+        // The meet hot path: a local meet whose agent issues a remote meet to
+        // another site. Every leg must land in exactly one counter —
+        // `meets_completed`, `meets_failed` (dispatch error at the far end) or
+        // `send_failures` (destination down under a `FailurePlan` outage).
+        struct Forwarder;
+        impl Agent for Forwarder {
+            fn name(&self) -> AgentName {
+                AgentName::new("forwarder")
+            }
+            fn meet(&mut self, ctx: &mut MeetCtx<'_>, bc: Briefcase) -> MeetOutcome {
+                if ctx.site() == SiteId(0) {
+                    let contact = bc.peek_string("CONTACT").expect("CONTACT set by injector");
+                    ctx.remote_meet(SiteId(1), AgentName::new(contact), bc.clone(), TransportKind::Tcp);
+                }
+                Ok(bc)
+            }
+        }
+        let inject = |sys: &mut TacomaSystem, contact: &str| {
+            let mut bc = Briefcase::new();
+            bc.put_string("CONTACT", contact);
+            sys.inject_meet(SiteId(0), AgentName::new("forwarder"), bc);
+        };
+        let mut sys = TacomaSystem::builder()
+            .topology(Topology::full_mesh(2, LinkSpec::default()))
+            .seed(5)
+            .with_agents(|_| vec![Box::new(Forwarder) as Box<dyn Agent>])
+            .build();
+
+        // Healthy cross-site hop: both legs complete.
+        inject(&mut sys, "forwarder");
+        sys.run_until_quiescent(100);
+        let s = sys.stats();
+        assert_eq!(s.remote_meets, 1);
+        assert_eq!(s.meets_completed, 2);
+        assert_eq!(s.meets_failed, 0);
+        assert_eq!(s.send_failures, 0);
+
+        // The hop crosses the wire but the contact does not exist at site 1:
+        // delivered, dispatched, and counted as a failed meet.
+        inject(&mut sys, "nobody");
+        sys.run_until_quiescent(100);
+        let s = sys.stats();
+        assert_eq!(s.remote_meets, 2);
+        assert_eq!(s.meets_completed, 3, "the local leg still completes");
+        assert_eq!(s.meets_failed, 1);
+        assert_eq!(s.send_failures, 0);
+
+        // Site-failure path: a FailurePlan outage takes site 1 down, so the
+        // forwarded leg is dropped at send time instead of failing a dispatch.
+        let plan = FailurePlan::none().outage(
+            SiteId(1),
+            sys.now() + Duration::from_micros(1),
+            Duration::from_millis(5),
+        );
+        sys.apply_failure_plan(&plan);
+        sys.run_for(Duration::from_millis(1));
+        assert_eq!(sys.stats().crashes, 1);
+        assert!(!sys.net().is_up(SiteId(1)));
+
+        inject(&mut sys, "forwarder");
+        sys.run_for(Duration::from_millis(1));
+        let s = sys.stats();
+        assert_eq!(s.remote_meets, 3);
+        assert_eq!(s.send_failures, 1, "send to a dead site is dropped, not a meet failure");
+        assert_eq!(s.meets_completed, 4, "only the local leg completes");
+        assert_eq!(s.meets_failed, 1, "a dropped send must not count as a failed meet");
+
+        // After the planned recovery the same hop completes end to end again.
+        sys.run_until_quiescent(1_000);
+        assert_eq!(sys.stats().recoveries, 1);
+        inject(&mut sys, "forwarder");
+        sys.run_until_quiescent(100);
+        let s = sys.stats();
+        assert_eq!(s.remote_meets, 4);
+        assert_eq!(s.meets_completed, 6);
+        // Conservation: every requested meet either completed, failed at
+        // dispatch, or was dropped by a failed send.
+        assert_eq!(
+            s.meets_requested,
+            s.meets_completed + s.meets_failed + s.send_failures
+        );
+    }
+
+    #[test]
     fn register_agent_at_single_site() {
         struct Once;
         impl Agent for Once {

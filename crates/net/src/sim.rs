@@ -300,7 +300,7 @@ impl SimNet {
         let alive = |s: SiteId| up.get(s.index()).copied().unwrap_or(false);
         let path = self
             .router
-            .shortest_path(from, to, |s| alive(s))
+            .shortest_path(from, to, alive)
             .filter(|p| {
                 p.windows(2)
                     .all(|w| !blocked.contains(&Self::pair(w[0], w[1])))

@@ -229,7 +229,6 @@ mod tests {
             policy,
             report_period: Duration::from_millis(40),
             seed: 7,
-            ..Default::default()
         }
     }
 

@@ -1,0 +1,396 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment has no crates.io access, so this crate implements the
+//! slice of the proptest API the workspace's property tests use: the
+//! [`proptest!`] macro, [`Strategy`] with integer-range / `any` / tuple /
+//! collection / regex-string strategies, and the `prop_assert*` macros.
+//!
+//! Generation is fully deterministic: each test function derives its RNG seed
+//! from its own name plus the case index, so failures reproduce exactly.
+//! Shrinking is intentionally not implemented — a failing case prints its
+//! inputs via the panic message from the underlying `assert!`.
+
+/// Number of generated cases per property.
+pub const CASES: u32 = 64;
+
+/// A deterministic splitmix64 generator driving all strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Create a generator from a fixed seed.
+    pub fn deterministic(seed: u64) -> Self {
+        TestRng(seed ^ 0x9e37_79b9_7f4a_7c15)
+    }
+
+    /// Next raw 64-bit value (splitmix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}
+
+/// Derive a per-test, per-case seed from the test name.
+pub fn seed_for(name: &str, case: u32) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^ ((case as u64) << 32 | case as u64)
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The value type this strategy produces.
+    type Value;
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// Strategy for "any value of `T`" — see [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+/// `any::<T>()` — arbitrary values of a primitive type.
+pub fn any<T>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+macro_rules! impl_any_uint {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_any_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// String literals act as regex-like string strategies (char-class subset).
+impl Strategy for str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        regex::generate(self, rng)
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        regex::generate(self, rng)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($n:tt $S:ident),+))+) => {$(
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$n.generate(rng),)+)
+            }
+        }
+    )+};
+}
+impl_tuple_strategy! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+/// Collection strategies (`vec`, `btree_map`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::collections::BTreeMap;
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s of values from an element strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    /// `vec(strategy, size_range)` — vectors with lengths drawn from the range.
+    pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.size.generate(rng);
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy producing `BTreeMap`s from key/value strategies.
+    #[derive(Debug, Clone)]
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: Range<usize>,
+    }
+
+    /// `btree_map(key_strategy, value_strategy, size_range)`.
+    pub fn btree_map<K, V>(key: K, value: V, size: Range<usize>) -> BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        BTreeMapStrategy { key, value, size }
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.size.generate(rng);
+            (0..len)
+                .map(|_| (self.key.generate(rng), self.value.generate(rng)))
+                .collect()
+        }
+    }
+}
+
+/// Generator for the char-class subset of regex string strategies.
+mod regex {
+    use super::TestRng;
+
+    /// One `[class]{m,n}` (or single-char) atom.
+    struct Atom {
+        chars: Vec<char>,
+        min: usize,
+        max: usize,
+    }
+
+    pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+        let atoms = parse(pattern);
+        let mut out = String::new();
+        for atom in &atoms {
+            let span = atom.max - atom.min + 1;
+            let len = atom.min + rng.below(span as u64) as usize;
+            for _ in 0..len {
+                let idx = rng.below(atom.chars.len() as u64) as usize;
+                out.push(atom.chars[idx]);
+            }
+        }
+        out
+    }
+
+    fn parse(pattern: &str) -> Vec<Atom> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut atoms = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let class = if chars[i] == '[' {
+                let close = find_close(&chars, i);
+                let class = expand_class(&chars[i + 1..close]);
+                i = close + 1;
+                class
+            } else {
+                let c = if chars[i] == '\\' {
+                    i += 1;
+                    unescape(chars[i])
+                } else {
+                    chars[i]
+                };
+                i += 1;
+                vec![c]
+            };
+            let (min, max) = if i < chars.len() && chars[i] == '{' {
+                let close = chars[i..].iter().position(|&c| c == '}').unwrap() + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => (lo.parse().unwrap(), hi.parse().unwrap()),
+                    None => {
+                        let n = body.parse().unwrap();
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            assert!(!class.is_empty(), "empty char class in {pattern:?}");
+            atoms.push(Atom { chars: class, min, max });
+        }
+        atoms
+    }
+
+    fn find_close(chars: &[char], open: usize) -> usize {
+        let mut j = open + 1;
+        while j < chars.len() {
+            match chars[j] {
+                '\\' => j += 2,
+                ']' => return j,
+                _ => j += 1,
+            }
+        }
+        panic!("unterminated char class");
+    }
+
+    fn unescape(c: char) -> char {
+        match c {
+            'n' => '\n',
+            't' => '\t',
+            'r' => '\r',
+            other => other,
+        }
+    }
+
+    fn expand_class(body: &[char]) -> Vec<char> {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < body.len() {
+            let c = if body[i] == '\\' {
+                i += 1;
+                unescape(body[i])
+            } else {
+                body[i]
+            };
+            // Range like `a-z` (a literal `-` at the end of the class is a char).
+            if i + 2 < body.len() && body[i + 1] == '-' && body[i + 2] != ']' {
+                let hi = body[i + 2];
+                for u in (c as u32)..=(hi as u32) {
+                    if let Some(ch) = char::from_u32(u) {
+                        out.push(ch);
+                    }
+                }
+                i += 3;
+            } else {
+                out.push(c);
+                i += 1;
+            }
+        }
+        out
+    }
+}
+
+/// The subset of the proptest prelude the tests use.
+pub mod prelude {
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Strategy};
+}
+
+/// Run each contained `#[test] fn name(pat in strategy, ...)` over
+/// [`CASES`] deterministic generated cases.
+#[macro_export]
+macro_rules! proptest {
+    ($( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                for __case in 0..$crate::CASES {
+                    let mut __rng = $crate::TestRng::deterministic(
+                        $crate::seed_for(concat!(module_path!(), "::", stringify!($name)), __case),
+                    );
+                    $(let $arg = $crate::Strategy::generate(&$strat, &mut __rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// `prop_assert!` — plain assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `prop_assert_eq!` — equality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `prop_assert_ne!` — inequality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regex_subset_generates_within_spec() {
+        let mut rng = TestRng::deterministic(1);
+        for _ in 0..200 {
+            let s = "[A-Za-z_][A-Za-z0-9_]{0,12}".generate(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 13);
+            let first = s.chars().next().unwrap();
+            assert!(first.is_ascii_alphabetic() || first == '_');
+        }
+        for _ in 0..200 {
+            let s = "[ -~\\n]{0,200}".generate(&mut rng);
+            assert!(s.len() <= 200);
+            assert!(s.chars().all(|c| c == '\n' || (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::deterministic(2);
+        for _ in 0..500 {
+            let v = (-1000i64..1000).generate(&mut rng);
+            assert!((-1000..1000).contains(&v));
+            let u = (1u64..100).generate(&mut rng);
+            assert!((1..100).contains(&u));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn the_macro_itself_expands(xs in crate::collection::vec(any::<u8>(), 0..8), n in 0usize..4) {
+            prop_assert!(xs.len() < 8);
+            prop_assert!(n < 4);
+        }
+    }
+}

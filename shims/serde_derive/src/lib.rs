@@ -1,0 +1,17 @@
+//! No-op `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros.
+//!
+//! The sibling `serde` shim gives the traits blanket impls, so the derives
+//! have nothing to emit — they exist only so `#[derive(Serialize, ...)]`
+//! attributes resolve.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
