@@ -75,7 +75,11 @@ impl Agent for AgTacAgent {
             .folder_mut(wellknown::CODE)
             .pop_str()
             .ok_or_else(|| TacomaError::missing(wellknown::CODE))?;
-        if bc.folder(wellknown::CODE).map(|f| f.is_empty()).unwrap_or(false) {
+        if bc
+            .folder(wellknown::CODE)
+            .map(|f| f.is_empty())
+            .unwrap_or(false)
+        {
             bc.take(wellknown::CODE);
         }
         let outcome = {
@@ -189,8 +193,12 @@ impl ScriptHost for CtxHost<'_, '_> {
             return Err(format!("site {site} is down"));
         }
         let travelling = self.travelling_briefcase();
-        self.ctx
-            .remote_meet(target, AgentName::new(contact), travelling, TransportKind::Tcp);
+        self.ctx.remote_meet(
+            target,
+            AgentName::new(contact),
+            travelling,
+            TransportKind::Tcp,
+        );
         Ok(())
     }
 
@@ -258,7 +266,11 @@ mod tests {
     fn missing_code_is_an_error() {
         let mut sys = system(1);
         let err = sys
-            .try_direct_meet(SiteId(0), &AgentName::new(wellknown::AG_TAC), Briefcase::new())
+            .try_direct_meet(
+                SiteId(0),
+                &AgentName::new(wellknown::AG_TAC),
+                Briefcase::new(),
+            )
             .unwrap_err();
         assert!(matches!(err, TacomaError::MissingFolder(_)));
     }
@@ -295,10 +307,7 @@ mod tests {
     #[test]
     fn runaway_script_is_stopped_by_the_budget() {
         let mut sys = system(1);
-        sys.register_agent(
-            SiteId(0),
-            Box::new(AgTacAgent::with_step_budget(1_000)),
-        );
+        sys.register_agent(SiteId(0), Box::new(AgTacAgent::with_step_budget(1_000)));
         let bc = script_briefcase("while {1} { set x 1 }", &[]);
         let err = sys
             .try_direct_meet(SiteId(0), &AgentName::new(wellknown::AG_TAC), bc)

@@ -95,7 +95,12 @@ impl Agent for DiffusionAgent {
                 sites.push_str(s);
             }
             sites.push_str(n.0.to_string());
-            ctx.remote_meet(n, AgentName::new(wellknown::DIFFUSION), clone_bc, TransportKind::Tcp);
+            ctx.remote_meet(
+                n,
+                AgentName::new(wellknown::DIFFUSION),
+                clone_bc,
+                TransportKind::Tcp,
+            );
             clones += 1;
         }
 
@@ -248,7 +253,11 @@ mod tests {
         sys.run_until_quiescent(100_000);
         // Each site delivers exactly once even though clones race in a mesh.
         for s in 0..4 {
-            let cab = sys.place(SiteId(s)).cabinets().get(DIFFUSION_CABINET).unwrap();
+            let cab = sys
+                .place(SiteId(s))
+                .cabinets()
+                .get(DIFFUSION_CABINET)
+                .unwrap();
             let bulletin = cab.folder_ref(BULLETIN).map(|f| f.len()).unwrap_or(0);
             assert_eq!(bulletin, 1, "site {s} must deliver exactly once");
         }
@@ -269,7 +278,11 @@ mod tests {
         );
         sys.run_until_quiescent(100_000);
         for s in 0..5 {
-            let cab = sys.place(SiteId(s)).cabinets().get(DIFFUSION_CABINET).unwrap();
+            let cab = sys
+                .place(SiteId(s))
+                .cabinets()
+                .get(DIFFUSION_CABINET)
+                .unwrap();
             let bulletin = cab.folder_ref(BULLETIN).map(|f| f.len()).unwrap_or(0);
             assert_eq!(bulletin, 2, "site {s} must receive both messages once each");
         }
@@ -338,6 +351,10 @@ mod tests {
         sys.run_until_quiescent(100_000);
         // Site 3 is down; everyone else is reachable around the ring.
         assert_eq!(delivered_sites(&sys), 5);
-        assert_eq!(sys.stats().send_failures, 0, "dead neighbour is skipped, not tried");
+        assert_eq!(
+            sys.stats().send_failures,
+            0,
+            "dead neighbour is skipped, not tried"
+        );
     }
 }

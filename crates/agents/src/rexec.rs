@@ -76,7 +76,11 @@ mod tests {
     fn missing_folders_are_rejected() {
         let mut sys = system(2);
         let err = sys
-            .try_direct_meet(SiteId(0), &AgentName::new(wellknown::REXEC), Briefcase::new())
+            .try_direct_meet(
+                SiteId(0),
+                &AgentName::new(wellknown::REXEC),
+                Briefcase::new(),
+            )
             .unwrap_err();
         assert!(matches!(err, TacomaError::MissingFolder(_)));
 
@@ -140,7 +144,10 @@ mod tests {
         sys.run_until_quiescent(1_000);
 
         let cab = sys.place(SiteId(2)).cabinets().get("arrivals").unwrap();
-        assert!(cab.payload_bytes() > 0, "agent must have executed at site 2");
+        assert!(
+            cab.payload_bytes() > 0,
+            "agent must have executed at site 2"
+        );
         assert_eq!(sys.stats().remote_meets, 1);
         assert!(sys.net_metrics().total_bytes().get() > 0);
         // HOST/CONTACT/TRANSPORT are consumed, DATA and CODE travel.

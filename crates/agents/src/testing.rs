@@ -129,7 +129,11 @@ mod tests {
     fn echo_marks_the_briefcase() {
         let mut sys = system();
         let out = sys
-            .try_direct_meet(SiteId(0), &AgentName::new(EchoAgent::NAME), Briefcase::new())
+            .try_direct_meet(
+                SiteId(0),
+                &AgentName::new(EchoAgent::NAME),
+                Briefcase::new(),
+            )
             .unwrap();
         assert_eq!(out.peek_string("ECHO").as_deref(), Some("from site0"));
     }
@@ -141,7 +145,11 @@ mod tests {
         bc.put_string("DATA", "payload");
         sys.try_direct_meet(SiteId(0), &AgentName::new(SinkAgent::NAME), bc)
             .unwrap();
-        let cab = sys.place(SiteId(0)).cabinets().get(SinkAgent::CABINET).unwrap();
+        let cab = sys
+            .place(SiteId(0))
+            .cabinets()
+            .get(SinkAgent::CABINET)
+            .unwrap();
         assert!(cab.folder_ref("DATA").is_some());
     }
 
@@ -150,7 +158,11 @@ mod tests {
         let mut sys = system();
         for expected in 1..=3 {
             let out = sys
-                .try_direct_meet(SiteId(0), &AgentName::new(CounterAgent::NAME), Briefcase::new())
+                .try_direct_meet(
+                    SiteId(0),
+                    &AgentName::new(CounterAgent::NAME),
+                    Briefcase::new(),
+                )
                 .unwrap();
             assert_eq!(out.peek_u64("COUNT"), Some(expected));
         }
@@ -160,7 +172,11 @@ mod tests {
     fn blackhole_refuses() {
         let mut sys = system();
         let err = sys
-            .try_direct_meet(SiteId(0), &AgentName::new(BlackholeAgent::NAME), Briefcase::new())
+            .try_direct_meet(
+                SiteId(0),
+                &AgentName::new(BlackholeAgent::NAME),
+                Briefcase::new(),
+            )
             .unwrap_err();
         assert!(matches!(err, TacomaError::Refused(_)));
     }

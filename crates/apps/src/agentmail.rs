@@ -241,7 +241,12 @@ mod tests {
         let code = mail_agent_code();
         let mut bc = script_briefcase(
             code,
-            &[("TO", "u0"), ("FROM", "u1"), ("BODY", "find me"), ("HOPS", "0")],
+            &[
+                ("TO", "u0"),
+                ("FROM", "u1"),
+                ("BODY", "find me"),
+                ("HOPS", "0"),
+            ],
         );
         bc.put_string("ORIGCODE", code);
         sys.inject_meet(SiteId(0), AgentName::new(wellknown::AG_TAC), bc);

@@ -107,7 +107,10 @@ fn reading_record(site: SiteId, idx: u32, wind: f64, pressure: f64) -> String {
 
 fn is_suspicious(record: &str) -> bool {
     let mut parts = record.split(',');
-    let wind: f64 = parts.nth(2).and_then(|s| s.trim().parse().ok()).unwrap_or(0.0);
+    let wind: f64 = parts
+        .nth(2)
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(0.0);
     wind >= 20.0
 }
 
@@ -129,7 +132,10 @@ impl Agent for ExpertAgent {
             for record in summaries.strings() {
                 let mut parts = record.split(',');
                 let site = parts.next().unwrap_or("?").trim().to_string();
-                let count: usize = parts.next().and_then(|s| s.trim().parse().ok()).unwrap_or(0);
+                let count: usize = parts
+                    .next()
+                    .and_then(|s| s.trim().parse().ok())
+                    .unwrap_or(0);
                 *counts.entry(site).or_default() += count;
                 ctx.cabinet(EXPERT_CABINET).append_str(SUSPICIOUS, &record);
             }
@@ -357,8 +363,14 @@ mod tests {
     fn both_plans_issue_the_same_warnings() {
         let agent = run_stormcast(&config(StormcastPlan::Agent));
         let cs = run_stormcast(&config(StormcastPlan::ClientServer));
-        assert_eq!(agent.warnings, cs.warnings, "the verdict must not depend on the plan");
-        assert_eq!(agent.warnings, 2, "two of six sensors are inside the storm front");
+        assert_eq!(
+            agent.warnings, cs.warnings,
+            "the verdict must not depend on the plan"
+        );
+        assert_eq!(
+            agent.warnings, 2,
+            "two of six sensors are inside the storm front"
+        );
         assert!(agent.suspicious_readings > 0);
         assert_eq!(agent.total_readings, 6 * 150);
     }

@@ -54,7 +54,9 @@ fn bench_e4_folders(c: &mut Criterion) {
         }
         let needle = format!("element-{:08}", n - 1);
         group.bench_with_input(BenchmarkId::new("briefcase_scan_lookup", n), &n, |b, _| {
-            b.iter(|| std::hint::black_box(bc.folder("DATA").unwrap().contains_elem(needle.as_bytes())))
+            b.iter(|| {
+                std::hint::black_box(bc.folder("DATA").unwrap().contains_elem(needle.as_bytes()))
+            })
         });
         group.bench_with_input(BenchmarkId::new("cabinet_indexed_lookup", n), &n, |b, _| {
             b.iter(|| std::hint::black_box(cab.contains_elem(needle.as_bytes())))

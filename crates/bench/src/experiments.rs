@@ -4,17 +4,15 @@ use crate::table::Table;
 use tacoma_agents::testing::SinkAgent;
 use tacoma_agents::{diffusion_briefcase, naive_flood_briefcase, standard_agents, NaiveFloodAgent};
 use tacoma_apps::{run_mail_experiment, run_stormcast, MailConfig, StormcastConfig, StormcastPlan};
-use tacoma_cash::{
-    AuditCourt, ExchangeConfig, ExchangeProtocol, Mint, PartyBehavior,
-};
+use tacoma_cash::{AuditCourt, ExchangeConfig, ExchangeProtocol, Mint, PartyBehavior};
 use tacoma_core::prelude::*;
 use tacoma_core::{codec, Folder, TacomaSystem};
 use tacoma_ft::{run_itinerary_experiment, FtConfig};
 use tacoma_net::{LinkSpec, Topology};
+use tacoma_sched::protected::{secret_agent_name, AdmissionPolicy, REQUESTER};
 use tacoma_sched::{
     run_scheduling_experiment, PlacementPolicy, ProtectedBrokerAgent, SchedulingConfig,
 };
-use tacoma_sched::protected::{secret_agent_name, AdmissionPolicy, REQUESTER};
 use tacoma_util::{DetRng, SiteId as USiteId};
 
 // ---------------------------------------------------------------------------
@@ -43,7 +41,12 @@ impl Agent for RawServer {
         for r in records {
             folder.push_str(r);
         }
-        ctx.remote_meet(USiteId(origin), AgentName::new(SinkAgent::NAME), out, TransportKind::Tcp);
+        ctx.remote_meet(
+            USiteId(origin),
+            AgentName::new(SinkAgent::NAME),
+            out,
+            TransportKind::Tcp,
+        );
         Ok(Briefcase::new())
     }
 }
@@ -92,7 +95,13 @@ impl Agent for FilterCollector {
     }
 }
 
-fn e1_run(sites: u32, records_per_site: u32, selectivity: f64, agent_plan: bool, seed: u64) -> (u64, f64) {
+fn e1_run(
+    sites: u32,
+    records_per_site: u32,
+    selectivity: f64,
+    agent_plan: bool,
+    seed: u64,
+) -> (u64, f64) {
     let mut sys = TacomaSystem::builder()
         .topology(Topology::star(sites + 1, LinkSpec::wan()))
         .seed(seed)
@@ -104,7 +113,11 @@ fn e1_run(sites: u32, records_per_site: u32, selectivity: f64, agent_plan: bool,
         sys.register_agent(USiteId(s), Box::new(FilterCollector));
         let cab = sys.place_mut(USiteId(s)).cabinets_mut().cabinet("dataset");
         for i in 0..records_per_site {
-            let tag = if rng.chance(selectivity) { "match" } else { "other" };
+            let tag = if rng.chance(selectivity) {
+                "match"
+            } else {
+                "other"
+            };
             // 64-byte fixed-width records keep byte accounting interpretable.
             cab.append_str("RECORDS", format!("{tag},{s:>4},{i:>8},{:>44}", "payload"));
         }
@@ -126,7 +139,10 @@ fn e1_run(sites: u32, records_per_site: u32, selectivity: f64, agent_plan: bool,
         }
     }
     sys.run_until_quiescent(1_000_000);
-    (sys.net_metrics().total_bytes().get(), sys.now().as_millis_f64())
+    (
+        sys.net_metrics().total_bytes().get(),
+        sys.now().as_millis_f64(),
+    )
 }
 
 /// E1: bytes on the wire, agent plan vs client-server, over data sizes and
@@ -233,7 +249,12 @@ pub fn e2_diffusion(quick: bool) -> Table {
             table.row(vec![
                 name.to_string(),
                 sites.to_string(),
-                if naive { "naive flood (hop-limited)" } else { "diffusion (paper)" }.to_string(),
+                if naive {
+                    "naive flood (hop-limited)"
+                } else {
+                    "diffusion (paper)"
+                }
+                .to_string(),
                 meets.to_string(),
                 bytes.to_string(),
                 format!("{covered}/{sites}"),
@@ -270,7 +291,10 @@ pub fn e3_migrate_once(payload: usize, transport: TransportKind) -> (f64, u64) {
     bc.folder_mut("PAYLOAD").push(vec![0u8; payload]);
     sys.inject_meet(USiteId(0), AgentName::new(wellknown::REXEC), bc);
     sys.run_until_quiescent(1_000);
-    (sys.now().as_millis_f64(), sys.net_metrics().total_bytes().get())
+    (
+        sys.now().as_millis_f64(),
+        sys.net_metrics().total_bytes().get(),
+    )
 }
 
 /// Performs `n` purely local meets (procedure-call analogue) and returns the
@@ -297,7 +321,11 @@ pub fn e3_meet_rexec(quick: bool) -> Table {
         "§2/§6: meet is a procedure call; rexec has rsh, TCP and Horus implementations that differ in setup cost",
         &["payload", "transport", "simulated ms", "wire bytes"],
     );
-    let payloads: &[usize] = if quick { &[1024] } else { &[0, 1024, 65_536, 1_048_576] };
+    let payloads: &[usize] = if quick {
+        &[1024]
+    } else {
+        &[0, 1024, 65_536, 1_048_576]
+    };
     for &payload in payloads {
         for transport in TransportKind::ALL {
             let (ms, bytes) = e3_migrate_once(payload, transport);
@@ -329,7 +357,11 @@ pub fn e4_folders(quick: bool) -> Table {
         "§2: cabinets may use access-optimising structures \"even if this increases the cost of moving\"",
         &["elements", "briefcase wire bytes", "cabinet move bytes", "briefcase scan hit", "cabinet indexed hit"],
     );
-    let sizes: &[usize] = if quick { &[1_000] } else { &[10, 1_000, 100_000] };
+    let sizes: &[usize] = if quick {
+        &[1_000]
+    } else {
+        &[10, 1_000, 100_000]
+    };
     for &n in sizes {
         let mut folder = Folder::new();
         for i in 0..n {
@@ -375,7 +407,12 @@ pub fn e5_cash(quick: bool) -> Table {
     let sweeps: &[(usize, usize, f64)] = if quick {
         &[(100, 200, 0.25)]
     } else {
-        &[(10, 100, 0.10), (100, 500, 0.10), (100, 500, 0.50), (1_000, 2_000, 0.25)]
+        &[
+            (10, 100, 0.10),
+            (100, 500, 0.10),
+            (100, 500, 0.50),
+            (1_000, 2_000, 0.25),
+        ]
     };
     for &(ecus, transfers, replay_rate) in sweeps {
         let mut mint = Mint::new(5);
@@ -439,7 +476,11 @@ pub fn e6_exchange(quick: bool) -> Table {
         "§3: participants document actions; \"a third party … can perform an audit to find violations of a contract\"",
         &["exchanges", "cheat rate", "cheaters detected", "missed", "false accusations", "msgs/exchange (audit)", "msgs/exchange (2PC baseline)"],
     );
-    let sweeps: &[(u64, f64)] = if quick { &[(100, 0.2)] } else { &[(200, 0.1), (200, 0.3), (500, 0.2)] };
+    let sweeps: &[(u64, f64)] = if quick {
+        &[(100, 0.2)]
+    } else {
+        &[(200, 0.1), (200, 0.3), (500, 0.2)]
+    };
     for &(exchanges, cheat_rate) in sweeps {
         let mut mint = Mint::new(6);
         let mut wallet = mint.issue_wallet(exchanges as usize * 2, 10);
@@ -448,8 +489,16 @@ pub fn e6_exchange(quick: bool) -> Table {
         let mut cheaters = 0u64;
         let mut messages = 0u64;
         for id in 0..exchanges {
-            let customer = if rng.chance(cheat_rate) { PartyBehavior::Cheats } else { PartyBehavior::Honest };
-            let provider = if rng.chance(cheat_rate) { PartyBehavior::Cheats } else { PartyBehavior::Honest };
+            let customer = if rng.chance(cheat_rate) {
+                PartyBehavior::Cheats
+            } else {
+                PartyBehavior::Honest
+            };
+            let provider = if rng.chance(cheat_rate) {
+                PartyBehavior::Cheats
+            } else {
+                PartyBehavior::Honest
+            };
             if customer == PartyBehavior::Cheats || provider == PartyBehavior::Cheats {
                 cheaters += 1;
             }
@@ -496,7 +545,15 @@ pub fn e7_scheduling(quick: bool) -> Table {
     let mut table = Table::new(
         "E7 — brokers schedule by load and capacity",
         "§4/§6: requests are \"distributed amongst service providers based on load and capacity\"",
-        &["policy", "jobs", "providers", "makespan ms", "mean wait ms", "p95 wait ms", "imbalance"],
+        &[
+            "policy",
+            "jobs",
+            "providers",
+            "makespan ms",
+            "mean wait ms",
+            "p95 wait ms",
+            "imbalance",
+        ],
     );
     let (jobs, providers) = if quick { (40u32, 4u32) } else { (150u32, 6u32) };
     for policy in PlacementPolicy::ALL {
@@ -532,7 +589,13 @@ pub fn e8_protected(attempts: u32) -> Table {
     let mut table = Table::new(
         "E8 — protected agents are reachable only through their broker",
         "§4: \"the broker … provides the only way to meet with the protected agent\"",
-        &["requests", "via broker (allowed)", "via broker (denied)", "direct guesses succeeded", "requests queued in folder"],
+        &[
+            "requests",
+            "via broker (allowed)",
+            "via broker (denied)",
+            "direct guesses succeeded",
+            "requests queued in folder",
+        ],
     );
     struct Oracle {
         name: AgentName,
@@ -549,7 +612,12 @@ pub fn e8_protected(attempts: u32) -> Table {
     let mut sys = TacomaSystem::new(Topology::full_mesh(1, LinkSpec::default()), 8);
     let mut rng = DetRng::new(88);
     let secret = secret_agent_name(&mut rng, "svc");
-    sys.register_agent(USiteId(0), Box::new(Oracle { name: secret.clone() }));
+    sys.register_agent(
+        USiteId(0),
+        Box::new(Oracle {
+            name: secret.clone(),
+        }),
+    );
     sys.register_agent(
         USiteId(0),
         Box::new(ProtectedBrokerAgent::new(
@@ -747,22 +815,16 @@ pub fn ablation_report_period() -> Table {
     table
 }
 
-/// Runs every experiment and returns the tables in order.
+/// Runs every experiment sequentially and returns the tables in order.
+///
+/// Thin wrapper over [`crate::runner::registry`] — the registry is the single
+/// source of truth for which jobs exist and how quick mode configures them;
+/// use [`crate::runner::run_jobs`] when you also want reports or parallelism.
 pub fn all_experiments(quick: bool) -> Vec<Table> {
-    vec![
-        e1_bandwidth(quick),
-        e2_diffusion(quick),
-        e3_meet_rexec(quick),
-        e4_folders(quick),
-        e5_cash(quick),
-        e6_exchange(quick),
-        e7_scheduling(quick),
-        e8_protected(if quick { 20 } else { 100 }),
-        e9_rear_guard(quick),
-        e10_apps(quick),
-        ablation_guard_depth(),
-        ablation_report_period(),
-    ]
+    crate::runner::registry()
+        .into_iter()
+        .map(|spec| (spec.run)(quick))
+        .collect()
 }
 
 #[cfg(test)]
@@ -775,7 +837,10 @@ mod tests {
         assert_eq!(table.rows.len(), 1);
         let agent: u64 = table.rows[0][3].parse().unwrap();
         let cs: u64 = table.rows[0][4].parse().unwrap();
-        assert!(agent < cs, "agent {agent} should be below client-server {cs}");
+        assert!(
+            agent < cs,
+            "agent {agent} should be below client-server {cs}"
+        );
     }
 
     #[test]
@@ -790,7 +855,10 @@ mod tests {
     #[test]
     fn e3_rsh_is_slowest_transport() {
         let table = e3_meet_rexec(true);
-        let ms: Vec<f64> = table.rows[..3].iter().map(|r| r[2].parse().unwrap()).collect();
+        let ms: Vec<f64> = table.rows[..3]
+            .iter()
+            .map(|r| r[2].parse().unwrap())
+            .collect();
         // Rows are rsh, tcp, horus for the single payload.
         assert!(ms[0] > ms[1]);
         assert!(ms[0] > ms[2]);

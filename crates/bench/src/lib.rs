@@ -6,11 +6,29 @@
 //! [`Table`]; the `harness` binary prints them all (this is the artifact that
 //! stands in for "regenerating the paper's tables"), and the Criterion
 //! benches in `benches/` time the same code paths.
+//!
+//! Around the drivers sits the measurement backbone added for CI:
+//!
+//! * [`runner`] — a registry of experiment jobs plus a std-only
+//!   work-stealing executor (each job owns its seeded simulation, so
+//!   parallelism never changes a measured number);
+//! * [`report`] — the structured, JSON-serializable twin of each table;
+//! * [`baseline`] — the `--compare` regression gate that diffs a run
+//!   against the committed `BENCH_baseline.json` with per-metric tolerances;
+//! * [`args`] — the strict harness CLI parser.
 
 #![warn(missing_docs)]
 
+pub mod args;
+pub mod baseline;
 pub mod experiments;
+pub mod report;
+pub mod runner;
 pub mod table;
 
+pub use args::HarnessArgs;
+pub use baseline::{compare, CompareConfig, CompareOutcome};
 pub use experiments::*;
+pub use report::{Report, ReportSet};
+pub use runner::{registry, run_jobs, select, JobResult, JobSpec};
 pub use table::Table;

@@ -1,0 +1,268 @@
+//! The parallel experiment runner.
+//!
+//! Every experiment (E1–E10) and ablation (A3/A4; A1/A2 are reserved ids,
+//! see [`RESERVED_IDS`]) is registered here as an independent [`JobSpec`].
+//! Each job builds and drives its own seeded `SimNet`/`TacomaSystem`, so jobs
+//! share no mutable state and the worker count cannot perturb any measured
+//! number — only wall-clock time.  That is what lets `--jobs 8` produce a
+//! byte-identical report to `--jobs 1`.
+//!
+//! The executor is a std-only work-stealing pool: worker threads steal the
+//! next unclaimed job index from a shared atomic injector until the queue is
+//! drained, and results land in per-job slots so the output order is always
+//! registry order regardless of completion order.
+
+use crate::report::Report;
+use crate::table::Table;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One schedulable experiment: id, primary seed, and the driver function.
+#[derive(Debug, Clone, Copy)]
+pub struct JobSpec {
+    /// Stable experiment id (`"E1"` … `"E10"`, `"A3"`, `"A4"`).
+    pub id: &'static str,
+    /// One-line summary shown by `--list`.
+    pub summary: &'static str,
+    /// The primary seed the driver hard-codes; recorded in the report.
+    pub seed: u64,
+    /// The driver; `true` selects the quick configuration.
+    pub run: fn(bool) -> Table,
+}
+
+/// Ablation ids reserved in DESIGN.md but not yet implemented; `--filter`
+/// recognises them and says so instead of reporting a typo.
+pub const RESERVED_IDS: &[&str] = &["A1", "A2"];
+
+fn e8_job(quick: bool) -> Table {
+    crate::e8_protected(if quick { 20 } else { 100 })
+}
+
+fn a3_job(_quick: bool) -> Table {
+    crate::ablation_guard_depth()
+}
+
+fn a4_job(_quick: bool) -> Table {
+    crate::ablation_report_period()
+}
+
+/// The full job registry, in presentation order.
+pub fn registry() -> Vec<JobSpec> {
+    vec![
+        JobSpec {
+            id: "E1",
+            summary: "bandwidth conservation (filter at the data)",
+            seed: 7,
+            run: crate::e1_bandwidth,
+        },
+        JobSpec {
+            id: "E2",
+            summary: "diffusion bounded by site-local folders",
+            seed: 2,
+            run: crate::e2_diffusion,
+        },
+        JobSpec {
+            id: "E3",
+            summary: "meet and rexec migration cost",
+            seed: 3,
+            run: crate::e3_meet_rexec,
+        },
+        JobSpec {
+            id: "E4",
+            summary: "folders move cheap, cabinets access cheap",
+            seed: 0,
+            run: crate::e4_folders,
+        },
+        JobSpec {
+            id: "E5",
+            summary: "validation agent foils double spending",
+            seed: 55,
+            run: crate::e5_cash,
+        },
+        JobSpec {
+            id: "E6",
+            summary: "audits instead of transactions",
+            seed: 66,
+            run: crate::e6_exchange,
+        },
+        JobSpec {
+            id: "E7",
+            summary: "brokers schedule by load and capacity",
+            seed: 77,
+            run: crate::e7_scheduling,
+        },
+        JobSpec {
+            id: "E8",
+            summary: "protected agents reachable only via broker",
+            seed: 88,
+            run: e8_job,
+        },
+        JobSpec {
+            id: "E9",
+            summary: "rear guards survive site failures",
+            seed: 909,
+            run: crate::e9_rear_guard,
+        },
+        JobSpec {
+            id: "E10",
+            summary: "StormCast and AgentMail applications",
+            seed: 1995,
+            run: crate::e10_apps,
+        },
+        JobSpec {
+            id: "A3",
+            summary: "ablation: rear-guard chain depth",
+            seed: 31_001,
+            run: a3_job,
+        },
+        JobSpec {
+            id: "A4",
+            summary: "ablation: load-report dissemination period",
+            seed: 404,
+            run: a4_job,
+        },
+    ]
+}
+
+/// Selects registry jobs by id (case-insensitive), preserving registry order.
+///
+/// Unknown ids are an error; reserved-but-unimplemented ablation ids get a
+/// dedicated message so a typo is distinguishable from a roadmap gap.
+pub fn select(ids: &[String]) -> Result<Vec<JobSpec>, String> {
+    let all = registry();
+    if ids.is_empty() {
+        return Ok(all);
+    }
+    let mut wanted: Vec<String> = Vec::new();
+    for id in ids {
+        let canon = id.to_ascii_uppercase();
+        if RESERVED_IDS.contains(&canon.as_str()) {
+            return Err(format!(
+                "experiment {canon} is a reserved ablation slot and is not implemented yet"
+            ));
+        }
+        if !all.iter().any(|s| s.id == canon) {
+            let known: Vec<&str> = all.iter().map(|s| s.id).collect();
+            return Err(format!(
+                "unknown experiment id '{id}' (known: {}; reserved: {})",
+                known.join(", "),
+                RESERVED_IDS.join(", ")
+            ));
+        }
+        if !wanted.contains(&canon) {
+            wanted.push(canon);
+        }
+    }
+    Ok(all
+        .into_iter()
+        .filter(|s| wanted.iter().any(|w| w == s.id))
+        .collect())
+}
+
+/// One finished job: the rendered table plus its structured report.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// The experiment id, copied from the spec.
+    pub id: &'static str,
+    /// The human-readable table the harness prints.
+    pub table: Table,
+    /// The structured report `--json` serializes.
+    pub report: Report,
+}
+
+/// Runs `specs` on `workers` threads and returns results in registry order.
+///
+/// `workers` is clamped to `1..=specs.len()`; with one worker this degrades
+/// to a plain sequential loop over the same code path, which is what makes
+/// the sequential-vs-parallel determinism test meaningful.
+pub fn run_jobs(specs: &[JobSpec], quick: bool, workers: usize) -> Vec<JobResult> {
+    let workers = workers.clamp(1, specs.len().max(1));
+    let injector = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<JobResult>>> = specs.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = injector.fetch_add(1, Ordering::Relaxed);
+                let Some(spec) = specs.get(i) else { break };
+                let started = Instant::now();
+                let table = (spec.run)(quick);
+                let wall_ms = started.elapsed().as_secs_f64() * 1_000.0;
+                let report = Report::from_table(spec.id, spec.seed, &table, wall_ms);
+                *slots[i].lock().unwrap() = Some(JobResult {
+                    id: spec.id,
+                    table,
+                    report,
+                });
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap()
+                .expect("every claimed job stores a result")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::ReportSet;
+
+    /// Cheap subset used by the determinism tests (the full quick suite is
+    /// exercised end-to-end by `tests/harness_gate.rs`).
+    fn cheap_ids() -> Vec<String> {
+        ["E4", "E5", "E8"].iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn registry_ids_are_unique_and_cover_e1_to_a4() {
+        let specs = registry();
+        assert_eq!(specs.len(), 12);
+        let mut ids: Vec<&str> = specs.iter().map(|s| s.id).collect();
+        assert_eq!(ids.first(), Some(&"E1"));
+        assert_eq!(ids.last(), Some(&"A4"));
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 12, "duplicate experiment ids in the registry");
+    }
+
+    #[test]
+    fn select_filters_case_insensitively_and_rejects_unknowns() {
+        let picked = select(&["e8".into(), "E4".into(), "e8".into()]).unwrap();
+        let ids: Vec<&str> = picked.iter().map(|s| s.id).collect();
+        assert_eq!(ids, ["E4", "E8"], "registry order, deduplicated");
+        assert!(select(&["E99".into()])
+            .unwrap_err()
+            .contains("unknown experiment id"));
+        assert!(select(&["a1".into()]).unwrap_err().contains("reserved"));
+        assert_eq!(select(&[]).unwrap().len(), 12);
+    }
+
+    #[test]
+    fn parallel_and_sequential_runs_serialize_byte_identically() {
+        let specs = select(&cheap_ids()).unwrap();
+        let sequential = run_jobs(&specs, true, 1);
+        let parallel = run_jobs(&specs, true, 8);
+        let a = ReportSet::new(true, sequential.iter().map(|r| r.report.clone()).collect());
+        let b = ReportSet::new(true, parallel.iter().map(|r| r.report.clone()).collect());
+        assert_eq!(a.to_json_string(), b.to_json_string());
+        // The printed tables agree too, not just the reports.
+        for (s, p) in sequential.iter().zip(&parallel) {
+            assert_eq!(s.table.render(), p.table.render());
+        }
+    }
+
+    #[test]
+    fn results_come_back_in_registry_order_even_with_many_workers() {
+        let specs = select(&cheap_ids()).unwrap();
+        let results = run_jobs(&specs, true, specs.len() * 4);
+        let ids: Vec<&str> = results.iter().map(|r| r.id).collect();
+        assert_eq!(ids, ["E4", "E5", "E8"]);
+        assert!(results.iter().all(|r| !r.report.metrics.is_empty()));
+        assert!(results.iter().all(|r| r.report.wall_ms >= 0.0));
+    }
+}

@@ -1,4 +1,7 @@
-//! Minimal table type the harness prints experiment results with.
+//! Minimal table type the harness prints experiment results with, plus the
+//! bridge that turns rendered cells into typed metrics for reports.
+
+use tacoma_util::{metric_key, MetricValue};
 
 /// A printable experiment table.
 #[derive(Debug, Clone)]
@@ -28,6 +31,32 @@ impl Table {
     pub fn row(&mut self, cells: Vec<String>) {
         debug_assert_eq!(cells.len(), self.headers.len());
         self.rows.push(cells);
+    }
+
+    /// Flattens every cell into a typed metric, keyed `r{row}.{header-slug}`.
+    ///
+    /// This is the bridge between the human-readable tables and the
+    /// machine-readable [`Report`](crate::report::Report): scenario
+    /// parameters (sites, rates) and measured quantities (bytes, waits)
+    /// alike become comparable key/value pairs, in a deterministic order.
+    pub fn metrics(&self) -> Vec<(String, MetricValue)> {
+        let headers: Vec<String> = self.headers.iter().map(|h| metric_key(h)).collect();
+        let mut out = Vec::with_capacity(self.rows.len() * headers.len());
+        for (r, row) in self.rows.iter().enumerate() {
+            // A ragged row would silently shrink gate coverage (zip stops at
+            // the shorter side and a dropped new column has no baseline entry
+            // to miss), so fail loudly in debug builds.
+            debug_assert_eq!(
+                row.len(),
+                headers.len(),
+                "row {r} of '{}' does not match the header count",
+                self.title
+            );
+            for (header, cell) in headers.iter().zip(row) {
+                out.push((format!("r{r}.{header}"), MetricValue::from_cell(cell)));
+            }
+        }
+        out
     }
 
     /// Renders the table as aligned plain text.
@@ -78,5 +107,23 @@ mod tests {
         // Header line and the two data lines align on the second column.
         let col = lines[3].find("value").unwrap();
         assert_eq!(lines[5].len().min(col), col);
+    }
+
+    #[test]
+    fn metrics_flatten_cells_with_typed_values() {
+        let mut t = Table::new("E0", "claim", &["sites", "mean wait ms", "saving"]);
+        t.row(vec!["8".into(), "21.4".into(), "15.3×".into()]);
+        t.row(vec!["16".into(), "9.0".into(), "2.1×".into()]);
+        let metrics = t.metrics();
+        assert_eq!(metrics.len(), 6);
+        assert_eq!(metrics[0], ("r0.sites".to_string(), MetricValue::Count(8)));
+        assert_eq!(
+            metrics[1],
+            ("r0.mean_wait_ms".to_string(), MetricValue::Float(21.4))
+        );
+        assert_eq!(
+            metrics[5],
+            ("r1.saving".to_string(), MetricValue::Text("2.1×".into()))
+        );
     }
 }

@@ -73,25 +73,33 @@ impl AuditCourt {
         provider_records: &[ActionRecord],
     ) -> Verdict {
         let valid = |records: &[ActionRecord], kind: ActionKind, signer: SigningKey| {
-            records
-                .iter()
-                .any(|r| r.exchange_id == exchange_id && r.kind == kind && r.signer == signer && r.verifies())
+            records.iter().any(|r| {
+                r.exchange_id == exchange_id && r.kind == kind && r.signer == signer && r.verifies()
+            })
         };
 
-        let provider_has_ack = valid(provider_records, ActionKind::ServiceAcknowledged, customer_key);
-        let customer_has_delivery = valid(customer_records, ActionKind::ServiceDelivered, provider_key);
+        let provider_has_ack = valid(
+            provider_records,
+            ActionKind::ServiceAcknowledged,
+            customer_key,
+        );
+        let customer_has_delivery =
+            valid(customer_records, ActionKind::ServiceDelivered, provider_key);
         if provider_has_ack || customer_has_delivery {
             return Verdict::NoViolation;
         }
 
-        let customer_proves_payment = valid(customer_records, ActionKind::PaymentReceived, provider_key);
+        let customer_proves_payment =
+            valid(customer_records, ActionKind::PaymentReceived, provider_key);
         if customer_proves_payment {
             // Paid, but no evidence of delivery anywhere: the provider is at fault.
             return Verdict::ProviderCheated;
         }
 
-        let customer_claims_payment = valid(customer_records, ActionKind::PaymentSent, customer_key);
-        let provider_saw_payment = valid(provider_records, ActionKind::PaymentReceived, provider_key);
+        let customer_claims_payment =
+            valid(customer_records, ActionKind::PaymentSent, customer_key);
+        let provider_saw_payment =
+            valid(provider_records, ActionKind::PaymentReceived, provider_key);
         if customer_claims_payment && !provider_saw_payment {
             // The customer asserts payment but holds no provider receipt and
             // the provider has none either: an unsubstantiated claim.
@@ -225,10 +233,18 @@ mod tests {
             .customer_records
             .iter()
             .copied()
-            .filter(|r| r.kind != ActionKind::ServiceDelivered && r.kind != ActionKind::ServiceAcknowledged)
+            .filter(|r| {
+                r.kind != ActionKind::ServiceDelivered && r.kind != ActionKind::ServiceAcknowledged
+            })
             .collect();
         let court = AuditCourt::new();
-        let v = court.decide(5, CK, PK, &customer_records_hiding_delivery, &out.provider_records);
+        let v = court.decide(
+            5,
+            CK,
+            PK,
+            &customer_records_hiding_delivery,
+            &out.provider_records,
+        );
         assert_eq!(v, Verdict::NoViolation);
     }
 

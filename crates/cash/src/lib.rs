@@ -38,7 +38,9 @@ pub mod mint;
 
 pub use audit::{AuditCourt, Verdict};
 pub use ecu::{Ecu, Wallet};
-pub use exchange::{ActionKind, ActionRecord, ExchangeConfig, ExchangeOutcome, ExchangeProtocol, PartyBehavior};
+pub use exchange::{
+    ActionKind, ActionRecord, ExchangeConfig, ExchangeOutcome, ExchangeProtocol, PartyBehavior,
+};
 pub use mint::{cash_briefcase, wallet_from_briefcase, Mint, MintAgent, MintError, MintStats};
 
 /// A party's signing key for the toy MAC scheme.

@@ -40,10 +40,20 @@ impl std::fmt::Display for MintError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             MintError::InvalidEcu(e) => {
-                write!(f, "ECU with amount {} is not valid (retired, copied or forged)", e.amount)
+                write!(
+                    f,
+                    "ECU with amount {} is not valid (retired, copied or forged)",
+                    e.amount
+                )
             }
-            MintError::AmountMismatch { presented, requested } => {
-                write!(f, "requested {requested} does not match presented {presented}")
+            MintError::AmountMismatch {
+                presented,
+                requested,
+            } => {
+                write!(
+                    f,
+                    "requested {requested} does not match presented {presented}"
+                )
             }
         }
     }
@@ -166,7 +176,10 @@ impl Mint {
             self.valid.remove(&ecu.serial);
             self.stats.validated += 1;
         }
-        Ok(denominations.iter().map(|&amount| self.issue(amount)).collect())
+        Ok(denominations
+            .iter()
+            .map(|&amount| self.issue(amount))
+            .collect())
     }
 
     fn fresh_serial(&mut self) -> u128 {
@@ -224,7 +237,9 @@ impl Agent for MintAgent {
             .ok_or_else(|| TacomaError::missing(wellknown::CASH))?;
         let (wallet, skipped) = Wallet::from_folder(&cash);
         if skipped > 0 {
-            return Err(TacomaError::Cash(format!("{skipped} malformed ECU record(s)")));
+            return Err(TacomaError::Cash(format!(
+                "{skipped} malformed ECU record(s)"
+            )));
         }
         match self.mint.validate_and_reissue(wallet.ecus()) {
             Ok(fresh) => {
@@ -303,7 +318,10 @@ mod tests {
     #[test]
     fn forged_ecu_is_rejected() {
         let mut mint = Mint::new(4);
-        let forged = Ecu { amount: 1_000_000, serial: 0x1234 };
+        let forged = Ecu {
+            amount: 1_000_000,
+            serial: 0x1234,
+        };
         assert!(mint.validate_and_reissue(&[forged]).is_err());
         assert_eq!(mint.stats().validated, 0);
     }
@@ -344,7 +362,11 @@ mod tests {
 
         // Valid cash validates and comes back with new serials.
         let reply = sys
-            .try_direct_meet(SiteId(0), &AgentName::new(wellknown::MINT), cash_briefcase(&wallet))
+            .try_direct_meet(
+                SiteId(0),
+                &AgentName::new(wellknown::MINT),
+                cash_briefcase(&wallet),
+            )
             .unwrap();
         let fresh = wallet_from_briefcase(&reply);
         assert_eq!(fresh.total(), 30);
@@ -354,13 +376,21 @@ mod tests {
 
         // Replaying the old (now retired) cash is foiled.
         let err = sys
-            .try_direct_meet(SiteId(0), &AgentName::new(wellknown::MINT), cash_briefcase(&wallet))
+            .try_direct_meet(
+                SiteId(0),
+                &AgentName::new(wellknown::MINT),
+                cash_briefcase(&wallet),
+            )
             .unwrap_err();
         assert!(matches!(err, TacomaError::Cash(_)));
 
         // Missing CASH folder and malformed records are rejected.
         let err = sys
-            .try_direct_meet(SiteId(0), &AgentName::new(wellknown::MINT), Briefcase::new())
+            .try_direct_meet(
+                SiteId(0),
+                &AgentName::new(wellknown::MINT),
+                Briefcase::new(),
+            )
             .unwrap_err();
         assert!(matches!(err, TacomaError::MissingFolder(_)));
         let mut bad = Briefcase::new();

@@ -105,7 +105,12 @@ pub enum Action {
 impl std::fmt::Debug for Action {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            Action::RemoteMeet { to, contact, briefcase, transport } => f
+            Action::RemoteMeet {
+                to,
+                contact,
+                briefcase,
+                transport,
+            } => f
                 .debug_struct("RemoteMeet")
                 .field("to", to)
                 .field("contact", contact)
@@ -117,7 +122,12 @@ impl std::fmt::Debug for Action {
                 .field("contact", contact)
                 .field("folders", &briefcase.len())
                 .finish(),
-            Action::Timer { contact, key, delay, .. } => f
+            Action::Timer {
+                contact,
+                key,
+                delay,
+                ..
+            } => f
                 .debug_struct("Timer")
                 .field("contact", contact)
                 .field("key", key)
@@ -164,8 +174,7 @@ impl AgentRegistry {
 
     /// Installs an agent, replacing any previous agent of the same name.
     pub fn install(&mut self, registered: RegisteredAgent) {
-        self.slots
-            .insert(registered.agent.name(), Some(registered));
+        self.slots.insert(registered.agent.name(), Some(registered));
     }
 
     /// Removes an agent by name.
@@ -200,7 +209,9 @@ impl AgentRegistry {
                 name: name.clone(),
                 site,
             }),
-            Some(slot) => slot.take().ok_or_else(|| TacomaError::AgentBusy(name.clone())),
+            Some(slot) => slot
+                .take()
+                .ok_or_else(|| TacomaError::AgentBusy(name.clone())),
         }
     }
 
@@ -370,7 +381,13 @@ impl<'a> MeetCtx<'a> {
 
     /// Schedules a meet with `contact` after `delay`; the delivered briefcase
     /// gains a `TIMER` folder holding `key`.
-    pub fn schedule(&mut self, contact: AgentName, key: u64, delay: Duration, briefcase: Briefcase) {
+    pub fn schedule(
+        &mut self,
+        contact: AgentName,
+        key: u64,
+        delay: Duration,
+        briefcase: Briefcase,
+    ) {
         self.outbox.push(Action::Timer {
             contact,
             key,
@@ -578,11 +595,19 @@ mod tests {
                 bc.put_u64("NEIGHBORS", ctx.neighbors().len() as u64);
                 bc.put_string(
                     "UP1",
-                    if ctx.site_is_up(SiteId(1)) { "yes" } else { "no" },
+                    if ctx.site_is_up(SiteId(1)) {
+                        "yes"
+                    } else {
+                        "no"
+                    },
                 );
                 bc.put_string(
                     "HAS_SELF",
-                    if ctx.has_agent(&AgentName::new("inspector")) { "yes" } else { "no" },
+                    if ctx.has_agent(&AgentName::new("inspector")) {
+                        "yes"
+                    } else {
+                        "no"
+                    },
                 );
                 let mut f = Folder::new();
                 f.push_u64(ctx.rng().next_u64());

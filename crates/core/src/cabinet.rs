@@ -332,7 +332,10 @@ mod tests {
         cab.put("F", Folder::from_elems([b"x".to_vec(), b"y".to_vec()]));
         assert!(cab.contains_elem(b"x"));
         cab.put("F", Folder::of_str("z"));
-        assert!(!cab.contains_elem(b"x"), "replaced folder's elements leave the index");
+        assert!(
+            !cab.contains_elem(b"x"),
+            "replaced folder's elements leave the index"
+        );
         assert!(cab.contains_elem(b"z"));
         let taken = cab.take("F").unwrap();
         assert_eq!(taken.strings(), vec!["z"]);

@@ -85,7 +85,9 @@ impl<'a> Reader<'a> {
 
     fn u64(&mut self) -> Result<u64, TacomaError> {
         let b = self.take(8)?;
-        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
     }
 
     fn bytes(&mut self) -> Result<Vec<u8>, TacomaError> {
@@ -233,7 +235,10 @@ mod tests {
 
     #[test]
     fn empty_folder_and_briefcase_round_trip() {
-        assert_eq!(decode_folder(&encode_folder(&Folder::new())).unwrap(), Folder::new());
+        assert_eq!(
+            decode_folder(&encode_folder(&Folder::new())).unwrap(),
+            Folder::new()
+        );
         assert_eq!(
             decode_briefcase(&encode_briefcase(&Briefcase::new())).unwrap(),
             Briefcase::new()
@@ -306,6 +311,9 @@ mod tests {
         let mut bc = Briefcase::new();
         bc.folder_mut("D").push(vec![0u8; 10_000]);
         let size = encode_briefcase(&bc).len();
-        assert!((10_000..10_100).contains(&size), "size {size} should be payload plus small framing");
+        assert!(
+            (10_000..10_100).contains(&size),
+            "size {size} should be payload plus small framing"
+        );
     }
 }

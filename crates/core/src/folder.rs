@@ -135,12 +135,14 @@ impl Folder {
 
     /// Dequeues an element and decodes it as UTF-8 (lossily).
     pub fn dequeue_str(&mut self) -> Option<String> {
-        self.dequeue().map(|b| String::from_utf8_lossy(&b).into_owned())
+        self.dequeue()
+            .map(|b| String::from_utf8_lossy(&b).into_owned())
     }
 
     /// Reads the back element as UTF-8 without removing it.
     pub fn peek_str(&self) -> Option<String> {
-        self.peek_back().map(|b| String::from_utf8_lossy(b).into_owned())
+        self.peek_back()
+            .map(|b| String::from_utf8_lossy(b).into_owned())
     }
 
     /// Pushes a `u64` in little-endian encoding.

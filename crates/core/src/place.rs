@@ -299,11 +299,19 @@ mod tests {
         let mut p = place();
         let alive = [true];
         let mut outbox = Vec::new();
-        p.run_install_hook(&AgentName::new("greeter"), DispatchEnv::for_tests(&alive), &mut outbox);
+        p.run_install_hook(
+            &AgentName::new("greeter"),
+            DispatchEnv::for_tests(&alive),
+            &mut outbox,
+        );
         let cab = p.cabinets().get("visits").unwrap();
         assert!(cab.payload_bytes() > 0);
         // Hook for an unknown agent is a no-op.
-        p.run_install_hook(&AgentName::new("ghost"), DispatchEnv::for_tests(&alive), &mut outbox);
+        p.run_install_hook(
+            &AgentName::new("ghost"),
+            DispatchEnv::for_tests(&alive),
+            &mut outbox,
+        );
     }
 
     #[test]

@@ -99,7 +99,10 @@ impl SystemBuilder {
 
     /// Adds a factory whose agents are installed at every site (now and after
     /// every recovery).
-    pub fn with_agents(mut self, factory: impl Fn(SiteId) -> Vec<Box<dyn Agent>> + 'static) -> Self {
+    pub fn with_agents(
+        mut self,
+        factory: impl Fn(SiteId) -> Vec<Box<dyn Agent>> + 'static,
+    ) -> Self {
         self.factories.push(Box::new(factory));
         self
     }
@@ -614,7 +617,12 @@ mod tests {
             let next = bc.folder_mut(wellknown::ITINERARY).dequeue_str();
             if let Some(next) = next {
                 let to = SiteId(next.parse::<u32>().unwrap());
-                ctx.remote_meet(to, AgentName::new("tourist"), bc.clone(), TransportKind::Tcp);
+                ctx.remote_meet(
+                    to,
+                    AgentName::new("tourist"),
+                    bc.clone(),
+                    TransportKind::Tcp,
+                );
             }
             Ok(bc)
         }
@@ -627,7 +635,8 @@ mod tests {
         }
         fn meet(&mut self, ctx: &mut MeetCtx<'_>, bc: Briefcase) -> MeetOutcome {
             let count = bc.peek_u64("COUNT").unwrap_or(0);
-            ctx.cabinet("pings").append_str("LOG", format!("ping-{count}"));
+            ctx.cabinet("pings")
+                .append_str("LOG", format!("ping-{count}"));
             if count > 0 {
                 let mut next = Briefcase::new();
                 next.put_u64("COUNT", count - 1);
@@ -795,7 +804,12 @@ mod tests {
             fn meet(&mut self, ctx: &mut MeetCtx<'_>, bc: Briefcase) -> MeetOutcome {
                 if ctx.site() == SiteId(0) {
                     let contact = bc.peek_string("CONTACT").expect("CONTACT set by injector");
-                    ctx.remote_meet(SiteId(1), AgentName::new(contact), bc.clone(), TransportKind::Tcp);
+                    ctx.remote_meet(
+                        SiteId(1),
+                        AgentName::new(contact),
+                        bc.clone(),
+                        TransportKind::Tcp,
+                    );
                 }
                 Ok(bc)
             }
@@ -846,9 +860,15 @@ mod tests {
         sys.run_for(Duration::from_millis(1));
         let s = sys.stats();
         assert_eq!(s.remote_meets, 3);
-        assert_eq!(s.send_failures, 1, "send to a dead site is dropped, not a meet failure");
+        assert_eq!(
+            s.send_failures, 1,
+            "send to a dead site is dropped, not a meet failure"
+        );
         assert_eq!(s.meets_completed, 4, "only the local leg completes");
-        assert_eq!(s.meets_failed, 1, "a dropped send must not count as a failed meet");
+        assert_eq!(
+            s.meets_failed, 1,
+            "a dropped send must not count as a failed meet"
+        );
 
         // After the planned recovery the same hop completes end to end again.
         sys.run_until_quiescent(1_000);

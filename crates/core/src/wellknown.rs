@@ -61,15 +61,17 @@ mod tests {
     #[test]
     fn names_are_distinct() {
         let folders = [
-            CODE, HOST, CONTACT, SITES, ITINERARY, RESULTS, REQUEST, REPLY, CASH, RECEIPTS,
-            ORIGIN, TIMER, ERROR, TRANSPORT,
+            CODE, HOST, CONTACT, SITES, ITINERARY, RESULTS, REQUEST, REPLY, CASH, RECEIPTS, ORIGIN,
+            TIMER, ERROR, TRANSPORT,
         ];
         let mut sorted = folders.to_vec();
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(sorted.len(), folders.len());
 
-        let agents = [AG_TAC, REXEC, COURIER, DIFFUSION, BROKER, MONITOR, TICKET, MINT, COURT];
+        let agents = [
+            AG_TAC, REXEC, COURIER, DIFFUSION, BROKER, MONITOR, TICKET, MINT, COURT,
+        ];
         let mut sorted = agents.to_vec();
         sorted.sort_unstable();
         sorted.dedup();

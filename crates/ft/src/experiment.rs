@@ -6,8 +6,8 @@
 //! what the guards cost in extra messages and bytes.
 
 use crate::rear_guard::{
-    traveller_briefcase, MissionControlAgent, TravellerAgent, COMPLETED, MISSION_CABINET, TRAVELLER,
-    VISITS_CABINET,
+    traveller_briefcase, MissionControlAgent, TravellerAgent, COMPLETED, MISSION_CABINET,
+    TRAVELLER, VISITS_CABINET,
 };
 use tacoma_core::prelude::*;
 use tacoma_core::TacomaSystem;
@@ -120,7 +120,11 @@ pub fn run_itinerary_experiment(config: &FtConfig) -> FtResult {
             .take(config.itinerary_len.min(config.sites as usize - 1))
             .collect();
         if config.shape == ItineraryShape::Cycle {
-            let revisit: Vec<SiteId> = itinerary.iter().copied().take(itinerary.len() / 2).collect();
+            let revisit: Vec<SiteId> = itinerary
+                .iter()
+                .copied()
+                .take(itinerary.len() / 2)
+                .collect();
             itinerary.extend(revisit);
         }
         let job = format!("job-{t}");
@@ -186,9 +190,18 @@ mod tests {
             travellers: 10,
             ..Default::default()
         };
-        let unguarded = run_itinerary_experiment(&FtConfig { guarded: false, ..base.clone() });
-        let guarded = run_itinerary_experiment(&FtConfig { guarded: true, ..base });
-        assert!(guarded.meets > unguarded.meets, "guard installs/retires cost meets");
+        let unguarded = run_itinerary_experiment(&FtConfig {
+            guarded: false,
+            ..base.clone()
+        });
+        let guarded = run_itinerary_experiment(&FtConfig {
+            guarded: true,
+            ..base
+        });
+        assert!(
+            guarded.meets > unguarded.meets,
+            "guard installs/retires cost meets"
+        );
         assert_eq!(guarded.completed, unguarded.completed);
     }
 
@@ -204,16 +217,28 @@ mod tests {
             seed: 2024,
             ..Default::default()
         };
-        let unguarded = run_itinerary_experiment(&FtConfig { guarded: false, ..base.clone() });
-        let guarded = run_itinerary_experiment(&FtConfig { guarded: true, ..base });
-        assert!(guarded.crashes > 0, "the schedule must actually crash sites");
+        let unguarded = run_itinerary_experiment(&FtConfig {
+            guarded: false,
+            ..base.clone()
+        });
+        let guarded = run_itinerary_experiment(&FtConfig {
+            guarded: true,
+            ..base
+        });
+        assert!(
+            guarded.crashes > 0,
+            "the schedule must actually crash sites"
+        );
         assert!(
             guarded.completion_rate > unguarded.completion_rate,
             "guarded {} should beat unguarded {}",
             guarded.completion_rate,
             unguarded.completion_rate
         );
-        assert!(guarded.completion_rate >= 0.8, "guards should recover most computations");
+        assert!(
+            guarded.completion_rate >= 0.8,
+            "guards should recover most computations"
+        );
     }
 
     #[test]

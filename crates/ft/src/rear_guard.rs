@@ -62,7 +62,9 @@ impl Agent for TravellerAgent {
     }
 
     fn meet(&mut self, ctx: &mut MeetCtx<'_>, mut bc: Briefcase) -> MeetOutcome {
-        let job = bc.peek_string(JOB).ok_or_else(|| TacomaError::missing(JOB))?;
+        let job = bc
+            .peek_string(JOB)
+            .ok_or_else(|| TacomaError::missing(JOB))?;
         let origin = bc
             .peek_string(wellknown::ORIGIN)
             .and_then(|s| s.parse::<u32>().ok())
@@ -78,7 +80,8 @@ impl Agent for TravellerAgent {
             .cabinet(VISITS_CABINET)
             .folder_contains(VISITED, visit_marker.as_bytes());
         if !already {
-            ctx.cabinet(VISITS_CABINET).append_str(VISITED, &visit_marker);
+            ctx.cabinet(VISITS_CABINET)
+                .append_str(VISITED, &visit_marker);
         } else {
             ctx.cabinet(VISITS_CABINET)
                 .append_str("DUPLICATES", &visit_marker);
@@ -148,7 +151,8 @@ impl Agent for TravellerAgent {
                         .and_then(|s| s.parse::<usize>().ok())
                         .unwrap_or(2)
                         .max(1);
-                    bc.folder_mut(GUARD_TRAIL).enqueue(here.0.to_string().into_bytes());
+                    bc.folder_mut(GUARD_TRAIL)
+                        .enqueue(here.0.to_string().into_bytes());
                     while bc.folder(GUARD_TRAIL).map(|f| f.len()).unwrap_or(0) > depth {
                         if let Some(old) = bc.folder_mut(GUARD_TRAIL).dequeue_str() {
                             if let Ok(site) = old.parse::<u32>() {
@@ -318,7 +322,12 @@ impl Agent for MissionControlAgent {
 }
 
 /// Builds the starting briefcase for a traveller.
-pub fn traveller_briefcase(job: &str, origin: SiteId, itinerary: &[SiteId], guarded: bool) -> Briefcase {
+pub fn traveller_briefcase(
+    job: &str,
+    origin: SiteId,
+    itinerary: &[SiteId],
+    guarded: bool,
+) -> Briefcase {
     let mut bc = Briefcase::new();
     bc.put_string(JOB, job);
     bc.put_string(wellknown::ORIGIN, origin.0.to_string());
@@ -365,7 +374,11 @@ mod tests {
                     .cabinets()
                     .get(VISITS_CABINET)
                     .and_then(|c| c.folder_ref(VISITED))
-                    .map(|f| f.strings().iter().any(|v| v.starts_with(&format!("{job}@"))))
+                    .map(|f| {
+                        f.strings()
+                            .iter()
+                            .any(|v| v.starts_with(&format!("{job}@")))
+                    })
                     .unwrap_or(false)
             })
             .count()
@@ -423,7 +436,10 @@ mod tests {
             traveller_briefcase("job-c", SiteId(0), &itinerary, false),
         );
         sys.run_for(NetDuration::from_secs(20));
-        assert!(!completed(&sys, "job-c"), "without guards the computation is lost");
+        assert!(
+            !completed(&sys, "job-c"),
+            "without guards the computation is lost"
+        );
     }
 
     #[test]
@@ -473,7 +489,11 @@ mod tests {
             sys.inject_meet(SiteId(0), AgentName::new(MISSION_CONTROL), bc);
         }
         sys.run_until_quiescent(100);
-        let cab = sys.place(SiteId(0)).cabinets().get(MISSION_CABINET).unwrap();
+        let cab = sys
+            .place(SiteId(0))
+            .cabinets()
+            .get(MISSION_CABINET)
+            .unwrap();
         assert_eq!(cab.folder_ref(COMPLETED).unwrap().len(), 1);
     }
 }

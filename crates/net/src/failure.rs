@@ -89,7 +89,9 @@ impl FailurePlan {
                 continue;
             }
             let at = SimTime(rng.next_below(horizon.micros().max(1)));
-            let down = Duration(rng.range_u64(min_down.micros(), max_down.micros().max(min_down.micros())));
+            let down = Duration(
+                rng.range_u64(min_down.micros(), max_down.micros().max(min_down.micros())),
+            );
             plan = plan.outage(site, at, down);
         }
         plan
@@ -145,7 +147,8 @@ mod tests {
 
     #[test]
     fn outage_produces_pair() {
-        let plan = FailurePlan::none().outage(SiteId(3), SimTime(1_000), Duration::from_micros(250));
+        let plan =
+            FailurePlan::none().outage(SiteId(3), SimTime(1_000), Duration::from_micros(250));
         let evs = plan.events();
         assert_eq!(evs.len(), 2);
         assert_eq!(evs[0].action, FailureAction::Crash);

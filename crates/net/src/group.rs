@@ -129,7 +129,11 @@ impl ProcessGroup {
     /// every member except the sender.  (Whether the recipients are still up
     /// at delivery time is the simulator's business.)
     pub fn multicast_targets(&self, sender: SiteId) -> Vec<SiteId> {
-        self.members.iter().copied().filter(|&m| m != sender).collect()
+        self.members
+            .iter()
+            .copied()
+            .filter(|&m| m != sender)
+            .collect()
     }
 
     /// The lowest-numbered member, conventionally the group coordinator.
@@ -171,7 +175,9 @@ mod tests {
         let mut g = group();
         let ev = g.join(SiteId(5)).unwrap();
         match ev {
-            GroupEvent::ViewChange { view, ref members, .. } => {
+            GroupEvent::ViewChange {
+                view, ref members, ..
+            } => {
                 assert_eq!(view, ViewId(2));
                 assert_eq!(members.len(), 4);
             }
@@ -179,7 +185,9 @@ mod tests {
         assert!(g.join(SiteId(5)).is_none(), "duplicate join is a no-op");
         let ev = g.remove(SiteId(0)).unwrap();
         match ev {
-            GroupEvent::ViewChange { view, ref members, .. } => {
+            GroupEvent::ViewChange {
+                view, ref members, ..
+            } => {
                 assert_eq!(view, ViewId(3));
                 assert!(!members.contains(&SiteId(0)));
             }
@@ -194,7 +202,11 @@ mod tests {
         let ev = g.reconcile(|s| s != SiteId(1) && s != SiteId(2));
         assert!(ev.is_some());
         assert_eq!(g.members(), vec![SiteId(0)]);
-        assert_eq!(g.view(), ViewId(2), "one view change for the whole reconcile");
+        assert_eq!(
+            g.view(),
+            ViewId(2),
+            "one view change for the whole reconcile"
+        );
         assert!(g.reconcile(|_| true).is_none());
     }
 

@@ -7,7 +7,7 @@
 
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
-use tacoma_util::{ByteCount, SiteId};
+use tacoma_util::{ByteCount, MetricValue, SiteId};
 
 /// Byte and message counters for a whole simulation run.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
@@ -99,6 +99,32 @@ impl NetMetrics {
     pub fn reset(&mut self) {
         *self = NetMetrics::default();
     }
+
+    /// Exports the aggregate counters as typed metric key/value pairs, in a
+    /// stable order.
+    ///
+    /// This is the hook for attaching system-level counters to a custom
+    /// bench report: `tacoma_bench::Report::append_metrics` takes this
+    /// output directly.  The stock harness derives its reports from table
+    /// cells only, so `net.*` keys appear in a report only when a caller
+    /// wires them in explicitly.
+    pub fn export(&self) -> Vec<(String, MetricValue)> {
+        vec![
+            (
+                "net.total_bytes".into(),
+                MetricValue::Count(self.total_bytes.get()),
+            ),
+            (
+                "net.total_messages".into(),
+                MetricValue::Count(self.total_messages),
+            ),
+            ("net.total_hops".into(), MetricValue::Count(self.total_hops)),
+            (
+                "net.dropped_messages".into(),
+                MetricValue::Count(self.dropped_messages),
+            ),
+        ]
+    }
 }
 
 #[cfg(test)]
@@ -144,5 +170,26 @@ mod tests {
         m.reset();
         assert_eq!(m.total_bytes().get(), 0);
         assert_eq!(m.dropped_messages(), 0);
+    }
+
+    #[test]
+    fn export_is_typed_and_stably_ordered() {
+        let mut m = NetMetrics::new();
+        m.record_send(SiteId(0));
+        m.record_hop(SiteId(0), SiteId(1), 64);
+        m.record_drop();
+        let exported = m.export();
+        let keys: Vec<&str> = exported.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(
+            keys,
+            [
+                "net.total_bytes",
+                "net.total_messages",
+                "net.total_hops",
+                "net.dropped_messages"
+            ]
+        );
+        assert_eq!(exported[0].1, MetricValue::Count(64));
+        assert_eq!(exported[3].1, MetricValue::Count(1));
     }
 }

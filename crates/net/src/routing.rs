@@ -83,7 +83,8 @@ impl Router {
         dst: SiteId,
         alive: impl Fn(SiteId) -> bool,
     ) -> Option<usize> {
-        self.shortest_path(src, dst, alive).map(|p| p.len().saturating_sub(1))
+        self.shortest_path(src, dst, alive)
+            .map(|p| p.len().saturating_sub(1))
     }
 
     /// All sites reachable from `src` over live sites (including `src`).
@@ -130,7 +131,10 @@ mod tests {
         // Kill site 1: 0 -> 2 must go the long way around.
         let alive = |s: SiteId| s != SiteId(1);
         let p = r.shortest_path(SiteId(0), SiteId(2), alive).unwrap();
-        assert_eq!(p, vec![SiteId(0), SiteId(5), SiteId(4), SiteId(3), SiteId(2)]);
+        assert_eq!(
+            p,
+            vec![SiteId(0), SiteId(5), SiteId(4), SiteId(3), SiteId(2)]
+        );
     }
 
     #[test]
@@ -140,7 +144,10 @@ mod tests {
         t.add_link(SiteId(2), SiteId(3), LinkSpec::default());
         let r = Router::new(t);
         assert!(r.shortest_path(SiteId(0), SiteId(3), all_alive).is_none());
-        assert_eq!(r.reachable_from(SiteId(0), all_alive), vec![SiteId(0), SiteId(1)]);
+        assert_eq!(
+            r.reachable_from(SiteId(0), all_alive),
+            vec![SiteId(0), SiteId(1)]
+        );
     }
 
     #[test]

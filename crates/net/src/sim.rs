@@ -209,7 +209,13 @@ impl SimNet {
     /// Schedules every event of a failure plan.
     pub fn apply_failure_plan(&mut self, plan: &FailurePlan) {
         for ev in plan.events() {
-            self.push(ev.at, Pending::Failure { site: ev.site, action: ev.action });
+            self.push(
+                ev.at,
+                Pending::Failure {
+                    site: ev.site,
+                    action: ev.action,
+                },
+            );
         }
     }
 
@@ -259,7 +265,13 @@ impl SimNet {
     /// Local sends (`from == to`) are delivered after a fixed small kernel
     /// overhead without touching the network counters.
     pub fn send(&mut self, opts: SendOptions) -> Result<MessageId, NetError> {
-        let SendOptions { from, to, payload, kind, transport } = opts;
+        let SendOptions {
+            from,
+            to,
+            payload,
+            kind,
+            transport,
+        } = opts;
         let sites = self.site_count();
         if from.0 >= sites {
             return Err(NetError::UnknownSite(from));
@@ -547,11 +559,8 @@ mod tests {
     #[test]
     fn scheduled_failure_plan_surfaces_events() {
         let mut net = mesh(2);
-        let plan = FailurePlan::none().outage(
-            SiteId(1),
-            SimTime(1_000),
-            Duration::from_micros(500),
-        );
+        let plan =
+            FailurePlan::none().outage(SiteId(1), SimTime(1_000), Duration::from_micros(500));
         net.apply_failure_plan(&plan);
         assert_eq!(net.step(), Some(Event::SiteCrashed(SiteId(1))));
         assert!(!net.is_up(SiteId(1)));
@@ -577,8 +586,20 @@ mod tests {
         net.schedule_timer(SiteId(0), Duration::from_millis(5), 7);
         net.schedule_timer(SiteId(1), Duration::from_millis(1), 9);
         net.schedule_timer(SiteId(1), Duration::from_millis(10), 11);
-        assert_eq!(net.step(), Some(Event::Timer { site: SiteId(1), key: 9 }));
-        assert_eq!(net.step(), Some(Event::Timer { site: SiteId(0), key: 7 }));
+        assert_eq!(
+            net.step(),
+            Some(Event::Timer {
+                site: SiteId(1),
+                key: 9
+            })
+        );
+        assert_eq!(
+            net.step(),
+            Some(Event::Timer {
+                site: SiteId(0),
+                key: 7
+            })
+        );
         net.crash_now(SiteId(1));
         assert!(net.step().is_none(), "timer on dead site is discarded");
     }
@@ -607,7 +628,13 @@ mod tests {
                 transport: TransportKind::Tcp,
             })
             .unwrap_err();
-        assert_eq!(err, NetError::Unreachable { from: SiteId(1), to: SiteId(2) });
+        assert_eq!(
+            err,
+            NetError::Unreachable {
+                from: SiteId(1),
+                to: SiteId(2)
+            }
+        );
     }
 
     #[test]
@@ -625,7 +652,13 @@ mod tests {
                 transport: TransportKind::Tcp,
             })
             .unwrap_err();
-        assert_eq!(err, NetError::Unreachable { from: SiteId(0), to: SiteId(3) });
+        assert_eq!(
+            err,
+            NetError::Unreachable {
+                from: SiteId(0),
+                to: SiteId(3)
+            }
+        );
         // Inside the partition traffic still flows.
         assert!(net
             .send(SendOptions {

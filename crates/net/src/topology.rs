@@ -146,7 +146,12 @@ impl Topology {
 
     /// A random connected graph with roughly `extra_edges` edges beyond a
     /// spanning tree, generated deterministically from `rng`.
-    pub fn random_connected(sites: u32, extra_edges: u32, spec: LinkSpec, rng: &mut DetRng) -> Self {
+    pub fn random_connected(
+        sites: u32,
+        extra_edges: u32,
+        spec: LinkSpec,
+        rng: &mut DetRng,
+    ) -> Self {
         let mut t = Topology::empty(sites);
         t.kind = TopologyKind::Random;
         if sites == 0 {
@@ -278,7 +283,10 @@ mod tests {
         assert_eq!(t.link_count(), 6);
         assert!(t.is_connected());
         assert_eq!(t.kind(), TopologyKind::FullMesh);
-        assert_eq!(t.neighbors(SiteId(0)), vec![SiteId(1), SiteId(2), SiteId(3)]);
+        assert_eq!(
+            t.neighbors(SiteId(0)),
+            vec![SiteId(1), SiteId(2), SiteId(3)]
+        );
     }
 
     #[test]
@@ -323,7 +331,10 @@ mod tests {
         let mut rng = DetRng::new(42);
         for sites in [1u32, 2, 5, 16, 40] {
             let t = Topology::random_connected(sites, sites / 2, LinkSpec::default(), &mut rng);
-            assert!(t.is_connected(), "random topology with {sites} sites must be connected");
+            assert!(
+                t.is_connected(),
+                "random topology with {sites} sites must be connected"
+            );
             assert!(t.link_count() >= sites.saturating_sub(1) as usize);
         }
     }

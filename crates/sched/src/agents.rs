@@ -110,7 +110,9 @@ impl Agent for BrokerAgent {
                 }
                 Ok(reply)
             }
-            other => Err(TacomaError::Refused(format!("unknown broker request '{other}'"))),
+            other => Err(TacomaError::Refused(format!(
+                "unknown broker request '{other}'"
+            ))),
         }
     }
 }
@@ -296,7 +298,9 @@ impl Agent for WorkerAgent {
             return Ok(Briefcase::new());
         }
         // Otherwise: a job submission.
-        let job_id = bc.peek_string(JOB).ok_or_else(|| TacomaError::missing(JOB))?;
+        let job_id = bc
+            .peek_string(JOB)
+            .ok_or_else(|| TacomaError::missing(JOB))?;
         let size_ms = bc
             .peek_string(JOB_SIZE)
             .and_then(|s| s.parse::<u64>().ok())
@@ -344,7 +348,11 @@ mod tests {
     fn worker_requires_a_ticket() {
         let mut sys = worker_system(1.0);
         let err = sys
-            .try_direct_meet(SiteId(0), &AgentName::new("worker"), job_briefcase("j", 10, false))
+            .try_direct_meet(
+                SiteId(0),
+                &AgentName::new("worker"),
+                job_briefcase("j", 10, false),
+            )
             .unwrap_err();
         assert!(matches!(err, TacomaError::Refused(_)));
     }
@@ -376,7 +384,11 @@ mod tests {
         let mut slow = worker_system(1.0);
         let mut fast = worker_system(4.0);
         for sys in [&mut slow, &mut fast] {
-            sys.inject_meet(SiteId(0), AgentName::new("worker"), job_briefcase("j", 200, true));
+            sys.inject_meet(
+                SiteId(0),
+                AgentName::new("worker"),
+                job_briefcase("j", 200, true),
+            );
             sys.run_until_quiescent(10_000);
         }
         assert!(fast.now() < slow.now());
@@ -397,22 +409,30 @@ mod tests {
     fn ticket_agent_issues_unique_tickets() {
         let mut sys = worker_system(1.0);
         let a = sys
-            .try_direct_meet(SiteId(0), &AgentName::new(wellknown::TICKET), Briefcase::new())
+            .try_direct_meet(
+                SiteId(0),
+                &AgentName::new(wellknown::TICKET),
+                Briefcase::new(),
+            )
             .unwrap();
         let b = sys
-            .try_direct_meet(SiteId(0), &AgentName::new(wellknown::TICKET), Briefcase::new())
+            .try_direct_meet(
+                SiteId(0),
+                &AgentName::new(wellknown::TICKET),
+                Briefcase::new(),
+            )
             .unwrap();
-        assert_ne!(
-            a.peek_string(TICKET_FOLDER),
-            b.peek_string(TICKET_FOLDER)
-        );
+        assert_ne!(a.peek_string(TICKET_FOLDER), b.peek_string(TICKET_FOLDER));
     }
 
     #[test]
     fn broker_places_jobs_on_registered_providers() {
         // Site 0: broker + ticket.  Sites 1, 2: workers + monitors.
         let mut sys = TacomaSystem::new(Topology::full_mesh(3, LinkSpec::default()), 2);
-        sys.register_agent(SiteId(0), Box::new(BrokerAgent::new(PlacementPolicy::LoadBased)));
+        sys.register_agent(
+            SiteId(0),
+            Box::new(BrokerAgent::new(PlacementPolicy::LoadBased)),
+        );
         sys.register_agent(SiteId(0), Box::new(TicketAgent::new()));
         for s in [1u32, 2] {
             sys.register_agent(SiteId(s), Box::new(WorkerAgent::new(1.0)));
@@ -454,7 +474,10 @@ mod tests {
     #[test]
     fn broker_with_no_providers_refuses() {
         let mut sys = TacomaSystem::new(Topology::full_mesh(1, LinkSpec::default()), 2);
-        sys.register_agent(SiteId(0), Box::new(BrokerAgent::new(PlacementPolicy::Random)));
+        sys.register_agent(
+            SiteId(0),
+            Box::new(BrokerAgent::new(PlacementPolicy::Random)),
+        );
         let mut bc = Briefcase::new();
         bc.put_string(REQUEST, "lookup");
         let err = sys

@@ -5,7 +5,9 @@
 //! submits a stream of jobs with exponential inter-arrival times, and reports
 //! makespan, queueing waits and load imbalance for a given placement policy.
 
-use crate::agents::{BrokerAgent, MonitorAgent, TicketAgent, WorkerAgent, DONE, JOB, JOBS_CABINET, JOB_SIZE, REQUEST};
+use crate::agents::{
+    BrokerAgent, MonitorAgent, TicketAgent, WorkerAgent, DONE, JOB, JOBS_CABINET, JOB_SIZE, REQUEST,
+};
 use crate::policy::PlacementPolicy;
 use tacoma_core::prelude::*;
 use tacoma_core::TacomaSystem;
@@ -210,7 +212,11 @@ pub fn run_scheduling_experiment(config: &SchedulingConfig) -> SchedulingResult 
         mean_wait_ms: waits.mean(),
         p95_wait_ms: waits.percentile(95.0),
         per_provider,
-        imbalance: if mean_jobs > 0.0 { max_jobs / mean_jobs } else { 0.0 },
+        imbalance: if mean_jobs > 0.0 {
+            max_jobs / mean_jobs
+        } else {
+            0.0
+        },
         network_bytes: sys.net_metrics().total_bytes().get(),
     }
 }

@@ -56,20 +56,53 @@ mod tests {
 
     #[test]
     fn expected_wait_orders_sites_sensibly() {
-        let idle_fast = LoadReport { site: SiteId(0), queue_len: 0, capacity: 4.0, at_micros: 0 };
-        let busy_fast = LoadReport { site: SiteId(1), queue_len: 8, capacity: 4.0, at_micros: 0 };
-        let idle_slow = LoadReport { site: SiteId(2), queue_len: 0, capacity: 1.0, at_micros: 0 };
-        let busy_slow = LoadReport { site: SiteId(3), queue_len: 8, capacity: 1.0, at_micros: 0 };
+        let idle_fast = LoadReport {
+            site: SiteId(0),
+            queue_len: 0,
+            capacity: 4.0,
+            at_micros: 0,
+        };
+        let busy_fast = LoadReport {
+            site: SiteId(1),
+            queue_len: 8,
+            capacity: 4.0,
+            at_micros: 0,
+        };
+        let idle_slow = LoadReport {
+            site: SiteId(2),
+            queue_len: 0,
+            capacity: 1.0,
+            at_micros: 0,
+        };
+        let busy_slow = LoadReport {
+            site: SiteId(3),
+            queue_len: 8,
+            capacity: 1.0,
+            at_micros: 0,
+        };
         assert!(idle_fast.expected_wait() <= idle_slow.expected_wait());
         assert!(busy_fast.expected_wait() < busy_slow.expected_wait());
-        assert!(idle_slow.expected_wait() < busy_fast.expected_wait() || idle_slow.expected_wait() == 0.0);
-        let broken = LoadReport { site: SiteId(4), queue_len: 1, capacity: 0.0, at_micros: 0 };
+        assert!(
+            idle_slow.expected_wait() < busy_fast.expected_wait()
+                || idle_slow.expected_wait() == 0.0
+        );
+        let broken = LoadReport {
+            site: SiteId(4),
+            queue_len: 1,
+            capacity: 0.0,
+            at_micros: 0,
+        };
         assert!(broken.expected_wait().is_infinite());
     }
 
     #[test]
     fn briefcase_round_trip() {
-        let r = LoadReport { site: SiteId(7), queue_len: 3, capacity: 2.5, at_micros: 42 };
+        let r = LoadReport {
+            site: SiteId(7),
+            queue_len: 3,
+            capacity: 2.5,
+            at_micros: 42,
+        };
         let parsed = LoadReport::from_briefcase(&r.to_briefcase()).unwrap();
         assert_eq!(parsed, r);
         assert!(LoadReport::from_briefcase(&Briefcase::new()).is_none());

@@ -73,9 +73,7 @@ impl PlacementPolicy {
                 *rr_counter += 1;
                 reports[idx].site
             }
-            PlacementPolicy::ShortestQueue => {
-                reports.iter().min_by_key(|r| r.queue_len)?.site
-            }
+            PlacementPolicy::ShortestQueue => reports.iter().min_by_key(|r| r.queue_len)?.site,
         };
         Some(site)
     }
@@ -87,9 +85,24 @@ mod tests {
 
     fn reports() -> Vec<LoadReport> {
         vec![
-            LoadReport { site: SiteId(1), queue_len: 4, capacity: 8.0, at_micros: 0 }, // wait 0.5
-            LoadReport { site: SiteId(2), queue_len: 1, capacity: 1.0, at_micros: 0 }, // wait 1.0
-            LoadReport { site: SiteId(3), queue_len: 3, capacity: 2.0, at_micros: 0 }, // wait 1.5
+            LoadReport {
+                site: SiteId(1),
+                queue_len: 4,
+                capacity: 8.0,
+                at_micros: 0,
+            }, // wait 0.5
+            LoadReport {
+                site: SiteId(2),
+                queue_len: 1,
+                capacity: 1.0,
+                at_micros: 0,
+            }, // wait 1.0
+            LoadReport {
+                site: SiteId(3),
+                queue_len: 3,
+                capacity: 2.0,
+                at_micros: 0,
+            }, // wait 1.5
         ]
     }
 
@@ -129,18 +142,28 @@ mod tests {
             let mut rng = DetRng::new(9);
             let mut rr = 0;
             (0..20)
-                .map(|_| PlacementPolicy::Random.choose(&reports(), &mut rng, &mut rr).unwrap())
+                .map(|_| {
+                    PlacementPolicy::Random
+                        .choose(&reports(), &mut rng, &mut rr)
+                        .unwrap()
+                })
                 .collect()
         };
         let again: Vec<SiteId> = {
             let mut rng = DetRng::new(9);
             let mut rr = 0;
             (0..20)
-                .map(|_| PlacementPolicy::Random.choose(&reports(), &mut rng, &mut rr).unwrap())
+                .map(|_| {
+                    PlacementPolicy::Random
+                        .choose(&reports(), &mut rng, &mut rr)
+                        .unwrap()
+                })
                 .collect()
         };
         assert_eq!(sites, again);
-        assert!(sites.iter().all(|s| [SiteId(1), SiteId(2), SiteId(3)].contains(s)));
+        assert!(sites
+            .iter()
+            .all(|s| [SiteId(1), SiteId(2), SiteId(3)].contains(s)));
     }
 
     #[test]

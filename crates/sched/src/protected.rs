@@ -111,7 +111,11 @@ impl Agent for ProtectedBrokerAgent {
 
 /// Generates an unguessable registered name for a protected agent.
 pub fn secret_agent_name(rng: &mut tacoma_util::DetRng, hint: &str) -> AgentName {
-    AgentName::new(format!("protected-{hint}-{:016x}{:016x}", rng.next_u64(), rng.next_u64()))
+    AgentName::new(format!(
+        "protected-{hint}-{:016x}{:016x}",
+        rng.next_u64(),
+        rng.next_u64()
+    ))
 }
 
 #[cfg(test)]
@@ -160,7 +164,11 @@ mod tests {
         );
         sys.register_agent(
             SiteId(0),
-            Box::new(ProtectedBrokerAgent::new("oracle_broker", secret.clone(), policy)),
+            Box::new(ProtectedBrokerAgent::new(
+                "oracle_broker",
+                secret.clone(),
+                policy,
+            )),
         );
         (sys, secret)
     }
@@ -180,7 +188,11 @@ mod tests {
             .unwrap();
         assert_eq!(reply.peek_string("ANSWER").as_deref(), Some("42"));
         // The request was queued in the meetings cabinet.
-        let cab = sys.place(SiteId(0)).cabinets().get(MEETINGS_CABINET).unwrap();
+        let cab = sys
+            .place(SiteId(0))
+            .cabinets()
+            .get(MEETINGS_CABINET)
+            .unwrap();
         assert!(cab.folder_ref("QUEUE_alice").is_some());
     }
 
@@ -200,7 +212,9 @@ mod tests {
         // The protection is by secrecy of the name (as in the paper), not by a
         // reference monitor: if the name leaks, direct meets work.
         let (mut sys, secret) = setup(AdmissionPolicy::AllowAll);
-        assert!(sys.try_direct_meet(SiteId(0), &secret, ask("insider")).is_ok());
+        assert!(sys
+            .try_direct_meet(SiteId(0), &secret, ask("insider"))
+            .is_ok());
     }
 
     #[test]
@@ -213,15 +227,26 @@ mod tests {
             .try_direct_meet(SiteId(0), &AgentName::new("oracle_broker"), ask("mallory"))
             .unwrap_err();
         assert!(matches!(err, TacomaError::Refused(_)));
-        let cab = sys.place(SiteId(0)).cabinets().get(MEETINGS_CABINET).unwrap();
-        assert!(cab.folder_ref("QUEUE_mallory").is_some(), "denied requests are still recorded");
+        let cab = sys
+            .place(SiteId(0))
+            .cabinets()
+            .get(MEETINGS_CABINET)
+            .unwrap();
+        assert!(
+            cab.folder_ref("QUEUE_mallory").is_some(),
+            "denied requests are still recorded"
+        );
     }
 
     #[test]
     fn missing_requester_folder_is_rejected() {
         let (mut sys, _) = setup(AdmissionPolicy::AllowAll);
         let err = sys
-            .try_direct_meet(SiteId(0), &AgentName::new("oracle_broker"), Briefcase::new())
+            .try_direct_meet(
+                SiteId(0),
+                &AgentName::new("oracle_broker"),
+                Briefcase::new(),
+            )
             .unwrap_err();
         assert!(matches!(err, TacomaError::MissingFolder(_)));
     }

@@ -120,7 +120,12 @@ impl ScriptHost for NullHost {
     fn move_to(&mut self, _site: u64, _contact: &str) -> Result<(), String> {
         Err("no host: cannot migrate".into())
     }
-    fn send_remote(&mut self, _site: u64, _contact: &str, _folders: &[String]) -> Result<(), String> {
+    fn send_remote(
+        &mut self,
+        _site: u64,
+        _contact: &str,
+        _folders: &[String],
+    ) -> Result<(), String> {
         Err("no host: cannot send".into())
     }
     fn site(&self) -> u64 {
@@ -191,7 +196,10 @@ impl ScriptHost for RecordingHost {
         self.briefcase.insert(folder.into(), vec![value.into()]);
     }
     fn bc_push(&mut self, folder: &str, value: &str) {
-        self.briefcase.entry(folder.into()).or_default().push(value.into());
+        self.briefcase
+            .entry(folder.into())
+            .or_default()
+            .push(value.into());
     }
     fn bc_pop(&mut self, folder: &str) -> Option<String> {
         self.briefcase.get_mut(folder)?.pop()
@@ -232,7 +240,9 @@ impl ScriptHost for RecordingHost {
             .unwrap_or_default()
     }
     fn cab_pop(&mut self, cabinet: &str, folder: &str) -> Option<String> {
-        self.cabinets.get_mut(&(cabinet.into(), folder.into()))?.pop()
+        self.cabinets
+            .get_mut(&(cabinet.into(), folder.into()))?
+            .pop()
     }
     fn meet(&mut self, agent: &str) -> Result<(), String> {
         self.calls.push(HostCall::Meet(agent.into()));

@@ -208,14 +208,20 @@ impl<'h> Interp<'h> {
     }
 
     #[allow(clippy::too_many_lines)]
-    fn invoke(&mut self, name: &str, args: &[String], line: u32, depth: u32) -> Result<Flow, ScriptError> {
+    fn invoke(
+        &mut self,
+        name: &str,
+        args: &[String],
+        line: u32,
+        depth: u32,
+    ) -> Result<Flow, ScriptError> {
         match name {
             // --- variables & values ------------------------------------------
             "set" => match args {
                 [var] => {
-                    let v = self
-                        .get_var(var)
-                        .ok_or_else(|| ScriptError::Runtime(format!("undefined variable '{var}'")))?;
+                    let v = self.get_var(var).ok_or_else(|| {
+                        ScriptError::Runtime(format!("undefined variable '{var}'"))
+                    })?;
                     Ok(Flow::Normal(v.to_string()))
                 }
                 [var, value] => {
@@ -240,7 +246,9 @@ impl<'h> Interp<'h> {
                     [var, amount] => (
                         var,
                         as_int(amount).ok_or_else(|| {
-                            ScriptError::Runtime(format!("incr amount '{amount}' is not an integer"))
+                            ScriptError::Runtime(format!(
+                                "incr amount '{amount}' is not an integer"
+                            ))
                         })?,
                     ),
                     _ => return Err(Self::arity_err("incr", "name ?amount?", line)),
@@ -401,7 +409,9 @@ impl<'h> Interp<'h> {
                 _ => Err(Self::arity_err("bc_pop", "folder", line)),
             },
             "bc_dequeue" => match args {
-                [folder] => Ok(Flow::Normal(self.host.bc_dequeue(folder).unwrap_or_default())),
+                [folder] => Ok(Flow::Normal(
+                    self.host.bc_dequeue(folder).unwrap_or_default(),
+                )),
                 _ => Err(Self::arity_err("bc_dequeue", "folder", line)),
             },
             "bc_peek" => match args {
@@ -433,9 +443,18 @@ impl<'h> Interp<'h> {
             },
             "cab_contains" => match args {
                 [cabinet, folder, value] => Ok(Flow::Normal(
-                    if self.host.cab_contains(cabinet, folder, value) { "1" } else { "0" }.into(),
+                    if self.host.cab_contains(cabinet, folder, value) {
+                        "1"
+                    } else {
+                        "0"
+                    }
+                    .into(),
                 )),
-                _ => Err(Self::arity_err("cab_contains", "cabinet folder value", line)),
+                _ => Err(Self::arity_err(
+                    "cab_contains",
+                    "cabinet folder value",
+                    line,
+                )),
             },
             "cab_list" => match args {
                 [cabinet, folder] => Ok(Flow::Normal(format_list(
@@ -467,7 +486,9 @@ impl<'h> Interp<'h> {
                     self.host
                         .move_to(site_num as u64, contact)
                         .map(|_| Flow::Normal(String::new()))
-                        .map_err(|e| ScriptError::Runtime(format!("line {line}: move_to failed: {e}")))
+                        .map_err(|e| {
+                            ScriptError::Runtime(format!("line {line}: move_to failed: {e}"))
+                        })
                 }
                 _ => Err(Self::arity_err("move_to", "site ?contact?", line)),
             },
@@ -483,7 +504,11 @@ impl<'h> Interp<'h> {
                             ScriptError::Runtime(format!("line {line}: send_remote failed: {e}"))
                         })
                 }
-                _ => Err(Self::arity_err("send_remote", "site contact ?folder ...?", line)),
+                _ => Err(Self::arity_err(
+                    "send_remote",
+                    "site contact ?folder ...?",
+                    line,
+                )),
             },
             // --- TACOMA environment --------------------------------------------
             "my_site" => Ok(Flow::Normal(self.host.site().to_string())),
@@ -692,9 +717,7 @@ impl<'h> Interp<'h> {
             [op, s] if op == "toupper" => Ok(Flow::Normal(s.to_uppercase())),
             [op, s] if op == "tolower" => Ok(Flow::Normal(s.to_lowercase())),
             [op, s] if op == "trim" => Ok(Flow::Normal(s.trim().to_string())),
-            [op, a, b] if op == "equal" => {
-                Ok(Flow::Normal(if a == b { "1" } else { "0" }.into()))
-            }
+            [op, a, b] if op == "equal" => Ok(Flow::Normal(if a == b { "1" } else { "0" }.into())),
             [op, needle, hay] if op == "first" => Ok(Flow::Normal(
                 hay.find(needle.as_str())
                     .map(|i| i.to_string())
@@ -722,7 +745,13 @@ impl<'h> Interp<'h> {
         }
     }
 
-    fn call_proc(&mut self, name: &str, args: &[String], line: u32, depth: u32) -> Result<Flow, ScriptError> {
+    fn call_proc(
+        &mut self,
+        name: &str,
+        args: &[String],
+        line: u32,
+        depth: u32,
+    ) -> Result<Flow, ScriptError> {
         let Some(def) = self.procs.get(name).cloned() else {
             return Err(ScriptError::Runtime(format!(
                 "line {line}: unknown command '{name}'"
@@ -805,8 +834,14 @@ mod tests {
 
     #[test]
     fn if_elseif_else() {
-        assert_eq!(run("set x 5; if {$x > 3} { set r big } else { set r small }"), "big");
-        assert_eq!(run("set x 2; if {$x > 3} { set r big } else { set r small }"), "small");
+        assert_eq!(
+            run("set x 5; if {$x > 3} { set r big } else { set r small }"),
+            "big"
+        );
+        assert_eq!(
+            run("set x 2; if {$x > 3} { set r big } else { set r small }"),
+            "small"
+        );
         assert_eq!(
             run("set x 3; if {$x > 5} {set r a} elseif {$x > 2} {set r b} else {set r c}"),
             "b"
@@ -888,7 +923,10 @@ mod tests {
         assert_eq!(run("llength {a b {c d}}"), "3");
         assert_eq!(run("lindex {a b c} 1"), "b");
         assert_eq!(run("lindex {a b c} 9"), "");
-        assert_eq!(run("set l {}; lappend l x; lappend l {y z}; set l"), "x {y z}");
+        assert_eq!(
+            run("set l {}; lappend l x; lappend l {y z}; set l"),
+            "x {y z}"
+        );
         assert_eq!(run("lrange {a b c d e} 1 3"), "b c d");
         assert_eq!(run("lrange {a b c} 1 end"), "b c");
         assert_eq!(run("join {a b c} -"), "a-b-c");
@@ -915,7 +953,10 @@ mod tests {
     fn catch_and_error() {
         assert_eq!(run("catch {error boom}"), "1");
         assert_eq!(run("catch {expr 1 + 1}"), "0");
-        assert_eq!(run("catch {error boom} msg; set msg"), "runtime error: boom");
+        assert_eq!(
+            run("catch {error boom} msg; set msg"),
+            "runtime error: boom"
+        );
         assert_eq!(run("catch {expr 2 + 2} v; set v"), "4");
     }
 
@@ -977,7 +1018,10 @@ mod tests {
     fn meet_failure_is_a_runtime_error_catchable() {
         let mut host = RecordingHost::new();
         assert!(run_with(&mut host, "meet ghost").is_err());
-        assert_eq!(run_with(&mut host, "catch {meet ghost}").unwrap().result, "1");
+        assert_eq!(
+            run_with(&mut host, "catch {meet ghost}").unwrap().result,
+            "1"
+        );
     }
 
     #[test]
@@ -1030,7 +1074,10 @@ mod tests {
         let err = interp
             .run("proc f {n} { f [expr $n + 1] }\nf 0")
             .unwrap_err();
-        assert!(matches!(err, ScriptError::Runtime(_) | ScriptError::BudgetExceeded));
+        assert!(matches!(
+            err,
+            ScriptError::Runtime(_) | ScriptError::BudgetExceeded
+        ));
     }
 
     #[test]
@@ -1038,7 +1085,10 @@ mod tests {
         let mut host = RecordingHost::new();
         let mut interp = Interp::new(&mut host);
         interp.set_var("who", "tacoma");
-        assert_eq!(interp.run("set greeting \"hi $who\"").unwrap().result, "hi tacoma");
+        assert_eq!(
+            interp.run("set greeting \"hi $who\"").unwrap().result,
+            "hi tacoma"
+        );
         assert_eq!(interp.get_var("who"), Some("tacoma"));
         assert_eq!(interp.get_var("nope"), None);
     }
@@ -1047,7 +1097,10 @@ mod tests {
     fn parse_errors_are_reported() {
         let mut host = NullHost;
         let mut interp = Interp::new(&mut host);
-        assert!(matches!(interp.run("set x {oops"), Err(ScriptError::Parse(_))));
+        assert!(matches!(
+            interp.run("set x {oops"),
+            Err(ScriptError::Parse(_))
+        ));
     }
 
     #[test]

@@ -468,6 +468,8 @@ mod tests {
     #[test]
     fn empty_script_is_ok() {
         assert!(parse_script("").unwrap().is_empty());
-        assert!(parse_script("   \n # only a comment \n").unwrap().is_empty());
+        assert!(parse_script("   \n # only a comment \n")
+            .unwrap()
+            .is_empty());
     }
 }

@@ -1,0 +1,518 @@
+//! A minimal, deterministic JSON value type with a writer and parser.
+//!
+//! The workspace's `serde` is an offline no-op shim (see `shims/serde`), so
+//! the bench report layer serializes through this hand-rolled module instead.
+//! Two properties matter more than generality here:
+//!
+//! 1. **Determinism** — objects preserve insertion order and the writer is
+//!    byte-stable, so the same report always serializes to the same bytes
+//!    (the regression gate diffs reports byte-for-byte in tests).
+//! 2. **Round-trip fidelity** — `u64` counters are kept exact (not routed
+//!    through `f64`), and float formatting uses Rust's shortest round-trip
+//!    representation.
+//!
+//! Non-finite floats have no JSON representation and are written as `null`.
+
+use std::fmt;
+
+/// A JSON document fragment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer, kept exact (counters, byte totals).
+    Uint(u64),
+    /// A negative integer.
+    Int(i64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object; insertion-ordered so serialization is deterministic.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Creates an empty object.
+    pub fn object() -> Json {
+        Json::Object(Vec::new())
+    }
+
+    /// Appends `key: value` to an object (panics on non-objects — builder use
+    /// only).
+    pub fn set(&mut self, key: impl Into<String>, value: Json) {
+        match self {
+            Json::Object(pairs) => pairs.push((key.into(), value)),
+            _ => panic!("Json::set on a non-object"),
+        }
+    }
+
+    /// Looks up a key in an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64` if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Json::Uint(n) => Some(n),
+            Json::Int(n) if n >= 0 => Some(n as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64` if it is any number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Json::Uint(n) => Some(n as f64),
+            Json::Int(n) => Some(n as f64),
+            Json::Float(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Json::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value as object pairs.
+    pub fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Object(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    /// Serializes with two-space indentation and a trailing newline.
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Uint(n) => out.push_str(&n.to_string()),
+            Json::Int(n) => out.push_str(&n.to_string()),
+            Json::Float(f) => {
+                if f.is_finite() {
+                    // `{}` on f64 is the shortest representation that parses
+                    // back to the same bits, so writing is deterministic and
+                    // the round trip is exact.
+                    let s = format!("{f}");
+                    out.push_str(&s);
+                    // Keep floats distinguishable from integers on re-parse.
+                    if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+                        out.push_str(".0");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    indent(out, depth + 1);
+                    item.write(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push(']');
+            }
+            Json::Object(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    indent(out, depth + 1);
+                    write_escaped(out, key);
+                    out.push_str(": ");
+                    value.write(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses a JSON document, requiring it to span the whole input.
+    pub fn parse(input: &str) -> Result<Json, JsonError> {
+        let mut p = Parser {
+            chars: input.char_indices().peekable(),
+            input,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if let Some(&(pos, _)) = p.chars.peek() {
+            return Err(JsonError::at(pos, "trailing characters after document"));
+        }
+        Ok(value)
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A parse failure with a byte offset into the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the failure.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl JsonError {
+    fn at(offset: usize, message: impl Into<String>) -> JsonError {
+        JsonError {
+            offset,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+struct Parser<'a> {
+    chars: std::iter::Peekable<std::str::CharIndices<'a>>,
+    input: &'a str,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.chars.peek(), Some(&(_, c)) if c.is_ascii_whitespace()) {
+            self.chars.next();
+        }
+    }
+
+    fn pos(&mut self) -> usize {
+        self.chars
+            .peek()
+            .map(|&(i, _)| i)
+            .unwrap_or(self.input.len())
+    }
+
+    fn expect(&mut self, want: char) -> Result<(), JsonError> {
+        match self.chars.next() {
+            Some((_, c)) if c == want => Ok(()),
+            Some((i, c)) => Err(JsonError::at(i, format!("expected '{want}', found '{c}'"))),
+            None => Err(JsonError::at(
+                self.input.len(),
+                format!("expected '{want}', found end of input"),
+            )),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        for want in word.chars() {
+            self.expect(want)?;
+        }
+        Ok(value)
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        match self.chars.peek() {
+            Some(&(_, 'n')) => self.literal("null", Json::Null),
+            Some(&(_, 't')) => self.literal("true", Json::Bool(true)),
+            Some(&(_, 'f')) => self.literal("false", Json::Bool(false)),
+            Some(&(_, '"')) => Ok(Json::Str(self.string()?)),
+            Some(&(_, '[')) => self.array(),
+            Some(&(_, '{')) => self.object(),
+            Some(&(_, c)) if c == '-' || c.is_ascii_digit() => self.number(),
+            Some(&(i, c)) => Err(JsonError::at(i, format!("unexpected character '{c}'"))),
+            None => Err(JsonError::at(self.input.len(), "unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.expect('[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if matches!(self.chars.peek(), Some(&(_, ']'))) {
+            self.chars.next();
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.chars.next() {
+                Some((_, ',')) => continue,
+                Some((_, ']')) => return Ok(Json::Array(items)),
+                Some((i, c)) => {
+                    return Err(JsonError::at(
+                        i,
+                        format!("expected ',' or ']', found '{c}'"),
+                    ))
+                }
+                None => return Err(JsonError::at(self.input.len(), "unterminated array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.expect('{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if matches!(self.chars.peek(), Some(&(_, '}'))) {
+            self.chars.next();
+            return Ok(Json::Object(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.chars.next() {
+                Some((_, ',')) => continue,
+                Some((_, '}')) => return Ok(Json::Object(pairs)),
+                Some((i, c)) => {
+                    return Err(JsonError::at(
+                        i,
+                        format!("expected ',' or '}}', found '{c}'"),
+                    ))
+                }
+                None => return Err(JsonError::at(self.input.len(), "unterminated object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.chars.next() {
+                Some((_, '"')) => return Ok(out),
+                Some((i, '\\')) => match self.chars.next() {
+                    Some((_, '"')) => out.push('"'),
+                    Some((_, '\\')) => out.push('\\'),
+                    Some((_, '/')) => out.push('/'),
+                    Some((_, 'n')) => out.push('\n'),
+                    Some((_, 'r')) => out.push('\r'),
+                    Some((_, 't')) => out.push('\t'),
+                    Some((_, 'b')) => out.push('\u{8}'),
+                    Some((_, 'f')) => out.push('\u{c}'),
+                    Some((_, 'u')) => out.push(self.unicode_escape(i)?),
+                    Some((i, c)) => {
+                        return Err(JsonError::at(i, format!("invalid escape '\\{c}'")))
+                    }
+                    None => return Err(JsonError::at(self.input.len(), "unterminated escape")),
+                },
+                Some((_, c)) => out.push(c),
+                None => return Err(JsonError::at(self.input.len(), "unterminated string")),
+            }
+        }
+    }
+
+    fn hex4(&mut self, start: usize) -> Result<u32, JsonError> {
+        let mut code = 0u32;
+        for _ in 0..4 {
+            match self.chars.next().and_then(|(_, c)| c.to_digit(16)) {
+                Some(d) => code = code * 16 + d,
+                None => return Err(JsonError::at(start, "invalid \\u escape")),
+            }
+        }
+        Ok(code)
+    }
+
+    fn unicode_escape(&mut self, start: usize) -> Result<char, JsonError> {
+        let hi = self.hex4(start)?;
+        if (0xD800..0xDC00).contains(&hi) {
+            // Surrogate pair: expect a trailing \uXXXX low surrogate.
+            self.expect('\\')?;
+            self.expect('u')?;
+            let lo = self.hex4(start)?;
+            if !(0xDC00..0xE000).contains(&lo) {
+                return Err(JsonError::at(start, "unpaired surrogate"));
+            }
+            let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+            return char::from_u32(code)
+                .ok_or_else(|| JsonError::at(start, "invalid surrogate pair"));
+        }
+        char::from_u32(hi).ok_or_else(|| JsonError::at(start, "invalid \\u escape"))
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos();
+        let mut is_float = false;
+        if matches!(self.chars.peek(), Some(&(_, '-'))) {
+            self.chars.next();
+        }
+        while let Some(&(_, c)) = self.chars.peek() {
+            match c {
+                '0'..='9' => {
+                    self.chars.next();
+                }
+                '.' | 'e' | 'E' | '+' | '-' => {
+                    is_float = true;
+                    self.chars.next();
+                }
+                _ => break,
+            }
+        }
+        let end = self.pos();
+        let text = &self.input[start..end];
+        if !is_float {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Json::Uint(n));
+            }
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Json::Int(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::Float)
+            .map_err(|_| JsonError::at(start, format!("invalid number '{text}'")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_a_nested_document() {
+        let mut metrics = Json::object();
+        metrics.set("bytes", Json::Uint(u64::MAX));
+        metrics.set("wait_ms", Json::Float(21.375));
+        metrics.set("label", Json::Str("15.3× — \"saving\"\n".into()));
+        let mut doc = Json::object();
+        doc.set("schema", Json::Uint(1));
+        doc.set("ok", Json::Bool(true));
+        doc.set("none", Json::Null);
+        doc.set("neg", Json::Int(-42));
+        doc.set("metrics", metrics);
+        doc.set("rows", Json::Array(vec![Json::Uint(1), Json::Uint(2)]));
+        let text = doc.to_pretty();
+        let parsed = Json::parse(&text).unwrap();
+        assert_eq!(parsed, doc);
+        // The writer is byte-stable across round trips.
+        assert_eq!(parsed.to_pretty(), text);
+    }
+
+    #[test]
+    fn u64_counters_stay_exact() {
+        let big = u64::MAX - 1;
+        let parsed = Json::parse(&big.to_string()).unwrap();
+        assert_eq!(parsed.as_u64(), Some(big));
+    }
+
+    #[test]
+    fn floats_stay_floats_through_the_round_trip() {
+        let text = Json::Float(3.0).to_pretty();
+        assert_eq!(text.trim(), "3.0");
+        assert_eq!(Json::parse(&text).unwrap(), Json::Float(3.0));
+    }
+
+    #[test]
+    fn parses_escapes_and_surrogates() {
+        let parsed = Json::parse(r#""aéb 😀 \n""#).unwrap();
+        assert_eq!(parsed.as_str(), Some("aéb 😀 \n"));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "{",
+            "[1,",
+            "{\"a\" 1}",
+            "tru",
+            "1 2",
+            "\"unterminated",
+            "{\"a\":}",
+        ] {
+            assert!(Json::parse(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn object_get_and_accessors() {
+        let doc = Json::parse(r#"{"a": 1, "b": [true], "c": "x", "f": 1.5}"#).unwrap();
+        assert_eq!(doc.get("a").and_then(Json::as_u64), Some(1));
+        assert_eq!(
+            doc.get("b").and_then(Json::as_array).map(|a| a.len()),
+            Some(1)
+        );
+        assert_eq!(doc.get("c").and_then(Json::as_str), Some("x"));
+        assert_eq!(doc.get("f").and_then(Json::as_f64), Some(1.5));
+        assert_eq!(doc.get("missing"), None);
+    }
+}

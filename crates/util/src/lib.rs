@@ -11,6 +11,11 @@
 //! * [`stats`] — tiny online statistics and histogram helpers used by the
 //!   benchmark harness to print the experiment tables.
 //! * [`bytesize`] — human-readable byte-size formatting for reports.
+//! * [`json`] — a deterministic hand-rolled JSON value/writer/parser (the
+//!   vendored serde is a no-op shim, so machine-readable bench reports go
+//!   through this instead).
+//! * [`metric`] — typed metric values and comparison tolerances shared by
+//!   the network accounting layer and the bench regression gate.
 //!
 //! Nothing in this crate knows about agents, folders, or the simulated
 //! network; it exists so those crates can stay focused on the paper's
@@ -20,10 +25,14 @@
 
 pub mod bytesize;
 pub mod ids;
+pub mod json;
+pub mod metric;
 pub mod rng;
 pub mod stats;
 
 pub use bytesize::{human_bytes, ByteCount};
 pub use ids::{AgentId, AgentIdGen, AgentName, SiteId};
+pub use json::{Json, JsonError};
+pub use metric::{metric_key, MetricValue, Tolerance};
 pub use rng::DetRng;
 pub use stats::{factor, Histogram, Summary};

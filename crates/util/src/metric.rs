@@ -1,0 +1,232 @@
+//! Typed metric values shared by the network accounting layer and the bench
+//! report subsystem.
+//!
+//! Every measured quantity an experiment emits — byte totals, wait times,
+//! rendered factors like `"15.3×"` — is carried as a [`MetricValue`] so that
+//! reports can serialize it to JSON losslessly and the regression gate can
+//! compare it against a baseline with a per-metric [`Tolerance`].
+
+use crate::json::Json;
+use std::fmt;
+
+/// One measured value, typed so comparisons and serialization are lossless.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// An exact non-negative counter (bytes, meets, messages).
+    Count(u64),
+    /// A real-valued measurement (milliseconds, ratios).
+    Float(f64),
+    /// A boolean outcome (e.g. "indexed hit").
+    Flag(bool),
+    /// Anything non-numeric (labels, rendered fractions like `"10/10"`).
+    Text(String),
+}
+
+impl MetricValue {
+    /// Classifies a rendered table cell into the tightest type that parses.
+    ///
+    /// `"1234"` → `Count`, `"21.4"` → `Float`, `"true"` → `Flag`, everything
+    /// else (percentages, factors, fractions) stays `Text` and is compared
+    /// for exact equality by the gate.
+    pub fn from_cell(cell: &str) -> MetricValue {
+        if let Ok(n) = cell.parse::<u64>() {
+            return MetricValue::Count(n);
+        }
+        if let Ok(f) = cell.parse::<f64>() {
+            if f.is_finite() {
+                return MetricValue::Float(f);
+            }
+        }
+        if let Ok(b) = cell.parse::<bool>() {
+            return MetricValue::Flag(b);
+        }
+        MetricValue::Text(cell.to_string())
+    }
+
+    /// The value as a number, when it has one.
+    pub fn as_number(&self) -> Option<f64> {
+        match *self {
+            MetricValue::Count(n) => Some(n as f64),
+            MetricValue::Float(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// Serializes to a JSON value.
+    pub fn to_json(&self) -> Json {
+        match self {
+            MetricValue::Count(n) => Json::Uint(*n),
+            MetricValue::Float(f) => Json::Float(*f),
+            MetricValue::Flag(b) => Json::Bool(*b),
+            MetricValue::Text(s) => Json::Str(s.clone()),
+        }
+    }
+
+    /// Deserializes from a JSON value.
+    pub fn from_json(json: &Json) -> Option<MetricValue> {
+        match json {
+            Json::Uint(n) => Some(MetricValue::Count(*n)),
+            Json::Int(n) => Some(MetricValue::Float(*n as f64)),
+            Json::Float(f) => Some(MetricValue::Float(*f)),
+            Json::Bool(b) => Some(MetricValue::Flag(*b)),
+            Json::Str(s) => Some(MetricValue::Text(s.clone())),
+            _ => None,
+        }
+    }
+
+    /// Whether `self` (the current run) is within `tol` of `baseline`.
+    ///
+    /// Numeric pairs compare as `|cur - base| <= max(abs, rel * |base|)`;
+    /// flags and text require exact equality; a type change never passes.
+    pub fn within(&self, baseline: &MetricValue, tol: Tolerance) -> bool {
+        match (self.as_number(), baseline.as_number()) {
+            (Some(cur), Some(base)) => {
+                let allowed = tol.abs.max(tol.rel * base.abs());
+                (cur - base).abs() <= allowed
+            }
+            (None, None) => self == baseline,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for MetricValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetricValue::Count(n) => write!(f, "{n}"),
+            MetricValue::Float(v) => write!(f, "{v}"),
+            MetricValue::Flag(b) => write!(f, "{b}"),
+            MetricValue::Text(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// How far a metric may drift from its baseline before the gate fails.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tolerance {
+    /// Relative slack as a fraction of the baseline value.
+    pub rel: f64,
+    /// Absolute slack, useful for values that hover near zero.
+    pub abs: f64,
+}
+
+impl Tolerance {
+    /// Exact match required (the default for a deterministic simulator).
+    pub const EXACT: Tolerance = Tolerance { rel: 0.0, abs: 0.0 };
+
+    /// A relative tolerance with no absolute slack.
+    pub fn rel(rel: f64) -> Tolerance {
+        Tolerance { rel, abs: 0.0 }
+    }
+}
+
+impl Default for Tolerance {
+    fn default() -> Tolerance {
+        Tolerance::EXACT
+    }
+}
+
+/// Turns a table header into a stable metric-key segment: lowercase ASCII
+/// with every run of non-alphanumeric characters collapsed to one `_`.
+pub fn metric_key(header: &str) -> String {
+    let mut key = String::with_capacity(header.len());
+    let mut pending_sep = false;
+    for c in header.chars() {
+        if c.is_ascii_alphanumeric() {
+            if pending_sep && !key.is_empty() {
+                key.push('_');
+            }
+            pending_sep = false;
+            key.push(c.to_ascii_lowercase());
+        } else {
+            pending_sep = true;
+        }
+    }
+    if key.is_empty() {
+        key.push('_');
+    }
+    key
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cells_classify_into_the_tightest_type() {
+        assert_eq!(MetricValue::from_cell("1234"), MetricValue::Count(1234));
+        assert_eq!(MetricValue::from_cell("21.4"), MetricValue::Float(21.4));
+        assert_eq!(MetricValue::from_cell("true"), MetricValue::Flag(true));
+        assert_eq!(
+            MetricValue::from_cell("10/10"),
+            MetricValue::Text("10/10".into())
+        );
+        assert_eq!(
+            MetricValue::from_cell("15.3×"),
+            MetricValue::Text("15.3×".into())
+        );
+    }
+
+    #[test]
+    fn json_round_trip_preserves_type_and_value() {
+        for v in [
+            MetricValue::Count(u64::MAX),
+            MetricValue::Float(0.125),
+            MetricValue::Flag(false),
+            MetricValue::Text("98%".into()),
+        ] {
+            let json = v.to_json();
+            assert_eq!(MetricValue::from_json(&json), Some(v));
+        }
+    }
+
+    #[test]
+    fn tolerance_boundaries_are_inclusive() {
+        let base = MetricValue::Count(1000);
+        let tol = Tolerance::rel(0.02);
+        assert!(
+            MetricValue::Count(1020).within(&base, tol),
+            "at the boundary passes"
+        );
+        assert!(
+            MetricValue::Count(980).within(&base, tol),
+            "drift below passes too"
+        );
+        assert!(
+            !MetricValue::Count(1021).within(&base, tol),
+            "past the boundary fails"
+        );
+        assert!(MetricValue::Count(1000).within(&base, Tolerance::EXACT));
+        assert!(!MetricValue::Count(1001).within(&base, Tolerance::EXACT));
+    }
+
+    #[test]
+    fn absolute_slack_covers_near_zero_baselines() {
+        let base = MetricValue::Float(0.0);
+        assert!(!MetricValue::Float(0.5).within(&base, Tolerance::rel(0.10)));
+        assert!(MetricValue::Float(0.5).within(
+            &base,
+            Tolerance {
+                rel: 0.10,
+                abs: 0.5
+            }
+        ));
+    }
+
+    #[test]
+    fn text_and_flags_require_equality_and_types_never_cross() {
+        let loose = Tolerance::rel(10.0);
+        assert!(MetricValue::Text("ok".into()).within(&MetricValue::Text("ok".into()), loose));
+        assert!(!MetricValue::Text("ok".into()).within(&MetricValue::Text("no".into()), loose));
+        assert!(!MetricValue::Count(1).within(&MetricValue::Text("1".into()), loose));
+        assert!(!MetricValue::Flag(true).within(&MetricValue::Flag(false), loose));
+    }
+
+    #[test]
+    fn metric_keys_are_stable_slugs() {
+        assert_eq!(metric_key("records/site"), "records_site");
+        assert_eq!(metric_key("client-server bytes"), "client_server_bytes");
+        assert_eq!(metric_key("p95 wait ms"), "p95_wait_ms");
+        assert_eq!(metric_key("—"), "_");
+    }
+}

@@ -63,7 +63,11 @@ impl Summary {
 
     /// Smallest sample, or 0.0 when empty.
     pub fn min(&self) -> f64 {
-        self.samples.iter().copied().fold(f64::INFINITY, f64::min).min_finite()
+        self.samples
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
+            .min_finite()
     }
 
     /// Largest sample, or 0.0 when empty.

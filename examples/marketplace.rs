@@ -7,20 +7,24 @@
 //! funds-for-service exchanges with some cheating customers and providers and
 //! let the audit court assign blame — the paper's §3 in action.
 
-use tacoma::cash::{
-    AuditCourt, ExchangeConfig, ExchangeProtocol, Mint, PartyBehavior, Verdict,
-};
+use tacoma::cash::{AuditCourt, ExchangeConfig, ExchangeProtocol, Mint, PartyBehavior, Verdict};
 use tacoma::util::DetRng;
 
 fn main() {
     let mut mint = Mint::new(42);
     let mut wallet = mint.issue_wallet(20, 10);
-    println!("customer funded with {} ECUs worth {}", wallet.len(), wallet.total());
+    println!(
+        "customer funded with {} ECUs worth {}",
+        wallet.len(),
+        wallet.total()
+    );
 
     // Double-spend demonstration.
     let bills = wallet.withdraw_at_least(30).expect("sufficient funds");
     let copies = bills.clone();
-    let fresh = mint.validate_and_reissue(&bills).expect("first spend is valid");
+    let fresh = mint
+        .validate_and_reissue(&bills)
+        .expect("first spend is valid");
     println!("first spend validated: {} fresh bills issued", fresh.len());
     match mint.validate_and_reissue(&copies) {
         Err(e) => println!("replayed copies foiled by the validation agent: {e}"),
@@ -32,10 +36,21 @@ fn main() {
     let mut court = AuditCourt::new();
     let mut provider_earned = 0u64;
     println!();
-    println!("{:<6} {:<10} {:<10} {:<20}", "id", "customer", "provider", "verdict");
+    println!(
+        "{:<6} {:<10} {:<10} {:<20}",
+        "id", "customer", "provider", "verdict"
+    );
     for id in 0..10u64 {
-        let customer = if rng.chance(0.2) { PartyBehavior::Cheats } else { PartyBehavior::Honest };
-        let provider = if rng.chance(0.2) { PartyBehavior::Cheats } else { PartyBehavior::Honest };
+        let customer = if rng.chance(0.2) {
+            PartyBehavior::Cheats
+        } else {
+            PartyBehavior::Honest
+        };
+        let provider = if rng.chance(0.2) {
+            PartyBehavior::Cheats
+        } else {
+            PartyBehavior::Honest
+        };
         let config = ExchangeConfig {
             exchange_id: id,
             price: 10,
@@ -73,5 +88,8 @@ fn main() {
         wallet.total(),
         provider_earned
     );
-    assert_eq!(stats.false_accusations, 0, "honest parties are never blamed");
+    assert_eq!(
+        stats.false_accusations, 0,
+        "honest parties are never blamed"
+    );
 }

@@ -57,7 +57,11 @@ fn main() {
             .get("guestbook")
             .and_then(|c| c.folder_ref("VISITORS").map(|f| f.strings()))
             .unwrap_or_default();
-        println!("site {s}: guest book has {} entr(y/ies): {:?}", visitors.len(), visitors);
+        println!(
+            "site {s}: guest book has {} entr(y/ies): {:?}",
+            visitors.len(),
+            visitors
+        );
     }
 
     let stats = sys.stats();

@@ -29,7 +29,10 @@ fn main() {
     );
     let mut rates = Vec::new();
     for guarded in [false, true] {
-        let result = run_itinerary_experiment(&FtConfig { guarded, ..base.clone() });
+        let result = run_itinerary_experiment(&FtConfig {
+            guarded,
+            ..base.clone()
+        });
         println!(
             "{:<16} {:>12} {:>11.0}% {:>12} {:>14}",
             if guarded { "rear guards" } else { "unguarded" },

@@ -258,7 +258,11 @@ mod regex {
                 (1, 1)
             };
             assert!(!class.is_empty(), "empty char class in {pattern:?}");
-            atoms.push(Atom { chars: class, min, max });
+            atoms.push(Atom {
+                chars: class,
+                min,
+                max,
+            });
         }
         atoms
     }

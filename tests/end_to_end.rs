@@ -2,8 +2,8 @@
 //! the script interpreter, the system agents, cash, scheduling and fault
 //! tolerance.
 
-use tacoma::agents::{diffusion_briefcase, script_briefcase, standard_agents};
 use tacoma::agents::diffusion::{BULLETIN, DIFFUSION_CABINET};
+use tacoma::agents::{diffusion_briefcase, script_briefcase, standard_agents};
 use tacoma::cash::{cash_briefcase, wallet_from_briefcase, MintAgent};
 use tacoma::ft::{run_itinerary_experiment, FtConfig};
 use tacoma::prelude::*;
@@ -84,7 +84,10 @@ fn diffusion_and_cash_coexist_in_one_system() {
             .get(DIFFUSION_CABINET)
             .and_then(|c| c.folder_ref(BULLETIN).map(|f| f.len()))
             .unwrap_or(0);
-        assert_eq!(bulletin, 1, "site {s} should have the announcement exactly once");
+        assert_eq!(
+            bulletin, 1,
+            "site {s} should have the announcement exactly once"
+        );
     }
 
     // Pay at the mint and verify the reissued bills replace the old ones.
@@ -176,8 +179,14 @@ fn rear_guards_change_the_outcome_under_injected_failures() {
         seed: 4242,
         ..Default::default()
     };
-    let unguarded = run_itinerary_experiment(&FtConfig { guarded: false, ..base.clone() });
-    let guarded = run_itinerary_experiment(&FtConfig { guarded: true, ..base });
+    let unguarded = run_itinerary_experiment(&FtConfig {
+        guarded: false,
+        ..base.clone()
+    });
+    let guarded = run_itinerary_experiment(&FtConfig {
+        guarded: true,
+        ..base
+    });
     assert!(guarded.completion_rate >= unguarded.completion_rate);
     assert!(guarded.meets > unguarded.meets, "guards are not free");
 }
@@ -194,7 +203,11 @@ fn deterministic_end_to_end_replay() {
             diffusion_briefcase("m", "payload"),
         );
         let code = "if {[my_site] == 1} { move_to 2 } else { cab_append t DONE x }";
-        sys.inject_meet(SiteId(1), AgentName::new("ag_tac"), script_briefcase(code, &[]));
+        sys.inject_meet(
+            SiteId(1),
+            AgentName::new("ag_tac"),
+            script_briefcase(code, &[]),
+        );
         sys.run_until_quiescent(100_000);
         (
             sys.net_metrics().total_bytes().get(),
