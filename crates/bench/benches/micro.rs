@@ -1,13 +1,15 @@
 //! Criterion micro-benchmarks for E3 (meet / rexec migration) and E4
-//! (folders, briefcases, cabinets), plus the TacoScript interpreter and the
-//! wire codec that both sit on every migration's critical path.
+//! (folders, briefcases, cabinets), the routing fast path (cached vs
+//! uncached shortest paths, E11's hot loop), plus the TacoScript interpreter
+//! and the wire codec that both sit on every migration's critical path.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
 use tacoma_bench::{e3_local_meets, e3_migrate_once};
 use tacoma_core::{codec, Briefcase, FileCabinet, Folder};
-use tacoma_net::TransportKind;
+use tacoma_net::{LinkSpec, Router, Topology, TransportKind};
 use tacoma_script::{Interp, NullHost};
+use tacoma_util::SiteId;
 
 fn config() -> Criterion {
     Criterion::default()
@@ -72,6 +74,56 @@ fn bench_e4_folders(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_routing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("routing");
+    // The E11 shape at two scales: repeated queries over a fixed pair set,
+    // the pattern the epoch-invalidated cache exists for.
+    for cliques in [16u32, 128] {
+        let topology = Topology::ring_of_cliques(cliques, 8, LinkSpec::lan(), LinkSpec::wan());
+        let sites = topology.site_count();
+        let pairs: Vec<(SiteId, SiteId)> = (0..64)
+            .map(|i| {
+                (
+                    SiteId((i * 7) % sites),
+                    SiteId((i * 13 + sites / 2) % sites),
+                )
+            })
+            .collect();
+        let alive = |_: SiteId| true;
+        let unblocked = |_: SiteId, _: SiteId| false;
+        for cached in [true, false] {
+            let label = if cached { "cached" } else { "uncached" };
+            group.bench_with_input(
+                BenchmarkId::new(format!("route_{label}_x64"), sites),
+                &pairs,
+                |b, pairs| {
+                    let mut router = Router::new(topology.clone());
+                    router.set_cache_enabled(cached);
+                    b.iter(|| {
+                        let mut hops = 0usize;
+                        for &(from, to) in pairs {
+                            if let Some(p) = router.route(from, to, 0, alive, unblocked) {
+                                hops += p.len() - 1;
+                            }
+                        }
+                        std::hint::black_box(hops)
+                    })
+                },
+            );
+        }
+        // The uncached reference API, for the per-BFS cost itself.
+        group.bench_with_input(
+            BenchmarkId::new("shortest_path_single", sites),
+            &pairs[0],
+            |b, &(from, to)| {
+                let router = Router::new(topology.clone());
+                b.iter(|| std::hint::black_box(router.shortest_path(from, to, alive)))
+            },
+        );
+    }
+    group.finish();
+}
+
 fn bench_tacoscript(c: &mut Criterion) {
     let mut group = c.benchmark_group("tacoscript");
     let loop_script = r#"
@@ -104,6 +156,6 @@ fn bench_tacoscript(c: &mut Criterion) {
 criterion_group! {
     name = micro;
     config = config();
-    targets = bench_e3_meet_rexec, bench_e4_folders, bench_tacoscript
+    targets = bench_e3_meet_rexec, bench_e4_folders, bench_routing, bench_tacoscript
 }
 criterion_main!(micro);

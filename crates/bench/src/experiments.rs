@@ -1,4 +1,4 @@
-//! The E1–E10 experiment drivers and the design-choice ablations.
+//! The E1–E12 experiment drivers and the design-choice ablations.
 
 use crate::table::Table;
 use tacoma_agents::testing::SinkAgent;
@@ -750,6 +750,325 @@ pub fn e10_apps(quick: bool) -> Table {
 }
 
 // ---------------------------------------------------------------------------
+// E11 — routing fast path at scale
+// ---------------------------------------------------------------------------
+
+/// Forwards a fixed-size load report to the site named in the `TO` folder
+/// (delivered to that site's sink agent).  The broker-report half of the
+/// E11/E12 mixed workload.
+struct ReporterAgent;
+impl Agent for ReporterAgent {
+    fn name(&self) -> AgentName {
+        AgentName::new("reporter")
+    }
+    fn meet(&mut self, ctx: &mut MeetCtx<'_>, bc: Briefcase) -> MeetOutcome {
+        let to = bc
+            .peek_string("TO")
+            .and_then(|s| s.parse::<u32>().ok())
+            .unwrap_or(0);
+        let mut report = Briefcase::new();
+        report.folder_mut("REPORT").push(vec![0u8; 96]);
+        ctx.remote_meet(
+            USiteId(to),
+            AgentName::new(SinkAgent::NAME),
+            report,
+            TransportKind::Tcp,
+        );
+        Ok(Briefcase::new())
+    }
+}
+
+/// Walks its `ITINERARY` folder one remote meet at a time, carrying its
+/// briefcase (payload included) along — the migration half of the workload.
+struct HopperAgent;
+impl Agent for HopperAgent {
+    fn name(&self) -> AgentName {
+        AgentName::new("hopper")
+    }
+    fn meet(&mut self, ctx: &mut MeetCtx<'_>, mut bc: Briefcase) -> MeetOutcome {
+        let next = bc
+            .folder_mut(wellknown::ITINERARY)
+            .dequeue_str()
+            .and_then(|s| s.parse::<u32>().ok());
+        if let Some(site) = next {
+            ctx.remote_meet(
+                USiteId(site),
+                AgentName::new("hopper"),
+                bc,
+                TransportKind::Tcp,
+            );
+            return Ok(Briefcase::new());
+        }
+        Ok(bc)
+    }
+}
+
+/// Shape and intensity of one E11/E12 run.
+struct ScaleConfig {
+    cliques: u32,
+    clique_size: u32,
+    rounds: u32,
+    hoppers: u32,
+    hop_len: u32,
+    seed: u64,
+}
+
+/// Counters a scale run reports.
+struct ScaleOutcome {
+    meets: u64,
+    bytes: u64,
+    send_failures: u64,
+    dropped: u64,
+    route_queries: u64,
+    bfs_runs: u64,
+    epoch: u64,
+}
+
+fn scale_system(cfg: &ScaleConfig, cached: bool) -> (TacomaSystem, Vec<Vec<u32>>) {
+    let topology = Topology::ring_of_cliques(
+        cfg.cliques,
+        cfg.clique_size,
+        LinkSpec::lan(),
+        LinkSpec::wan(),
+    );
+    let mut sys = TacomaSystem::builder()
+        .topology(topology)
+        .seed(cfg.seed)
+        .with_agents(|_| {
+            vec![
+                Box::new(ReporterAgent) as Box<dyn Agent>,
+                Box::new(HopperAgent) as Box<dyn Agent>,
+                Box::new(SinkAgent::new()) as Box<dyn Agent>,
+            ]
+        })
+        .build();
+    sys.net_mut().set_route_cache(cached);
+    // Fixed itineraries, drawn once: the same commute repeats every round,
+    // which is exactly the locality a route cache exists to exploit.
+    let sites = sys.site_count();
+    let mut rng = DetRng::new(cfg.seed ^ 0x11);
+    let itineraries: Vec<Vec<u32>> = (0..cfg.hoppers)
+        .map(|_| {
+            (0..=cfg.hop_len)
+                .map(|_| rng.next_below(sites as u64) as u32)
+                .collect()
+        })
+        .collect();
+    sys.reset_net_metrics();
+    (sys, itineraries)
+}
+
+/// One round of the mixed workload: every clique member reports to its
+/// gateway broker, every broker gossips to the next clique's broker around
+/// the ring, and every hopper walks its (fixed) itinerary.
+fn scale_round(sys: &mut TacomaSystem, cfg: &ScaleConfig, itineraries: &[Vec<u32>]) {
+    let k = cfg.clique_size;
+    for c in 0..cfg.cliques {
+        let broker = c * k;
+        for m in 1..k {
+            let mut bc = Briefcase::new();
+            bc.put_string("TO", broker.to_string());
+            sys.inject_meet(USiteId(c * k + m), AgentName::new("reporter"), bc);
+        }
+        let mut bc = Briefcase::new();
+        bc.put_string("TO", (((c + 1) % cfg.cliques) * k).to_string());
+        sys.inject_meet(USiteId(broker), AgentName::new("reporter"), bc);
+    }
+    for itinerary in itineraries {
+        let mut bc = Briefcase::new();
+        bc.folder_mut("PAYLOAD").push(vec![0u8; 256]);
+        let folder = bc.folder_mut(wellknown::ITINERARY);
+        for &site in &itinerary[1..] {
+            folder.enqueue(site.to_string().into_bytes());
+        }
+        sys.inject_meet(USiteId(itinerary[0]), AgentName::new("hopper"), bc);
+    }
+    sys.run_until_quiescent(u64::MAX / 2);
+}
+
+fn scale_outcome(sys: &TacomaSystem) -> ScaleOutcome {
+    let (route_queries, bfs_runs) = sys.net().routing_work();
+    ScaleOutcome {
+        meets: sys.stats().meets_requested,
+        bytes: sys.net_metrics().total_bytes().get(),
+        send_failures: sys.stats().send_failures,
+        dropped: sys.net_metrics().dropped_messages(),
+        route_queries,
+        bfs_runs,
+        epoch: sys.net().route_epoch(),
+    }
+}
+
+fn e11_run(cfg: &ScaleConfig, cached: bool) -> ScaleOutcome {
+    let (mut sys, itineraries) = scale_system(cfg, cached);
+    for _ in 0..cfg.rounds {
+        scale_round(&mut sys, cfg, &itineraries);
+    }
+    scale_outcome(&sys)
+}
+
+/// E11: the scale sweep — ring-of-cliques topologies under the mixed agent
+/// workload, with and without the route cache.  Everything except the
+/// routing work must be identical between the two runs (the invalidation
+/// tests enforce it); the `bfs saving` column is the cache's payoff.
+pub fn e11_scale(quick: bool) -> Table {
+    let mut table = Table::new(
+        "E11 — routing fast path at scale (ring of cliques)",
+        "§4: state dissemination \"seems to be equivalent to routing in a wide-area network\" — cached routes make large topologies affordable",
+        &[
+            "sites",
+            "cliques",
+            "rounds",
+            "meets",
+            "bytes",
+            "route queries",
+            "bfs (cached)",
+            "bfs (uncached)",
+            "bfs saving",
+        ],
+    );
+    let sweeps: &[(u32, u32, u32, u32)] = if quick {
+        // (cliques, clique_size, rounds, hoppers)
+        &[(8, 8, 12, 2)]
+    } else {
+        &[(8, 8, 12, 2), (32, 8, 15, 8), (128, 8, 15, 32)]
+    };
+    for &(cliques, clique_size, rounds, hoppers) in sweeps {
+        let cfg = ScaleConfig {
+            cliques,
+            clique_size,
+            rounds,
+            hoppers,
+            hop_len: 6,
+            seed: 1111,
+        };
+        let fast = e11_run(&cfg, true);
+        let reference = e11_run(&cfg, false);
+        debug_assert_eq!(fast.bytes, reference.bytes);
+        debug_assert_eq!(fast.meets, reference.meets);
+        table.row(vec![
+            (cliques * clique_size).to_string(),
+            cliques.to_string(),
+            rounds.to_string(),
+            fast.meets.to_string(),
+            fast.bytes.to_string(),
+            fast.route_queries.to_string(),
+            fast.bfs_runs.to_string(),
+            reference.bfs_runs.to_string(),
+            tacoma_util::factor(reference.bfs_runs as f64, fast.bfs_runs as f64),
+        ]);
+    }
+    table
+}
+
+// ---------------------------------------------------------------------------
+// E12 — partition churn: cache invalidation under failures
+// ---------------------------------------------------------------------------
+
+/// Two identical traffic rounds (so within-epoch cache reuse stays visible
+/// amid the churn): every site reports once across the ring and once to a
+/// same-half neighbour clique.
+fn e12_burst(sys: &mut TacomaSystem, sites: u32, clique_size: u32) {
+    let half = sites / 2;
+    for _ in 0..2 {
+        e12_round(sys, sites, clique_size, half);
+    }
+    sys.run_until_quiescent(u64::MAX / 2);
+}
+
+fn e12_round(sys: &mut TacomaSystem, sites: u32, clique_size: u32, half: u32) {
+    for s in 0..sites {
+        // One report across the ring (blocked while partitioned) ...
+        let mut cross = Briefcase::new();
+        cross.put_string("TO", ((s + half) % sites).to_string());
+        sys.inject_meet(USiteId(s), AgentName::new("reporter"), cross);
+        // ... and one to a same-half neighbour clique (always routable).
+        let local = (s + clique_size) % half + if s >= half { half } else { 0 };
+        let mut near = Briefcase::new();
+        near.put_string("TO", local.to_string());
+        sys.inject_meet(USiteId(s), AgentName::new("reporter"), near);
+    }
+}
+
+fn e12_run(cliques: u32, clique_size: u32, cycles: u32, cached: bool) -> ScaleOutcome {
+    let cfg = ScaleConfig {
+        cliques,
+        clique_size,
+        rounds: 0,
+        hoppers: 0,
+        hop_len: 0,
+        seed: 1212,
+    };
+    let (mut sys, _) = scale_system(&cfg, cached);
+    let sites = cliques * clique_size;
+    for cycle in 0..cycles {
+        // Healthy burst.
+        e12_burst(&mut sys, sites, clique_size);
+        // Partition the first half of the cliques away and send again: the
+        // cross-ring half of the traffic fails, the near half still routes.
+        let group: Vec<USiteId> = (0..sites / 2).map(USiteId).collect();
+        sys.net_mut().partition(&group);
+        e12_burst(&mut sys, sites, clique_size);
+        sys.net_mut().heal_partition();
+        // A crash inside a cycle exercises liveness invalidation too.
+        let victim = USiteId(1 + (cycle * clique_size) % (sites - 1));
+        sys.net_mut().crash_now(victim);
+        e12_burst(&mut sys, sites, clique_size);
+        sys.net_mut().recover_now(victim);
+    }
+    scale_outcome(&sys)
+}
+
+/// E12: repeated partition/heal/crash/recover cycles under load.  The cache
+/// must deliver byte-identical traffic to the uncached reference while
+/// re-validating routes across every epoch bump.
+pub fn e12_churn(quick: bool) -> Table {
+    let mut table = Table::new(
+        "E12 — partition churn and route-cache invalidation",
+        "§5: sites crash and networks partition; routing state must track failures without recomputing the world per message",
+        &[
+            "sites",
+            "cycles",
+            "meets",
+            "send failures",
+            "dropped",
+            "bytes",
+            "epoch bumps",
+            "route queries",
+            "bfs (cached)",
+            "bfs (uncached)",
+            "bfs saving",
+        ],
+    );
+    let sweeps: &[(u32, u32, u32)] = if quick {
+        // (cliques, clique_size, cycles)
+        &[(4, 4, 4)]
+    } else {
+        &[(4, 4, 6), (8, 8, 8)]
+    };
+    for &(cliques, clique_size, cycles) in sweeps {
+        let fast = e12_run(cliques, clique_size, cycles, true);
+        let reference = e12_run(cliques, clique_size, cycles, false);
+        debug_assert_eq!(fast.bytes, reference.bytes);
+        debug_assert_eq!(fast.send_failures, reference.send_failures);
+        table.row(vec![
+            (cliques * clique_size).to_string(),
+            cycles.to_string(),
+            fast.meets.to_string(),
+            fast.send_failures.to_string(),
+            fast.dropped.to_string(),
+            fast.bytes.to_string(),
+            fast.epoch.to_string(),
+            fast.route_queries.to_string(),
+            fast.bfs_runs.to_string(),
+            reference.bfs_runs.to_string(),
+            tacoma_util::factor(reference.bfs_runs as f64, fast.bfs_runs as f64),
+        ]);
+    }
+    table
+}
+
+// ---------------------------------------------------------------------------
 // Ablations
 // ---------------------------------------------------------------------------
 
@@ -872,6 +1191,56 @@ mod tests {
         let without: u64 = table.rows[0][3].parse().unwrap();
         assert_eq!(with_validation, 0);
         assert!(without > 0);
+    }
+
+    #[test]
+    fn e11_cache_cuts_bfs_work_at_least_tenfold() {
+        let cfg = ScaleConfig {
+            cliques: 8,
+            clique_size: 8,
+            rounds: 12,
+            hoppers: 2,
+            hop_len: 6,
+            seed: 1111,
+        };
+        let fast = e11_run(&cfg, true);
+        let reference = e11_run(&cfg, false);
+        // The cache may change routing *work* only — traffic is identical.
+        assert_eq!(fast.bytes, reference.bytes);
+        assert_eq!(fast.meets, reference.meets);
+        assert_eq!(fast.route_queries, reference.route_queries);
+        assert_eq!(fast.dropped, reference.dropped);
+        assert_eq!(
+            reference.bfs_runs, reference.route_queries,
+            "uncached mode recomputes every query"
+        );
+        assert!(
+            reference.bfs_runs >= 10 * fast.bfs_runs,
+            "expected >= 10x BFS saving, got {} vs {}",
+            reference.bfs_runs,
+            fast.bfs_runs
+        );
+    }
+
+    #[test]
+    fn e12_churn_is_identical_with_and_without_the_cache() {
+        let fast = e12_run(4, 4, 3, true);
+        let reference = e12_run(4, 4, 3, false);
+        assert_eq!(fast.bytes, reference.bytes);
+        assert_eq!(fast.meets, reference.meets);
+        assert_eq!(fast.send_failures, reference.send_failures);
+        assert_eq!(fast.dropped, reference.dropped);
+        assert_eq!(fast.epoch, reference.epoch);
+        // 4 epoch bumps per cycle: partition, heal, crash, recover.
+        assert_eq!(fast.epoch, 12);
+        assert!(
+            fast.send_failures > 0,
+            "cross-ring traffic must fail while partitioned"
+        );
+        assert!(
+            fast.bfs_runs < reference.bfs_runs,
+            "within-epoch reuse must save some work even under churn"
+        );
     }
 
     #[test]

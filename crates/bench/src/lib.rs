@@ -1,8 +1,9 @@
 //! Experiment drivers for the TACOMA reproduction.
 //!
 //! The paper (a HotOS position paper) contains no numbered tables or figures;
-//! DESIGN.md §3 defines experiments E1–E10, one per measurable claim in the
-//! text.  Each `eN_*` function here runs one experiment and returns a
+//! DESIGN.md defines experiments E1–E12, one per measurable claim in the
+//! text (plus the E11/E12 scale experiments the ROADMAP's north star asks
+//! for).  Each `eN_*` function here runs one experiment and returns a
 //! [`Table`]; the `harness` binary prints them all (this is the artifact that
 //! stands in for "regenerating the paper's tables"), and the Criterion
 //! benches in `benches/` time the same code paths.

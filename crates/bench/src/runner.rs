@@ -1,6 +1,6 @@
 //! The parallel experiment runner.
 //!
-//! Every experiment (E1–E10) and ablation (A3/A4; A1/A2 are reserved ids,
+//! Every experiment (E1–E12) and ablation (A3/A4; A1/A2 are reserved ids,
 //! see [`RESERVED_IDS`]) is registered here as an independent [`JobSpec`].
 //! Each job builds and drives its own seeded `SimNet`/`TacomaSystem`, so jobs
 //! share no mutable state and the worker count cannot perturb any measured
@@ -109,6 +109,18 @@ pub fn registry() -> Vec<JobSpec> {
             summary: "StormCast and AgentMail applications",
             seed: 1995,
             run: crate::e10_apps,
+        },
+        JobSpec {
+            id: "E11",
+            summary: "routing fast path at scale (ring of cliques)",
+            seed: 1111,
+            run: crate::e11_scale,
+        },
+        JobSpec {
+            id: "E12",
+            summary: "partition churn and route-cache invalidation",
+            seed: 1212,
+            run: crate::e12_churn,
         },
         JobSpec {
             id: "A3",
@@ -221,13 +233,14 @@ mod tests {
     #[test]
     fn registry_ids_are_unique_and_cover_e1_to_a4() {
         let specs = registry();
-        assert_eq!(specs.len(), 12);
+        assert_eq!(specs.len(), 14);
         let mut ids: Vec<&str> = specs.iter().map(|s| s.id).collect();
         assert_eq!(ids.first(), Some(&"E1"));
         assert_eq!(ids.last(), Some(&"A4"));
+        assert!(ids.contains(&"E11") && ids.contains(&"E12"));
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 12, "duplicate experiment ids in the registry");
+        assert_eq!(ids.len(), 14, "duplicate experiment ids in the registry");
     }
 
     #[test]
@@ -239,7 +252,7 @@ mod tests {
             .unwrap_err()
             .contains("unknown experiment id"));
         assert!(select(&["a1".into()]).unwrap_err().contains("reserved"));
-        assert_eq!(select(&[]).unwrap().len(), 12);
+        assert_eq!(select(&[]).unwrap().len(), 14);
     }
 
     #[test]

@@ -40,6 +40,7 @@ pub mod transport;
 pub use failure::FailurePlan;
 pub use group::{GroupEvent, GroupId, ProcessGroup, ViewId};
 pub use metrics::NetMetrics;
+pub use routing::Router;
 pub use sim::{DeliveredMessage, Event, MessageId, NetError, SendOptions, SimNet};
 pub use time::{Duration, SimTime};
 pub use topology::{LinkSpec, Topology, TopologyKind};

@@ -1,4 +1,4 @@
-//! Shortest-path routing over a topology.
+//! Shortest-path routing over a topology, with a cached fast path.
 //!
 //! The paper's agents migrate between arbitrary sites; when the topology is
 //! not a full mesh the simulator routes a message over the shortest live path
@@ -6,22 +6,82 @@
 //! byte counters.  §4 of the paper remarks that broker state dissemination
 //! "seems to be equivalent to routing in a wide-area network"; the routing
 //! table built here is also reused by the scheduling crate for that purpose.
+//!
+//! # The fast path
+//!
+//! Recomputing a BFS on every send caps topology size, exactly as
+//! per-destination flooding would cap a real WAN.  [`Router`] therefore keeps
+//! an **epoch-invalidated route cache**: [`Router::route`] answers a
+//! `(from, to)` query from the cache whenever the cached entry was computed
+//! at the caller's current *epoch*, and recomputes (and re-caches) it
+//! otherwise.  The epoch is owned by the caller — [`crate::sim::SimNet`]
+//! bumps it on every site crash, recovery, partition, heal and topology
+//! edit — so invalidation is a single integer compare per query and stale
+//! entries are never consulted.  Negative results (unreachable pairs) are
+//! cached too; they are exactly as expensive to recompute as positive ones.
+//!
+//! The BFS itself runs over a precomputed adjacency list with reusable
+//! scratch buffers, so even a cache miss allocates nothing beyond the path
+//! it returns.  [`Router::route_queries`] and [`Router::bfs_runs`] count the
+//! routing work performed; the scale experiments (E11/E12) report both to
+//! show the cache's effect, and the cache can be disabled entirely with
+//! [`Router::set_cache_enabled`] to provide the uncached reference path the
+//! invalidation tests compare against.
 
 use crate::topology::Topology;
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{HashMap, VecDeque};
 use tacoma_util::SiteId;
 
+/// Sentinel in the BFS predecessor array meaning "not visited yet".
+const UNVISITED: u32 = u32::MAX;
+
+/// One cached routing answer: the path (or proven unreachability) that was
+/// valid at `epoch`.
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    epoch: u64,
+    path: Option<Vec<SiteId>>,
+}
+
 /// A routing oracle that answers shortest-path queries over a topology,
-/// honouring a per-site liveness mask.
+/// honouring a per-site liveness mask and a per-edge partition predicate.
 #[derive(Debug, Clone)]
 pub struct Router {
     topology: Topology,
+    /// Precomputed adjacency (ascending neighbour order, matching
+    /// `Topology::neighbors`), rebuilt on topology edits.
+    adj: Vec<Vec<SiteId>>,
+    /// `(from, to)` → cached path, validated against the caller's epoch.
+    cache: HashMap<(SiteId, SiteId), CacheEntry>,
+    cache_enabled: bool,
+    route_queries: u64,
+    bfs_runs: u64,
+    /// Scratch: predecessor per site (`UNVISITED` when not reached).
+    prev: Vec<u32>,
+    /// Scratch: BFS frontier.
+    frontier: VecDeque<SiteId>,
+    /// Owner for the borrow `route` returns when the cache is disabled (the
+    /// BFS still allocates each returned path; only the scratch buffers are
+    /// reused).
+    uncached: Option<Vec<SiteId>>,
 }
 
 impl Router {
     /// Creates a router for the given topology.
     pub fn new(topology: Topology) -> Self {
-        Router { topology }
+        let adj = build_adjacency(&topology);
+        let sites = topology.site_count() as usize;
+        Router {
+            topology,
+            adj,
+            cache: HashMap::new(),
+            cache_enabled: true,
+            route_queries: 0,
+            bfs_runs: 0,
+            prev: vec![UNVISITED; sites],
+            frontier: VecDeque::new(),
+            uncached: None,
+        }
     }
 
     /// Read access to the underlying topology.
@@ -29,14 +89,142 @@ impl Router {
         &self.topology
     }
 
-    /// Mutable access, for dynamic link changes (partitions heal, links die).
-    pub fn topology_mut(&mut self) -> &mut Topology {
-        &mut self.topology
+    /// Edits the topology in place (links die, partitions become permanent),
+    /// then rebuilds the adjacency list and drops every cached route.
+    ///
+    /// Callers that hold a routing epoch (the simulator) must bump it too;
+    /// [`crate::sim::SimNet::edit_topology`] does both.
+    pub fn edit_topology(&mut self, edit: impl FnOnce(&mut Topology)) {
+        edit(&mut self.topology);
+        self.adj = build_adjacency(&self.topology);
+        self.cache.clear();
+    }
+
+    /// Enables or disables the route cache.  Disabling it recomputes a BFS
+    /// on every [`Router::route`] call — the reference path the invalidation
+    /// tests compare the cached path against, byte for byte.
+    pub fn set_cache_enabled(&mut self, enabled: bool) {
+        if !enabled {
+            self.cache.clear();
+        }
+        self.cache_enabled = enabled;
+    }
+
+    /// Whether the route cache is in use.
+    pub fn cache_enabled(&self) -> bool {
+        self.cache_enabled
+    }
+
+    /// Number of routing queries answered (cache hits and misses alike).
+    pub fn route_queries(&self) -> u64 {
+        self.route_queries
+    }
+
+    /// Number of BFS computations actually performed.  With the cache on,
+    /// this is the routing *work*; `route_queries - bfs_runs` is the work
+    /// the cache saved.
+    pub fn bfs_runs(&self) -> u64 {
+        self.bfs_runs
+    }
+
+    /// Resets the routing-work counters (the cache itself is kept).
+    pub fn reset_route_stats(&mut self) {
+        self.route_queries = 0;
+        self.bfs_runs = 0;
+    }
+
+    /// The shortest live path from `from` to `to` at `epoch`, avoiding dead
+    /// sites and blocked (partitioned) edges.  Answers from the cache when a
+    /// cached entry carries the same epoch; otherwise runs a BFS and caches
+    /// the result under `epoch`.  Returns `None` when unreachable.
+    ///
+    /// Correctness contract: `alive` and `blocked` must be functions of the
+    /// state identified by `epoch` — the caller bumps the epoch whenever
+    /// either changes, which is what makes cached answers safe to reuse.
+    pub fn route(
+        &mut self,
+        from: SiteId,
+        to: SiteId,
+        epoch: u64,
+        alive: impl Fn(SiteId) -> bool,
+        blocked: impl Fn(SiteId, SiteId) -> bool,
+    ) -> Option<&[SiteId]> {
+        self.route_queries += 1;
+        if self.cache_enabled {
+            let fresh = self
+                .cache
+                .get(&(from, to))
+                .is_some_and(|entry| entry.epoch == epoch);
+            if !fresh {
+                // Stale or absent: recompute, then fill the slot through one
+                // entry lookup.  (The freshness probe above must stay a
+                // separate `get` — holding its borrow across the `&mut self`
+                // BFS call is exactly what the borrow checker forbids.)
+                let path = self.bfs(from, to, &alive, &blocked);
+                let slot = self
+                    .cache
+                    .entry((from, to))
+                    .or_insert_with(|| CacheEntry { epoch, path: None });
+                slot.epoch = epoch;
+                slot.path = path;
+                return slot.path.as_deref();
+            }
+            self.cache[&(from, to)].path.as_deref()
+        } else {
+            self.uncached = self.bfs(from, to, &alive, &blocked);
+            self.uncached.as_deref()
+        }
+    }
+
+    /// The BFS over live sites and unblocked edges, using the reusable
+    /// scratch buffers.  Increments `bfs_runs`.
+    fn bfs(
+        &mut self,
+        from: SiteId,
+        to: SiteId,
+        alive: &impl Fn(SiteId) -> bool,
+        blocked: &impl Fn(SiteId, SiteId) -> bool,
+    ) -> Option<Vec<SiteId>> {
+        self.bfs_runs += 1;
+        if !alive(from) || !alive(to) {
+            return None;
+        }
+        if from == to {
+            return Some(vec![from]);
+        }
+        self.prev.clear();
+        self.prev.resize(self.adj.len(), UNVISITED);
+        self.frontier.clear();
+        self.prev[from.index()] = from.0;
+        self.frontier.push_back(from);
+        while let Some(cur) = self.frontier.pop_front() {
+            for &n in &self.adj[cur.index()] {
+                if self.prev[n.index()] != UNVISITED || !alive(n) || blocked(cur, n) {
+                    continue;
+                }
+                self.prev[n.index()] = cur.0;
+                if n == to {
+                    let mut path = vec![to];
+                    let mut at = to;
+                    while at != from {
+                        at = SiteId(self.prev[at.index()]);
+                        path.push(at);
+                    }
+                    path.reverse();
+                    return Some(path);
+                }
+                self.frontier.push_back(n);
+            }
+        }
+        None
     }
 
     /// The shortest path from `src` to `dst` visiting only sites for which
     /// `alive` returns true (the endpoints must also be alive).  Returns the
     /// full path including both endpoints, or `None` if unreachable.
+    ///
+    /// This is the uncached, allocation-per-call reference API; the
+    /// simulator's hot path goes through [`Router::route`] instead.
     pub fn shortest_path(
         &self,
         src: SiteId,
@@ -49,22 +237,21 @@ impl Router {
         if src == dst {
             return Some(vec![src]);
         }
-        let mut prev: BTreeMap<SiteId, SiteId> = BTreeMap::new();
+        let mut prev = vec![UNVISITED; self.adj.len()];
         let mut queue = VecDeque::new();
+        prev[src.index()] = src.0;
         queue.push_back(src);
-        prev.insert(src, src);
         while let Some(cur) = queue.pop_front() {
-            for n in self.topology.neighbors(cur) {
-                if !alive(n) || prev.contains_key(&n) {
+            for &n in &self.adj[cur.index()] {
+                if prev[n.index()] != UNVISITED || !alive(n) {
                     continue;
                 }
-                prev.insert(n, cur);
+                prev[n.index()] = cur.0;
                 if n == dst {
-                    // Reconstruct.
                     let mut path = vec![dst];
                     let mut at = dst;
                     while at != src {
-                        at = prev[&at];
+                        at = SiteId(prev[at.index()]);
                         path.push(at);
                     }
                     path.reverse();
@@ -87,24 +274,42 @@ impl Router {
             .map(|p| p.len().saturating_sub(1))
     }
 
-    /// All sites reachable from `src` over live sites (including `src`).
+    /// All sites reachable from `src` over live sites (including `src`),
+    /// in ascending order.
     pub fn reachable_from(&self, src: SiteId, alive: impl Fn(SiteId) -> bool) -> Vec<SiteId> {
         if !alive(src) {
             return Vec::new();
         }
-        let mut seen = BTreeMap::new();
+        let mut seen = vec![false; self.adj.len()];
         let mut queue = VecDeque::new();
-        seen.insert(src, ());
+        seen[src.index()] = true;
         queue.push_back(src);
         while let Some(cur) = queue.pop_front() {
-            for n in self.topology.neighbors(cur) {
-                if alive(n) && seen.insert(n, ()).is_none() {
+            for &n in &self.adj[cur.index()] {
+                if alive(n) && !seen[n.index()] {
+                    seen[n.index()] = true;
                     queue.push_back(n);
                 }
             }
         }
-        seen.into_keys().collect()
+        seen.iter()
+            .enumerate()
+            .filter(|(_, &s)| s)
+            .map(|(i, _)| SiteId(i as u32))
+            .collect()
     }
+}
+
+fn build_adjacency(topology: &Topology) -> Vec<Vec<SiteId>> {
+    let mut adj: Vec<Vec<SiteId>> = vec![Vec::new(); topology.site_count() as usize];
+    for (a, b, _) in topology.links() {
+        adj[a.index()].push(b);
+        adj[b.index()].push(a);
+    }
+    for neighbours in &mut adj {
+        neighbours.sort_unstable();
+    }
+    adj
 }
 
 #[cfg(test)]
@@ -114,6 +319,10 @@ mod tests {
 
     fn all_alive(_: SiteId) -> bool {
         true
+    }
+
+    fn unblocked(_: SiteId, _: SiteId) -> bool {
+        false
     }
 
     #[test]
@@ -165,5 +374,118 @@ mod tests {
         for dst in 1..5 {
             assert_eq!(r.hop_count(SiteId(0), SiteId(dst), all_alive), Some(1));
         }
+    }
+
+    #[test]
+    fn cached_route_matches_the_reference_path() {
+        let mut r = Router::new(Topology::ring(8, LinkSpec::default()));
+        for dst in 0..8 {
+            let cached = r
+                .route(SiteId(0), SiteId(dst), 0, all_alive, unblocked)
+                .map(<[SiteId]>::to_vec);
+            let reference = r.shortest_path(SiteId(0), SiteId(dst), all_alive);
+            assert_eq!(cached, reference, "0 -> {dst}");
+        }
+    }
+
+    #[test]
+    fn cache_hits_do_not_recompute_until_the_epoch_bumps() {
+        let mut r = Router::new(Topology::ring(6, LinkSpec::default()));
+        for _ in 0..5 {
+            r.route(SiteId(0), SiteId(3), 0, all_alive, unblocked);
+        }
+        assert_eq!(r.route_queries(), 5);
+        assert_eq!(r.bfs_runs(), 1, "one computation serves five queries");
+        // A new epoch invalidates the entry; the next query recomputes.
+        r.route(SiteId(0), SiteId(3), 1, all_alive, unblocked);
+        assert_eq!(r.bfs_runs(), 2);
+        // And is itself cached again.
+        r.route(SiteId(0), SiteId(3), 1, all_alive, unblocked);
+        assert_eq!(r.bfs_runs(), 2);
+    }
+
+    #[test]
+    fn stale_cache_entries_are_never_served() {
+        let mut r = Router::new(Topology::ring(5, LinkSpec::default()));
+        let p = r
+            .route(SiteId(0), SiteId(2), 0, all_alive, unblocked)
+            .unwrap()
+            .to_vec();
+        assert_eq!(p, vec![SiteId(0), SiteId(1), SiteId(2)]);
+        // Site 1 dies and the caller bumps the epoch: the detour is found.
+        let alive = |s: SiteId| s != SiteId(1);
+        let p = r
+            .route(SiteId(0), SiteId(2), 1, alive, unblocked)
+            .unwrap()
+            .to_vec();
+        assert_eq!(p, vec![SiteId(0), SiteId(4), SiteId(3), SiteId(2)]);
+    }
+
+    #[test]
+    fn unreachable_answers_are_cached_too() {
+        let mut r = Router::new(Topology::star(4, LinkSpec::default()));
+        let alive = |s: SiteId| s != SiteId(0); // hub down
+        for _ in 0..4 {
+            assert!(r.route(SiteId(1), SiteId(2), 7, alive, unblocked).is_none());
+        }
+        assert_eq!(r.bfs_runs(), 1, "negative result must be cached");
+    }
+
+    #[test]
+    fn blocked_edges_are_avoided_not_just_rejected() {
+        // 0-1-2-3 chain inside the group, plus a shortcut through outside
+        // site 4 (0-4, 4-3).  With the 4-edges blocked the route must take
+        // the longer in-group path instead of failing.
+        let mut t = Topology::empty(5);
+        t.add_link(SiteId(0), SiteId(1), LinkSpec::default());
+        t.add_link(SiteId(1), SiteId(2), LinkSpec::default());
+        t.add_link(SiteId(2), SiteId(3), LinkSpec::default());
+        t.add_link(SiteId(0), SiteId(4), LinkSpec::default());
+        t.add_link(SiteId(4), SiteId(3), LinkSpec::default());
+        let mut r = Router::new(t);
+        let blocked = |a: SiteId, b: SiteId| a == SiteId(4) || b == SiteId(4);
+        let p = r
+            .route(SiteId(0), SiteId(3), 0, all_alive, blocked)
+            .unwrap()
+            .to_vec();
+        assert_eq!(p, vec![SiteId(0), SiteId(1), SiteId(2), SiteId(3)]);
+        // Unblocked, the shortcut wins.
+        let p = r
+            .route(SiteId(0), SiteId(3), 1, all_alive, unblocked)
+            .unwrap()
+            .to_vec();
+        assert_eq!(p, vec![SiteId(0), SiteId(4), SiteId(3)]);
+    }
+
+    #[test]
+    fn disabling_the_cache_recomputes_every_query() {
+        let mut r = Router::new(Topology::ring(6, LinkSpec::default()));
+        r.set_cache_enabled(false);
+        assert!(!r.cache_enabled());
+        for _ in 0..3 {
+            r.route(SiteId(0), SiteId(3), 0, all_alive, unblocked);
+        }
+        assert_eq!(r.route_queries(), 3);
+        assert_eq!(r.bfs_runs(), 3);
+        r.reset_route_stats();
+        assert_eq!((r.route_queries(), r.bfs_runs()), (0, 0));
+    }
+
+    #[test]
+    fn topology_edits_rebuild_adjacency_and_drop_the_cache() {
+        let mut r = Router::new(Topology::ring(4, LinkSpec::default()));
+        let p = r
+            .route(SiteId(0), SiteId(2), 0, all_alive, unblocked)
+            .unwrap()
+            .to_vec();
+        assert_eq!(p.len(), 3);
+        // Add a chord 0-2; even at the SAME epoch the cache was dropped, so
+        // the new single-hop path is found.
+        r.edit_topology(|t| t.add_link(SiteId(0), SiteId(2), LinkSpec::default()));
+        let p = r
+            .route(SiteId(0), SiteId(2), 0, all_alive, unblocked)
+            .unwrap()
+            .to_vec();
+        assert_eq!(p, vec![SiteId(0), SiteId(2)]);
     }
 }

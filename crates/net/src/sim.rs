@@ -24,6 +24,42 @@ use std::cmp::Reverse;
 use std::collections::{BTreeSet, BinaryHeap};
 use tacoma_util::SiteId;
 
+/// A partition installed by [`SimNet::partition`]: one membership mask per
+/// call, `O(V)` to store instead of the `O(V²)` blocked-pair set it replaces.
+/// Communication between two sites is blocked when any active partition puts
+/// them on different sides of its boundary.
+#[derive(Debug, Clone)]
+struct PartitionMask {
+    in_group: Vec<bool>,
+}
+
+impl PartitionMask {
+    fn new(sites: u32, group: &BTreeSet<SiteId>) -> Self {
+        let mut in_group = vec![false; sites as usize];
+        for site in group {
+            if let Some(slot) = in_group.get_mut(site.index()) {
+                *slot = true;
+            }
+        }
+        PartitionMask { in_group }
+    }
+
+    fn contains(&self, site: SiteId) -> bool {
+        self.in_group.get(site.index()).copied().unwrap_or(false)
+    }
+
+    fn splits(&self, a: SiteId, b: SiteId) -> bool {
+        self.contains(a) != self.contains(b)
+    }
+}
+
+/// The one partition-blocking rule, shared by [`SimNet::is_blocked`] and the
+/// routing closure in [`SimNet::send`] (a free function so the send path can
+/// borrow `partitions` alone while the router is borrowed mutably).
+fn partition_blocked(partitions: &[PartitionMask], a: SiteId, b: SiteId) -> bool {
+    partitions.iter().any(|mask| mask.splits(a, b))
+}
+
 /// Identifier of a message accepted by [`SimNet::send`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct MessageId(pub u64);
@@ -156,7 +192,16 @@ pub struct SimNet {
     next_msg_id: u64,
     transport: Transport,
     metrics: NetMetrics,
-    blocked_pairs: BTreeSet<(SiteId, SiteId)>,
+    partitions: Vec<PartitionMask>,
+    /// Routing epoch: bumped by every failure, recovery, partition, heal and
+    /// topology edit.  The router's cache keys its entries on this, so
+    /// liveness changes invalidate routes with one integer increment instead
+    /// of per-send state cloning.
+    epoch: u64,
+    /// Scratch buffer the current send's path is copied into, so the hop
+    /// loop does not hold a borrow of the router (and allocates nothing
+    /// after warm-up).
+    route_buf: Vec<SiteId>,
 }
 
 impl SimNet {
@@ -172,7 +217,9 @@ impl SimNet {
             next_msg_id: 1,
             transport: Transport::new(),
             metrics: NetMetrics::new(),
-            blocked_pairs: BTreeSet::new(),
+            partitions: Vec::new(),
+            epoch: 0,
+            route_buf: Vec::new(),
         }
     }
 
@@ -191,9 +238,36 @@ impl SimNet {
         self.up.get(site.index()).copied().unwrap_or(false)
     }
 
-    /// The routing oracle (topology + shortest paths).
+    /// The routing oracle (topology + shortest paths + route cache).
     pub fn router(&self) -> &Router {
         &self.router
+    }
+
+    /// The current routing epoch.  Every crash, recovery, partition, heal
+    /// and topology edit increments it; cached routes from older epochs are
+    /// never consulted.
+    pub fn route_epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Enables or disables the route cache (on by default).  The disabled
+    /// mode recomputes a BFS per send — the reference path scale experiments
+    /// and invalidation tests compare the cached fast path against.
+    pub fn set_route_cache(&mut self, enabled: bool) {
+        self.router.set_cache_enabled(enabled);
+    }
+
+    /// Routing work performed so far, as `(route_queries, bfs_runs)`.
+    /// `route_queries - bfs_runs` is the work the cache saved.
+    pub fn routing_work(&self) -> (u64, u64) {
+        (self.router.route_queries(), self.router.bfs_runs())
+    }
+
+    /// Edits the topology in place, rebuilding the router's adjacency and
+    /// invalidating every cached route.
+    pub fn edit_topology(&mut self, edit: impl FnOnce(&mut Topology)) {
+        self.router.edit_topology(edit);
+        self.epoch += 1;
     }
 
     /// Accumulated byte/message counters.
@@ -201,9 +275,11 @@ impl SimNet {
         &self.metrics
     }
 
-    /// Resets the byte/message counters (the clock keeps running).
+    /// Resets the byte/message counters and the routing-work counters (the
+    /// clock keeps running and cached routes stay valid).
     pub fn reset_metrics(&mut self) {
         self.metrics.reset();
+        self.router.reset_route_stats();
     }
 
     /// Schedules every event of a failure plan.
@@ -231,26 +307,29 @@ impl SimNet {
 
     /// Installs a partition: messages between the listed group and all other
     /// sites are blocked until [`SimNet::heal_partition`] is called.
+    ///
+    /// Stored as an `O(V)` membership mask — not the `O(V²)` pair set the
+    /// first implementation materialised — and tested per edge at routing
+    /// time, so routes stay *within* a side of the partition when a live
+    /// in-side path exists.
     pub fn partition(&mut self, group: &[SiteId]) {
         let group: BTreeSet<SiteId> = group.iter().copied().collect();
-        for a in self.router.topology().sites() {
-            for b in self.router.topology().sites() {
-                if a < b && group.contains(&a) != group.contains(&b) {
-                    self.blocked_pairs.insert((a, b));
-                }
-            }
-        }
+        self.partitions
+            .push(PartitionMask::new(self.site_count(), &group));
+        self.epoch += 1;
     }
 
     /// Removes every partition-induced block.
     pub fn heal_partition(&mut self) {
-        self.blocked_pairs.clear();
+        if !self.partitions.is_empty() {
+            self.partitions.clear();
+            self.epoch += 1;
+        }
     }
 
     /// Whether direct communication between two sites is blocked by a partition.
     pub fn is_blocked(&self, a: SiteId, b: SiteId) -> bool {
-        let key = if a <= b { (a, b) } else { (b, a) };
-        self.blocked_pairs.contains(&key)
+        partition_blocked(&self.partitions, a, b)
     }
 
     /// Schedules a timer on `site` to fire after `delay`, tagged with `key`.
@@ -306,24 +385,26 @@ impl SimNet {
             return Ok(id);
         }
 
-        // Route over live, unpartitioned sites.
-        let blocked = self.blocked_pairs.clone();
-        let up = self.up.clone();
+        // Route over live, unpartitioned sites.  Liveness and partition state
+        // are *borrowed* (the clones the first implementation made per send
+        // were the scale bottleneck); the router answers from its cache
+        // whenever the epoch has not moved since the pair was last routed.
+        let up = &self.up;
+        let partitions = &self.partitions;
         let alive = |s: SiteId| up.get(s.index()).copied().unwrap_or(false);
+        let blocked = |a: SiteId, b: SiteId| partition_blocked(partitions, a, b);
         let path = self
             .router
-            .shortest_path(from, to, alive)
-            .filter(|p| {
-                p.windows(2)
-                    .all(|w| !blocked.contains(&Self::pair(w[0], w[1])))
-            })
+            .route(from, to, self.epoch, alive, blocked)
             .ok_or(NetError::Unreachable { from, to })?;
+        self.route_buf.clear();
+        self.route_buf.extend_from_slice(path);
 
         let payload_len = payload.len() as u64;
         let overhead = self.transport.overhead(transport, from, to);
         let mut delay = overhead.setup_latency;
         let wire_bytes = payload_len + overhead.extra_bytes;
-        for hop in path.windows(2) {
+        for hop in self.route_buf.windows(2) {
             let (a, b) = (hop[0], hop[1]);
             let spec = self
                 .router
@@ -343,7 +424,7 @@ impl SimNet {
             payload,
             kind,
             sent_at: self.clock,
-            hops: (path.len() - 1) as u32,
+            hops: (self.route_buf.len() - 1) as u32,
         };
         let at = self.clock + delay;
         self.push(at, Pending::Deliver(msg));
@@ -405,7 +486,7 @@ impl SimNet {
         let Some(slot) = self.up.get_mut(site.index()) else {
             return false;
         };
-        match action {
+        let changed = match action {
             FailureAction::Crash => {
                 if !*slot {
                     return false;
@@ -421,21 +502,18 @@ impl SimNet {
                 *slot = true;
                 true
             }
+        };
+        if changed {
+            // Liveness changed: invalidate every cached route.
+            self.epoch += 1;
         }
+        changed
     }
 
     fn push(&mut self, at: SimTime, pending: Pending) {
         let seq = self.seq;
         self.seq += 1;
         self.queue.push(Reverse(QueuedEvent { at, seq, pending }));
-    }
-
-    fn pair(a: SiteId, b: SiteId) -> (SiteId, SiteId) {
-        if a <= b {
-            (a, b)
-        } else {
-            (b, a)
-        }
     }
 }
 
@@ -679,6 +757,76 @@ mod tests {
                 transport: TransportKind::Tcp,
             })
             .is_ok());
+    }
+
+    #[test]
+    fn route_epoch_bumps_on_liveness_and_partition_changes() {
+        let mut net = mesh(4);
+        assert_eq!(net.route_epoch(), 0);
+        net.crash_now(SiteId(1));
+        assert_eq!(net.route_epoch(), 1);
+        net.crash_now(SiteId(1)); // idempotent: no state change, no bump
+        assert_eq!(net.route_epoch(), 1);
+        net.recover_now(SiteId(1));
+        assert_eq!(net.route_epoch(), 2);
+        net.partition(&[SiteId(0), SiteId(1)]);
+        assert_eq!(net.route_epoch(), 3);
+        net.heal_partition();
+        assert_eq!(net.route_epoch(), 4);
+        net.heal_partition(); // nothing to heal, no bump
+        assert_eq!(net.route_epoch(), 4);
+        net.edit_topology(|t| t.remove_link(SiteId(0), SiteId(1)));
+        assert_eq!(net.route_epoch(), 5);
+    }
+
+    #[test]
+    fn repeated_sends_hit_the_route_cache() {
+        let mut net = SimNet::new(Topology::ring(8, LinkSpec::default()));
+        for _ in 0..10 {
+            send_simple(&mut net, 0, 4, 16);
+        }
+        let (queries, bfs) = net.routing_work();
+        assert_eq!(queries, 10);
+        assert_eq!(bfs, 1, "one BFS must serve all ten sends");
+        // A crash invalidates: the next send recomputes, once.
+        net.crash_now(SiteId(1));
+        send_simple(&mut net, 0, 4, 16);
+        send_simple(&mut net, 0, 4, 16);
+        assert_eq!(net.routing_work(), (12, 2));
+    }
+
+    #[test]
+    fn uncached_mode_recomputes_every_send() {
+        let mut net = SimNet::new(Topology::ring(8, LinkSpec::default()));
+        net.set_route_cache(false);
+        for _ in 0..5 {
+            send_simple(&mut net, 0, 3, 16);
+        }
+        assert_eq!(net.routing_work(), (5, 5));
+    }
+
+    #[test]
+    fn partitioned_route_stays_inside_the_group_when_a_path_exists() {
+        // Chain 0-1-2-3 plus a shortcut through 4.  Partition {0,1,2,3}:
+        // the shortcut is severed but the in-group chain still routes.
+        let mut t = Topology::empty(5);
+        t.add_link(SiteId(0), SiteId(1), LinkSpec::default());
+        t.add_link(SiteId(1), SiteId(2), LinkSpec::default());
+        t.add_link(SiteId(2), SiteId(3), LinkSpec::default());
+        t.add_link(SiteId(0), SiteId(4), LinkSpec::default());
+        t.add_link(SiteId(4), SiteId(3), LinkSpec::default());
+        let mut net = SimNet::new(t);
+        send_simple(&mut net, 0, 3, 8);
+        match net.step().unwrap() {
+            Event::Message(m) => assert_eq!(m.hops, 2, "shortcut via 4"),
+            other => panic!("unexpected {other:?}"),
+        }
+        net.partition(&[SiteId(0), SiteId(1), SiteId(2), SiteId(3)]);
+        send_simple(&mut net, 0, 3, 8);
+        match net.step().unwrap() {
+            Event::Message(m) => assert_eq!(m.hops, 3, "must detour inside the group"),
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

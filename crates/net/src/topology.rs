@@ -68,6 +68,9 @@ pub enum TopologyKind {
     Grid,
     /// A random connected graph.
     Random,
+    /// Cliques of sites joined in a ring by gateway links (the scale
+    /// experiments' stand-in for LAN clusters on a WAN backbone).
+    RingOfCliques,
     /// A hand-built topology.
     Custom,
 }
@@ -138,6 +141,43 @@ impl Topology {
                 }
                 if r + 1 < rows {
                     t.add_link(id(r, c), id(r + 1, c), spec);
+                }
+            }
+        }
+        t
+    }
+
+    /// `cliques` fully-meshed clusters of `clique_size` sites each, joined
+    /// in a ring: site 0 of clique `c` (the *gateway*) links to the gateway
+    /// of clique `c + 1`.  Intra-clique links use `intra` (typically LAN),
+    /// gateway links use `inter` (typically WAN).
+    ///
+    /// This is the scale-experiment shape (E11/E12): clique-local traffic is
+    /// one hop, cross-clique traffic rides the gateway ring, and the longest
+    /// route grows with the clique count — a campus-LANs-on-a-WAN picture at
+    /// sizes the paper's testbed could only gesture at.
+    pub fn ring_of_cliques(
+        cliques: u32,
+        clique_size: u32,
+        intra: LinkSpec,
+        inter: LinkSpec,
+    ) -> Self {
+        let mut t = Topology::empty(cliques * clique_size);
+        t.kind = TopologyKind::RingOfCliques;
+        let gateway = |c: u32| SiteId(c * clique_size);
+        for c in 0..cliques {
+            let base = c * clique_size;
+            for a in 0..clique_size {
+                for b in (a + 1)..clique_size {
+                    t.add_link(SiteId(base + a), SiteId(base + b), intra);
+                }
+            }
+        }
+        if cliques >= 2 && clique_size >= 1 {
+            for c in 0..cliques {
+                let next = (c + 1) % cliques;
+                if gateway(c) != gateway(next) && !t.has_link(gateway(c), gateway(next)) {
+                    t.add_link(gateway(c), gateway(next), inter);
                 }
             }
         }
@@ -324,6 +364,37 @@ mod tests {
         // Corner has 2 neighbours, interior has 4.
         assert_eq!(t.neighbors(SiteId(0)).len(), 2);
         assert_eq!(t.neighbors(SiteId(5)).len(), 4);
+    }
+
+    #[test]
+    fn ring_of_cliques_links_and_connectivity() {
+        let t = Topology::ring_of_cliques(4, 3, LinkSpec::lan(), LinkSpec::wan());
+        assert_eq!(t.site_count(), 12);
+        assert_eq!(t.kind(), TopologyKind::RingOfCliques);
+        // 4 cliques × C(3,2) intra links + 4 gateway links.
+        assert_eq!(t.link_count(), 4 * 3 + 4);
+        assert!(t.is_connected());
+        // Gateways carry the WAN spec, clique members the LAN spec.
+        assert_eq!(t.link(SiteId(0), SiteId(3)), Some(&LinkSpec::wan()));
+        assert_eq!(t.link(SiteId(0), SiteId(1)), Some(&LinkSpec::lan()));
+        // A non-gateway member only sees its own clique.
+        assert_eq!(t.neighbors(SiteId(4)), vec![SiteId(3), SiteId(5)]);
+    }
+
+    #[test]
+    fn degenerate_ring_of_cliques_shapes_hold_together() {
+        // Two cliques: one gateway link, not a duplicate pair.
+        let t = Topology::ring_of_cliques(2, 2, LinkSpec::default(), LinkSpec::default());
+        assert_eq!(t.link_count(), 2 + 1);
+        assert!(t.is_connected());
+        // One clique: no gateway ring at all.
+        let t = Topology::ring_of_cliques(1, 4, LinkSpec::default(), LinkSpec::default());
+        assert_eq!(t.link_count(), 6);
+        assert!(t.is_connected());
+        // Clique size 1 collapses to a plain ring of gateways.
+        let t = Topology::ring_of_cliques(5, 1, LinkSpec::default(), LinkSpec::wan());
+        assert_eq!(t.link_count(), 5);
+        assert!(t.is_connected());
     }
 
     #[test]

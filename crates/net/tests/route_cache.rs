@@ -1,0 +1,165 @@
+//! Route-cache invalidation tests: a scripted crash/recover/partition/heal
+//! scenario must behave *identically* with the cache on and with the cache
+//! disabled (fresh BFS per send).  "Identically" is strict: every surfaced
+//! event in the same order, every byte/message counter equal.  The only
+//! permitted difference is the routing work itself — that is the point of
+//! the cache.
+
+use tacoma_net::{
+    Duration, Event, LinkSpec, SendOptions, SimNet, SimTime, Topology, TransportKind,
+};
+use tacoma_util::{DetRng, SiteId};
+
+/// Drives one scripted run and returns every surfaced event plus the final
+/// counters, so two runs can be compared wholesale.
+fn run_scenario(cached: bool) -> (Vec<Event>, Vec<u64>, Vec<Event>) {
+    let topology = Topology::ring_of_cliques(4, 4, LinkSpec::lan(), LinkSpec::wan());
+    let sites = topology.site_count();
+    let mut net = SimNet::new(topology);
+    net.set_route_cache(cached);
+
+    let mut rng = DetRng::new(0xCAFE);
+    let send = |net: &mut SimNet, from: u32, to: u32| {
+        let _ = net.send(SendOptions {
+            from: SiteId(from),
+            to: SiteId(to),
+            payload: vec![0xAB; 64],
+            kind: 7,
+            transport: TransportKind::Tcp,
+        });
+    };
+    let drain = |net: &mut SimNet| -> Vec<Event> {
+        let mut events = Vec::new();
+        while let Some(ev) = net.step() {
+            events.push(ev);
+        }
+        events
+    };
+
+    let mut events = Vec::new();
+    // Phase 1: healthy traffic, random pairs (repeated, so the cache works).
+    let pairs: Vec<(u32, u32)> = (0..24)
+        .map(|_| {
+            (
+                rng.next_below(sites as u64) as u32,
+                rng.next_below(sites as u64) as u32,
+            )
+        })
+        .collect();
+    for &(from, to) in pairs.iter().chain(pairs.iter()) {
+        send(&mut net, from, to);
+    }
+    events.extend(drain(&mut net));
+
+    // Phase 2: crash two sites (one gateway, one member), same traffic.
+    net.crash_now(SiteId(0));
+    net.crash_now(SiteId(5));
+    for &(from, to) in &pairs {
+        send(&mut net, from, to);
+    }
+    events.extend(drain(&mut net));
+
+    // Phase 3: recover, partition cliques {0,1} away from {2,3}, traffic.
+    net.recover_now(SiteId(0));
+    net.recover_now(SiteId(5));
+    let group: Vec<SiteId> = (0..8).map(SiteId).collect();
+    net.partition(&group);
+    for &(from, to) in &pairs {
+        send(&mut net, from, to);
+    }
+    events.extend(drain(&mut net));
+
+    // Phase 4: heal, one more crash *while* messages are in flight.
+    net.heal_partition();
+    for &(from, to) in &pairs {
+        send(&mut net, from, to);
+    }
+    net.crash_now(SiteId(9));
+    events.extend(drain(&mut net));
+
+    // Phase 5: scheduled failure plan (timed outage) interleaved with timers.
+    let plan = tacoma_net::FailurePlan::none().outage(
+        SiteId(4),
+        net.now() + Duration::from_millis(1),
+        Duration::from_millis(5),
+    );
+    net.apply_failure_plan(&plan);
+    net.schedule_timer(SiteId(1), Duration::from_millis(2), 42);
+    for &(from, to) in &pairs {
+        send(&mut net, from, to);
+    }
+    let tail = drain(&mut net);
+
+    let counters = vec![
+        net.metrics().total_bytes().get(),
+        net.metrics().total_messages(),
+        net.metrics().total_hops(),
+        net.metrics().dropped_messages(),
+        net.now().0,
+        net.route_epoch(),
+    ];
+    (events, counters, tail)
+}
+
+#[test]
+fn cached_and_uncached_runs_are_byte_identical() {
+    let (cached_events, cached_counters, cached_tail) = run_scenario(true);
+    let (ref_events, ref_counters, ref_tail) = run_scenario(false);
+    assert_eq!(
+        cached_events.len(),
+        ref_events.len(),
+        "event counts diverge"
+    );
+    for (i, (a, b)) in cached_events.iter().zip(&ref_events).enumerate() {
+        assert_eq!(a, b, "event {i} diverges between cached and uncached runs");
+    }
+    assert_eq!(cached_tail, ref_tail, "tail phase diverges");
+    assert_eq!(
+        cached_counters, ref_counters,
+        "metrics diverge (bytes, messages, hops, drops, clock, epoch)"
+    );
+}
+
+#[test]
+fn the_cache_actually_saves_routing_work_in_that_scenario() {
+    // Re-run the cached scenario and check the cache earned its keep: the
+    // scenario sends each pair set multiple times per epoch.
+    let topology = Topology::ring_of_cliques(4, 4, LinkSpec::lan(), LinkSpec::wan());
+    let mut net = SimNet::new(topology);
+    for round in 0..6 {
+        for s in 1..16u32 {
+            let _ = net.send(SendOptions {
+                from: SiteId(s),
+                to: SiteId(0),
+                payload: vec![round; 32],
+                kind: 1,
+                transport: TransportKind::Tcp,
+            });
+        }
+        while net.step().is_some() {}
+    }
+    let (queries, bfs) = net.routing_work();
+    assert_eq!(queries, 90);
+    assert_eq!(bfs, 15, "one BFS per pair, reused across all six rounds");
+}
+
+#[test]
+fn cache_disabled_reference_still_detours_after_failures() {
+    // Sanity-check the reference path exercises the same liveness rules.
+    let mut net = SimNet::new(Topology::ring(6, LinkSpec::default()));
+    net.set_route_cache(false);
+    net.crash_now(SiteId(1));
+    net.send(SendOptions {
+        from: SiteId(0),
+        to: SiteId(2),
+        payload: vec![1],
+        kind: 1,
+        transport: TransportKind::Tcp,
+    })
+    .unwrap();
+    match net.step().unwrap() {
+        Event::Message(m) => assert_eq!(m.hops, 4, "long way around the dead site"),
+        other => panic!("unexpected {other:?}"),
+    }
+    assert!(net.now() > SimTime::ZERO);
+}

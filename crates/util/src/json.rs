@@ -42,11 +42,19 @@ impl Json {
         Json::Object(Vec::new())
     }
 
-    /// Appends `key: value` to an object (panics on non-objects — builder use
-    /// only).
+    /// Sets `key: value` on an object (panics on non-objects — builder use
+    /// only).  An existing key is replaced **in place**, keeping its original
+    /// position, so objects never carry duplicate keys and serialization
+    /// order stays deterministic under re-sets.
     pub fn set(&mut self, key: impl Into<String>, value: Json) {
         match self {
-            Json::Object(pairs) => pairs.push((key.into(), value)),
+            Json::Object(pairs) => {
+                let key = key.into();
+                match pairs.iter_mut().find(|(k, _)| *k == key) {
+                    Some(pair) => pair.1 = value,
+                    None => pairs.push((key, value)),
+                }
+            }
             _ => panic!("Json::set on a non-object"),
         }
     }
@@ -466,6 +474,26 @@ mod tests {
         assert_eq!(parsed, doc);
         // The writer is byte-stable across round trips.
         assert_eq!(parsed.to_pretty(), text);
+    }
+
+    #[test]
+    fn set_replaces_an_existing_key_in_place() {
+        let mut obj = Json::object();
+        obj.set("a", Json::Uint(1));
+        obj.set("b", Json::Uint(2));
+        // Regression: this used to append a second "a" entry instead of
+        // replacing the first, so `get` answered the stale value and the
+        // document serialized with a duplicate key.
+        obj.set("a", Json::Uint(10));
+        let pairs = obj.as_object().unwrap();
+        assert_eq!(pairs.len(), 2, "no duplicate keys");
+        assert_eq!(pairs[0].0, "a", "replaced key keeps its position");
+        assert_eq!(obj.get("a").and_then(Json::as_u64), Some(10));
+        assert_eq!(obj.get("b").and_then(Json::as_u64), Some(2));
+        // Serialization is deterministic and mentions "a" exactly once.
+        let text = obj.to_pretty();
+        assert_eq!(text.matches("\"a\"").count(), 1, "{text}");
+        assert_eq!(Json::parse(&text).unwrap().to_pretty(), text);
     }
 
     #[test]

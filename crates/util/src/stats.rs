@@ -242,6 +242,37 @@ mod tests {
     }
 
     #[test]
+    fn empty_percentiles_are_zero_at_every_rank() {
+        let s = Summary::new();
+        for p in [0.0, 50.0, 100.0, -5.0, 250.0] {
+            assert_eq!(s.percentile(p), 0.0, "p={p} on empty input");
+        }
+    }
+
+    #[test]
+    fn percentile_extremes_pin_to_min_and_max() {
+        let mut s = Summary::new();
+        s.extend([5.0, 1.0, 9.0, 3.0]);
+        assert_eq!(s.percentile(0.0), s.min());
+        assert_eq!(s.percentile(100.0), s.max());
+        // Out-of-range ranks clamp instead of indexing out of bounds.
+        assert_eq!(s.percentile(-10.0), 1.0);
+        assert_eq!(s.percentile(1000.0), 9.0);
+    }
+
+    #[test]
+    fn single_sample_summary_is_its_own_min_max_and_median() {
+        let mut s = Summary::new();
+        s.add(-2.5);
+        assert_eq!(s.min(), -2.5);
+        assert_eq!(s.max(), -2.5);
+        assert_eq!(s.median(), -2.5);
+        assert_eq!(s.percentile(0.0), -2.5);
+        assert_eq!(s.percentile(100.0), -2.5);
+        assert_eq!(s.std_dev(), 0.0);
+    }
+
+    #[test]
     fn histogram_buckets_and_overflow() {
         let mut h = Histogram::new(10.0, 5);
         for v in [0.0, 5.0, 9.9, 10.0, 49.9, 50.0, 1000.0] {
