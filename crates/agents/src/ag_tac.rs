@@ -8,7 +8,7 @@
 //! lets an agent "move to a destination site having a completely different
 //! machine language."
 //!
-//! The bridge between the script and the kernel is [`CtxHost`], which
+//! The bridge between the script and the kernel is the private `CtxHost`, which
 //! implements the interpreter's [`ScriptHost`] trait on top of the running
 //! meet's [`MeetCtx`] and briefcase:
 //!

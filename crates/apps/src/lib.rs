@@ -1,6 +1,6 @@
 //! The paper's prototype applications (§6), rebuilt on the TACOMA runtime.
 //!
-//! * [`stormcast`] — StormCast [J93]: severe-storm prediction in the Arctic
+//! * [`stormcast`] — StormCast \[J93\]: severe-storm prediction in the Arctic
 //!   from a distributed network of weather sensors.  Sensor sites accumulate
 //!   readings in site-local cabinets; a mobile *collector* agent visits the
 //!   sensor sites, filters and aggregates the readings where they live, and

@@ -8,7 +8,7 @@ use tacoma_cash::{AuditCourt, ExchangeConfig, ExchangeProtocol, Mint, PartyBehav
 use tacoma_core::prelude::*;
 use tacoma_core::{codec, Folder, TacomaSystem};
 use tacoma_ft::{run_itinerary_experiment, FtConfig};
-use tacoma_net::{LinkSpec, Topology};
+use tacoma_net::{CustodyConfig, LinkSpec, Topology};
 use tacoma_sched::protected::{secret_agent_name, AdmissionPolicy, REQUESTER};
 use tacoma_sched::{
     run_scheduling_experiment, PlacementPolicy, ProtectedBrokerAgent, SchedulingConfig,
@@ -1069,6 +1069,178 @@ pub fn e12_churn(quick: bool) -> Table {
 }
 
 // ---------------------------------------------------------------------------
+// E13 — store-and-forward custody across partitions
+// ---------------------------------------------------------------------------
+
+/// Counters one E13 run reports.
+struct E13Outcome {
+    delivered_after_heal: u64,
+    send_failures: u64,
+    expired: u64,
+    peak_bytes: u64,
+    backlog: u64,
+}
+
+/// One partition-heal mail/gossip run: every site mails `msgs_per_site`
+/// reports to its counterpart across the partition boundary, the partition
+/// holds for two simulated seconds, then heals and the run drains.  With
+/// `custody` set to `(capacity, ttl_ms)` the cross-partition legs park in
+/// custody; with `None` they fail fast — the paper-motivating contrast.
+fn e13_run(custody: Option<(usize, u64)>, msgs_per_site: u32) -> E13Outcome {
+    let sites = 12u32;
+    let mut builder = TacomaSystem::builder()
+        .topology(Topology::full_mesh(sites, LinkSpec::wan()))
+        .seed(1313)
+        .with_agents(|_| {
+            vec![
+                Box::new(ReporterAgent) as Box<dyn Agent>,
+                Box::new(SinkAgent::new()) as Box<dyn Agent>,
+            ]
+        });
+    if let Some((capacity, ttl_ms)) = custody {
+        builder = builder.custody(CustodyConfig {
+            capacity,
+            ttl: Duration::from_millis(ttl_ms),
+        });
+    }
+    let mut sys = builder.build();
+    let half = sites / 2;
+    let group: Vec<USiteId> = (0..half).map(USiteId).collect();
+    sys.net_mut().partition(&group);
+    for _ in 0..msgs_per_site {
+        for s in 0..sites {
+            let mut bc = Briefcase::new();
+            bc.put_string("TO", ((s + half) % sites).to_string());
+            sys.inject_meet(USiteId(s), AgentName::new("reporter"), bc);
+        }
+    }
+    // The partition holds for two simulated seconds, then heals.
+    sys.run_for(Duration::from_secs(2));
+    sys.net_mut().heal_partition();
+    sys.run_until_quiescent(u64::MAX / 2);
+    E13Outcome {
+        delivered_after_heal: sys.net_metrics().custody_delivered(),
+        send_failures: sys.stats().send_failures,
+        expired: sys.stats().meets_expired,
+        peak_bytes: sys.net_metrics().custody_peak_bytes(),
+        backlog: sys.net().custody_backlog() as u64,
+    }
+}
+
+/// E13: the delayed-but-delivered experiment — a partition-heal mail workload
+/// under fail-fast vs custody, sweeping queue capacity and TTL.  Short TTLs
+/// expire instead of delivering; small queues overflow into fail-fast.
+pub fn e13_custody(quick: bool) -> Table {
+    let mut table = Table::new(
+        "E13 — store-and-forward custody across partitions",
+        "§1/§6: agents suit \"computers … only intermittently connected to a network\" — messages should ride out a partition, not fail fast",
+        &[
+            "variant",
+            "capacity",
+            "ttl ms",
+            "cross msgs",
+            "delivered after heal",
+            "send failures",
+            "expired",
+            "peak custody bytes",
+        ],
+    );
+    let msgs_per_site: u32 = if quick { 3 } else { 6 };
+    let cross = (12 * msgs_per_site) as u64;
+    let mut configs: Vec<Option<(usize, u64)>> = vec![
+        None,               // fail-fast baseline
+        Some((64, 10_000)), // ample queue, TTL outlives the partition
+        Some((64, 500)),    // TTL expires before the heal
+        Some((2, 10_000)),  // bounded queue overflows into fail-fast
+    ];
+    if !quick {
+        configs.push(Some((4, 10_000)));
+    }
+    for config in configs {
+        let outcome = e13_run(config, msgs_per_site);
+        debug_assert_eq!(outcome.backlog, 0, "drained runs leave no backlog");
+        let (variant, capacity, ttl) = match config {
+            None => ("fail-fast".to_string(), "—".to_string(), "—".to_string()),
+            Some((cap, ttl)) => ("custody".to_string(), cap.to_string(), ttl.to_string()),
+        };
+        table.row(vec![
+            variant,
+            capacity,
+            ttl,
+            cross.to_string(),
+            outcome.delivered_after_heal.to_string(),
+            outcome.send_failures.to_string(),
+            outcome.expired.to_string(),
+            outcome.peak_bytes.to_string(),
+        ]);
+    }
+    table
+}
+
+// ---------------------------------------------------------------------------
+// E14 — custody conservation under crash churn
+// ---------------------------------------------------------------------------
+
+/// E14: the guarded itinerary workload under heavy crash churn, fail-fast vs
+/// custody.  The `conserved` flag asserts the meet-accounting invariant:
+/// every requested meet lands in exactly one terminal bucket (completed,
+/// failed, send-failed, expired, or — fail-fast only — dropped in flight).
+pub fn e14_custody_churn(quick: bool) -> Table {
+    let mut table = Table::new(
+        "E14 — custody conservation under crash churn",
+        "§5: sites crash and recover; with custody every meet is delayed-but-delivered or terminally expired — none silently vanish",
+        &[
+            "variant",
+            "travellers",
+            "completed",
+            "rate",
+            "meets",
+            "completed meets",
+            "failed",
+            "send failures",
+            "expired",
+            "dropped",
+            "conserved",
+        ],
+    );
+    let travellers = if quick { 15 } else { 40 };
+    for custody in [false, true] {
+        let result = run_itinerary_experiment(&FtConfig {
+            sites: 10,
+            itinerary_len: 6,
+            travellers,
+            crash_prob: 0.5,
+            crash_window_ms: 15,
+            downtime_ms: (500, 3_000),
+            guarded: true,
+            custody,
+            seed: 1414,
+            ..Default::default()
+        });
+        let terminal = result.meets_completed
+            + result.meets_failed
+            + result.send_failures
+            + result.meets_expired
+            + result.dropped_messages;
+        let conserved = terminal == result.meets && result.custody_backlog == 0;
+        table.row(vec![
+            if custody { "custody" } else { "fail-fast" }.to_string(),
+            result.launched.to_string(),
+            result.completed.to_string(),
+            format!("{:.0}%", result.completion_rate * 100.0),
+            result.meets.to_string(),
+            result.meets_completed.to_string(),
+            result.meets_failed.to_string(),
+            result.send_failures.to_string(),
+            result.meets_expired.to_string(),
+            result.dropped_messages.to_string(),
+            conserved.to_string(),
+        ]);
+    }
+    table
+}
+
+// ---------------------------------------------------------------------------
 // Ablations
 // ---------------------------------------------------------------------------
 
@@ -1241,6 +1413,38 @@ mod tests {
             fast.bfs_runs < reference.bfs_runs,
             "within-epoch reuse must save some work even under churn"
         );
+    }
+
+    #[test]
+    fn e13_custody_delivers_after_heal_where_fail_fast_loses() {
+        let table = e13_custody(true);
+        let cell = |r: usize, c: usize| table.rows[r][c].parse::<u64>().unwrap();
+        let cross = cell(0, 3);
+        // Fail-fast: every cross-partition send fails, nothing is delivered.
+        assert_eq!(cell(0, 4), 0);
+        assert_eq!(cell(0, 5), cross);
+        // Ample custody: everything is delivered after the heal, no failures.
+        assert_eq!(cell(1, 4), cross);
+        assert_eq!(cell(1, 5), 0);
+        assert!(cell(1, 7) > 0, "storage occupancy was charged");
+        // Short TTL: everything expires instead.
+        assert_eq!(cell(2, 6), cross);
+        assert_eq!(cell(2, 4), 0);
+        // Bounded queue: the overflow fails fast, the rest still delivers.
+        assert_eq!(cell(3, 4) + cell(3, 5), cross);
+        assert!(cell(3, 5) > 0, "the tiny queue must overflow");
+    }
+
+    #[test]
+    fn e14_accounting_is_conserved_in_both_modes() {
+        let table = e14_custody_churn(true);
+        assert_eq!(table.rows.len(), 2);
+        for row in &table.rows {
+            assert_eq!(row[10], "true", "conservation must hold: {row:?}");
+        }
+        let custody = &table.rows[1];
+        assert_eq!(custody[7], "0", "custody has no send failures");
+        assert_eq!(custody[9], "0", "custody drops nothing in flight");
     }
 
     #[test]

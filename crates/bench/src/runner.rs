@@ -1,6 +1,6 @@
 //! The parallel experiment runner.
 //!
-//! Every experiment (E1–E12) and ablation (A3/A4; A1/A2 are reserved ids,
+//! Every experiment (E1–E14) and ablation (A3/A4; A1/A2 are reserved ids,
 //! see [`RESERVED_IDS`]) is registered here as an independent [`JobSpec`].
 //! Each job builds and drives its own seeded `SimNet`/`TacomaSystem`, so jobs
 //! share no mutable state and the worker count cannot perturb any measured
@@ -123,6 +123,18 @@ pub fn registry() -> Vec<JobSpec> {
             run: crate::e12_churn,
         },
         JobSpec {
+            id: "E13",
+            summary: "store-and-forward custody across partitions",
+            seed: 1313,
+            run: crate::e13_custody,
+        },
+        JobSpec {
+            id: "E14",
+            summary: "custody conservation under crash churn",
+            seed: 1414,
+            run: crate::e14_custody_churn,
+        },
+        JobSpec {
             id: "A3",
             summary: "ablation: rear-guard chain depth",
             seed: 31_001,
@@ -227,20 +239,26 @@ mod tests {
     /// Cheap subset used by the determinism tests (the full quick suite is
     /// exercised end-to-end by `tests/harness_gate.rs`).
     fn cheap_ids() -> Vec<String> {
-        ["E4", "E5", "E8"].iter().map(|s| s.to_string()).collect()
+        // E13/E14 ride along so the new custody experiments are explicitly
+        // covered by the jobs-1-vs-jobs-8 byte-identical check.
+        ["E4", "E5", "E8", "E13", "E14"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
     }
 
     #[test]
     fn registry_ids_are_unique_and_cover_e1_to_a4() {
         let specs = registry();
-        assert_eq!(specs.len(), 14);
+        assert_eq!(specs.len(), 16);
         let mut ids: Vec<&str> = specs.iter().map(|s| s.id).collect();
         assert_eq!(ids.first(), Some(&"E1"));
         assert_eq!(ids.last(), Some(&"A4"));
         assert!(ids.contains(&"E11") && ids.contains(&"E12"));
+        assert!(ids.contains(&"E13") && ids.contains(&"E14"));
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 14, "duplicate experiment ids in the registry");
+        assert_eq!(ids.len(), 16, "duplicate experiment ids in the registry");
     }
 
     #[test]
@@ -252,7 +270,7 @@ mod tests {
             .unwrap_err()
             .contains("unknown experiment id"));
         assert!(select(&["a1".into()]).unwrap_err().contains("reserved"));
-        assert_eq!(select(&[]).unwrap().len(), 14);
+        assert_eq!(select(&[]).unwrap().len(), 16);
     }
 
     #[test]
@@ -274,7 +292,7 @@ mod tests {
         let specs = select(&cheap_ids()).unwrap();
         let results = run_jobs(&specs, true, specs.len() * 4);
         let ids: Vec<&str> = results.iter().map(|r| r.id).collect();
-        assert_eq!(ids, ["E4", "E5", "E8"]);
+        assert_eq!(ids, ["E4", "E5", "E8", "E13", "E14"]);
         assert!(results.iter().all(|r| !r.report.metrics.is_empty()));
         assert!(results.iter().all(|r| r.report.wall_ms >= 0.0));
     }

@@ -251,6 +251,8 @@ pub struct MeetCtx<'a> {
     pub(crate) rng: &'a mut DetRng,
     pub(crate) neighbors: &'a [SiteId],
     pub(crate) alive: &'a [bool],
+    pub(crate) reachable: &'a [bool],
+    pub(crate) custody: bool,
     pub(crate) trace: &'a mut Vec<String>,
 }
 
@@ -296,6 +298,26 @@ impl<'a> MeetCtx<'a> {
     /// provides; the fault-tolerance crate documents the assumption.
     pub fn site_is_up(&self, site: SiteId) -> bool {
         self.alive.get(site.index()).copied().unwrap_or(false)
+    }
+
+    /// Whether a site is currently *reachable* from this one over live,
+    /// unpartitioned links.  A site can be up yet unreachable (partition):
+    /// with custody enabled a message to it is parked, not lost, so rear
+    /// guards should wait instead of relaunching.  When the system does not
+    /// track reachability (custody disabled) this falls back to
+    /// [`MeetCtx::site_is_up`].
+    pub fn site_is_reachable(&self, site: SiteId) -> bool {
+        if self.reachable.is_empty() {
+            return self.site_is_up(site);
+        }
+        self.reachable.get(site.index()).copied().unwrap_or(false)
+    }
+
+    /// Whether store-and-forward custody is enabled: remote meets to
+    /// unreachable sites are parked and delivered after the partition heals
+    /// (or expire after their TTL) instead of failing fast.
+    pub fn custody_enabled(&self) -> bool {
+        self.custody
     }
 
     /// Deterministic per-site random number generator.
@@ -349,6 +371,8 @@ impl<'a> MeetCtx<'a> {
             rng: &mut *self.rng,
             neighbors: self.neighbors,
             alive: self.alive,
+            reachable: self.reachable,
+            custody: self.custody,
             trace: &mut *self.trace,
         };
         let outcome = registered.agent.meet(&mut child, briefcase);
@@ -480,6 +504,8 @@ mod tests {
             rng: &mut rng,
             neighbors: &neighbors,
             alive: &alive,
+            reachable: &[],
+            custody: false,
             trace: &mut trace,
         };
         let outcome = registered.agent.meet(&mut ctx, bc);

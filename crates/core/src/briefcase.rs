@@ -1,7 +1,7 @@
 //! Briefcases: the named folder collections that travel with agents.
 //!
 //! The paper (§2) associates a *briefcase* with each agent so that "its future
-//! actions [can] depend on its past ones", and uses a briefcase as the
+//! actions \[can\] depend on its past ones", and uses a briefcase as the
 //! argument list of a `meet` (each folder is one argument).  A briefcase must
 //! be cheap to serialize and ship, since that happens on every migration.
 

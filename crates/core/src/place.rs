@@ -30,6 +30,13 @@ pub struct DispatchEnv<'a> {
     pub neighbors: &'a [SiteId],
     /// Liveness of every site (index = site id).
     pub alive: &'a [bool],
+    /// Reachability of every site from the executing site (index = site id).
+    /// Empty when the system does not track reachability (custody disabled);
+    /// `MeetCtx::site_is_reachable` then falls back to liveness.
+    pub reachable: &'a [bool],
+    /// Whether store-and-forward custody is enabled system-wide (remote meets
+    /// to unreachable sites park instead of failing).
+    pub custody: bool,
 }
 
 impl<'a> DispatchEnv<'a> {
@@ -41,6 +48,8 @@ impl<'a> DispatchEnv<'a> {
             sender: AgentId::SYSTEM,
             neighbors: &[],
             alive,
+            reachable: &[],
+            custody: false,
         }
     }
 }
@@ -169,6 +178,8 @@ impl Place {
             rng: &mut self.rng,
             neighbors: env.neighbors,
             alive: env.alive,
+            reachable: env.reachable,
+            custody: env.custody,
             trace: &mut self.trace,
         };
         let outcome = registered.agent.meet(&mut ctx, briefcase);
@@ -204,6 +215,8 @@ impl Place {
             rng: &mut self.rng,
             neighbors: env.neighbors,
             alive: env.alive,
+            reachable: env.reachable,
+            custody: env.custody,
             trace: &mut self.trace,
         };
         registered.agent.on_install(&mut ctx);

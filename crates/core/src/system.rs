@@ -21,8 +21,8 @@ use crate::place::{DispatchEnv, Place};
 use crate::wellknown;
 use std::collections::BTreeMap;
 use tacoma_net::{
-    Duration, Event, FailurePlan, LinkSpec, NetMetrics, SendOptions, SimNet, SimTime, Topology,
-    TransportKind,
+    CustodyConfig, Duration, Event, FailurePlan, LinkSpec, NetMetrics, SendOptions, SimNet,
+    SimTime, Topology, TransportKind,
 };
 use tacoma_util::{AgentId, AgentIdGen, AgentName, DetRng, SiteId};
 
@@ -48,8 +48,12 @@ pub struct SystemStats {
     pub local_meets: u64,
     /// Timer meets fired.
     pub timer_meets: u64,
-    /// Remote sends that failed (unreachable or dead destination).
+    /// Remote sends that failed (unreachable or dead destination, or a full
+    /// custody queue when custody is enabled).
     pub send_failures: u64,
+    /// Custodied meets that expired undelivered (terminal, like a failure,
+    /// but attributable to the network rather than the contact agent).
+    pub meets_expired: u64,
     /// Agents installed across all sites (including recoveries).
     pub agents_installed: u64,
     /// Site crashes observed.
@@ -65,6 +69,7 @@ pub struct SystemBuilder {
     topology: Topology,
     seed: u64,
     default_transport: TransportKind,
+    custody: Option<CustodyConfig>,
     factories: Vec<AgentFactory>,
 }
 
@@ -75,6 +80,7 @@ impl SystemBuilder {
             topology: Topology::full_mesh(2, LinkSpec::default()),
             seed: 0,
             default_transport: TransportKind::Tcp,
+            custody: None,
             factories: Vec::new(),
         }
     }
@@ -97,6 +103,15 @@ impl SystemBuilder {
         self
     }
 
+    /// Enables store-and-forward custody: meets sent while the destination is
+    /// unreachable (partition or outage) are parked at a custodian and
+    /// delivered when the network heals, expiring terminally after the TTL.
+    /// Without this, such sends fail fast and count as `send_failures`.
+    pub fn custody(mut self, config: CustodyConfig) -> Self {
+        self.custody = Some(config);
+        self
+    }
+
     /// Adds a factory whose agents are installed at every site (now and after
     /// every recovery).
     pub fn with_agents(
@@ -114,7 +129,10 @@ impl SystemBuilder {
         let neighbors: Vec<Vec<SiteId>> = (0..site_count)
             .map(|s| self.topology.neighbors(SiteId(s)))
             .collect();
-        let net = SimNet::new(self.topology);
+        let mut net = SimNet::new(self.topology);
+        if let Some(config) = self.custody {
+            net.set_custody(config);
+        }
         let mut places: Vec<Place> = (0..site_count)
             .map(|s| Place::new(SiteId(s), master.derive(1000 + s as u64)))
             .collect();
@@ -141,6 +159,7 @@ impl SystemBuilder {
             stats,
             rng: master.derive(1),
             trace: Vec::new(),
+            reachable_cache: BTreeMap::new(),
         };
         sys.run_install_hooks();
         sys
@@ -169,6 +188,9 @@ pub struct TacomaSystem {
     stats: SystemStats,
     rng: DetRng,
     trace: Vec<String>,
+    /// Reachability masks keyed by site, valid for the stored routing epoch
+    /// (see [`TacomaSystem::dispatch_inputs`]).
+    reachable_cache: BTreeMap<SiteId, (u64, Vec<bool>)>,
 }
 
 impl TacomaSystem {
@@ -292,12 +314,14 @@ impl TacomaSystem {
             briefcase,
         };
         let payload = codec::encode_meet_request(&req);
+        let custody = self.net.custody_enabled();
         let result = self.net.send(SendOptions {
             from: site,
             to: site,
             payload,
             kind: KIND_MEET,
             transport: self.default_transport,
+            custody,
         });
         if result.is_err() {
             self.stats.send_failures += 1;
@@ -339,6 +363,33 @@ impl TacomaSystem {
     pub fn run_for(&mut self, span: Duration) -> u64 {
         let deadline = self.now() + span;
         self.run_until(deadline)
+    }
+
+    /// Builds the per-meet environment inputs: liveness of every site, the
+    /// reachability mask from `site` (custody mode only), and the custody
+    /// flag.  Reachability masks are cached per routing epoch, so custody
+    /// runs pay one BFS per site per liveness change — not per meet.
+    fn dispatch_inputs(&mut self, site: SiteId) -> (Vec<bool>, Vec<bool>, bool) {
+        let alive: Vec<bool> = (0..self.net.site_count())
+            .map(|s| self.net.is_up(SiteId(s)))
+            .collect();
+        let custody = self.net.custody_enabled();
+        let reachable = if custody {
+            // Reachability (liveness + partitions) from the meet site, so
+            // agents can tell custody-pending from dead (rear guards).
+            let epoch = self.net.route_epoch();
+            match self.reachable_cache.get(&site) {
+                Some((cached_epoch, mask)) if *cached_epoch == epoch => mask.clone(),
+                _ => {
+                    let mask = self.net.reachable_mask(site);
+                    self.reachable_cache.insert(site, (epoch, mask.clone()));
+                    mask
+                }
+            }
+        } else {
+            Vec::new()
+        };
+        (alive, reachable, custody)
     }
 
     fn handle_event(&mut self, event: Event) {
@@ -383,6 +434,17 @@ impl TacomaSystem {
                     self.execute_meet(site, req);
                 }
             }
+            Event::MessageExpired(exp) => {
+                if exp.kind == KIND_MEET {
+                    self.stats.meets_expired += 1;
+                }
+                self.trace.push(format!(
+                    "[{}] custodied message {} -> {} expired undelivered",
+                    self.net.now(),
+                    exp.from,
+                    exp.to
+                ));
+            }
             Event::SiteCrashed(site) => {
                 self.stats.crashes += 1;
                 self.places[site.index()].crash();
@@ -399,9 +461,7 @@ impl TacomaSystem {
     }
 
     fn execute_meet(&mut self, site: SiteId, req: MeetRequest) {
-        let alive: Vec<bool> = (0..self.net.site_count())
-            .map(|s| self.net.is_up(SiteId(s)))
-            .collect();
+        let (alive, reachable, custody) = self.dispatch_inputs(site);
         let mut outbox: Vec<Action> = Vec::new();
         let env = DispatchEnv {
             now: self.net.now(),
@@ -409,6 +469,8 @@ impl TacomaSystem {
             sender: req.sender,
             neighbors: &self.neighbors[site.index()],
             alive: &alive,
+            reachable: &reachable,
+            custody,
         };
         let outcome =
             self.places[site.index()].dispatch(&req.contact, req.briefcase, env, &mut outbox);
@@ -444,12 +506,14 @@ impl TacomaSystem {
                         briefcase,
                     };
                     let payload = codec::encode_meet_request(&req);
+                    let custody = self.net.custody_enabled();
                     let result = self.net.send(SendOptions {
                         from: site,
                         to,
                         payload,
                         kind: KIND_MEET,
                         transport,
+                        custody,
                     });
                     if let Err(e) = result {
                         self.stats.send_failures += 1;
@@ -469,6 +533,7 @@ impl TacomaSystem {
                         briefcase,
                     };
                     let payload = codec::encode_meet_request(&req);
+                    let custody = self.net.custody_enabled();
                     if self
                         .net
                         .send(SendOptions {
@@ -477,6 +542,7 @@ impl TacomaSystem {
                             payload,
                             kind: KIND_MEET,
                             transport: self.default_transport,
+                            custody,
                         })
                         .is_err()
                     {
@@ -550,15 +616,15 @@ impl TacomaSystem {
     /// Runs one agent's `on_install` hook and carries out any actions it
     /// queued (installed agents may schedule timers or send reports).
     fn run_install_hook_for(&mut self, site: SiteId, name: &AgentName) {
-        let alive: Vec<bool> = (0..self.net.site_count())
-            .map(|s| self.net.is_up(SiteId(s)))
-            .collect();
+        let (alive, reachable, custody) = self.dispatch_inputs(site);
         let env = DispatchEnv {
             now: self.net.now(),
             origin: site,
             sender: AgentId::SYSTEM,
             neighbors: &self.neighbors[site.index()],
             alive: &alive,
+            reachable: &reachable,
+            custody,
         };
         let mut outbox = Vec::new();
         self.places[site.index()].run_install_hook(name, env, &mut outbox);
@@ -574,9 +640,7 @@ impl TacomaSystem {
         contact: &AgentName,
         briefcase: Briefcase,
     ) -> Result<Briefcase, TacomaError> {
-        let alive: Vec<bool> = (0..self.net.site_count())
-            .map(|s| self.net.is_up(SiteId(s)))
-            .collect();
+        let (alive, reachable, custody) = self.dispatch_inputs(site);
         let mut outbox = Vec::new();
         let env = DispatchEnv {
             now: self.net.now(),
@@ -584,6 +648,8 @@ impl TacomaSystem {
             sender: AgentId::SYSTEM,
             neighbors: &self.neighbors[site.index()],
             alive: &alive,
+            reachable: &reachable,
+            custody,
         };
         self.stats.meets_requested += 1;
         let outcome = self.places[site.index()].dispatch(contact, briefcase, env, &mut outbox);
@@ -883,6 +949,56 @@ mod tests {
         assert_eq!(
             s.meets_requested,
             s.meets_completed + s.meets_failed + s.send_failures
+        );
+    }
+
+    #[test]
+    fn custody_parks_meets_across_partitions_and_conserves_accounting() {
+        let mut sys = TacomaSystem::builder()
+            .topology(Topology::full_mesh(3, LinkSpec::default()))
+            .seed(42)
+            .custody(CustodyConfig {
+                capacity: 8,
+                ttl: Duration::from_millis(50),
+            })
+            .with_agents(|_| vec![Box::new(Tourist) as Box<dyn Agent>])
+            .build();
+        let send_tourist_to_2 = |sys: &mut TacomaSystem| {
+            let mut bc = Briefcase::new();
+            let mut itinerary = Folder::new();
+            itinerary.enqueue(b"2".to_vec());
+            bc.put(wellknown::ITINERARY, itinerary);
+            sys.inject_meet(SiteId(0), AgentName::new("tourist"), bc);
+        };
+
+        // Partitioned: the remote leg parks instead of failing fast.
+        sys.net_mut().partition(&[SiteId(2)]);
+        send_tourist_to_2(&mut sys);
+        sys.run_for(Duration::from_millis(10));
+        let s = sys.stats();
+        assert_eq!(s.send_failures, 0, "custody absorbs the partition");
+        assert_eq!(s.meets_completed, 1, "only the local leg has run");
+        assert_eq!(sys.net().custody_backlog(), 1);
+
+        // Healing delivers the parked meet: delayed, not lost.
+        sys.net_mut().heal_partition();
+        sys.run_until_quiescent(1_000);
+        let s = sys.stats();
+        assert_eq!(s.meets_completed, 2);
+        assert_eq!(s.meets_expired, 0);
+
+        // Partition again and never heal: the TTL makes the meet terminal.
+        sys.net_mut().partition(&[SiteId(2)]);
+        send_tourist_to_2(&mut sys);
+        sys.run_until_quiescent(1_000);
+        let s = sys.stats();
+        assert_eq!(s.meets_expired, 1, "the parked meet expired");
+        assert_eq!(s.meets_completed, 3, "the local leg still completed");
+        // Conservation with the new terminal bucket: every requested meet is
+        // exactly one of completed / failed / send-failed / expired.
+        assert_eq!(
+            s.meets_requested,
+            s.meets_completed + s.meets_failed + s.send_failures + s.meets_expired
         );
     }
 

@@ -11,7 +11,7 @@ use crate::rear_guard::{
 };
 use tacoma_core::prelude::*;
 use tacoma_core::TacomaSystem;
-use tacoma_net::{FailurePlan, LinkSpec, Topology};
+use tacoma_net::{CustodyConfig, FailurePlan, LinkSpec, Topology};
 use tacoma_util::DetRng;
 
 /// The shape of the itinerary each traveller follows.
@@ -45,6 +45,10 @@ pub struct FtConfig {
     pub downtime_ms: (u64, u64),
     /// Whether rear guards are installed.
     pub guarded: bool,
+    /// Whether store-and-forward custody is enabled: meets to crashed or
+    /// unreachable sites park and deliver on recovery instead of failing
+    /// fast, and rear guards wait out custody-pending hops.
+    pub custody: bool,
     /// Random seed.
     pub seed: u64,
 }
@@ -60,6 +64,7 @@ impl Default for FtConfig {
             crash_window_ms: 20,
             downtime_ms: (200, 1_500),
             guarded: true,
+            custody: false,
             seed: 99,
         }
     }
@@ -84,15 +89,30 @@ pub struct FtResult {
     pub network_bytes: u64,
     /// Site crashes that actually occurred during the run.
     pub crashes: u64,
+    /// Meets that completed successfully.
+    pub meets_completed: u64,
+    /// Meets that failed at dispatch.
+    pub meets_failed: u64,
+    /// Sends that failed fast (dead/unreachable destination, full custody queue).
+    pub send_failures: u64,
+    /// Custodied meets that expired undelivered.
+    pub meets_expired: u64,
+    /// Messages dropped in flight (zero when custody is enabled).
+    pub dropped_messages: u64,
+    /// Messages still parked in custody when the run was measured.
+    pub custody_backlog: u64,
 }
 
 /// Runs one fault-tolerance experiment.
 pub fn run_itinerary_experiment(config: &FtConfig) -> FtResult {
-    let mut sys = TacomaSystem::builder()
+    let mut builder = TacomaSystem::builder()
         .topology(Topology::full_mesh(config.sites, LinkSpec::default()))
         .seed(config.seed)
-        .with_agents(|_| vec![Box::new(TravellerAgent::new()) as Box<dyn Agent>])
-        .build();
+        .with_agents(|_| vec![Box::new(TravellerAgent::new()) as Box<dyn Agent>]);
+    if config.custody {
+        builder = builder.custody(CustodyConfig::default());
+    }
+    let mut sys = builder.build();
     sys.register_agent(SiteId(0), Box::new(MissionControlAgent::new()));
 
     // Failure schedule: non-origin sites may suffer one outage each, starting
@@ -136,6 +156,11 @@ pub fn run_itinerary_experiment(config: &FtConfig) -> FtResult {
     }
 
     sys.run_for(Duration::from_secs(40));
+    if config.custody {
+        // Drain the custody TTL alarms so every meet reaches a terminal
+        // bucket (delivered or expired) before accounting is read.
+        sys.run_until_quiescent(5_000_000);
+    }
 
     let completed = sys
         .place(SiteId(0))
@@ -153,15 +178,22 @@ pub fn run_itinerary_experiment(config: &FtConfig) -> FtResult {
         })
         .sum();
 
+    let stats = sys.stats();
     FtResult {
         guarded: config.guarded,
         launched: config.travellers,
         completed,
         completion_rate: completed as f64 / config.travellers.max(1) as f64,
         duplicate_visits,
-        meets: sys.stats().meets_requested,
+        meets: stats.meets_requested,
         network_bytes: sys.net_metrics().total_bytes().get(),
         crashes,
+        meets_completed: stats.meets_completed,
+        meets_failed: stats.meets_failed,
+        send_failures: stats.send_failures,
+        meets_expired: stats.meets_expired,
+        dropped_messages: sys.net_metrics().dropped_messages(),
+        custody_backlog: sys.net().custody_backlog() as u64,
     }
 }
 
@@ -250,6 +282,60 @@ mod tests {
             ..Default::default()
         });
         assert!(result.completed >= 8);
+    }
+
+    #[test]
+    fn custody_conserves_every_meet_under_crash_churn() {
+        let result = run_itinerary_experiment(&FtConfig {
+            sites: 10,
+            itinerary_len: 7,
+            travellers: 25,
+            crash_prob: 0.5,
+            crash_window_ms: 15,
+            downtime_ms: (500, 3_000),
+            guarded: true,
+            custody: true,
+            seed: 2026,
+            ..Default::default()
+        });
+        assert!(result.crashes > 0, "the schedule must actually crash sites");
+        assert_eq!(result.dropped_messages, 0, "custody never drops in flight");
+        assert_eq!(result.custody_backlog, 0, "the drained run left no backlog");
+        // Conservation: every requested meet landed in exactly one terminal
+        // bucket.
+        assert_eq!(
+            result.meets,
+            result.meets_completed
+                + result.meets_failed
+                + result.send_failures
+                + result.meets_expired
+        );
+    }
+
+    #[test]
+    fn custody_beats_fail_fast_on_completions_under_churn() {
+        let base = FtConfig {
+            sites: 10,
+            itinerary_len: 7,
+            travellers: 25,
+            crash_prob: 0.5,
+            crash_window_ms: 15,
+            downtime_ms: (500, 3_000),
+            guarded: false,
+            seed: 2027,
+            ..Default::default()
+        };
+        let fail_fast = run_itinerary_experiment(&base.clone());
+        let custody = run_itinerary_experiment(&FtConfig {
+            custody: true,
+            ..base
+        });
+        assert!(
+            custody.completed > fail_fast.completed,
+            "delayed-but-delivered must beat fail-fast ({} vs {})",
+            custody.completed,
+            fail_fast.completed
+        );
     }
 
     #[test]

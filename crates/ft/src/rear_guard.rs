@@ -269,6 +269,19 @@ impl Agent for RearGuardAgent {
         }
         match self.relaunch_target(ctx) {
             Some((site, snapshot)) => {
+                if ctx.custody_enabled() && !ctx.site_is_reachable(site) {
+                    // The site ahead is up but unreachable (partition): the
+                    // onward copy is parked in custody and will be delivered
+                    // when the network heals.  Relaunching now would fork the
+                    // computation for no benefit — keep waiting instead.
+                    self.periods_waited = 0;
+                    ctx.log(format!(
+                        "rear guard for {} waiting: {site} unreachable, custody pending",
+                        self.job
+                    ));
+                    self.schedule_check(ctx);
+                    return Ok(Briefcase::new());
+                }
                 self.relaunches += 1;
                 self.periods_waited = 0;
                 ctx.log(format!(
@@ -464,6 +477,54 @@ mod tests {
         );
         // The dead site was skipped, the rest were visited.
         assert!(visits(&sys, "job-d") >= 4);
+    }
+
+    #[test]
+    fn guard_waits_out_a_partition_when_custody_is_enabled() {
+        use tacoma_net::CustodyConfig;
+        // The origin is partitioned away from everyone else, so the
+        // traveller's very first hop (0 -> 1) is parked in custody.  Its rear
+        // guard sees site 1 *up but unreachable* and waits instead of
+        // relaunching, so after the heal the computation completes with zero
+        // duplicate visits (no forks).
+        let mut sys = TacomaSystem::builder()
+            .topology(Topology::full_mesh(5, LinkSpec::default()))
+            .seed(13)
+            .custody(CustodyConfig::default())
+            .with_agents(|_| vec![Box::new(TravellerAgent::new()) as Box<dyn Agent>])
+            .build();
+        sys.register_agent(SiteId(0), Box::new(MissionControlAgent::new()));
+        sys.net_mut().partition(&[SiteId(0)]);
+        let itinerary: Vec<SiteId> = (1..5).map(SiteId).collect();
+        sys.inject_meet(
+            SiteId(0),
+            AgentName::new(TRAVELLER),
+            traveller_briefcase("job-p", SiteId(0), &itinerary, true),
+        );
+        // Long enough for several guard patience windows to elapse.
+        sys.run_for(NetDuration::from_secs(5));
+        assert!(!completed(&sys, "job-p"), "stuck behind the partition");
+        assert_eq!(sys.stats().send_failures, 0, "custody absorbed the hop");
+        assert!(
+            sys.trace()
+                .iter()
+                .any(|line| line.contains("custody pending")),
+            "a guard must have logged the custody wait"
+        );
+        sys.net_mut().heal_partition();
+        sys.run_for(NetDuration::from_secs(20));
+        assert!(completed(&sys, "job-p"), "delivered after the heal");
+        assert_eq!(visits(&sys, "job-p"), 5);
+        let duplicates: u64 = (0..5)
+            .map(|s| {
+                sys.place(SiteId(s))
+                    .cabinets()
+                    .get(VISITS_CABINET)
+                    .and_then(|c| c.folder_ref("DUPLICATES").map(|f| f.len() as u64))
+                    .unwrap_or(0)
+            })
+            .sum();
+        assert_eq!(duplicates, 0, "waiting guards must not fork the traveller");
     }
 
     #[test]

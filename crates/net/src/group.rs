@@ -1,7 +1,7 @@
 //! A Horus-flavoured process-group layer: membership views and multicast.
 //!
 //! The TACOMA prototype's third `rexec` implementation ran on Tcl/Horus,
-//! using Horus [vRHB94] for group communication and fault tolerance.  The
+//! using Horus \[vRHB94\] for group communication and fault tolerance.  The
 //! fault-tolerance experiments here use this small stand-in: a process group
 //! is a named set of sites with a monotonically numbered membership *view*;
 //! joins, leaves and failures install new views, and a multicast in view `v`

@@ -25,9 +25,14 @@
 //!   experiments.
 //! * [`metrics::NetMetrics`] — byte and message accounting, the raw material
 //!   of the bandwidth-conservation experiment (E1).
+//! * [`custody`] — DTN-style store-and-forward custody queues: sends that opt
+//!   in are parked across partitions and outages instead of failing fast,
+//!   re-attempted on every routing-epoch bump, and expire terminally on TTL
+//!   (experiments E13/E14).
 
 #![warn(missing_docs)]
 
+pub mod custody;
 pub mod failure;
 pub mod group;
 pub mod metrics;
@@ -37,11 +42,12 @@ pub mod time;
 pub mod topology;
 pub mod transport;
 
+pub use custody::CustodyConfig;
 pub use failure::FailurePlan;
 pub use group::{GroupEvent, GroupId, ProcessGroup, ViewId};
 pub use metrics::NetMetrics;
 pub use routing::Router;
-pub use sim::{DeliveredMessage, Event, MessageId, NetError, SendOptions, SimNet};
+pub use sim::{DeliveredMessage, Event, ExpiredMessage, MessageId, NetError, SendOptions, SimNet};
 pub use time::{Duration, SimTime};
 pub use topology::{LinkSpec, Topology, TopologyKind};
 pub use transport::{Transport, TransportKind};

@@ -16,6 +16,13 @@ pub struct NetMetrics {
     total_messages: u64,
     total_hops: u64,
     dropped_messages: u64,
+    delivered_messages: u64,
+    custody_parked: u64,
+    custody_delivered: u64,
+    custody_expired: u64,
+    custody_rejected: u64,
+    custody_stored_bytes: u64,
+    custody_peak_bytes: u64,
     per_link_bytes: BTreeMap<(SiteId, SiteId), ByteCount>,
     per_site_sent: BTreeMap<SiteId, u64>,
     per_site_received: BTreeMap<SiteId, u64>,
@@ -43,12 +50,44 @@ impl NetMetrics {
 
     /// Records a message delivered at `to`.
     pub fn record_delivery(&mut self, to: SiteId) {
+        self.delivered_messages += 1;
         *self.per_site_received.entry(to).or_default() += 1;
     }
 
     /// Records a message dropped in flight (dead destination, partition, ...).
     pub fn record_drop(&mut self) {
         self.dropped_messages += 1;
+    }
+
+    /// Records a message parked in custody, charging `bytes` of storage
+    /// occupancy at the custodian.
+    pub fn record_custody_park(&mut self, bytes: u64) {
+        self.custody_parked += 1;
+        self.custody_stored_bytes += bytes;
+        self.custody_peak_bytes = self.custody_peak_bytes.max(self.custody_stored_bytes);
+    }
+
+    /// Releases `bytes` of custody storage (re-delivery attempt or expiry
+    /// removed a parked message).
+    pub fn record_custody_unpark(&mut self, bytes: u64) {
+        self.custody_stored_bytes = self.custody_stored_bytes.saturating_sub(bytes);
+    }
+
+    /// Records a custodied message finally delivered to its destination.
+    pub fn record_custody_delivery(&mut self) {
+        self.custody_delivered += 1;
+    }
+
+    /// Records a custodied message expiring undelivered (TTL elapsed or the
+    /// custody queue overflowed on a re-park).
+    pub fn record_custody_expiry(&mut self) {
+        self.custody_expired += 1;
+    }
+
+    /// Records a send that asked for custody but was rejected because the
+    /// custodian's queue was full.
+    pub fn record_custody_rejection(&mut self) {
+        self.custody_rejected += 1;
     }
 
     /// Total bytes moved across all links (counted per hop).
@@ -69,6 +108,42 @@ impl NetMetrics {
     /// Messages dropped before delivery.
     pub fn dropped_messages(&self) -> u64 {
         self.dropped_messages
+    }
+
+    /// Messages delivered at their destination (all sites).
+    pub fn delivered_messages(&self) -> u64 {
+        self.delivered_messages
+    }
+
+    /// Messages ever parked in a custody queue (re-parks after an in-flight
+    /// crash count again).
+    pub fn custody_parked(&self) -> u64 {
+        self.custody_parked
+    }
+
+    /// Custodied messages that eventually reached their destination.
+    pub fn custody_delivered(&self) -> u64 {
+        self.custody_delivered
+    }
+
+    /// Custodied messages that expired undelivered.
+    pub fn custody_expired(&self) -> u64 {
+        self.custody_expired
+    }
+
+    /// Custody requests rejected because the custodian's queue was full.
+    pub fn custody_rejected(&self) -> u64 {
+        self.custody_rejected
+    }
+
+    /// Bytes currently occupying custody storage across all sites.
+    pub fn custody_stored_bytes(&self) -> u64 {
+        self.custody_stored_bytes
+    }
+
+    /// Peak custody storage occupancy observed during the run.
+    pub fn custody_peak_bytes(&self) -> u64 {
+        self.custody_peak_bytes
     }
 
     /// Bytes moved over a particular link (orientation-insensitive).
@@ -122,6 +197,30 @@ impl NetMetrics {
             (
                 "net.dropped_messages".into(),
                 MetricValue::Count(self.dropped_messages),
+            ),
+            (
+                "net.delivered_messages".into(),
+                MetricValue::Count(self.delivered_messages),
+            ),
+            (
+                "net.custody_parked".into(),
+                MetricValue::Count(self.custody_parked),
+            ),
+            (
+                "net.custody_delivered".into(),
+                MetricValue::Count(self.custody_delivered),
+            ),
+            (
+                "net.custody_expired".into(),
+                MetricValue::Count(self.custody_expired),
+            ),
+            (
+                "net.custody_rejected".into(),
+                MetricValue::Count(self.custody_rejected),
+            ),
+            (
+                "net.custody_peak_bytes".into(),
+                MetricValue::Count(self.custody_peak_bytes),
             ),
         ]
     }
@@ -186,10 +285,39 @@ mod tests {
                 "net.total_bytes",
                 "net.total_messages",
                 "net.total_hops",
-                "net.dropped_messages"
+                "net.dropped_messages",
+                "net.delivered_messages",
+                "net.custody_parked",
+                "net.custody_delivered",
+                "net.custody_expired",
+                "net.custody_rejected",
+                "net.custody_peak_bytes",
             ]
         );
         assert_eq!(exported[0].1, MetricValue::Count(64));
         assert_eq!(exported[3].1, MetricValue::Count(1));
+    }
+
+    #[test]
+    fn custody_counters_track_occupancy_and_peak() {
+        let mut m = NetMetrics::new();
+        m.record_custody_park(100);
+        m.record_custody_park(50);
+        assert_eq!(m.custody_parked(), 2);
+        assert_eq!(m.custody_stored_bytes(), 150);
+        assert_eq!(m.custody_peak_bytes(), 150);
+        m.record_custody_unpark(100);
+        m.record_custody_delivery();
+        assert_eq!(m.custody_stored_bytes(), 50);
+        assert_eq!(m.custody_peak_bytes(), 150, "peak is sticky");
+        m.record_custody_unpark(50);
+        m.record_custody_expiry();
+        m.record_custody_rejection();
+        assert_eq!(m.custody_delivered(), 1);
+        assert_eq!(m.custody_expired(), 1);
+        assert_eq!(m.custody_rejected(), 1);
+        assert_eq!(m.custody_stored_bytes(), 0);
+        m.reset();
+        assert_eq!(m.custody_peak_bytes(), 0);
     }
 }

@@ -298,6 +298,34 @@ impl Router {
             .map(|(i, _)| SiteId(i as u32))
             .collect()
     }
+
+    /// Reachability of every site from `src` over live sites and unblocked
+    /// edges, as a boolean mask (index = site id).  `src` itself is reachable
+    /// when alive.  Used by the custody layer to tell "site ahead unreachable
+    /// (message parked, wait)" from "site ahead dead (relaunch)".
+    pub fn reachable_mask(
+        &self,
+        src: SiteId,
+        alive: impl Fn(SiteId) -> bool,
+        blocked: impl Fn(SiteId, SiteId) -> bool,
+    ) -> Vec<bool> {
+        let mut seen = vec![false; self.adj.len()];
+        if src.index() >= seen.len() || !alive(src) {
+            return seen;
+        }
+        let mut queue = VecDeque::new();
+        seen[src.index()] = true;
+        queue.push_back(src);
+        while let Some(cur) = queue.pop_front() {
+            for &n in &self.adj[cur.index()] {
+                if !seen[n.index()] && alive(n) && !blocked(cur, n) {
+                    seen[n.index()] = true;
+                    queue.push_back(n);
+                }
+            }
+        }
+        seen
+    }
 }
 
 fn build_adjacency(topology: &Topology) -> Vec<Vec<SiteId>> {
@@ -366,6 +394,20 @@ mod tests {
         assert!(r.shortest_path(SiteId(0), SiteId(2), alive).is_none());
         assert!(r.shortest_path(SiteId(2), SiteId(0), alive).is_none());
         assert!(r.reachable_from(SiteId(2), alive).is_empty());
+    }
+
+    #[test]
+    fn reachable_mask_honours_liveness_and_blocks() {
+        let r = Router::new(Topology::ring(4, LinkSpec::default()));
+        let mask = r.reachable_mask(SiteId(0), all_alive, unblocked);
+        assert_eq!(mask, vec![true; 4]);
+        // Block both edges of site 2: it becomes unreachable, the rest stay.
+        let blocked = |a: SiteId, b: SiteId| a == SiteId(2) || b == SiteId(2);
+        let mask = r.reachable_mask(SiteId(0), all_alive, blocked);
+        assert_eq!(mask, vec![true, true, false, true]);
+        // A dead source reaches nothing.
+        let mask = r.reachable_mask(SiteId(0), |s| s != SiteId(0), unblocked);
+        assert_eq!(mask, vec![false; 4]);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //!
 //! [`SimNet`] owns a priority queue of pending events ordered by simulated
 //! time (ties broken by insertion order, so runs are deterministic).  The
-//! TACOMA kernel ([`tacoma-core`]'s `TacomaSystem`) drives the simulation by
+//! TACOMA kernel (`tacoma-core`'s `TacomaSystem`) drives the simulation by
 //! calling [`SimNet::send`] / [`SimNet::schedule_timer`] and repeatedly
 //! popping events with [`SimNet::step`].
 //!
@@ -13,6 +13,7 @@
 //! sites, so a crash can also make two live sites temporarily unreachable on
 //! sparse topologies.
 
+use crate::custody::{CustodyConfig, CustodyStore, Parked};
 use crate::failure::{FailureAction, FailurePlan};
 use crate::metrics::NetMetrics;
 use crate::routing::Router;
@@ -80,6 +81,11 @@ pub enum NetError {
     },
     /// A site id was outside the topology.
     UnknownSite(SiteId),
+    /// Custody was requested but the custodian's bounded queue was full.
+    CustodyFull {
+        /// The site whose custody queue overflowed.
+        at: SiteId,
+    },
 }
 
 impl std::fmt::Display for NetError {
@@ -89,6 +95,7 @@ impl std::fmt::Display for NetError {
             NetError::DestinationDown(s) => write!(f, "destination {s} is down"),
             NetError::Unreachable { from, to } => write!(f, "no live path from {from} to {to}"),
             NetError::UnknownSite(s) => write!(f, "unknown site {s}"),
+            NetError::CustodyFull { at } => write!(f, "custody queue at {at} is full"),
         }
     }
 }
@@ -109,6 +116,12 @@ pub struct SendOptions {
     pub kind: u16,
     /// Transport personality to charge overhead with.
     pub transport: TransportKind,
+    /// Opt into store-and-forward: when the simulator has a custody store
+    /// installed ([`SimNet::set_custody`]) and no live path exists, the
+    /// message is parked at a custodian instead of failing fast, and is
+    /// re-attempted on every routing-epoch bump until it delivers or its TTL
+    /// expires.  Without a custody store this flag is ignored (fail fast).
+    pub custody: bool,
 }
 
 /// A message delivered to its destination site.
@@ -130,11 +143,31 @@ pub struct DeliveredMessage {
     pub hops: u32,
 }
 
+/// A custodied message that expired undelivered — the terminal outcome the
+/// core layer maps to its `meets_expired` counter.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExpiredMessage {
+    /// The id assigned at send time.
+    pub id: MessageId,
+    /// Original sender.
+    pub from: SiteId,
+    /// Intended destination.
+    pub to: SiteId,
+    /// Application-defined message kind.
+    pub kind: u16,
+    /// When the message was originally sent.
+    pub sent_at: SimTime,
+    /// When it expired (TTL elapsed, or an overflowing re-park).
+    pub expired_at: SimTime,
+}
+
 /// An event surfaced to the driver of the simulation.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Event {
     /// A message arrived at its destination.
     Message(DeliveredMessage),
+    /// A custodied message expired before it could be delivered.
+    MessageExpired(ExpiredMessage),
     /// A timer scheduled with [`SimNet::schedule_timer`] fired.
     Timer {
         /// Site the timer belongs to.
@@ -148,12 +181,39 @@ pub enum Event {
     SiteRecovered(SiteId),
 }
 
+/// Custody bookkeeping carried alongside an in-flight delivery so the message
+/// can be re-parked (instead of dropped) if its destination dies mid-flight.
+#[derive(Debug, Clone, Copy)]
+struct CustodyTag {
+    expires_at: SimTime,
+    transport: TransportKind,
+    /// Whether the message was ever parked — distinguishes a first-attempt
+    /// custody send (not counted as a custody delivery) from a re-delivery.
+    was_parked: bool,
+}
+
 /// Internal queued event payload.
 #[derive(Debug, Clone)]
 enum Pending {
-    Deliver(DeliveredMessage),
-    Timer { site: SiteId, key: u64 },
-    Failure { site: SiteId, action: FailureAction },
+    Deliver {
+        msg: DeliveredMessage,
+        custody: Option<CustodyTag>,
+    },
+    Timer {
+        site: SiteId,
+        key: u64,
+    },
+    Failure {
+        site: SiteId,
+        action: FailureAction,
+    },
+    /// TTL alarm for a parked message; a no-op if the message has already
+    /// left custody (delivered or re-parked bookkeeping keeps the invariant
+    /// that every parked message has a live alarm).
+    CustodyExpire {
+        site: SiteId,
+        id: MessageId,
+    },
 }
 
 /// Heap entry ordered by (time, sequence number).
@@ -202,6 +262,11 @@ pub struct SimNet {
     /// loop does not hold a borrow of the router (and allocates nothing
     /// after warm-up).
     route_buf: Vec<SiteId>,
+    /// Store-and-forward custody queues, when enabled via
+    /// [`SimNet::set_custody`].  Parked messages live on stable storage (a
+    /// custodian crash preserves them) and are re-attempted on every routing
+    /// epoch bump.
+    custody: Option<CustodyStore>,
 }
 
 impl SimNet {
@@ -220,7 +285,49 @@ impl SimNet {
             partitions: Vec::new(),
             epoch: 0,
             route_buf: Vec::new(),
+            custody: None,
         }
+    }
+
+    /// Installs a custody store: sends whose [`SendOptions::custody`] flag is
+    /// set are parked instead of failing fast when no live path exists.
+    /// Replaces (and empties) any previous store.
+    pub fn set_custody(&mut self, config: CustodyConfig) {
+        self.custody = Some(CustodyStore::new(self.site_count(), config));
+    }
+
+    /// Whether a custody store is installed.
+    pub fn custody_enabled(&self) -> bool {
+        self.custody.is_some()
+    }
+
+    /// The active custody configuration, if a store is installed.
+    pub fn custody_config(&self) -> Option<CustodyConfig> {
+        self.custody.as_ref().map(CustodyStore::config)
+    }
+
+    /// Messages currently parked across all custody queues.
+    pub fn custody_backlog(&self) -> usize {
+        self.custody.as_ref().map_or(0, CustodyStore::total_len)
+    }
+
+    /// Messages currently parked at one site's custody queue.
+    pub fn custody_backlog_at(&self, site: SiteId) -> usize {
+        self.custody.as_ref().map_or(0, |s| s.len(site))
+    }
+
+    /// Reachability of every site from `from` over live sites and unblocked
+    /// edges (index = site id).  This is the membership-style information the
+    /// core layer hands to agents so rear guards can tell "unreachable, a
+    /// custodied message is pending" from "dead, relaunch".
+    pub fn reachable_mask(&self, from: SiteId) -> Vec<bool> {
+        let up = &self.up;
+        let partitions = &self.partitions;
+        self.router.reachable_mask(
+            from,
+            |s| up.get(s.index()).copied().unwrap_or(false),
+            |a, b| partition_blocked(partitions, a, b),
+        )
     }
 
     /// Current simulated time.
@@ -268,6 +375,7 @@ impl SimNet {
     pub fn edit_topology(&mut self, edit: impl FnOnce(&mut Topology)) {
         self.router.edit_topology(edit);
         self.epoch += 1;
+        self.flush_custody();
     }
 
     /// Accumulated byte/message counters.
@@ -317,6 +425,7 @@ impl SimNet {
         self.partitions
             .push(PartitionMask::new(self.site_count(), &group));
         self.epoch += 1;
+        self.flush_custody();
     }
 
     /// Removes every partition-induced block.
@@ -324,6 +433,7 @@ impl SimNet {
         if !self.partitions.is_empty() {
             self.partitions.clear();
             self.epoch += 1;
+            self.flush_custody();
         }
     }
 
@@ -343,6 +453,11 @@ impl SimNet {
     ///
     /// Local sends (`from == to`) are delivered after a fixed small kernel
     /// overhead without touching the network counters.
+    ///
+    /// When [`SendOptions::custody`] is set and a custody store is installed,
+    /// an unreachable or dead destination parks the message instead of
+    /// failing: it rides out the outage at a custodian and is re-attempted on
+    /// every routing-epoch bump until delivery or TTL expiry.
     pub fn send(&mut self, opts: SendOptions) -> Result<MessageId, NetError> {
         let SendOptions {
             from,
@@ -350,6 +465,7 @@ impl SimNet {
             payload,
             kind,
             transport,
+            custody,
         } = opts;
         let sites = self.site_count();
         if from.0 >= sites {
@@ -361,14 +477,15 @@ impl SimNet {
         if !self.is_up(from) {
             return Err(NetError::SourceDown(from));
         }
-        if !self.is_up(to) {
+        let custody_active = custody && self.custody.is_some();
+        if !self.is_up(to) && !custody_active {
             return Err(NetError::DestinationDown(to));
         }
 
         let id = MessageId(self.next_msg_id);
         self.next_msg_id += 1;
 
-        if from == to {
+        if from == to && self.is_up(to) {
             // Local delivery: a small constant kernel cost, no network bytes.
             let msg = DeliveredMessage {
                 id,
@@ -381,7 +498,7 @@ impl SimNet {
             };
             self.metrics.record_send(from);
             let at = self.clock + Duration::from_micros(10);
-            self.push(at, Pending::Deliver(msg));
+            self.push(at, Pending::Deliver { msg, custody: None });
             return Ok(id);
         }
 
@@ -393,28 +510,24 @@ impl SimNet {
         let partitions = &self.partitions;
         let alive = |s: SiteId| up.get(s.index()).copied().unwrap_or(false);
         let blocked = |a: SiteId, b: SiteId| partition_blocked(partitions, a, b);
-        let path = self
-            .router
-            .route(from, to, self.epoch, alive, blocked)
-            .ok_or(NetError::Unreachable { from, to })?;
+        let path = if self.is_up(to) {
+            self.router.route(from, to, self.epoch, alive, blocked)
+        } else {
+            None
+        };
+        let Some(path) = path else {
+            if custody_active {
+                return self.park_new(id, from, to, payload, kind, transport);
+            }
+            return Err(NetError::Unreachable { from, to });
+        };
         self.route_buf.clear();
         self.route_buf.extend_from_slice(path);
 
         let payload_len = payload.len() as u64;
         let overhead = self.transport.overhead(transport, from, to);
-        let mut delay = overhead.setup_latency;
         let wire_bytes = payload_len + overhead.extra_bytes;
-        for hop in self.route_buf.windows(2) {
-            let (a, b) = (hop[0], hop[1]);
-            let spec = self
-                .router
-                .topology()
-                .link(a, b)
-                .copied()
-                .unwrap_or_default();
-            delay += spec.transfer_time(wire_bytes);
-            self.metrics.record_hop(a, b, wire_bytes);
-        }
+        let delay = overhead.setup_latency + self.charge_route_hops(wire_bytes);
         self.metrics.record_send(from);
 
         let msg = DeliveredMessage {
@@ -426,9 +539,222 @@ impl SimNet {
             sent_at: self.clock,
             hops: (self.route_buf.len() - 1) as u32,
         };
+        let tag = custody_active.then(|| CustodyTag {
+            expires_at: self.clock + self.custody.as_ref().expect("custody_active").config().ttl,
+            transport,
+            was_parked: false,
+        });
         let at = self.clock + delay;
-        self.push(at, Pending::Deliver(msg));
+        self.push(at, Pending::Deliver { msg, custody: tag });
         Ok(id)
+    }
+
+    /// Charges byte counters for every hop of `route_buf` and returns the
+    /// accumulated transfer time.
+    fn charge_route_hops(&mut self, wire_bytes: u64) -> Duration {
+        let mut delay = Duration::ZERO;
+        for hop in self.route_buf.windows(2) {
+            let (a, b) = (hop[0], hop[1]);
+            let spec = self
+                .router
+                .topology()
+                .link(a, b)
+                .copied()
+                .unwrap_or_default();
+            delay += spec.transfer_time(wire_bytes);
+            self.metrics.record_hop(a, b, wire_bytes);
+        }
+        delay
+    }
+
+    /// Parks a freshly accepted message whose destination is currently
+    /// unreachable.  The custodian is the furthest site toward the
+    /// destination still reachable along the static (topology-only) shortest
+    /// path — "store and *forward*" — falling back to the sender.  The
+    /// partial leg charges bytes; delivery latency is charged on the final
+    /// leg when the message is re-attempted.
+    fn park_new(
+        &mut self,
+        id: MessageId,
+        from: SiteId,
+        to: SiteId,
+        payload: Vec<u8>,
+        kind: u16,
+        transport: TransportKind,
+    ) -> Result<MessageId, NetError> {
+        // Walk the static path while hops are live and unblocked.
+        self.route_buf.clear();
+        self.route_buf.push(from);
+        if let Some(static_path) = self.router.shortest_path(from, to, |_| true) {
+            for hop in static_path.windows(2) {
+                let (a, b) = (hop[0], hop[1]);
+                if !self.is_up(b) || self.is_blocked(a, b) {
+                    break;
+                }
+                self.route_buf.push(b);
+            }
+        }
+        let custodian = *self.route_buf.last().expect("starts with sender");
+        let store = self.custody.as_ref().expect("checked by caller");
+        if store.is_full(custodian) {
+            self.metrics.record_custody_rejection();
+            return Err(NetError::CustodyFull { at: custodian });
+        }
+        let expires_at = self.clock + store.config().ttl;
+        let hops = (self.route_buf.len() - 1) as u32;
+        if hops > 0 {
+            let overhead = self.transport.overhead(transport, from, custodian);
+            let wire_bytes = payload.len() as u64 + overhead.extra_bytes;
+            self.charge_route_hops(wire_bytes);
+        }
+        self.metrics.record_send(from);
+        self.metrics.record_custody_park(payload.len() as u64);
+        let parked = Parked {
+            msg: DeliveredMessage {
+                id,
+                from,
+                to,
+                payload,
+                kind,
+                sent_at: self.clock,
+                hops,
+            },
+            transport,
+            expires_at,
+        };
+        self.custody
+            .as_mut()
+            .expect("checked by caller")
+            .push(custodian, parked)
+            .expect("capacity checked above");
+        self.push(
+            expires_at,
+            Pending::CustodyExpire {
+                site: custodian,
+                id,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Re-parks a custodied message whose destination died while it was in
+    /// flight.  Returns a terminal expiry event when the TTL has already
+    /// elapsed or the origin's custody queue is full.
+    fn repark(&mut self, msg: DeliveredMessage, tag: CustodyTag) -> Option<Event> {
+        let expired = ExpiredMessage {
+            id: msg.id,
+            from: msg.from,
+            to: msg.to,
+            kind: msg.kind,
+            sent_at: msg.sent_at,
+            expired_at: self.clock,
+        };
+        if self.clock >= tag.expires_at {
+            self.metrics.record_custody_expiry();
+            return Some(Event::MessageExpired(expired));
+        }
+        let custodian = msg.from;
+        let store = self.custody.as_mut().expect("checked by caller");
+        if store.is_full(custodian) {
+            self.metrics.record_custody_expiry();
+            return Some(Event::MessageExpired(expired));
+        }
+        let bytes = msg.payload.len() as u64;
+        let id = msg.id;
+        store
+            .push(
+                custodian,
+                Parked {
+                    msg,
+                    transport: tag.transport,
+                    expires_at: tag.expires_at,
+                },
+            )
+            .expect("capacity checked above");
+        self.metrics.record_custody_park(bytes);
+        // The original TTL alarm may have been consumed as a no-op while the
+        // message was in flight; arm a fresh one (duplicates are no-ops).
+        self.push(
+            tag.expires_at,
+            Pending::CustodyExpire {
+                site: custodian,
+                id,
+            },
+        );
+        None
+    }
+
+    /// Re-attempts every custodied delivery.  Called on each routing-epoch
+    /// bump, so re-delivery work is O(parked messages) per liveness change
+    /// rather than a per-tick scan.  Custodians that are currently down are
+    /// skipped (their stable queues survive and flush on recovery).
+    fn flush_custody(&mut self) {
+        if self.custody.is_none() {
+            return;
+        }
+        for site in 0..self.site_count() {
+            let custodian = SiteId(site);
+            if !self.is_up(custodian) || self.custody_backlog_at(custodian) == 0 {
+                continue;
+            }
+            let mut queue = self
+                .custody
+                .as_mut()
+                .expect("checked above")
+                .take_queue(custodian);
+            let mut stuck = std::collections::VecDeque::new();
+            while let Some(parked) = queue.pop_front() {
+                if let Some(parked) = self.try_redeliver(custodian, parked) {
+                    stuck.push_back(parked);
+                }
+            }
+            self.custody
+                .as_mut()
+                .expect("checked above")
+                .restore_queue(custodian, stuck);
+        }
+    }
+
+    /// Attempts to route one parked message onward.  Returns the message when
+    /// it must stay parked; `None` when a delivery was scheduled.
+    fn try_redeliver(&mut self, custodian: SiteId, parked: Parked) -> Option<Parked> {
+        let to = parked.msg.to;
+        if !self.is_up(to) {
+            return Some(parked);
+        }
+        let up = &self.up;
+        let partitions = &self.partitions;
+        let alive = |s: SiteId| up.get(s.index()).copied().unwrap_or(false);
+        let blocked = |a: SiteId, b: SiteId| partition_blocked(partitions, a, b);
+        let Some(path) = self.router.route(custodian, to, self.epoch, alive, blocked) else {
+            return Some(parked);
+        };
+        self.route_buf.clear();
+        self.route_buf.extend_from_slice(path);
+
+        let Parked {
+            mut msg,
+            transport,
+            expires_at,
+        } = parked;
+        self.metrics.record_custody_unpark(msg.payload.len() as u64);
+        let overhead = self.transport.overhead(transport, custodian, to);
+        let wire_bytes = msg.payload.len() as u64 + overhead.extra_bytes;
+        let delay = overhead.setup_latency + self.charge_route_hops(wire_bytes);
+        msg.hops += (self.route_buf.len() - 1) as u32;
+        let at = self.clock + delay;
+        self.push(
+            at,
+            Pending::Deliver {
+                msg,
+                custody: Some(CustodyTag {
+                    expires_at,
+                    transport,
+                    was_parked: true,
+                }),
+            },
+        );
+        None
     }
 
     /// Advances to the next event and returns it, or `None` if the queue is
@@ -440,13 +766,47 @@ impl SimNet {
             debug_assert!(ev.at >= self.clock, "time must not go backwards");
             self.clock = self.clock.max(ev.at);
             match ev.pending {
-                Pending::Deliver(msg) => {
+                Pending::Deliver { msg, custody } => {
                     if self.is_up(msg.to) {
+                        if custody.is_some_and(|tag| tag.was_parked) {
+                            self.metrics.record_custody_delivery();
+                        }
                         self.metrics.record_delivery(msg.to);
                         return Some(Event::Message(msg));
                     }
+                    if let Some(tag) = custody {
+                        if self.custody.is_some() {
+                            // The destination died while the message was in
+                            // flight: back into custody at the origin instead
+                            // of dropping (terminal expiry if over TTL/full).
+                            if let Some(event) = self.repark(msg, tag) {
+                                return Some(event);
+                            }
+                            continue;
+                        }
+                    }
                     self.metrics.record_drop();
                     // Keep looping: the drop is not surfaced.
+                }
+                Pending::CustodyExpire { site, id } => {
+                    let taken = self
+                        .custody
+                        .as_mut()
+                        .and_then(|store| store.remove(site, id));
+                    if let Some(parked) = taken {
+                        self.metrics
+                            .record_custody_unpark(parked.msg.payload.len() as u64);
+                        self.metrics.record_custody_expiry();
+                        return Some(Event::MessageExpired(ExpiredMessage {
+                            id: parked.msg.id,
+                            from: parked.msg.from,
+                            to: parked.msg.to,
+                            kind: parked.msg.kind,
+                            sent_at: parked.msg.sent_at,
+                            expired_at: self.clock,
+                        }));
+                    }
+                    // Already delivered or re-parked elsewhere: a no-op.
                 }
                 Pending::Timer { site, key } => {
                     if self.is_up(site) {
@@ -504,8 +864,10 @@ impl SimNet {
             }
         };
         if changed {
-            // Liveness changed: invalidate every cached route.
+            // Liveness changed: invalidate every cached route and re-attempt
+            // custodied deliveries (a recovery may have opened a path).
             self.epoch += 1;
+            self.flush_custody();
         }
         changed
     }
@@ -533,6 +895,7 @@ mod tests {
             payload: vec![0u8; bytes],
             kind: 1,
             transport: TransportKind::Tcp,
+            custody: false,
         })
         .expect("send should succeed")
     }
@@ -595,6 +958,7 @@ mod tests {
                 payload: vec![],
                 kind: 0,
                 transport: TransportKind::Tcp,
+                custody: false,
             })
             .unwrap_err();
         assert_eq!(err, NetError::DestinationDown(SiteId(2)));
@@ -605,6 +969,7 @@ mod tests {
                 payload: vec![],
                 kind: 0,
                 transport: TransportKind::Tcp,
+                custody: false,
             })
             .unwrap_err();
         assert_eq!(err, NetError::SourceDown(SiteId(2)));
@@ -620,6 +985,7 @@ mod tests {
                 payload: vec![],
                 kind: 0,
                 transport: TransportKind::Tcp,
+                custody: false,
             })
             .unwrap_err();
         assert_eq!(err, NetError::UnknownSite(SiteId(9)));
@@ -704,6 +1070,7 @@ mod tests {
                 payload: vec![],
                 kind: 0,
                 transport: TransportKind::Tcp,
+                custody: false,
             })
             .unwrap_err();
         assert_eq!(
@@ -728,6 +1095,7 @@ mod tests {
                 payload: vec![],
                 kind: 0,
                 transport: TransportKind::Tcp,
+                custody: false,
             })
             .unwrap_err();
         assert_eq!(
@@ -745,6 +1113,7 @@ mod tests {
                 payload: vec![],
                 kind: 0,
                 transport: TransportKind::Tcp,
+                custody: false,
             })
             .is_ok());
         net.heal_partition();
@@ -755,6 +1124,7 @@ mod tests {
                 payload: vec![],
                 kind: 0,
                 transport: TransportKind::Tcp,
+                custody: false,
             })
             .is_ok());
     }
@@ -840,6 +1210,7 @@ mod tests {
                 payload: vec![0; 100],
                 kind: 0,
                 transport: TransportKind::Rsh,
+                custody: false,
             })
             .unwrap();
         net_tcp
@@ -849,6 +1220,7 @@ mod tests {
                 payload: vec![0; 100],
                 kind: 0,
                 transport: TransportKind::Tcp,
+                custody: false,
             })
             .unwrap();
         net_rsh.step();

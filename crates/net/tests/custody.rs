@@ -1,0 +1,294 @@
+//! Integration suite for the store-and-forward custody subsystem: parking,
+//! epoch-driven re-delivery, TTL expiry, bounded queues, stable storage
+//! across custodian crashes, and message-accounting conservation under churn
+//! (every accepted message lands in exactly one terminal bucket).
+
+use tacoma_net::{
+    CustodyConfig, Duration, Event, FailurePlan, LinkSpec, NetError, SendOptions, SimNet, SiteId,
+    Topology, TransportKind,
+};
+
+fn custody_net(topology: Topology, capacity: usize, ttl: Duration) -> SimNet {
+    let mut net = SimNet::new(topology);
+    net.set_custody(CustodyConfig { capacity, ttl });
+    net
+}
+
+fn send(net: &mut SimNet, from: u32, to: u32, bytes: usize, custody: bool) -> Result<(), NetError> {
+    net.send(SendOptions {
+        from: SiteId(from),
+        to: SiteId(to),
+        payload: vec![0u8; bytes],
+        kind: 1,
+        transport: TransportKind::Tcp,
+        custody,
+    })
+    .map(|_| ())
+}
+
+/// Drains the event queue, returning (delivered, expired) counts.
+fn drain(net: &mut SimNet) -> (u64, u64) {
+    let (mut delivered, mut expired) = (0, 0);
+    while let Some(event) = net.step() {
+        match event {
+            Event::Message(_) => delivered += 1,
+            Event::MessageExpired(_) => expired += 1,
+            _ => {}
+        }
+    }
+    (delivered, expired)
+}
+
+#[test]
+fn partitioned_send_parks_and_delivers_after_heal() {
+    let mut net = custody_net(
+        Topology::full_mesh(4, LinkSpec::default()),
+        8,
+        Duration::from_secs(10),
+    );
+    net.partition(&[SiteId(0), SiteId(1)]);
+    send(&mut net, 0, 3, 100, true).expect("custody send is accepted");
+    assert_eq!(net.custody_backlog(), 1);
+    assert_eq!(net.custody_backlog_at(SiteId(0)), 1, "parked at the sender");
+    assert_eq!(net.metrics().custody_parked(), 1);
+    assert!(net.metrics().custody_peak_bytes() >= 100);
+    assert!(
+        net.peek_time().is_some(),
+        "a TTL alarm keeps the queue alive"
+    );
+
+    net.heal_partition();
+    assert_eq!(net.custody_backlog(), 0, "heal flushes the queue");
+    let (delivered, expired) = drain(&mut net);
+    assert_eq!((delivered, expired), (1, 0));
+    assert_eq!(net.metrics().custody_delivered(), 1);
+    assert_eq!(net.metrics().custody_stored_bytes(), 0);
+}
+
+#[test]
+fn without_custody_flag_the_send_still_fails_fast() {
+    let mut net = custody_net(
+        Topology::full_mesh(3, LinkSpec::default()),
+        8,
+        Duration::from_secs(10),
+    );
+    net.partition(&[SiteId(0)]);
+    let err = send(&mut net, 0, 2, 10, false).unwrap_err();
+    assert_eq!(
+        err,
+        NetError::Unreachable {
+            from: SiteId(0),
+            to: SiteId(2)
+        }
+    );
+    // And the custody flag without a store is equally fail-fast.
+    let mut plain = SimNet::new(Topology::full_mesh(3, LinkSpec::default()));
+    plain.partition(&[SiteId(0)]);
+    assert!(send(&mut plain, 0, 2, 10, true).is_err());
+}
+
+#[test]
+fn ttl_expiry_surfaces_a_terminal_event() {
+    let mut net = custody_net(
+        Topology::full_mesh(3, LinkSpec::default()),
+        8,
+        Duration::from_millis(5),
+    );
+    net.partition(&[SiteId(0)]);
+    send(&mut net, 0, 2, 64, true).unwrap();
+    let event = net.step().expect("the TTL alarm fires");
+    match event {
+        Event::MessageExpired(exp) => {
+            assert_eq!(exp.from, SiteId(0));
+            assert_eq!(exp.to, SiteId(2));
+            assert_eq!(exp.expired_at.micros(), 5_000);
+        }
+        other => panic!("expected expiry, got {other:?}"),
+    }
+    assert_eq!(net.metrics().custody_expired(), 1);
+    assert_eq!(net.custody_backlog(), 0);
+    // Healing afterwards delivers nothing: the message is gone for good.
+    net.heal_partition();
+    assert_eq!(drain(&mut net), (0, 0));
+}
+
+#[test]
+fn bounded_queue_rejects_overflow() {
+    let mut net = custody_net(
+        Topology::full_mesh(3, LinkSpec::default()),
+        2,
+        Duration::from_secs(10),
+    );
+    net.partition(&[SiteId(0)]);
+    send(&mut net, 0, 2, 10, true).unwrap();
+    send(&mut net, 0, 2, 10, true).unwrap();
+    let err = send(&mut net, 0, 2, 10, true).unwrap_err();
+    assert_eq!(err, NetError::CustodyFull { at: SiteId(0) });
+    assert_eq!(net.metrics().custody_rejected(), 1);
+    assert_eq!(net.custody_backlog(), 2);
+    net.heal_partition();
+    assert_eq!(drain(&mut net), (2, 0));
+}
+
+#[test]
+fn message_forwards_to_the_last_reachable_hop() {
+    // Chain 0-1-2-3 with the far end down: the message is carried as far as
+    // site 2 and parked there, charging bytes for the two hops it travelled.
+    let mut topology = Topology::empty(4);
+    topology.add_link(SiteId(0), SiteId(1), LinkSpec::default());
+    topology.add_link(SiteId(1), SiteId(2), LinkSpec::default());
+    topology.add_link(SiteId(2), SiteId(3), LinkSpec::default());
+    let mut net = custody_net(topology, 8, Duration::from_secs(10));
+    net.crash_now(SiteId(3));
+    send(&mut net, 0, 3, 500, true).unwrap();
+    assert_eq!(net.custody_backlog_at(SiteId(2)), 1, "parked at site 2");
+    assert!(
+        net.metrics().total_hops() == 2 && net.metrics().total_bytes().get() > 0,
+        "the partial leg charges its hops"
+    );
+    net.recover_now(SiteId(3));
+    let (delivered, expired) = drain(&mut net);
+    assert_eq!((delivered, expired), (1, 0));
+    assert_eq!(net.metrics().total_hops(), 3, "one more hop to finish");
+}
+
+#[test]
+fn dead_destination_parks_instead_of_failing() {
+    let mut net = custody_net(
+        Topology::full_mesh(2, LinkSpec::default()),
+        8,
+        Duration::from_secs(10),
+    );
+    net.crash_now(SiteId(1));
+    send(&mut net, 0, 1, 32, true).expect("custody absorbs the dead site");
+    assert_eq!(net.custody_backlog(), 1);
+    net.recover_now(SiteId(1));
+    assert_eq!(drain(&mut net), (1, 0));
+}
+
+#[test]
+fn in_flight_crash_reparks_and_redelivers() {
+    let mut net = custody_net(
+        Topology::full_mesh(2, LinkSpec::default()),
+        8,
+        Duration::from_secs(10),
+    );
+    // The destination suffers an outage that starts while the message is in
+    // flight (a 64-byte TCP send takes well over a microsecond) and ends
+    // before the TTL.
+    net.apply_failure_plan(&FailurePlan::none().outage(
+        SiteId(1),
+        tacoma_net::SimTime(1),
+        Duration::from_millis(100),
+    ));
+    send(&mut net, 0, 1, 64, true).unwrap();
+    assert_eq!(net.step(), Some(Event::SiteCrashed(SiteId(1))));
+    // The delivery attempt finds the site dead and re-parks at the origin;
+    // the next surfaced event is the recovery, whose epoch bump flushes.
+    assert_eq!(net.step(), Some(Event::SiteRecovered(SiteId(1))));
+    assert_eq!(
+        net.metrics().dropped_messages(),
+        0,
+        "custody re-parks instead of dropping"
+    );
+    assert_eq!(net.metrics().custody_parked(), 1);
+    assert_eq!(drain(&mut net), (1, 0));
+    assert_eq!(net.metrics().custody_delivered(), 1);
+    assert_eq!(net.custody_backlog(), 0);
+}
+
+#[test]
+fn custodian_crash_preserves_the_stable_queue() {
+    // Park at sender 0, then crash the custodian itself: the queue survives
+    // (stable storage) and flushes once the custodian recovers.
+    let mut net = custody_net(
+        Topology::full_mesh(3, LinkSpec::default()),
+        8,
+        Duration::from_secs(10),
+    );
+    net.partition(&[SiteId(0)]);
+    send(&mut net, 0, 2, 48, true).unwrap();
+    net.crash_now(SiteId(0));
+    net.heal_partition();
+    assert_eq!(
+        net.custody_backlog_at(SiteId(0)),
+        1,
+        "a down custodian holds its queue"
+    );
+    net.recover_now(SiteId(0));
+    assert_eq!(drain(&mut net), (1, 0));
+}
+
+#[test]
+fn conservation_under_partition_and_crash_churn() {
+    // Every accepted message must land in exactly one terminal bucket:
+    // delivered, dropped (never, with custody), or expired.
+    let mut net = custody_net(
+        Topology::ring(8, LinkSpec::default()),
+        16,
+        Duration::from_millis(50),
+    );
+    let mut accepted: u64 = 0;
+    for round in 0..6u32 {
+        let group: Vec<SiteId> = (0..4).map(SiteId).collect();
+        net.partition(&group);
+        for s in 0..8u32 {
+            if net.is_up(SiteId(s)) && send(&mut net, s, (s + 4) % 8, 20, true).is_ok() {
+                accepted += 1;
+            }
+        }
+        let victim = SiteId(1 + round % 7);
+        net.crash_now(victim);
+        if round % 2 == 0 {
+            net.heal_partition();
+        }
+        // Let some traffic land mid-churn.
+        for _ in 0..5 {
+            if net.step().is_none() {
+                break;
+            }
+        }
+        net.heal_partition();
+        net.recover_now(victim);
+    }
+    drain(&mut net);
+    let m = net.metrics();
+    assert_eq!(net.custody_backlog(), 0, "drained runs leave no backlog");
+    assert_eq!(m.dropped_messages(), 0, "custody never drops");
+    assert_eq!(
+        m.total_messages(),
+        m.delivered_messages() + m.custody_expired(),
+        "conservation: accepted == delivered + expired"
+    );
+    assert_eq!(m.total_messages(), accepted);
+    assert!(
+        m.custody_parked() > 0,
+        "the churn actually exercised custody"
+    );
+}
+
+#[test]
+fn custody_runs_are_deterministic() {
+    let run = || {
+        let mut net = custody_net(
+            Topology::ring(6, LinkSpec::default()),
+            4,
+            Duration::from_millis(20),
+        );
+        net.partition(&[SiteId(0), SiteId(1), SiteId(2)]);
+        for s in 0..6u32 {
+            let _ = send(&mut net, s, (s + 3) % 6, 30, true);
+        }
+        net.crash_now(SiteId(4));
+        net.heal_partition();
+        let (delivered, expired) = drain(&mut net);
+        (
+            delivered,
+            expired,
+            net.metrics().total_bytes().get(),
+            net.metrics().custody_parked(),
+            net.now().micros(),
+        )
+    };
+    assert_eq!(run(), run());
+}

@@ -26,6 +26,7 @@ fn run_scenario(cached: bool) -> (Vec<Event>, Vec<u64>, Vec<Event>) {
             payload: vec![0xAB; 64],
             kind: 7,
             transport: TransportKind::Tcp,
+            custody: false,
         });
     };
     let drain = |net: &mut SimNet| -> Vec<Event> {
@@ -134,6 +135,7 @@ fn the_cache_actually_saves_routing_work_in_that_scenario() {
                 payload: vec![round; 32],
                 kind: 1,
                 transport: TransportKind::Tcp,
+                custody: false,
             });
         }
         while net.step().is_some() {}
@@ -155,6 +157,7 @@ fn cache_disabled_reference_still_detours_after_failures() {
         payload: vec![1],
         kind: 1,
         transport: TransportKind::Tcp,
+        custody: false,
     })
     .unwrap();
     match net.step().unwrap() {

@@ -69,6 +69,69 @@ proptest! {
         }
     }
 
+    /// Briefcases with boundary-sized elements — empty elements, an element
+    /// at the generator's maximum length, and an empty folder alongside the
+    /// randomized contents — round-trip exactly.
+    #[test]
+    fn briefcase_codec_round_trips_boundary_elements(
+        folders in proptest::collection::btree_map(
+            "[A-Za-z_][A-Za-z0-9_]{0,12}",
+            proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..48), 0..8),
+            0..8,
+        ),
+        fill in any::<u8>(),
+    ) {
+        const MAX_ELEM: usize = 4096;
+        let mut bc = Briefcase::new();
+        for (name, elems) in &folders {
+            bc.put(name.clone(), Folder::from_elems(elems.clone()));
+        }
+        // Boundary folder: an empty element, a max-length element, and
+        // nothing else; plus a folder with no elements at all.
+        let edge = Folder::from_elems(vec![Vec::new(), vec![fill; MAX_ELEM]]);
+        bc.put("EDGE_ELEMS", edge);
+        bc.put("EDGE_EMPTY", Folder::new());
+        let encoded = codec::encode_briefcase(&bc);
+        let decoded = codec::decode_briefcase(&encoded).expect("decode");
+        prop_assert_eq!(&decoded, &bc);
+        let round = decoded.folder("EDGE_ELEMS").expect("edge folder survives");
+        prop_assert_eq!(round.len(), 2);
+        prop_assert!(decoded.folder("EDGE_EMPTY").expect("empty folder survives").is_empty());
+    }
+
+    /// Meet requests — contact name, sender id, origin site and a briefcase
+    /// of randomized folder contents — round-trip through the wire codec.
+    #[test]
+    fn meet_request_codec_round_trip(
+        contact in "[a-z][a-z0-9_-]{0,15}",
+        sender in any::<u64>(),
+        origin in any::<u32>(),
+        folders in proptest::collection::btree_map(
+            "[A-Z][A-Z0-9_]{0,8}",
+            proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..64), 0..6),
+            0..6,
+        ),
+    ) {
+        let mut bc = Briefcase::new();
+        for (name, elems) in &folders {
+            bc.put(name.clone(), Folder::from_elems(elems.clone()));
+        }
+        // Boundary contents ride along in every case.
+        bc.put("B", Folder::from_elems(vec![Vec::new(), vec![0xA5; 2048]]));
+        let req = codec::MeetRequest {
+            contact: tacoma::util::AgentName::new(contact),
+            sender: tacoma::util::AgentId(sender),
+            origin: tacoma::util::SiteId(origin),
+            briefcase: bc,
+        };
+        let encoded = codec::encode_meet_request(&req);
+        let decoded = codec::decode_meet_request(&encoded).expect("decode");
+        prop_assert_eq!(decoded, req);
+        // Truncating the tail must never decode successfully.
+        let cut = encoded.len() - 1;
+        prop_assert!(codec::decode_meet_request(&encoded[..cut]).is_err());
+    }
+
     /// Cabinet snapshot/restore preserves contents and rebuilds the index.
     #[test]
     fn cabinet_snapshot_round_trip(
