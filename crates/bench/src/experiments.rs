@@ -1,4 +1,4 @@
-//! The E1–E12 experiment drivers and the design-choice ablations.
+//! The E1–E16 experiment drivers and the design-choice ablations.
 
 use crate::table::Table;
 use tacoma_agents::testing::SinkAgent;
@@ -7,8 +7,12 @@ use tacoma_apps::{run_mail_experiment, run_stormcast, MailConfig, StormcastConfi
 use tacoma_cash::{AuditCourt, ExchangeConfig, ExchangeProtocol, Mint, PartyBehavior};
 use tacoma_core::prelude::*;
 use tacoma_core::{codec, Folder, TacomaSystem};
-use tacoma_ft::{run_itinerary_experiment, FtConfig};
-use tacoma_net::{CustodyConfig, LinkSpec, Topology};
+use tacoma_ft::{run_itinerary_experiment, BrokerGuardAgent, FtConfig};
+use tacoma_net::{CustodyConfig, FailurePlan, LinkSpec, SimTime, Topology};
+use tacoma_sched::federation::{
+    build_federation, drive_federation, install_sources, run_federation_experiment,
+    FederationConfig, FederationResult,
+};
 use tacoma_sched::protected::{secret_agent_name, AdmissionPolicy, REQUESTER};
 use tacoma_sched::{
     run_scheduling_experiment, PlacementPolicy, ProtectedBrokerAgent, SchedulingConfig,
@@ -1241,6 +1245,224 @@ pub fn e14_custody_churn(quick: bool) -> Table {
 }
 
 // ---------------------------------------------------------------------------
+// E15 — federated broker scheduling at 1024 sites
+// ---------------------------------------------------------------------------
+
+/// The common 1024-site E15 configuration; rows vary shards/digest/policy.
+fn e15_config(
+    shards: u32,
+    digest_ms: u64,
+    policy: PlacementPolicy,
+    quick: bool,
+) -> FederationConfig {
+    FederationConfig {
+        cliques: 128,
+        clique_size: 8,
+        shards,
+        digest_period: Duration::from_millis(digest_ms),
+        report_period: Duration::from_millis(200),
+        // The single-broker baseline's reports cross up to half the WAN ring
+        // (~2.6 simulated seconds); the TTL must outlive transit + period for
+        // *both* variants or the baseline would starve by construction.
+        report_ttl: Duration::from_secs(4),
+        policy,
+        // Long jobs at a brisk rate: placement quality — not raw capacity —
+        // decides the waits.  A provider double-booked on stale information
+        // queues the second job for whole seconds.
+        jobs: if quick { 512 } else { 2048 },
+        mean_job_ms: 1_500.0,
+        mean_interarrival_ms: if quick { 4.0 } else { 3.0 },
+        capacities: vec![1.0, 2.0, 4.0, 8.0],
+        custody: None,
+        seed: 1515,
+    }
+}
+
+fn e15_row(table: &mut Table, label: &str, digest_ms: &str, r: &FederationResult) {
+    table.row(vec![
+        r.sites.to_string(),
+        r.shards.to_string(),
+        label.to_string(),
+        digest_ms.to_string(),
+        r.completed.to_string(),
+        format!("{:.1}", r.p95_wait_ms),
+        format!("{:.1}", r.mean_wait_ms),
+        format!("{:.1}", r.makespan_ms),
+        r.net_messages.to_string(),
+        r.net_bytes.to_string(),
+        r.forwarded.to_string(),
+        r.digests_sent.to_string(),
+    ]);
+}
+
+/// E15: the 1024-site federated scheduling sweep — shard count and digest
+/// period against the seed's single-broker design.  Shard-local monitors
+/// keep reports LAN-fresh and off the WAN ring; the single broker pays ring
+/// transit on every report *and* places on information that is seconds old.
+pub fn e15_federation(quick: bool) -> Table {
+    let mut table = Table::new(
+        "E15 — federated broker scheduling at 1024 sites",
+        "§4: \"brokers are expected to communicate among themselves … so that requests can be distributed … based on load and capacity\"",
+        &[
+            "sites",
+            "shards",
+            "policy",
+            "digest ms",
+            "completed",
+            "p95 wait ms",
+            "mean wait ms",
+            "makespan ms",
+            "net msgs",
+            "net bytes",
+            "forwarded",
+            "digests",
+        ],
+    );
+    let single = run_federation_experiment(&e15_config(1, 250, PlacementPolicy::LoadBased, quick));
+    e15_row(&mut table, "single load-based (seed)", "—", &single);
+    let shard_sweep: &[u32] = if quick { &[8] } else { &[4, 8, 32] };
+    for &shards in shard_sweep {
+        let fed =
+            run_federation_experiment(&e15_config(shards, 250, PlacementPolicy::PowerOfTwo, quick));
+        e15_row(&mut table, "federated p2c + decay", "250", &fed);
+    }
+    let digest_sweep: &[u64] = if quick { &[1_000] } else { &[100, 1_000] };
+    for &digest_ms in digest_sweep {
+        let fed = run_federation_experiment(&e15_config(
+            8,
+            digest_ms,
+            PlacementPolicy::PowerOfTwo,
+            quick,
+        ));
+        e15_row(
+            &mut table,
+            "federated p2c + decay",
+            &digest_ms.to_string(),
+            &fed,
+        );
+    }
+    table
+}
+
+// ---------------------------------------------------------------------------
+// E16 — broker crash and failover under job churn
+// ---------------------------------------------------------------------------
+
+/// One E16 run: a 64-site federation whose shard-0 broker site suffers a
+/// 4-second outage starting at 500 ms, while job sources keep churning.
+/// `shards == 1` reproduces the seed's single-point-of-failure; `guarded`
+/// installs a ring of `BrokerGuardAgent`s so the orphaned shard is adopted.
+fn e16_run(shards: u32, custody: bool, guarded: bool, quick: bool) -> FederationResult {
+    let config = FederationConfig {
+        cliques: 16,
+        clique_size: 4,
+        shards,
+        digest_period: Duration::from_millis(250),
+        report_period: Duration::from_millis(150),
+        report_ttl: Duration::from_millis(1_200),
+        policy: if shards == 1 {
+            PlacementPolicy::LoadBased
+        } else {
+            PlacementPolicy::PowerOfTwo
+        },
+        jobs: if quick { 96 } else { 240 },
+        mean_job_ms: 60.0,
+        mean_interarrival_ms: 30.0,
+        capacities: vec![1.0, 2.0, 4.0, 8.0],
+        custody: custody.then(|| CustodyConfig {
+            capacity: 256,
+            ttl: Duration::from_secs(30),
+        }),
+        seed: 1616,
+    };
+    let (mut sys, layout) = build_federation(&config);
+    if guarded {
+        // Each broker is watched by a guard at the next broker's site; the
+        // guard re-adopts the shard after three missed 150 ms checks.
+        for b in 0..shards as usize {
+            let backup = (b + 1) % shards as usize;
+            sys.register_agent(
+                layout.broker_sites[backup],
+                Box::new(BrokerGuardAgent::new(
+                    layout.broker_sites[b],
+                    b as u32,
+                    layout.providers_by_shard[b].clone(),
+                    Duration::from_millis(150),
+                    3,
+                )),
+            );
+        }
+    }
+    sys.run_for(Duration::from_millis(20));
+    sys.reset_net_metrics();
+    // Clients fail over to the guard's site when the federation has one;
+    // without guards (and for the single broker) there is nowhere to go.
+    let backups: Vec<tacoma_util::SiteId> = (0..shards as usize)
+        .map(|b| {
+            if guarded {
+                layout.broker_sites[(b + 1) % shards as usize]
+            } else {
+                layout.broker_sites[b]
+            }
+        })
+        .collect();
+    install_sources(&mut sys, &config, &layout, &backups);
+    let plan = FailurePlan::none().outage(
+        layout.broker_sites[0],
+        SimTime::ZERO + Duration::from_millis(500),
+        Duration::from_secs(4),
+    );
+    sys.apply_failure_plan(&plan);
+    drive_federation(&mut sys, &config, &layout, Duration::from_secs(20))
+}
+
+/// E16: broker crash and failover under job churn.  Fail-fast single broker
+/// orphans every job submitted during its outage; custody alone recovers
+/// them but only after the broker returns; federation with guards re-adopts
+/// the shard and keeps placing throughout — zero orphaned jobs.
+pub fn e16_failover(quick: bool) -> Table {
+    let mut table = Table::new(
+        "E16 — broker crash and failover under job churn",
+        "§5: agents (and their brokers) vanish in failures; a guard launches a replacement and the shard is re-adopted, not orphaned",
+        &[
+            "variant",
+            "shards",
+            "jobs",
+            "completed",
+            "orphaned",
+            "adoptions",
+            "forwarded",
+            "send failures",
+            "expired",
+            "makespan ms",
+            "zero orphans",
+        ],
+    );
+    let variants: &[(&str, u32, bool, bool)] = &[
+        ("single, fail-fast (seed)", 1, false, false),
+        ("single, custody", 1, true, false),
+        ("federated + guards + custody", 4, true, true),
+    ];
+    for &(label, shards, custody, guarded) in variants {
+        let r = e16_run(shards, custody, guarded, quick);
+        table.row(vec![
+            label.to_string(),
+            shards.to_string(),
+            (r.completed + r.orphaned).to_string(),
+            r.completed.to_string(),
+            r.orphaned.to_string(),
+            r.adoptions.to_string(),
+            r.forwarded.to_string(),
+            r.send_failures.to_string(),
+            r.meets_expired.to_string(),
+            format!("{:.1}", r.makespan_ms),
+            (r.orphaned == 0).to_string(),
+        ]);
+    }
+    table
+}
+
+// ---------------------------------------------------------------------------
 // Ablations
 // ---------------------------------------------------------------------------
 
@@ -1445,6 +1667,54 @@ mod tests {
         let custody = &table.rows[1];
         assert_eq!(custody[7], "0", "custody has no send failures");
         assert_eq!(custody[9], "0", "custody drops nothing in flight");
+    }
+
+    #[test]
+    fn e15_federation_beats_the_single_broker_at_1024_sites() {
+        let table = e15_federation(true);
+        assert_eq!(table.rows.len(), 3);
+        let completed = |r: usize| table.rows[r][4].parse::<u64>().unwrap();
+        let p95 = |r: usize| table.rows[r][5].parse::<f64>().unwrap();
+        let bytes = |r: usize| table.rows[r][9].parse::<u64>().unwrap();
+        for r in 0..3 {
+            assert_eq!(completed(r), 512, "row {r} lost jobs");
+        }
+        // The acceptance bar: federated placement beats the single broker on
+        // p95 job wait AND on broker message volume, at 1024 sites.
+        assert!(
+            p95(1) < p95(0) / 2.0,
+            "federated p95 {} must clearly beat single-broker {}",
+            p95(1),
+            p95(0)
+        );
+        assert!(
+            bytes(1) < bytes(0),
+            "federated bytes {} must undercut single-broker {}",
+            bytes(1),
+            bytes(0)
+        );
+        // Digest-period sweep: a slower gossip period only changes control
+        // traffic while shards are healthy, never placement.
+        assert_eq!(p95(2), p95(1));
+        assert!(bytes(2) < bytes(1));
+    }
+
+    #[test]
+    fn e16_zero_orphans_only_with_guarded_federation() {
+        let table = e16_failover(true);
+        assert_eq!(table.rows.len(), 3);
+        let orphaned = |r: usize| table.rows[r][4].parse::<u64>().unwrap();
+        assert!(orphaned(0) > 0, "fail-fast must lose the outage's jobs");
+        assert!(
+            orphaned(1) > 0,
+            "custody delivers the bytes, but the recovered broker's provider \
+             database died with it — custody alone is not failover"
+        );
+        assert_eq!(orphaned(2), 0, "guards + custody must orphan nothing");
+        assert_eq!(table.rows[2][10], "true");
+        let adoptions: u64 = table.rows[2][5].parse().unwrap();
+        assert!(adoptions >= 1, "the guard must have adopted the shard");
+        assert_eq!(table.rows[2][7], "0", "failover leaves no failed sends");
     }
 
     #[test]

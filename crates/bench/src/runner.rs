@@ -1,6 +1,6 @@
 //! The parallel experiment runner.
 //!
-//! Every experiment (E1–E14) and ablation (A3/A4; A1/A2 are reserved ids,
+//! Every experiment (E1–E16) and ablation (A3/A4; A1/A2 are reserved ids,
 //! see [`RESERVED_IDS`]) is registered here as an independent [`JobSpec`].
 //! Each job builds and drives its own seeded `SimNet`/`TacomaSystem`, so jobs
 //! share no mutable state and the worker count cannot perturb any measured
@@ -135,6 +135,18 @@ pub fn registry() -> Vec<JobSpec> {
             run: crate::e14_custody_churn,
         },
         JobSpec {
+            id: "E15",
+            summary: "federated broker scheduling at 1024 sites",
+            seed: 1515,
+            run: crate::e15_federation,
+        },
+        JobSpec {
+            id: "E16",
+            summary: "broker crash and failover under job churn",
+            seed: 1616,
+            run: crate::e16_failover,
+        },
+        JobSpec {
             id: "A3",
             summary: "ablation: rear-guard chain depth",
             seed: 31_001,
@@ -239,9 +251,11 @@ mod tests {
     /// Cheap subset used by the determinism tests (the full quick suite is
     /// exercised end-to-end by `tests/harness_gate.rs`).
     fn cheap_ids() -> Vec<String> {
-        // E13/E14 ride along so the new custody experiments are explicitly
-        // covered by the jobs-1-vs-jobs-8 byte-identical check.
-        ["E4", "E5", "E8", "E13", "E14"]
+        // E13/E14/E16 ride along so the custody and broker-failover
+        // experiments are explicitly covered by the jobs-1-vs-jobs-8
+        // byte-identical check (E15 is covered by the CI determinism job;
+        // its 1024-site rows are too heavy for a unit test to run twice).
+        ["E4", "E5", "E8", "E13", "E14", "E16"]
             .iter()
             .map(|s| s.to_string())
             .collect()
@@ -250,15 +264,16 @@ mod tests {
     #[test]
     fn registry_ids_are_unique_and_cover_e1_to_a4() {
         let specs = registry();
-        assert_eq!(specs.len(), 16);
+        assert_eq!(specs.len(), 18);
         let mut ids: Vec<&str> = specs.iter().map(|s| s.id).collect();
         assert_eq!(ids.first(), Some(&"E1"));
         assert_eq!(ids.last(), Some(&"A4"));
         assert!(ids.contains(&"E11") && ids.contains(&"E12"));
         assert!(ids.contains(&"E13") && ids.contains(&"E14"));
+        assert!(ids.contains(&"E15") && ids.contains(&"E16"));
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 16, "duplicate experiment ids in the registry");
+        assert_eq!(ids.len(), 18, "duplicate experiment ids in the registry");
     }
 
     #[test]
@@ -270,7 +285,7 @@ mod tests {
             .unwrap_err()
             .contains("unknown experiment id"));
         assert!(select(&["a1".into()]).unwrap_err().contains("reserved"));
-        assert_eq!(select(&[]).unwrap().len(), 16);
+        assert_eq!(select(&[]).unwrap().len(), 18);
     }
 
     #[test]
@@ -292,7 +307,7 @@ mod tests {
         let specs = select(&cheap_ids()).unwrap();
         let results = run_jobs(&specs, true, specs.len() * 4);
         let ids: Vec<&str> = results.iter().map(|r| r.id).collect();
-        assert_eq!(ids, ["E4", "E5", "E8", "E13", "E14"]);
+        assert_eq!(ids, ["E4", "E5", "E8", "E13", "E14", "E16"]);
         assert!(results.iter().all(|r| !r.report.metrics.is_empty()));
         assert!(results.iter().all(|r| r.report.wall_ms >= 0.0));
     }

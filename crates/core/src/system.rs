@@ -122,6 +122,25 @@ impl SystemBuilder {
         self
     }
 
+    /// Adds a factory whose agents are installed only at the listed sites —
+    /// the wiring federated deployments use to place one broker per shard
+    /// gateway.  Like [`SystemBuilder::with_agents`], the factory re-runs on
+    /// recovery, so a crashed broker site comes back with its broker
+    /// reinstalled instead of permanently orphaning its shard.
+    pub fn with_agents_at(
+        self,
+        sites: Vec<SiteId>,
+        factory: impl Fn(SiteId) -> Vec<Box<dyn Agent>> + 'static,
+    ) -> Self {
+        self.with_agents(move |site| {
+            if sites.contains(&site) {
+                factory(site)
+            } else {
+                Vec::new()
+            }
+        })
+    }
+
     /// Builds the system, installing the factory agents everywhere.
     pub fn build(self) -> TacomaSystem {
         let master = DetRng::new(self.seed);

@@ -34,6 +34,16 @@ pub const TIMER: &str = "TIMER";
 pub const ERROR: &str = "ERROR";
 /// Folder naming the transport personality a migration should use.
 pub const TRANSPORT: &str = "TRANSPORT";
+/// Folder re-pointing a monitor (or client) at a new broker site after a
+/// failover; holds the adopting broker's site id.
+pub const REHOME: &str = "REHOME";
+/// Folder instructing a broker to adopt another broker's provider shard;
+/// holds the orphaned shard's id.
+pub const ADOPT: &str = "ADOPT";
+/// Folder carrying an aggregated shard digest between federated brokers.
+pub const DIGEST: &str = "DIGEST";
+/// Folder naming a broker federation shard.
+pub const SHARD: &str = "SHARD";
 
 /// The interpreter agent that executes `CODE` folders (the prototype's `ag_tcl`).
 pub const AG_TAC: &str = "ag_tac";
@@ -53,6 +63,8 @@ pub const TICKET: &str = "ticket";
 pub const MINT: &str = "mint";
 /// The audit-court agent of the exchange protocol.
 pub const COURT: &str = "court";
+/// The failover guard watching a federated broker (see `tacoma_ft`).
+pub const BROKER_GUARD: &str = "broker_guard";
 
 #[cfg(test)]
 mod tests {
@@ -62,7 +74,7 @@ mod tests {
     fn names_are_distinct() {
         let folders = [
             CODE, HOST, CONTACT, SITES, ITINERARY, RESULTS, REQUEST, REPLY, CASH, RECEIPTS, ORIGIN,
-            TIMER, ERROR, TRANSPORT,
+            TIMER, ERROR, TRANSPORT, REHOME, ADOPT, DIGEST, SHARD,
         ];
         let mut sorted = folders.to_vec();
         sorted.sort_unstable();
@@ -70,7 +82,16 @@ mod tests {
         assert_eq!(sorted.len(), folders.len());
 
         let agents = [
-            AG_TAC, REXEC, COURIER, DIFFUSION, BROKER, MONITOR, TICKET, MINT, COURT,
+            AG_TAC,
+            REXEC,
+            COURIER,
+            DIFFUSION,
+            BROKER,
+            MONITOR,
+            TICKET,
+            MINT,
+            COURT,
+            BROKER_GUARD,
         ];
         let mut sorted = agents.to_vec();
         sorted.sort_unstable();

@@ -34,11 +34,18 @@
 //!
 //! [`experiment::run_itinerary_experiment`] drives whole fleets of travellers
 //! over randomized failure schedules for experiment E9.
+//!
+//! The same guard idea protects *resident* services too:
+//! [`broker_guard::BrokerGuardAgent`] watches a federated scheduling broker
+//! and, when its site stays dead, has the co-located broker adopt the
+//! orphaned provider shard and rehomes its monitors (experiment E16).
 
 #![warn(missing_docs)]
 
+pub mod broker_guard;
 pub mod experiment;
 pub mod rear_guard;
 
+pub use broker_guard::{broker_guard_name, BrokerGuardAgent};
 pub use experiment::{run_itinerary_experiment, FtConfig, FtResult, ItineraryShape};
 pub use rear_guard::{guard_name, MissionControlAgent, RearGuardAgent, TravellerAgent};

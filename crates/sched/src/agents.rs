@@ -16,9 +16,9 @@
 //! * workers accept jobs only when a `TICKET` folder is present (issued by the
 //!   ticket agent at the broker's site).
 
-use crate::load::LoadReport;
+use crate::load::{LoadReport, ReportDb};
 use crate::policy::PlacementPolicy;
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 use tacoma_core::prelude::*;
 
 /// Folder holding the request verb for broker meets.
@@ -36,23 +36,65 @@ pub const JOBS_CABINET: &str = "jobs";
 /// Folder (in the jobs cabinet) holding completion records `id:wait_us:finish_us`.
 pub const DONE: &str = "DONE";
 
+/// How many monitor periods a load report stays trusted: the default
+/// report TTL handed to brokers is `report_period × STALE_REPORT_PERIODS`.
+pub const STALE_REPORT_PERIODS: u64 = 4;
+
+/// Parses an incoming load-report briefcase (shared by both brokers).
+pub(crate) fn parse_report(bc: &Briefcase) -> Result<LoadReport, TacomaError> {
+    LoadReport::from_briefcase(bc)
+        .ok_or_else(|| TacomaError::bad_folder("LOAD_SITE", "malformed load report"))
+}
+
+/// The shared submit tail: obtains an admission ticket from the co-located
+/// ticket agent, attaches it, strips the request verb, and dispatches the
+/// job briefcase to the chosen provider's worker.
+pub(crate) fn dispatch_with_ticket(
+    ctx: &mut MeetCtx<'_>,
+    mut bc: Briefcase,
+    chosen: SiteId,
+) -> Result<(), TacomaError> {
+    let ticket_reply = ctx.meet_local(&AgentName::new(wellknown::TICKET), Briefcase::new())?;
+    let ticket = ticket_reply
+        .folder(TICKET_FOLDER)
+        .cloned()
+        .ok_or_else(|| TacomaError::missing(TICKET_FOLDER))?;
+    bc.put(TICKET_FOLDER, ticket);
+    bc.take(REQUEST);
+    ctx.remote_meet(chosen, AgentName::new("worker"), bc, TransportKind::Tcp);
+    Ok(())
+}
+
 /// The matchmaking/scheduling broker (§4).
 pub struct BrokerAgent {
     policy: PlacementPolicy,
-    reports: BTreeMap<SiteId, LoadReport>,
+    reports: ReportDb,
     rr_counter: u64,
     jobs_placed: u64,
+    /// Half-life for the staleness decay the sampled policy applies.
+    decay_half_life: Duration,
 }
 
 impl BrokerAgent {
-    /// Creates a broker using the given placement policy.
+    /// Creates a broker using the given placement policy, with a default
+    /// 2-second report TTL and 500 ms decay half-life; callers that know
+    /// their monitor period should use [`BrokerAgent::with_staleness`] to
+    /// derive both from it (see [`STALE_REPORT_PERIODS`]).
     pub fn new(policy: PlacementPolicy) -> Self {
         BrokerAgent {
             policy,
-            reports: BTreeMap::new(),
+            reports: ReportDb::new(Duration::from_millis(2_000)),
             rr_counter: 0,
             jobs_placed: 0,
+            decay_half_life: Duration::from_millis(500),
         }
+    }
+
+    /// Sets the report TTL and the decay half-life (builder style).
+    pub fn with_staleness(mut self, report_ttl: Duration, decay_half_life: Duration) -> Self {
+        self.reports.set_report_ttl(report_ttl);
+        self.decay_half_life = decay_half_life;
+        self
     }
 
     /// Number of jobs this broker has placed.
@@ -66,47 +108,41 @@ impl Agent for BrokerAgent {
         AgentName::new(wellknown::BROKER)
     }
 
-    fn meet(&mut self, ctx: &mut MeetCtx<'_>, mut bc: Briefcase) -> MeetOutcome {
+    fn meet(&mut self, ctx: &mut MeetCtx<'_>, bc: Briefcase) -> MeetOutcome {
         let request = bc
             .peek_string(REQUEST)
             .ok_or_else(|| TacomaError::missing(REQUEST))?;
         match request.as_str() {
             "report" => {
-                let report = LoadReport::from_briefcase(&bc)
-                    .ok_or_else(|| TacomaError::bad_folder("LOAD_SITE", "malformed load report"))?;
-                self.reports.insert(report.site, report);
+                let report = parse_report(&bc)?;
+                self.reports.ingest(report, ctx.now().micros());
                 Ok(Briefcase::new())
             }
             "lookup" | "submit" => {
-                let reports: Vec<LoadReport> = self
-                    .reports
-                    .values()
-                    .copied()
-                    .filter(|r| ctx.site_is_up(r.site))
-                    .collect();
+                let now = ctx.now().micros();
+                let reports = self.reports.fresh(now, |s| ctx.site_is_up(s));
                 let chosen = self
                     .policy
-                    .choose(&reports, ctx.rng(), &mut self.rr_counter)
-                    .ok_or_else(|| TacomaError::Refused("no providers registered".into()))?;
+                    .choose(
+                        &reports,
+                        now,
+                        self.decay_half_life.micros(),
+                        ctx.rng(),
+                        &mut self.rr_counter,
+                    )
+                    .ok_or_else(|| {
+                        TacomaError::Refused(
+                            "no eligible provider (none registered, alive and fresh)".into(),
+                        )
+                    })?;
                 let mut reply = Briefcase::new();
                 reply.put_string(PROVIDER, chosen.0.to_string());
                 if request == "submit" {
-                    // Obtain an admission ticket from the co-located ticket agent.
-                    let ticket_reply =
-                        ctx.meet_local(&AgentName::new(wellknown::TICKET), Briefcase::new())?;
-                    let ticket = ticket_reply
-                        .folder(TICKET_FOLDER)
-                        .cloned()
-                        .ok_or_else(|| TacomaError::missing(TICKET_FOLDER))?;
-                    bc.put(TICKET_FOLDER, ticket);
-                    bc.take(REQUEST);
+                    dispatch_with_ticket(ctx, bc, chosen)?;
                     // Optimistically bump the chosen provider's queue so a burst
                     // of submissions spreads even before the next report.
-                    if let Some(r) = self.reports.get_mut(&chosen) {
-                        r.queue_len += 1;
-                    }
+                    self.reports.bump(chosen);
                     self.jobs_placed += 1;
-                    ctx.remote_meet(chosen, AgentName::new("worker"), bc, TransportKind::Tcp);
                 }
                 Ok(reply)
             }
@@ -120,7 +156,10 @@ impl Agent for BrokerAgent {
 /// The load monitor installed at every provider site.
 ///
 /// On installation it starts a periodic timer; every period it samples the
-/// co-located worker's queue and reports to the broker site.
+/// co-located worker's queue and reports to the broker site.  A meet carrying
+/// a [`wellknown::REHOME`] folder (the new broker's site id) re-points the
+/// monitor — that is how a failed-over broker's adopter takes custody of the
+/// crashed broker's providers.
 pub struct MonitorAgent {
     broker_site: SiteId,
     period: Duration,
@@ -179,6 +218,16 @@ impl Agent for MonitorAgent {
     }
 
     fn meet(&mut self, ctx: &mut MeetCtx<'_>, bc: Briefcase) -> MeetOutcome {
+        if let Some(new_broker) = bc
+            .peek_string(wellknown::REHOME)
+            .and_then(|s| s.parse::<u32>().ok())
+        {
+            // Failover: report to the adopting broker from now on, and do so
+            // immediately so the adopter learns this provider exists.
+            self.broker_site = SiteId(new_broker);
+            self.sample_and_report(ctx);
+            return Ok(Briefcase::new());
+        }
         if bc.contains(wellknown::TIMER) {
             self.sample_and_report(ctx);
             ctx.schedule(
@@ -469,6 +518,77 @@ mod tests {
             .sum();
         assert_eq!(total_done, 4, "all submitted jobs complete somewhere");
         assert_eq!(sys.stats().meets_failed, 0);
+    }
+
+    #[test]
+    fn stale_reports_expire_instead_of_being_trusted_forever() {
+        use tacoma_net::SimTime;
+        // Two providers report; then site 2 is partitioned away.  It is still
+        // *up* (liveness filtering does not catch it), but its reports stop
+        // arriving — after the TTL the broker must stop placing onto it
+        // rather than trusting the frozen report forever.
+        let mut sys = TacomaSystem::new(Topology::full_mesh(3, LinkSpec::default()), 3);
+        sys.register_agent(
+            SiteId(0),
+            Box::new(
+                BrokerAgent::new(PlacementPolicy::LoadBased)
+                    .with_staleness(Duration::from_millis(80), Duration::from_millis(20)),
+            ),
+        );
+        sys.register_agent(SiteId(0), Box::new(TicketAgent::new()));
+        for s in [1u32, 2] {
+            sys.register_agent(SiteId(s), Box::new(WorkerAgent::new(1.0)));
+            sys.register_agent(
+                SiteId(s),
+                Box::new(MonitorAgent::new(SiteId(0), Duration::from_millis(20), 1.0)),
+            );
+        }
+        sys.run_for(Duration::from_millis(50));
+        sys.net_mut().partition(&[SiteId(2)]);
+        assert!(sys.net().is_up(SiteId(2)), "partitioned, not dead");
+        // Monitors keep ticking; site 2's reports no longer reach the broker.
+        sys.run_until(SimTime::ZERO + Duration::from_millis(400));
+        let mut bc = Briefcase::new();
+        bc.put_string(REQUEST, "lookup");
+        let reply = sys
+            .try_direct_meet(SiteId(0), &AgentName::new(wellknown::BROKER), bc)
+            .unwrap();
+        assert_eq!(
+            reply.peek_string(PROVIDER).as_deref(),
+            Some("1"),
+            "the unreachable provider's stale report must have expired"
+        );
+    }
+
+    #[test]
+    fn rehome_re_points_a_monitor_at_a_new_broker() {
+        // Broker at site 0 and a spare at site 2; the monitor at site 1
+        // starts on broker 0 and is rehomed to broker 2 mid-run.
+        let mut sys = TacomaSystem::new(Topology::full_mesh(3, LinkSpec::default()), 4);
+        for b in [0u32, 2] {
+            sys.register_agent(
+                SiteId(b),
+                Box::new(BrokerAgent::new(PlacementPolicy::LoadBased)),
+            );
+            sys.register_agent(SiteId(b), Box::new(TicketAgent::new()));
+        }
+        sys.register_agent(SiteId(1), Box::new(WorkerAgent::new(1.0)));
+        sys.register_agent(
+            SiteId(1),
+            Box::new(MonitorAgent::new(SiteId(0), Duration::from_millis(20), 1.0)),
+        );
+        sys.run_for(Duration::from_millis(30));
+        let mut rehome = Briefcase::new();
+        rehome.put_string(wellknown::REHOME, "2");
+        sys.inject_meet(SiteId(1), AgentName::new(wellknown::MONITOR), rehome);
+        sys.run_for(Duration::from_millis(50));
+        // The new broker can now place onto the provider; lookups there work.
+        let mut bc = Briefcase::new();
+        bc.put_string(REQUEST, "lookup");
+        let reply = sys
+            .try_direct_meet(SiteId(2), &AgentName::new(wellknown::BROKER), bc)
+            .unwrap();
+        assert_eq!(reply.peek_string(PROVIDER).as_deref(), Some("1"));
     }
 
     #[test]

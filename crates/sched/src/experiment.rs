@@ -6,7 +6,8 @@
 //! makespan, queueing waits and load imbalance for a given placement policy.
 
 use crate::agents::{
-    BrokerAgent, MonitorAgent, TicketAgent, WorkerAgent, DONE, JOB, JOBS_CABINET, JOB_SIZE, REQUEST,
+    BrokerAgent, MonitorAgent, TicketAgent, WorkerAgent, DONE, JOB, JOBS_CABINET, JOB_SIZE,
+    REQUEST, STALE_REPORT_PERIODS,
 };
 use crate::policy::PlacementPolicy;
 use tacoma_core::prelude::*;
@@ -126,8 +127,15 @@ pub fn run_scheduling_experiment(config: &SchedulingConfig) -> SchedulingResult 
         .seed(config.seed)
         .build();
 
-    // Site 0: broker, ticket and the job source.
-    sys.register_agent(SiteId(0), Box::new(BrokerAgent::new(config.policy)));
+    // Site 0: broker, ticket and the job source.  The broker trusts reports
+    // for a few monitor periods and no longer (dead providers age out).
+    sys.register_agent(
+        SiteId(0),
+        Box::new(BrokerAgent::new(config.policy).with_staleness(
+            config.report_period.times(STALE_REPORT_PERIODS),
+            config.report_period,
+        )),
+    );
     sys.register_agent(SiteId(0), Box::new(TicketAgent::new()));
 
     // Provider sites: worker + monitor.

@@ -1,0 +1,894 @@
+//! Broker federation: sharded, staleness-aware, failure-tolerant scheduling.
+//!
+//! The paper's §4 expects brokers "to communicate among themselves and with
+//! the service providers, so that requests can be distributed amongst service
+//! providers based on load and capacity" — plural brokers.  The seed kept a
+//! single broker trusting every report forever; at 1024 sites that design
+//! drowns in cross-WAN report traffic and places jobs on seconds-stale
+//! information.  This module shards the provider fleet across `k` brokers:
+//!
+//! * every provider's monitor reports to its **shard broker** (a near-by
+//!   gateway, so report transit is LAN-scale and the information is fresh);
+//! * brokers exchange compact **aggregated digests** ([`ShardDigest`]) on a
+//!   configurable period — the paper's broker-to-broker communication — and
+//!   use them to **forward** a job when their own shard has no eligible
+//!   provider (one hop, loop-safe);
+//! * placement inside a shard is **staleness-aware**: reports expire after a
+//!   TTL, and the sampled [`PlacementPolicy::PowerOfTwo`] policy decays old
+//!   reports ([`crate::LoadReport::decayed_wait`]) so a dead provider's last report
+//!   cannot keep attracting jobs;
+//! * failover rides the ft layer's guard: a `BrokerGuardAgent` (see
+//!   `tacoma_ft`) watches each primary and, when it stays dead, sends the
+//!   co-located broker an [`wellknown::ADOPT`] meet and every orphaned
+//!   provider a [`wellknown::REHOME`] meet — the crashed broker's shard is
+//!   re-adopted instead of orphaned.
+//!
+//! [`run_federation_experiment`] drives the whole thing on a ring-of-cliques
+//! topology; experiment E15 sweeps shard count and digest period against the
+//! single-broker baseline (`shards == 1`), E16 crashes a broker under job
+//! churn.
+
+use crate::agents::{dispatch_with_ticket, parse_report, MonitorAgent};
+use crate::agents::{TicketAgent, WorkerAgent, DONE, JOB, JOBS_CABINET, JOB_SIZE, REQUEST};
+use crate::load::ReportDb;
+use crate::policy::PlacementPolicy;
+use std::collections::BTreeMap;
+use tacoma_core::prelude::*;
+use tacoma_core::TacomaSystem;
+use tacoma_net::{CustodyConfig, LinkSpec, SimTime, Topology};
+use tacoma_util::Summary;
+
+/// Folder marking a job that has already been forwarded once between
+/// brokers; a second forward is refused instead of looping.
+pub const FORWARDED: &str = "FED_FORWARDED";
+/// Cabinet where a federated broker records its control-plane events.
+pub const BROKER_CABINET: &str = "fed_broker";
+/// Folder (in [`BROKER_CABINET`]) with one element per job placed locally.
+pub const PLACED: &str = "PLACED";
+/// Folder with one element per job forwarded to a peer broker.
+pub const FWD: &str = "FWD";
+/// Folder with one element per digest sent to a peer.
+pub const DIG_TX: &str = "DIG_TX";
+/// Folder with one element per digest received from a peer.
+pub const DIG_RX: &str = "DIG_RX";
+/// Folder with one element per shard adoption performed.
+pub const ADOPTED: &str = "ADOPTED";
+/// Well-known name of the federated job source agent.
+pub const FED_SOURCE: &str = "fed_source";
+
+/// A compact aggregate of one broker's shard, gossiped to its peers.
+///
+/// Digests are what keep inter-broker traffic *aggregated*: one small
+/// message per peer per period instead of relaying every load report.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardDigest {
+    /// The shard this digest describes.
+    pub shard: u32,
+    /// The broker site that produced it.
+    pub broker_site: SiteId,
+    /// Providers with a fresh report at digest time.
+    pub live_providers: u32,
+    /// Sum of their reported queue lengths.
+    pub total_queue: u64,
+    /// Sum of their capacities.
+    pub total_capacity: f64,
+    /// Simulated time the digest was computed.
+    pub at_micros: u64,
+}
+
+impl ShardDigest {
+    /// Shard-aggregate expected wait: total queue over total capacity.
+    /// Infinite when the shard has no live capacity.
+    pub fn aggregate_wait(&self) -> f64 {
+        if self.total_capacity.is_nan() || self.total_capacity <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.total_queue as f64 / self.total_capacity
+        }
+    }
+
+    /// Serializes the digest into briefcase folders.
+    pub fn to_briefcase(&self) -> Briefcase {
+        let mut bc = Briefcase::new();
+        bc.put_string(wellknown::DIGEST, "1");
+        bc.put_string("DIG_SHARD", self.shard.to_string());
+        bc.put_string("DIG_SITE", self.broker_site.0.to_string());
+        bc.put_string("DIG_LIVE", self.live_providers.to_string());
+        bc.put_string("DIG_QUEUE", self.total_queue.to_string());
+        bc.put_string("DIG_CAPACITY", format!("{}", self.total_capacity));
+        bc.put_string("DIG_AT", self.at_micros.to_string());
+        bc
+    }
+
+    /// Parses a digest back out of briefcase folders.
+    pub fn from_briefcase(bc: &Briefcase) -> Option<ShardDigest> {
+        Some(ShardDigest {
+            shard: bc.peek_string("DIG_SHARD")?.parse().ok()?,
+            broker_site: SiteId(bc.peek_string("DIG_SITE")?.parse().ok()?),
+            live_providers: bc.peek_string("DIG_LIVE")?.parse().ok()?,
+            total_queue: bc.peek_string("DIG_QUEUE")?.parse().ok()?,
+            total_capacity: bc.peek_string("DIG_CAPACITY")?.parse().ok()?,
+            at_micros: bc.peek_string("DIG_AT")?.parse().ok()?,
+        })
+    }
+}
+
+/// One shard's broker in a federation.
+///
+/// Registers under the plain [`wellknown::BROKER`] name — names are per-site,
+/// so "the broker at site s" is unambiguous — and speaks the same `REQUEST`
+/// protocol as the single [`crate::BrokerAgent`], extended with `"digest"`
+/// meets from peers and [`wellknown::ADOPT`] meets from a failover guard.
+pub struct FederatedBrokerAgent {
+    shard: u32,
+    /// The other brokers as `(shard, site)`, in shard order.
+    peers: Vec<(u32, SiteId)>,
+    policy: PlacementPolicy,
+    decay_half_life: Duration,
+    digest_period: Duration,
+    reports: ReportDb,
+    digests: BTreeMap<u32, ShardDigest>,
+    rr_counter: u64,
+    jobs_placed: u64,
+    jobs_forwarded: u64,
+}
+
+impl FederatedBrokerAgent {
+    /// Creates the broker for `shard` with the given peer set.
+    pub fn new(
+        shard: u32,
+        peers: Vec<(u32, SiteId)>,
+        policy: PlacementPolicy,
+        report_ttl: Duration,
+        decay_half_life: Duration,
+        digest_period: Duration,
+    ) -> Self {
+        FederatedBrokerAgent {
+            shard,
+            peers,
+            policy,
+            decay_half_life,
+            digest_period,
+            reports: ReportDb::new(report_ttl),
+            digests: BTreeMap::new(),
+            rr_counter: 0,
+            jobs_placed: 0,
+            jobs_forwarded: 0,
+        }
+    }
+
+    /// Jobs this broker placed onto its own shard.
+    pub fn jobs_placed(&self) -> u64 {
+        self.jobs_placed
+    }
+
+    /// Jobs this broker forwarded to a peer.
+    pub fn jobs_forwarded(&self) -> u64 {
+        self.jobs_forwarded
+    }
+
+    fn digest(&self, now: u64, ctx: &MeetCtx<'_>) -> ShardDigest {
+        let fresh = self.reports.fresh(now, |s| ctx.site_is_up(s));
+        ShardDigest {
+            shard: self.shard,
+            broker_site: ctx.site(),
+            live_providers: fresh.len() as u32,
+            total_queue: fresh.iter().map(|r| r.queue_len).sum(),
+            total_capacity: fresh.iter().map(|r| r.capacity).sum(),
+            at_micros: now,
+        }
+    }
+
+    /// The peer a placement-less job should be forwarded to: the freshest
+    /// digests pick the shard with the lowest aggregate wait; with no usable
+    /// digest (e.g. right after a recovery) fall back to the first live peer.
+    fn forward_target(&self, now: u64, ctx: &MeetCtx<'_>) -> Option<SiteId> {
+        let ttl = self.reports.report_ttl().micros();
+        self.digests
+            .values()
+            .filter(|d| {
+                d.live_providers > 0
+                    && now.saturating_sub(d.at_micros) <= ttl
+                    && ctx.site_is_up(d.broker_site)
+            })
+            .min_by(|a, b| {
+                a.aggregate_wait()
+                    .total_cmp(&b.aggregate_wait())
+                    .then(a.shard.cmp(&b.shard))
+            })
+            .map(|d| d.broker_site)
+            .or_else(|| {
+                self.peers
+                    .iter()
+                    .find(|(_, site)| ctx.site_is_up(*site))
+                    .map(|(_, site)| *site)
+            })
+    }
+
+    fn broadcast_digest(&mut self, ctx: &mut MeetCtx<'_>) {
+        let now = ctx.now().micros();
+        let digest = self.digest(now, ctx);
+        for (_, site) in self.peers.clone() {
+            let mut bc = digest.to_briefcase();
+            bc.put_string(REQUEST, "digest");
+            ctx.remote_meet(
+                site,
+                AgentName::new(wellknown::BROKER),
+                bc,
+                TransportKind::Tcp,
+            );
+            ctx.cabinet(BROKER_CABINET)
+                .append_str(DIG_TX, site.0.to_string());
+        }
+    }
+}
+
+impl Agent for FederatedBrokerAgent {
+    fn name(&self) -> AgentName {
+        AgentName::new(wellknown::BROKER)
+    }
+
+    fn on_install(&mut self, ctx: &mut MeetCtx<'_>) {
+        if !self.peers.is_empty() {
+            ctx.schedule(
+                AgentName::new(wellknown::BROKER),
+                1,
+                self.digest_period,
+                Briefcase::new(),
+            );
+        }
+    }
+
+    fn meet(&mut self, ctx: &mut MeetCtx<'_>, mut bc: Briefcase) -> MeetOutcome {
+        if bc.contains(wellknown::TIMER) {
+            // Digest tick: gossip the shard aggregate and re-arm.
+            self.broadcast_digest(ctx);
+            ctx.schedule(
+                AgentName::new(wellknown::BROKER),
+                1,
+                self.digest_period,
+                Briefcase::new(),
+            );
+            return Ok(Briefcase::new());
+        }
+        if let Some(shard) = bc.peek_string(wellknown::ADOPT) {
+            // A failover guard hands us a crashed peer's shard.  Its
+            // monitors are being rehomed to this site; their reports flow
+            // into `self.reports` like any others — adoption just records
+            // the custody change.
+            ctx.cabinet(BROKER_CABINET).append_str(ADOPTED, &shard);
+            ctx.log(format!(
+                "broker shard {} adopted orphaned shard {shard}",
+                self.shard
+            ));
+            return Ok(Briefcase::new());
+        }
+        let request = bc
+            .peek_string(REQUEST)
+            .ok_or_else(|| TacomaError::missing(REQUEST))?;
+        match request.as_str() {
+            "report" => {
+                let report = parse_report(&bc)?;
+                self.reports.ingest(report, ctx.now().micros());
+                Ok(Briefcase::new())
+            }
+            "digest" => {
+                let digest = ShardDigest::from_briefcase(&bc)
+                    .ok_or_else(|| TacomaError::bad_folder("DIG_SHARD", "malformed digest"))?;
+                ctx.cabinet(BROKER_CABINET)
+                    .append_str(DIG_RX, digest.shard.to_string());
+                self.digests.insert(digest.shard, digest);
+                Ok(Briefcase::new())
+            }
+            "lookup" | "submit" => {
+                let now = ctx.now().micros();
+                let reports = self.reports.fresh(now, |s| ctx.site_is_up(s));
+                let mut chosen = self.policy.choose(
+                    &reports,
+                    now,
+                    self.decay_half_life.micros(),
+                    ctx.rng(),
+                    &mut self.rr_counter,
+                );
+                if chosen.is_none() {
+                    // No fresh report (e.g. right after this site recovered,
+                    // before the next monitor period).  Best-effort fallback:
+                    // stale reports of still-up providers beat dropping the
+                    // job — the TTL exists to prefer fresh data and to shed
+                    // dead providers, and the liveness filter still applies.
+                    let stale = self.reports.live(|s| ctx.site_is_up(s));
+                    chosen = self.policy.choose(
+                        &stale,
+                        now,
+                        self.decay_half_life.micros(),
+                        ctx.rng(),
+                        &mut self.rr_counter,
+                    );
+                }
+                let Some(chosen) = chosen else {
+                    // Nothing placeable here.  Forward a submission (once)
+                    // to the best peer the digests suggest.
+                    if request != "submit" || bc.contains(FORWARDED) {
+                        return Err(TacomaError::Refused(format!(
+                            "shard {} has no eligible provider",
+                            self.shard
+                        )));
+                    }
+                    let Some(peer) = self.forward_target(now, ctx) else {
+                        return Err(TacomaError::Refused(format!(
+                            "shard {} has no eligible provider and no live peer",
+                            self.shard
+                        )));
+                    };
+                    self.jobs_forwarded += 1;
+                    let job = bc.peek_string(JOB).unwrap_or_default();
+                    ctx.cabinet(BROKER_CABINET).append_str(FWD, &job);
+                    bc.put_string(FORWARDED, "1");
+                    let mut reply = Briefcase::new();
+                    reply.put_string(PROVIDER, format!("forwarded:{peer}"));
+                    ctx.remote_meet(
+                        peer,
+                        AgentName::new(wellknown::BROKER),
+                        bc,
+                        TransportKind::Tcp,
+                    );
+                    return Ok(reply);
+                };
+                let mut reply = Briefcase::new();
+                reply.put_string(PROVIDER, chosen.0.to_string());
+                if request == "submit" {
+                    let job = bc.peek_string(JOB).unwrap_or_default();
+                    bc.take(FORWARDED);
+                    dispatch_with_ticket(ctx, bc, chosen)?;
+                    // Optimistic bump, as in the single broker: spread a
+                    // burst even before the next report lands.
+                    self.reports.bump(chosen);
+                    self.jobs_placed += 1;
+                    ctx.cabinet(BROKER_CABINET).append_str(PLACED, &job);
+                }
+                Ok(reply)
+            }
+            other => Err(TacomaError::Refused(format!(
+                "unknown federated broker request '{other}'"
+            ))),
+        }
+    }
+}
+
+/// Folder naming the provider chosen by a lookup (re-exported spelling of
+/// [`crate::agents::PROVIDER`] so federation call-sites read naturally).
+pub use crate::agents::PROVIDER;
+
+/// A client-side job source attached to one shard.
+///
+/// Submits jobs to its primary broker with exponential inter-arrival times,
+/// failing over to the backup broker (the primary's guard site) whenever the
+/// primary is down — the client half of broker failover.
+pub struct FederatedJobSource {
+    primary: SiteId,
+    backup: SiteId,
+    remaining: u32,
+    mean_job_ms: f64,
+    mean_interarrival_ms: f64,
+    prefix: String,
+    next_id: u32,
+}
+
+impl FederatedJobSource {
+    /// Creates a source submitting `jobs` jobs to `primary`, falling back to
+    /// `backup` while the primary is down.
+    pub fn new(
+        primary: SiteId,
+        backup: SiteId,
+        jobs: u32,
+        mean_job_ms: f64,
+        mean_interarrival_ms: f64,
+        prefix: impl Into<String>,
+    ) -> Self {
+        FederatedJobSource {
+            primary,
+            backup,
+            remaining: jobs,
+            mean_job_ms,
+            mean_interarrival_ms,
+            prefix: prefix.into(),
+            next_id: 0,
+        }
+    }
+
+    fn tick(&self, ctx: &mut MeetCtx<'_>, delay: Duration) {
+        ctx.schedule(AgentName::new(FED_SOURCE), 0, delay, Briefcase::new());
+    }
+}
+
+impl Agent for FederatedJobSource {
+    fn name(&self) -> AgentName {
+        AgentName::new(FED_SOURCE)
+    }
+
+    fn on_install(&mut self, ctx: &mut MeetCtx<'_>) {
+        if self.remaining > 0 {
+            self.tick(ctx, Duration::from_millis(1));
+        }
+    }
+
+    fn meet(&mut self, ctx: &mut MeetCtx<'_>, bc: Briefcase) -> MeetOutcome {
+        if !bc.contains(wellknown::TIMER) || self.remaining == 0 {
+            return Ok(Briefcase::new());
+        }
+        self.remaining -= 1;
+        let size_ms = ctx.rng().exponential(self.mean_job_ms).max(1.0) as u64;
+        let mut job = Briefcase::new();
+        job.put_string(REQUEST, "submit");
+        job.put_string(JOB, format!("{}-{}", self.prefix, self.next_id));
+        job.put_string(JOB_SIZE, size_ms.to_string());
+        self.next_id += 1;
+        // Clients know the broker set and its liveness (the Horus-style
+        // membership the kernel exposes); a down primary means the guard
+        // site has — or is about to have — custody of the shard.
+        let target = if ctx.site_is_up(self.primary) || !ctx.site_is_up(self.backup) {
+            self.primary
+        } else {
+            self.backup
+        };
+        ctx.remote_meet(
+            target,
+            AgentName::new(wellknown::BROKER),
+            job,
+            TransportKind::Tcp,
+        );
+        if self.remaining > 0 {
+            let gap = ctx.rng().exponential(self.mean_interarrival_ms).max(0.1);
+            self.tick(ctx, Duration::from_secs_f64(gap / 1000.0));
+        }
+        Ok(Briefcase::new())
+    }
+}
+
+/// Parameters of one federation run.
+#[derive(Debug, Clone)]
+pub struct FederationConfig {
+    /// Cliques in the ring-of-cliques topology.
+    pub cliques: u32,
+    /// Sites per clique (gateway first); must be ≥ 2.
+    pub clique_size: u32,
+    /// Broker count; must divide `cliques`.  `1` is the single-broker
+    /// baseline the federation is measured against.
+    pub shards: u32,
+    /// How often brokers gossip digests to their peers.
+    pub digest_period: Duration,
+    /// Monitor reporting period.
+    pub report_period: Duration,
+    /// How long a broker trusts a load report.
+    pub report_ttl: Duration,
+    /// Placement policy within a shard.
+    pub policy: PlacementPolicy,
+    /// Total jobs across all sources.
+    pub jobs: u32,
+    /// Mean job size (ms of work at capacity 1.0).
+    pub mean_job_ms: f64,
+    /// Aggregate mean inter-arrival time across all sources, in ms.
+    pub mean_interarrival_ms: f64,
+    /// Provider capacities, cycled over provider sites.
+    pub capacities: Vec<f64>,
+    /// Store-and-forward custody configuration, when enabled (E16's failover
+    /// runs park in-flight submissions across the broker outage).
+    pub custody: Option<CustodyConfig>,
+    /// Random seed.
+    pub seed: u64,
+}
+
+impl Default for FederationConfig {
+    fn default() -> Self {
+        FederationConfig {
+            cliques: 16,
+            clique_size: 4,
+            shards: 4,
+            digest_period: Duration::from_millis(250),
+            report_period: Duration::from_millis(200),
+            report_ttl: Duration::from_secs(4),
+            policy: PlacementPolicy::PowerOfTwo,
+            jobs: 128,
+            mean_job_ms: 60.0,
+            mean_interarrival_ms: 10.0,
+            capacities: vec![1.0, 2.0, 4.0, 8.0],
+            custody: None,
+            seed: 1515,
+        }
+    }
+}
+
+/// Where everything lives in a built federation system.
+#[derive(Debug, Clone)]
+pub struct FederationLayout {
+    /// Total sites.
+    pub sites: u32,
+    /// Broker site per shard, in shard order.
+    pub broker_sites: Vec<SiteId>,
+    /// Provider sites per shard, in shard order.
+    pub providers_by_shard: Vec<Vec<SiteId>>,
+    /// Job-source site per shard (a provider site in the shard's first clique).
+    pub source_sites: Vec<SiteId>,
+}
+
+impl FederationLayout {
+    /// Every provider site, across all shards.
+    pub fn providers(&self) -> impl Iterator<Item = SiteId> + '_ {
+        self.providers_by_shard.iter().flatten().copied()
+    }
+}
+
+/// Builds the system for a federation run: ring-of-cliques topology, one
+/// broker (+ ticket agent) per shard gateway — installed through a factory so
+/// a recovered broker site comes back with its broker — and a worker+monitor
+/// pair at every other site.  Job sources are *not* installed; see
+/// [`install_sources`].
+pub fn build_federation(config: &FederationConfig) -> (TacomaSystem, FederationLayout) {
+    assert!(
+        config.clique_size >= 2,
+        "need a provider next to each broker"
+    );
+    assert!(
+        config.shards >= 1 && config.cliques.is_multiple_of(config.shards),
+        "shard count must divide the clique count"
+    );
+    let sites = config.cliques * config.clique_size;
+    let cliques_per_shard = config.cliques / config.shards;
+    let broker_sites: Vec<SiteId> = (0..config.shards)
+        .map(|b| SiteId(b * cliques_per_shard * config.clique_size))
+        .collect();
+    let shard_of_site = |site: SiteId| (site.0 / config.clique_size) / cliques_per_shard;
+
+    let topology = Topology::ring_of_cliques(
+        config.cliques,
+        config.clique_size,
+        LinkSpec::lan(),
+        LinkSpec::wan(),
+    );
+    let cfg = config.clone();
+    let brokers = broker_sites.clone();
+    let clique_size = config.clique_size;
+    let mut builder = TacomaSystem::builder()
+        .topology(topology)
+        .seed(config.seed)
+        .with_agents_at(broker_sites.clone(), move |site| {
+            let shard = (site.0 / clique_size) / cliques_per_shard;
+            vec![
+                Box::new(FederatedBrokerAgent::new(
+                    shard,
+                    brokers
+                        .iter()
+                        .enumerate()
+                        .filter(|(b, _)| *b as u32 != shard)
+                        .map(|(b, s)| (b as u32, *s))
+                        .collect(),
+                    cfg.policy,
+                    cfg.report_ttl,
+                    cfg.report_period,
+                    cfg.digest_period,
+                )) as Box<dyn Agent>,
+                Box::new(TicketAgent::new()) as Box<dyn Agent>,
+            ]
+        });
+    if let Some(custody) = config.custody {
+        builder = builder.custody(custody);
+    }
+    let mut sys = builder.build();
+
+    let mut providers_by_shard: Vec<Vec<SiteId>> = vec![Vec::new(); config.shards as usize];
+    let mut provider_index = 0usize;
+    for s in 0..sites {
+        let site = SiteId(s);
+        if broker_sites.contains(&site) {
+            continue;
+        }
+        let shard = shard_of_site(site);
+        let capacity = config.capacities[provider_index % config.capacities.len().max(1)];
+        provider_index += 1;
+        sys.register_agent(site, Box::new(WorkerAgent::new(capacity)));
+        sys.register_agent(
+            site,
+            Box::new(MonitorAgent::new(
+                broker_sites[shard as usize],
+                config.report_period,
+                capacity,
+            )),
+        );
+        providers_by_shard[shard as usize].push(site);
+    }
+    let source_sites: Vec<SiteId> = broker_sites.iter().map(|b| SiteId(b.0 + 1)).collect();
+    (
+        sys,
+        FederationLayout {
+            sites,
+            broker_sites,
+            providers_by_shard,
+            source_sites,
+        },
+    )
+}
+
+/// Installs one job source per shard.  `backups[b]` is where shard `b`'s
+/// clients fail over to while their primary broker is down (pass the primary
+/// itself when there is no failover story, e.g. the single-broker baseline).
+pub fn install_sources(
+    sys: &mut TacomaSystem,
+    config: &FederationConfig,
+    layout: &FederationLayout,
+    backups: &[SiteId],
+) {
+    let per_shard = config.jobs / config.shards;
+    let remainder = config.jobs % config.shards;
+    for (b, backup) in backups.iter().enumerate().take(config.shards as usize) {
+        let jobs = per_shard + u32::from((b as u32) < remainder);
+        sys.register_agent(
+            layout.source_sites[b],
+            Box::new(FederatedJobSource::new(
+                layout.broker_sites[b],
+                *backup,
+                jobs,
+                config.mean_job_ms,
+                config.mean_interarrival_ms * config.shards as f64,
+                format!("j{b}"),
+            )),
+        );
+    }
+}
+
+/// What one federation run measured.
+#[derive(Debug, Clone)]
+pub struct FederationResult {
+    /// Shard count the run used.
+    pub shards: u32,
+    /// Total sites.
+    pub sites: u32,
+    /// Jobs that completed.
+    pub completed: u64,
+    /// Jobs that never completed (submitted − completed).
+    pub orphaned: u64,
+    /// Time from start to last completion, in milliseconds.
+    pub makespan_ms: f64,
+    /// Mean queueing wait, in milliseconds.
+    pub mean_wait_ms: f64,
+    /// 95th-percentile queueing wait, in milliseconds.
+    pub p95_wait_ms: f64,
+    /// Load imbalance: max provider job count over the mean.
+    pub imbalance: f64,
+    /// Messages the whole run put on the network.
+    pub net_messages: u64,
+    /// Bytes the whole run put on the network (reports and digests dominate
+    /// at scale — the broker-layer message volume the federation shrinks).
+    pub net_bytes: u64,
+    /// Jobs forwarded between brokers.
+    pub forwarded: u64,
+    /// Digests sent between brokers.
+    pub digests_sent: u64,
+    /// Shard adoptions performed by failover guards.
+    pub adoptions: u64,
+    /// Remote sends that failed fast.
+    pub send_failures: u64,
+    /// Custodied meets that expired undelivered.
+    pub meets_expired: u64,
+}
+
+/// Drives an already-built federation system until every job completes (or
+/// `horizon` elapses) and collects the measurements.  The event queue never
+/// drains on its own — monitors re-arm forever — so the run is deadline-
+/// driven, stepping in slices and stopping early once all jobs are done.
+pub fn drive_federation(
+    sys: &mut TacomaSystem,
+    config: &FederationConfig,
+    layout: &FederationLayout,
+    horizon: Duration,
+) -> FederationResult {
+    let deadline = SimTime::ZERO + horizon;
+    let mut completed;
+    let mut last_finish_us;
+    let mut waits;
+    let provider_sites: Vec<SiteId> = layout.providers().collect();
+    let mut per_provider = vec![0u64; provider_sites.len()];
+    loop {
+        sys.run_for(Duration::from_millis(200));
+        completed = 0u64;
+        last_finish_us = 0u64;
+        waits = Summary::new();
+        for slot in per_provider.iter_mut() {
+            *slot = 0;
+        }
+        for (i, site) in provider_sites.iter().enumerate() {
+            if let Some(done) = sys
+                .place(*site)
+                .cabinets()
+                .get(JOBS_CABINET)
+                .and_then(|c| c.folder_ref(DONE).cloned())
+            {
+                for record in done.strings() {
+                    let mut parts = record.split(':');
+                    let _id = parts.next();
+                    let wait: u64 = parts.next().and_then(|s| s.parse().ok()).unwrap_or(0);
+                    let finish: u64 = parts.next().and_then(|s| s.parse().ok()).unwrap_or(0);
+                    completed += 1;
+                    per_provider[i] += 1;
+                    waits.add(wait as f64 / 1000.0);
+                    last_finish_us = last_finish_us.max(finish);
+                }
+            }
+        }
+        if completed >= config.jobs as u64 || sys.now() >= deadline {
+            break;
+        }
+    }
+
+    let broker_folder_len = |sys: &TacomaSystem, folder: &str| -> u64 {
+        layout
+            .broker_sites
+            .iter()
+            .map(|b| {
+                sys.place(*b)
+                    .cabinets()
+                    .get(BROKER_CABINET)
+                    .and_then(|c| c.folder_ref(folder).map(|f| f.len() as u64))
+                    .unwrap_or(0)
+            })
+            .sum()
+    };
+    let mean_jobs = completed as f64 / provider_sites.len().max(1) as f64;
+    let max_jobs = per_provider.iter().copied().max().unwrap_or(0) as f64;
+    FederationResult {
+        shards: config.shards,
+        sites: layout.sites,
+        completed,
+        orphaned: (config.jobs as u64).saturating_sub(completed),
+        makespan_ms: last_finish_us as f64 / 1000.0,
+        mean_wait_ms: waits.mean(),
+        p95_wait_ms: waits.percentile(95.0),
+        imbalance: if mean_jobs > 0.0 {
+            max_jobs / mean_jobs
+        } else {
+            0.0
+        },
+        net_messages: sys.net_metrics().total_messages(),
+        net_bytes: sys.net_metrics().total_bytes().get(),
+        forwarded: broker_folder_len(sys, FWD),
+        digests_sent: broker_folder_len(sys, DIG_TX),
+        adoptions: broker_folder_len(sys, ADOPTED),
+        send_failures: sys.stats().send_failures,
+        meets_expired: sys.stats().meets_expired,
+    }
+}
+
+/// Runs one complete federation experiment (build, sources, drive): the E15
+/// code path.  Sources fail over to their own primary (no crashes here);
+/// E16's failover composition lives in the bench crate, where the ft layer's
+/// guards are wired in.
+pub fn run_federation_experiment(config: &FederationConfig) -> FederationResult {
+    let (mut sys, layout) = build_federation(config);
+    // Let every monitor's install-hook report land before jobs arrive.
+    sys.run_for(Duration::from_millis(20));
+    sys.reset_net_metrics();
+    let backups = layout.broker_sites.clone();
+    install_sources(&mut sys, config, &layout, &backups);
+    // Horizon: the arrival window plus a generous drain allowance.  The
+    // drive loop exits as soon as every job completes, so the allowance only
+    // costs simulated (not wall-clock) time on a straggling run.
+    let horizon_ms = config.jobs as f64 * config.mean_interarrival_ms + 30_000.0;
+    drive_federation(
+        &mut sys,
+        config,
+        &layout,
+        Duration::from_secs_f64(horizon_ms / 1000.0),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(shards: u32) -> FederationConfig {
+        FederationConfig {
+            cliques: 8,
+            clique_size: 4,
+            shards,
+            jobs: 48,
+            seed: 7,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn digest_round_trips_including_non_finite_aggregates() {
+        let digest = ShardDigest {
+            shard: 3,
+            broker_site: SiteId(12),
+            live_providers: 0,
+            total_queue: 0,
+            total_capacity: 0.0,
+            at_micros: 99,
+        };
+        let parsed = ShardDigest::from_briefcase(&digest.to_briefcase()).unwrap();
+        assert_eq!(parsed, digest);
+        assert!(parsed.aggregate_wait().is_infinite());
+        assert!(ShardDigest::from_briefcase(&Briefcase::new()).is_none());
+    }
+
+    #[test]
+    fn all_jobs_complete_federated_and_single() {
+        for shards in [1u32, 4] {
+            let result = run_federation_experiment(&small(shards));
+            assert_eq!(result.completed, 48, "shards={shards} lost jobs");
+            assert_eq!(result.orphaned, 0);
+            assert!(result.makespan_ms > 0.0);
+            assert!(result.net_bytes > 0);
+        }
+    }
+
+    #[test]
+    fn federation_cuts_broker_message_volume() {
+        // Same fleet, same jobs: monitors reporting to a near-by shard
+        // broker instead of across the ring must move fewer bytes, even
+        // after paying for the digest gossip.
+        let single = run_federation_experiment(&small(1));
+        let federated = run_federation_experiment(&small(4));
+        assert!(federated.digests_sent > 0, "brokers must gossip");
+        assert!(
+            federated.net_bytes < single.net_bytes,
+            "federated {} bytes should undercut single-broker {}",
+            federated.net_bytes,
+            single.net_bytes
+        );
+    }
+
+    #[test]
+    fn results_are_deterministic_per_seed() {
+        let a = run_federation_experiment(&small(4));
+        let b = run_federation_experiment(&small(4));
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.net_bytes, b.net_bytes);
+        assert_eq!(a.p95_wait_ms, b.p95_wait_ms);
+        assert_eq!(a.digests_sent, b.digests_sent);
+    }
+
+    #[test]
+    fn broker_forwards_when_its_shard_is_empty() {
+        // Shard 1's providers never report (we kill their monitors by
+        // building a tiny layout and crashing the providers), so a submit to
+        // shard 1 must be forwarded to a peer and still complete.
+        let config = small(2);
+        let (mut sys, layout) = build_federation(&config);
+        sys.run_for(Duration::from_millis(50));
+        // Crash every provider of shard 1; their reports expire.
+        for site in &layout.providers_by_shard[1] {
+            sys.net_mut().crash_now(*site);
+        }
+        sys.run_for(config.report_ttl + Duration::from_millis(300));
+        let mut job = Briefcase::new();
+        job.put_string(REQUEST, "submit");
+        job.put_string(JOB, "fwd-test");
+        job.put_string(JOB_SIZE, "20");
+        sys.inject_meet_at(
+            layout.source_sites[1],
+            layout.broker_sites[1],
+            AgentName::new(wellknown::BROKER),
+            job,
+        );
+        sys.run_for(Duration::from_secs(5));
+        let result_completed: u64 = layout.providers_by_shard[0]
+            .iter()
+            .map(|s| {
+                sys.place(*s)
+                    .cabinets()
+                    .get(JOBS_CABINET)
+                    .and_then(|c| c.folder_ref(DONE).map(|f| f.len() as u64))
+                    .unwrap_or(0)
+            })
+            .sum();
+        assert_eq!(result_completed, 1, "the forwarded job runs on shard 0");
+        let fwd = sys
+            .place(layout.broker_sites[1])
+            .cabinets()
+            .get(BROKER_CABINET)
+            .and_then(|c| c.folder_ref(FWD).map(|f| f.len()))
+            .unwrap_or(0);
+        assert_eq!(fwd, 1, "the forward was recorded");
+    }
+}

@@ -24,17 +24,30 @@
 //!
 //! [`experiment::run_scheduling_experiment`] wires a whole system together and
 //! is what experiment E7's bench harness calls.
+//!
+//! * **Broker federation.**  "Brokers are expected to communicate among
+//!   themselves" — [`federation`] shards the provider fleet across several
+//!   brokers that gossip aggregated [`federation::ShardDigest`]s, place with
+//!   staleness-aware policies, forward jobs when a shard runs dry, and (with
+//!   the ft layer's guards) fail a crashed broker's shard over to a peer.
+//!   [`federation::run_federation_experiment`] is what E15 calls; E16 adds
+//!   guards and a crash schedule on top in the bench crate.
 
 #![warn(missing_docs)]
 
 pub mod agents;
 pub mod experiment;
+pub mod federation;
 pub mod load;
 pub mod policy;
 pub mod protected;
 
 pub use agents::{BrokerAgent, MonitorAgent, TicketAgent, WorkerAgent};
 pub use experiment::{run_scheduling_experiment, SchedulingConfig, SchedulingResult};
-pub use load::LoadReport;
+pub use federation::{
+    run_federation_experiment, FederatedBrokerAgent, FederatedJobSource, FederationConfig,
+    FederationLayout, FederationResult, ShardDigest,
+};
+pub use load::{LoadReport, ReportDb};
 pub use policy::PlacementPolicy;
 pub use protected::ProtectedBrokerAgent;

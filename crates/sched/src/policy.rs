@@ -22,15 +22,34 @@ pub enum PlacementPolicy {
     /// common heuristic that the load/capacity policy should beat on
     /// heterogeneous providers.
     ShortestQueue,
+    /// Power-of-two-choices: sample two distinct providers uniformly and take
+    /// the one with the lower *staleness-decayed* wait
+    /// ([`LoadReport::decayed_wait`]).  Sampling avoids the herding a global
+    /// minimum causes when many placements happen between load reports, and
+    /// the decay stops a dead provider's last report from winning forever —
+    /// the placement policy federated brokers use.
+    PowerOfTwo,
 }
 
 impl PlacementPolicy {
-    /// All policies, in the order experiment tables report them.
+    /// The four classic policies, in the order experiment E7's table reports
+    /// them.  [`PlacementPolicy::PowerOfTwo`] is deliberately not part of
+    /// this set: E7's row layout (and its gated baseline) predates it; the
+    /// federation experiments compare it explicitly.
     pub const ALL: [PlacementPolicy; 4] = [
         PlacementPolicy::LoadBased,
         PlacementPolicy::Random,
         PlacementPolicy::RoundRobin,
         PlacementPolicy::ShortestQueue,
+    ];
+
+    /// Every policy, including the sampled one.
+    pub const EXTENDED: [PlacementPolicy; 5] = [
+        PlacementPolicy::LoadBased,
+        PlacementPolicy::Random,
+        PlacementPolicy::RoundRobin,
+        PlacementPolicy::ShortestQueue,
+        PlacementPolicy::PowerOfTwo,
     ];
 
     /// Human-readable label for experiment tables.
@@ -40,16 +59,25 @@ impl PlacementPolicy {
             PlacementPolicy::Random => "random",
             PlacementPolicy::RoundRobin => "round-robin",
             PlacementPolicy::ShortestQueue => "shortest-queue",
+            PlacementPolicy::PowerOfTwo => "power-of-two choices",
         }
     }
 
     /// Chooses a provider site from the current reports.
     ///
-    /// `rr_counter` is the broker's running counter for round-robin.  Returns
-    /// `None` when no providers are known.
+    /// `now_micros` is the broker's clock, used by the staleness-decayed
+    /// policies; `decay_half_life_micros` is the decay knob (0 disables
+    /// decay).  `rr_counter` is the broker's running counter for round-robin.
+    /// Returns `None` when no providers are known or none has a finite wait.
+    ///
+    /// Ties are broken deterministically on the lowest [`SiteId`], and
+    /// non-finite waits (a dead or zero-capacity provider) are filtered out
+    /// rather than being allowed to corrupt the ordering.
     pub fn choose(
         self,
         reports: &[LoadReport],
+        now_micros: u64,
+        decay_half_life_micros: u64,
         rng: &mut DetRng,
         rr_counter: &mut u64,
     ) -> Option<SiteId> {
@@ -60,10 +88,11 @@ impl PlacementPolicy {
             PlacementPolicy::LoadBased => {
                 reports
                     .iter()
+                    .filter(|r| r.expected_wait().is_finite())
                     .min_by(|a, b| {
                         a.expected_wait()
-                            .partial_cmp(&b.expected_wait())
-                            .unwrap_or(std::cmp::Ordering::Equal)
+                            .total_cmp(&b.expected_wait())
+                            .then(a.site.cmp(&b.site))
                     })?
                     .site
             }
@@ -73,7 +102,29 @@ impl PlacementPolicy {
                 *rr_counter += 1;
                 reports[idx].site
             }
-            PlacementPolicy::ShortestQueue => reports.iter().min_by_key(|r| r.queue_len)?.site,
+            PlacementPolicy::ShortestQueue => {
+                reports.iter().min_by_key(|r| (r.queue_len, r.site))?.site
+            }
+            PlacementPolicy::PowerOfTwo => {
+                let wait = |r: &LoadReport| r.decayed_wait(now_micros, decay_half_life_micros);
+                let eligible: Vec<&LoadReport> =
+                    reports.iter().filter(|r| wait(r).is_finite()).collect();
+                match eligible.len() {
+                    0 => return None,
+                    1 => eligible[0].site,
+                    n => {
+                        // Two distinct samples: one uniform draw plus a
+                        // uniform draw over the remaining n-1.
+                        let a = rng.index(n);
+                        let b = (a + 1 + rng.index(n - 1)) % n;
+                        let (ra, rb) = (eligible[a], eligible[b]);
+                        match wait(ra).total_cmp(&wait(rb)).then(ra.site.cmp(&rb.site)) {
+                            std::cmp::Ordering::Greater => rb.site,
+                            _ => ra.site,
+                        }
+                    }
+                }
+            }
         };
         Some(site)
     }
@@ -106,17 +157,17 @@ mod tests {
         ]
     }
 
+    fn choose(policy: PlacementPolicy, reports: &[LoadReport], seed: u64) -> Option<SiteId> {
+        let mut rng = DetRng::new(seed);
+        let mut rr = 0;
+        policy.choose(reports, 0, 0, &mut rng, &mut rr)
+    }
+
     #[test]
     fn load_based_uses_capacity_not_just_queue_length() {
-        let mut rng = DetRng::new(1);
-        let mut rr = 0;
-        let choice = PlacementPolicy::LoadBased
-            .choose(&reports(), &mut rng, &mut rr)
-            .unwrap();
+        let choice = choose(PlacementPolicy::LoadBased, &reports(), 1).unwrap();
         assert_eq!(choice, SiteId(1), "longest queue but fastest machine wins");
-        let sq = PlacementPolicy::ShortestQueue
-            .choose(&reports(), &mut rng, &mut rr)
-            .unwrap();
+        let sq = choose(PlacementPolicy::ShortestQueue, &reports(), 1).unwrap();
         assert_eq!(sq, SiteId(2), "shortest-queue ignores capacity");
     }
 
@@ -127,7 +178,7 @@ mod tests {
         let picks: Vec<SiteId> = (0..6)
             .map(|_| {
                 PlacementPolicy::RoundRobin
-                    .choose(&reports(), &mut rng, &mut rr)
+                    .choose(&reports(), 0, 0, &mut rng, &mut rr)
                     .unwrap()
             })
             .collect();
@@ -138,29 +189,19 @@ mod tests {
 
     #[test]
     fn random_is_deterministic_per_seed_and_in_range() {
-        let sites: Vec<SiteId> = {
+        let run = || -> Vec<SiteId> {
             let mut rng = DetRng::new(9);
             let mut rr = 0;
             (0..20)
                 .map(|_| {
                     PlacementPolicy::Random
-                        .choose(&reports(), &mut rng, &mut rr)
+                        .choose(&reports(), 0, 0, &mut rng, &mut rr)
                         .unwrap()
                 })
                 .collect()
         };
-        let again: Vec<SiteId> = {
-            let mut rng = DetRng::new(9);
-            let mut rr = 0;
-            (0..20)
-                .map(|_| {
-                    PlacementPolicy::Random
-                        .choose(&reports(), &mut rng, &mut rr)
-                        .unwrap()
-                })
-                .collect()
-        };
-        assert_eq!(sites, again);
+        let sites = run();
+        assert_eq!(sites, run());
         assert!(sites
             .iter()
             .all(|s| [SiteId(1), SiteId(2), SiteId(3)].contains(s)));
@@ -168,11 +209,121 @@ mod tests {
 
     #[test]
     fn empty_reports_give_none() {
-        let mut rng = DetRng::new(1);
-        let mut rr = 0;
-        for policy in PlacementPolicy::ALL {
-            assert!(policy.choose(&[], &mut rng, &mut rr).is_none());
+        for policy in PlacementPolicy::EXTENDED {
+            assert!(choose(policy, &[], 1).is_none());
             assert!(!policy.label().is_empty());
+        }
+    }
+
+    fn report(site: u32, queue_len: u64, capacity: f64, at_micros: u64) -> LoadReport {
+        LoadReport {
+            site: SiteId(site),
+            queue_len,
+            capacity,
+            at_micros,
+        }
+    }
+
+    #[test]
+    fn ties_break_on_lowest_site_id_regardless_of_report_order() {
+        // Three providers with identical expected waits, presented in
+        // descending site order: the herding bug picked whichever came first
+        // in the slice; the fix always lands on the lowest SiteId.
+        let tied = vec![
+            report(7, 2, 4.0, 0),
+            report(3, 1, 2.0, 0),
+            report(5, 2, 4.0, 0),
+        ];
+        assert_eq!(
+            choose(PlacementPolicy::LoadBased, &tied, 1),
+            Some(SiteId(3))
+        );
+        let queue_tied = vec![report(9, 1, 1.0, 0), report(4, 1, 8.0, 0)];
+        assert_eq!(
+            choose(PlacementPolicy::ShortestQueue, &queue_tied, 1),
+            Some(SiteId(4))
+        );
+    }
+
+    #[test]
+    fn nan_capacity_reports_are_filtered_not_chosen() {
+        // A NaN expected wait used to poison `min_by` via the
+        // `partial_cmp(..).unwrap_or(Equal)` fallback; now any non-finite
+        // wait is filtered before the ordering runs.
+        let poisoned = vec![
+            report(1, 0, f64::NAN, 0),
+            report(2, 5, 1.0, 0),
+            report(3, 0, 0.0, 0),
+        ];
+        assert_eq!(
+            choose(PlacementPolicy::LoadBased, &poisoned, 1),
+            Some(SiteId(2)),
+            "the only finite-wait provider must win"
+        );
+        // All-non-finite means no placement at all, not a corrupted pick.
+        let hopeless = vec![report(1, 0, f64::NAN, 0), report(2, 1, 0.0, 0)];
+        assert_eq!(choose(PlacementPolicy::LoadBased, &hopeless, 1), None);
+        for seed in 0..8 {
+            assert_eq!(choose(PlacementPolicy::PowerOfTwo, &hopeless, seed), None);
+            assert_eq!(
+                choose(PlacementPolicy::PowerOfTwo, &poisoned, seed),
+                Some(SiteId(2))
+            );
+        }
+    }
+
+    #[test]
+    fn power_of_two_spreads_instead_of_herding() {
+        // Ten identically-loaded providers: the global-minimum policy herds
+        // every placement onto the tie-break winner, power-of-two-choices
+        // spreads across the fleet.
+        let fleet: Vec<LoadReport> = (0..10).map(|s| report(s, 1, 2.0, 0)).collect();
+        let mut rng = DetRng::new(42);
+        let mut rr = 0;
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..100 {
+            seen.insert(
+                PlacementPolicy::PowerOfTwo
+                    .choose(&fleet, 0, 0, &mut rng, &mut rr)
+                    .unwrap(),
+            );
+            assert_eq!(
+                PlacementPolicy::LoadBased
+                    .choose(&fleet, 0, 0, &mut rng, &mut rr)
+                    .unwrap(),
+                SiteId(0),
+                "the deterministic policy herds onto the tie-break winner"
+            );
+        }
+        assert!(seen.len() >= 5, "sampling must spread: {seen:?}");
+    }
+
+    #[test]
+    fn power_of_two_prefers_fresh_reports_under_decay() {
+        // A stale idle report vs a fresh one-job report: with decay the
+        // phantom-job penalty makes the stale provider lose every sample.
+        let half_life = 1_000u64;
+        let now = 10_000u64;
+        let pair = vec![report(1, 0, 1.0, 0), report(2, 1, 1.0, now)];
+        for seed in 0..16 {
+            let mut rng = DetRng::new(seed);
+            let mut rr = 0;
+            assert_eq!(
+                PlacementPolicy::PowerOfTwo.choose(&pair, now, half_life, &mut rng, &mut rr),
+                Some(SiteId(2)),
+                "fresh 1-deep queue beats a 10-half-life-old idle report"
+            );
+        }
+    }
+
+    #[test]
+    fn single_eligible_report_is_chosen_without_sampling() {
+        let one = vec![report(6, 3, 1.5, 0)];
+        for seed in 0..4 {
+            assert_eq!(
+                choose(PlacementPolicy::PowerOfTwo, &one, seed),
+                Some(SiteId(6))
+            );
         }
     }
 }

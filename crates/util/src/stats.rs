@@ -9,13 +9,19 @@ use serde::{Deserialize, Serialize};
 
 /// Online summary statistics over a stream of `f64` samples.
 ///
-/// Tracks count, mean (Welford), min, max and an exact list of samples for
-/// percentile queries.  The sample list is retained because experiment sizes
-/// in this reproduction are modest (≤ a few hundred thousand samples).
+/// Tracks count, mean, min, max and an exact list of samples for percentile
+/// queries.  The sample list is retained because experiment sizes in this
+/// reproduction are modest (≤ a few hundred thousand samples).  The running
+/// sum uses Neumaier-compensated summation, so the mean stays honest at 10^5+
+/// samples of mixed magnitude instead of silently losing low-order bits to
+/// naive accumulation.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Summary {
     samples: Vec<f64>,
     sum: f64,
+    /// Neumaier compensation term: the low-order bits the running `sum`
+    /// could not represent, folded back in by [`Summary::sum`].
+    compensation: f64,
 }
 
 impl Summary {
@@ -24,10 +30,17 @@ impl Summary {
         Self::default()
     }
 
-    /// Adds one sample.
+    /// Adds one sample (Neumaier-compensated).
     pub fn add(&mut self, value: f64) {
         self.samples.push(value);
-        self.sum += value;
+        let t = self.sum + value;
+        // Neumaier's branch: compensate with whichever operand lost bits.
+        if self.sum.abs() >= value.abs() {
+            self.compensation += (self.sum - t) + value;
+        } else {
+            self.compensation += (value - t) + self.sum;
+        }
+        self.sum = t;
     }
 
     /// Adds every sample from an iterator.
@@ -47,9 +60,9 @@ impl Summary {
         self.samples.is_empty()
     }
 
-    /// Sum of all samples.
+    /// Sum of all samples (compensated).
     pub fn sum(&self) -> f64 {
-        self.sum
+        self.sum + self.compensation
     }
 
     /// Arithmetic mean, or 0.0 when empty.
@@ -57,7 +70,7 @@ impl Summary {
         if self.samples.is_empty() {
             0.0
         } else {
-            self.sum / self.samples.len() as f64
+            self.sum() / self.samples.len() as f64
         }
     }
 
@@ -229,6 +242,33 @@ mod tests {
         assert_eq!(s.max(), 5.0);
         assert_eq!(s.median(), 3.0);
         assert!((s.std_dev() - std::f64::consts::SQRT_2).abs() < 0.001);
+    }
+
+    #[test]
+    fn sum_is_compensated_against_cancellation() {
+        // Naive accumulation returns 0.0 here: adding 1.0 to 1e16 loses the
+        // low bits, and subtracting 1e16 back exposes the loss.
+        let mut s = Summary::new();
+        s.extend([1e16, 1.0, -1e16]);
+        assert_eq!(s.sum(), 1.0);
+        assert_eq!(s.mean(), 1.0 / 3.0);
+    }
+
+    #[test]
+    fn mean_is_honest_over_many_small_samples_after_a_spike() {
+        // One large sample followed by 10^5 tiny ones: the naive running sum
+        // absorbs none of the tiny ones (each is below 1 ulp of 1e16), so its
+        // mean equals spike/n exactly; the compensated mean keeps them.
+        let n = 100_000u64;
+        let mut s = Summary::new();
+        s.add(1e16);
+        for _ in 0..n {
+            s.add(0.5);
+        }
+        let expected = (1e16 + 0.5 * n as f64) / (n as f64 + 1.0);
+        let naive = 1e16 / (n as f64 + 1.0);
+        assert_eq!(s.mean(), expected);
+        assert!((s.mean() - naive).abs() > 0.4, "compensation must matter");
     }
 
     #[test]

@@ -219,6 +219,48 @@ proptest! {
         let parsed = tacoma::script::parse_list(&formatted);
         prop_assert_eq!(parsed, words);
     }
+
+    /// Load reports round-trip through their briefcase encoding exactly —
+    /// including non-finite capacities (NaN, ±∞) and boundary values (±0,
+    /// MIN_POSITIVE, MAX, arbitrary bit patterns), since brokers must not be
+    /// corrupted by whatever a briefcase claims a provider's capacity is.
+    #[test]
+    fn load_report_briefcase_round_trip(
+        site in any::<u32>(),
+        queue_len in any::<u64>(),
+        at_micros in any::<u64>(),
+        selector in 0usize..8,
+        bits in any::<u64>(),
+    ) {
+        use tacoma::sched::LoadReport;
+        use tacoma::util::SiteId;
+        let capacity = [
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            0.0,
+            -0.0,
+            f64::MIN_POSITIVE,
+            f64::MAX,
+            f64::from_bits(bits),
+        ][selector];
+        let report = LoadReport { site: SiteId(site), queue_len, capacity, at_micros };
+        let parsed = LoadReport::from_briefcase(&report.to_briefcase())
+            .expect("complete briefcase parses");
+        prop_assert_eq!(parsed.site, report.site);
+        prop_assert_eq!(parsed.queue_len, report.queue_len);
+        prop_assert_eq!(parsed.at_micros, report.at_micros);
+        if capacity.is_nan() {
+            // NaN has no canonical wire spelling; any NaN comes back NaN and
+            // the derived ordering stays uncorrupted (infinite, not NaN).
+            prop_assert!(parsed.capacity.is_nan());
+            prop_assert!(parsed.expected_wait().is_infinite());
+        } else {
+            // Rust's shortest-round-trip float formatting is exact: the
+            // parsed capacity is bit-identical, signed zeros included.
+            prop_assert_eq!(parsed.capacity.to_bits(), report.capacity.to_bits());
+        }
+    }
 }
 
 #[test]
