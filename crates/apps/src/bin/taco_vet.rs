@@ -1,0 +1,140 @@
+//! `taco-vet`: lint TacoScript agent files before they are launched.
+//!
+//! The same analysis runs inside `tacoma-core` when a briefcase with a CODE
+//! folder is injected; this binary exposes it for editors and CI so a
+//! defective agent never reaches an install attempt at all.
+//!
+//! ```text
+//! taco-vet [--deny-warnings] [--agent NAME]... [--define VAR]... <file-or-dir>...
+//! ```
+//!
+//! Directories are walked recursively for `.taco` files.  The known-agent set
+//! used to check `meet` targets starts from the well-known TACOMA agents and
+//! grows with every `--agent`.  `--define` marks a variable as pre-bound by
+//! the host (exempt from use-before-set).  Exit status: 0 clean, 1 when any
+//! diagnostic was denied, 2 on usage or I/O errors.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use tacoma_core::wellknown;
+use tacoma_script::{analyze_with, AnalysisConfig, Severity};
+
+const USAGE: &str =
+    "usage: taco-vet [--deny-warnings] [--agent NAME]... [--define VAR]... <file-or-dir>...";
+
+struct Options {
+    deny_warnings: bool,
+    config: AnalysisConfig,
+    inputs: Vec<PathBuf>,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut deny_warnings = false;
+    let mut config =
+        AnalysisConfig::new().known_agents(wellknown::AGENTS.iter().map(|a| a.to_string()));
+    let mut inputs = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--deny-warnings" => deny_warnings = true,
+            "--agent" => {
+                let name = it.next().ok_or("--agent requires a name")?;
+                config.add_known_agent(name.clone());
+            }
+            "--define" => {
+                let var = it.next().ok_or("--define requires a variable name")?;
+                config.add_predefined(var.clone());
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag '{other}'"));
+            }
+            path => inputs.push(PathBuf::from(path)),
+        }
+    }
+    if inputs.is_empty() {
+        return Err("no input files".to_string());
+    }
+    Ok(Options {
+        deny_warnings,
+        config,
+        inputs,
+    })
+}
+
+/// Recursively collects `.taco` files under a directory.
+fn collect_scripts(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    let mut children: Vec<PathBuf> = entries.filter_map(Result::ok).map(|e| e.path()).collect();
+    children.sort();
+    for child in children {
+        if child.is_dir() {
+            collect_scripts(&child, out)?;
+        } else if child.extension().is_some_and(|e| e == "taco") {
+            out.push(child);
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("taco-vet: {msg}");
+            }
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut files = Vec::new();
+    for input in &opts.inputs {
+        if !input.exists() {
+            eprintln!("taco-vet: {}: no such file or directory", input.display());
+            return ExitCode::from(2);
+        }
+        if input.is_dir() {
+            if let Err(msg) = collect_scripts(input, &mut files) {
+                eprintln!("taco-vet: {msg}");
+                return ExitCode::from(2);
+            }
+        } else {
+            files.push(input.clone());
+        }
+    }
+
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    for file in &files {
+        let src = match std::fs::read_to_string(file) {
+            Ok(src) => src,
+            Err(e) => {
+                eprintln!("taco-vet: {}: {e}", file.display());
+                return ExitCode::from(2);
+            }
+        };
+        for d in analyze_with(&src, &opts.config) {
+            match d.severity {
+                Severity::Error => errors += 1,
+                Severity::Warning => warnings += 1,
+            }
+            println!("{}", d.render(&file.display().to_string()));
+        }
+    }
+
+    let denied = errors > 0 || (opts.deny_warnings && warnings > 0);
+    if errors + warnings > 0 || files.len() > 1 {
+        eprintln!(
+            "taco-vet: {} file(s), {errors} error(s), {warnings} warning(s)",
+            files.len()
+        );
+    }
+    if denied {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -22,5 +22,5 @@
 pub mod agentmail;
 pub mod stormcast;
 
-pub use agentmail::{run_mail_experiment, MailConfig, MailResult};
+pub use agentmail::{mail_agent_code, run_mail_experiment, MailConfig, MailResult};
 pub use stormcast::{run_stormcast, StormcastConfig, StormcastPlan, StormcastResult};

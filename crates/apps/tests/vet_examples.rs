@@ -1,0 +1,47 @@
+//! Every shipped TacoScript — the examples corpus and the scripts embedded in
+//! the applications — must pass taco-vet with zero diagnostics.  This is the
+//! zero-false-positive guarantee: the analyzer may only flag real defects, so
+//! known-good agents must come through completely clean.
+
+use std::path::PathBuf;
+use tacoma_apps::mail_agent_code;
+use tacoma_core::wellknown;
+use tacoma_script::{analyze_with, render_report, AnalysisConfig};
+
+fn config() -> AnalysisConfig {
+    AnalysisConfig::new().known_agents(wellknown::AGENTS.iter().map(|a| a.to_string()))
+}
+
+#[track_caller]
+fn assert_clean(name: &str, src: &str) {
+    let diags = analyze_with(src, &config());
+    assert!(
+        diags.is_empty(),
+        "expected {name} to vet clean, got:\n{}",
+        render_report(&diags, name)
+    );
+}
+
+#[test]
+fn example_scripts_vet_clean() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../examples/scripts");
+    let mut seen = 0;
+    let mut entries: Vec<_> = std::fs::read_dir(&dir)
+        .expect("examples/scripts exists")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "taco"))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let src = std::fs::read_to_string(&path).expect("readable script");
+        assert_clean(&path.display().to_string(), &src);
+        seen += 1;
+    }
+    assert!(seen >= 5, "expected the example corpus, found {seen} files");
+}
+
+#[test]
+fn embedded_application_scripts_vet_clean() {
+    assert_clean("mail_agent_code", mail_agent_code());
+}

@@ -8,7 +8,7 @@ use std::time::Duration;
 use tacoma_bench::{e3_local_meets, e3_migrate_once};
 use tacoma_core::{codec, Briefcase, FileCabinet, Folder};
 use tacoma_net::{LinkSpec, Router, Topology, TransportKind};
-use tacoma_script::{Interp, NullHost};
+use tacoma_script::{analyze_with, AnalysisConfig, Interp, NullHost};
 use tacoma_util::SiteId;
 
 fn config() -> Criterion {
@@ -153,9 +153,50 @@ fn bench_tacoscript(c: &mut Criterion) {
     group.finish();
 }
 
+/// taco-vet cost next to the interpreted run it gates.  The install gate runs
+/// the analyzer once per injected agent, so its budget is "well under one
+/// execution of the same script" (target: <5% of `run_200` / `run_fib_12`).
+fn bench_taco_vet(c: &mut Criterion) {
+    let mut group = c.benchmark_group("taco_vet");
+    let tour_script = include_str!("../../../examples/scripts/quickstart_tour.taco");
+    let scripts = [
+        (
+            "loop_200",
+            "set total 0\nset i 0\nwhile {$i < 200} { incr i; set total [expr $total + $i] }\nset total",
+        ),
+        (
+            "fib_12",
+            "proc fib {n} { if {$n < 2} { return $n }; expr [fib [expr $n - 1]] + [fib [expr $n - 2]] }\nfib 12",
+        ),
+        ("quickstart_tour", tour_script),
+    ];
+    let config = AnalysisConfig::new().known_agents(
+        ["ag_tac", "rexec", "courier", "diffusion", "broker"]
+            .iter()
+            .map(|a| a.to_string()),
+    );
+    for (name, script) in scripts {
+        group.bench_function(BenchmarkId::new("analyze", name), |b| {
+            b.iter(|| std::hint::black_box(analyze_with(script, &config).len()))
+        });
+    }
+    // The interpreted runs the analyze cost is compared against (the paper's
+    // loop and proc shapes; the tour script needs a live host to run).
+    for (name, script) in &scripts[..2] {
+        group.bench_function(BenchmarkId::new("run", name), |b| {
+            b.iter(|| {
+                let mut host = NullHost;
+                let mut interp = Interp::new(&mut host);
+                std::hint::black_box(interp.run(script).unwrap().result)
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = micro;
     config = config();
-    targets = bench_e3_meet_rexec, bench_e4_folders, bench_routing, bench_tacoscript
+    targets = bench_e3_meet_rexec, bench_e4_folders, bench_routing, bench_tacoscript, bench_taco_vet
 }
 criterion_main!(micro);

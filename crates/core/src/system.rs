@@ -56,6 +56,10 @@ pub struct SystemStats {
     pub meets_expired: u64,
     /// Agents installed across all sites (including recoveries).
     pub agents_installed: u64,
+    /// Script agents rejected by the install-time `taco-vet` gate: their CODE
+    /// folder failed static analysis, so the meet was refused before any
+    /// request was queued (not counted in `meets_requested`).
+    pub scripts_rejected: u64,
     /// Site crashes observed.
     pub crashes: u64,
     /// Site recoveries observed.
@@ -71,6 +75,7 @@ pub struct SystemBuilder {
     default_transport: TransportKind,
     custody: Option<CustodyConfig>,
     factories: Vec<AgentFactory>,
+    vet_scripts: bool,
 }
 
 impl SystemBuilder {
@@ -82,6 +87,7 @@ impl SystemBuilder {
             default_transport: TransportKind::Tcp,
             custody: None,
             factories: Vec::new(),
+            vet_scripts: true,
         }
     }
 
@@ -109,6 +115,17 @@ impl SystemBuilder {
     /// Without this, such sends fail fast and count as `send_failures`.
     pub fn custody(mut self, config: CustodyConfig) -> Self {
         self.custody = Some(config);
+        self
+    }
+
+    /// Enables or disables the install-time script vet (on by default).
+    ///
+    /// When enabled, a briefcase carrying a `CODE` folder is statically
+    /// analysed (taco-vet) before the meet request is queued; a script with
+    /// error-severity defects is rejected up front instead of failing halfway
+    /// through a migration.  Disable to reproduce the unvetted behaviour.
+    pub fn vet_scripts(mut self, enabled: bool) -> Self {
+        self.vet_scripts = enabled;
         self
     }
 
@@ -175,6 +192,7 @@ impl SystemBuilder {
             pending_timers: BTreeMap::new(),
             next_timer_key: 1,
             default_transport: self.default_transport,
+            vet_scripts: self.vet_scripts,
             stats,
             rng: master.derive(1),
             trace: Vec::new(),
@@ -204,6 +222,8 @@ pub struct TacomaSystem {
     pending_timers: BTreeMap<u64, (SiteId, AgentName, Briefcase)>,
     next_timer_key: u64,
     default_transport: TransportKind,
+    /// Whether entry-point meets carrying a CODE folder are statically vetted.
+    vet_scripts: bool,
     stats: SystemStats,
     rng: DetRng,
     trace: Vec<String>,
@@ -325,6 +345,14 @@ impl TacomaSystem {
         contact: AgentName,
         briefcase: Briefcase,
     ) {
+        if let Err(report) = self.vet_briefcase(site, &briefcase) {
+            self.stats.scripts_rejected += 1;
+            self.trace.push(format!(
+                "[{}] rejected CODE folder bound for {contact} at {site}:\n{report}",
+                self.net.now()
+            ));
+            return;
+        }
         self.stats.meets_requested += 1;
         let req = MeetRequest {
             contact,
@@ -650,6 +678,39 @@ impl TacomaSystem {
         self.process_actions(site, outbox);
     }
 
+    /// Statically vets the briefcase's CODE folder (if any) before a meet is
+    /// admitted at `site`.  Only the last CODE element is checked — that is the
+    /// one `ag_tac` pops and executes; earlier elements are continuations that
+    /// were produced by already-vetted code.  Returns the rendered diagnostics
+    /// when the script has error-severity defects.
+    ///
+    /// Only *entry points* ([`TacomaSystem::inject_meet_at`] and
+    /// [`TacomaSystem::try_direct_meet`]) vet: once an agent is admitted, its
+    /// nested and remote meets carry code that was already checked, and
+    /// re-vetting every migration leg would charge the analysis cost per hop.
+    fn vet_briefcase(&self, site: SiteId, briefcase: &Briefcase) -> Result<(), String> {
+        if !self.vet_scripts {
+            return Ok(());
+        }
+        let Some(code) = briefcase.peek_string(wellknown::CODE) else {
+            return Ok(());
+        };
+        let mut known: Vec<String> = wellknown::AGENTS.iter().map(|a| a.to_string()).collect();
+        known.extend(
+            self.places[site.index()]
+                .agent_names()
+                .into_iter()
+                .map(|n| n.as_str().to_string()),
+        );
+        let config = tacoma_script::AnalysisConfig::new().known_agents(known);
+        let diags = tacoma_script::analyze_with(&code, &config);
+        if tacoma_script::has_errors(&diags) {
+            Err(tacoma_script::render_report(&diags, "CODE"))
+        } else {
+            Ok(())
+        }
+    }
+
     /// Returns an error descriptor if the agent name cannot be met at the site
     /// right now (used by tests to assert protected-agent isolation without
     /// going through the event loop).
@@ -659,6 +720,10 @@ impl TacomaSystem {
         contact: &AgentName,
         briefcase: Briefcase,
     ) -> Result<Briefcase, TacomaError> {
+        if let Err(report) = self.vet_briefcase(site, &briefcase) {
+            self.stats.scripts_rejected += 1;
+            return Err(TacomaError::Script(format!("script rejected:\n{report}")));
+        }
         let (alive, reachable, custody) = self.dispatch_inputs(site);
         let mut outbox = Vec::new();
         let env = DispatchEnv {
@@ -1039,5 +1104,61 @@ mod tests {
         assert!(sys
             .try_direct_meet(SiteId(1), &AgentName::new("once"), Briefcase::new())
             .is_ok());
+    }
+
+    #[test]
+    fn defective_code_folders_are_rejected_at_install_time() {
+        // `$x` is read before anything assigns it: taco-vet flags this as an
+        // error, so the briefcase must be refused before the meet request is
+        // even queued — not fail later, mid-migration.
+        let mut bc = Briefcase::new();
+        bc.put(wellknown::CODE, Folder::of_str("set y $x"));
+
+        let mut sys = TacomaSystem::new(Topology::full_mesh(2, LinkSpec::default()), 7);
+        sys.inject_meet(SiteId(0), AgentName::new(wellknown::AG_TAC), bc.clone());
+        sys.run_until_quiescent(100);
+        let s = sys.stats();
+        assert_eq!(s.scripts_rejected, 1);
+        assert_eq!(s.meets_requested, 0, "rejected before the request counts");
+        assert_eq!(s.remote_meets, 0, "nothing was shipped anywhere");
+        assert!(sys.trace().iter().any(|l| l.contains("use-before-set")));
+
+        // The synchronous entry point surfaces the full report as an error.
+        let err = sys
+            .try_direct_meet(SiteId(0), &AgentName::new(wellknown::AG_TAC), bc.clone())
+            .unwrap_err();
+        assert!(err.to_string().contains("use-before-set"));
+        assert_eq!(sys.stats().scripts_rejected, 2);
+
+        // Opting out restores the unvetted behaviour: the same briefcase is
+        // admitted and only fails at dispatch time.
+        let mut raw = TacomaSystem::builder()
+            .topology(Topology::full_mesh(2, LinkSpec::default()))
+            .vet_scripts(false)
+            .build();
+        raw.inject_meet(SiteId(0), AgentName::new(wellknown::AG_TAC), bc);
+        raw.run_until_quiescent(100);
+        let s = raw.stats();
+        assert_eq!(s.scripts_rejected, 0);
+        assert_eq!(s.meets_requested, 1);
+        assert_eq!(
+            s.meets_failed, 1,
+            "no interpreter installed: runtime failure"
+        );
+    }
+
+    #[test]
+    fn clean_code_folders_pass_the_vet_gate() {
+        let mut bc = Briefcase::new();
+        bc.put(
+            wellknown::CODE,
+            Folder::of_str("set x 1\nbc_put NOTE $x\nreturn done"),
+        );
+        let mut sys = TacomaSystem::new(Topology::full_mesh(2, LinkSpec::default()), 7);
+        sys.inject_meet(SiteId(0), AgentName::new(wellknown::AG_TAC), bc);
+        sys.run_until_quiescent(100);
+        let s = sys.stats();
+        assert_eq!(s.scripts_rejected, 0);
+        assert_eq!(s.meets_requested, 1);
     }
 }

@@ -66,6 +66,21 @@ pub const COURT: &str = "court";
 /// The failover guard watching a federated broker (see `tacoma_ft`).
 pub const BROKER_GUARD: &str = "broker_guard";
 
+/// Every well-known agent name, for building `meet`-target allowlists (the
+/// taco-vet gate and CLI seed their known-agent sets from this).
+pub const AGENTS: &[&str] = &[
+    AG_TAC,
+    REXEC,
+    COURIER,
+    DIFFUSION,
+    BROKER,
+    MONITOR,
+    TICKET,
+    MINT,
+    COURT,
+    BROKER_GUARD,
+];
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -81,21 +96,9 @@ mod tests {
         sorted.dedup();
         assert_eq!(sorted.len(), folders.len());
 
-        let agents = [
-            AG_TAC,
-            REXEC,
-            COURIER,
-            DIFFUSION,
-            BROKER,
-            MONITOR,
-            TICKET,
-            MINT,
-            COURT,
-            BROKER_GUARD,
-        ];
-        let mut sorted = agents.to_vec();
+        let mut sorted = AGENTS.to_vec();
         sorted.sort_unstable();
         sorted.dedup();
-        assert_eq!(sorted.len(), agents.len());
+        assert_eq!(sorted.len(), AGENTS.len());
     }
 }

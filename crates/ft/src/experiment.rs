@@ -224,7 +224,7 @@ mod tests {
         };
         let unguarded = run_itinerary_experiment(&FtConfig {
             guarded: false,
-            ..base.clone()
+            ..base
         });
         let guarded = run_itinerary_experiment(&FtConfig {
             guarded: true,
@@ -251,7 +251,7 @@ mod tests {
         };
         let unguarded = run_itinerary_experiment(&FtConfig {
             guarded: false,
-            ..base.clone()
+            ..base
         });
         let guarded = run_itinerary_experiment(&FtConfig {
             guarded: true,
@@ -325,7 +325,7 @@ mod tests {
             seed: 2027,
             ..Default::default()
         };
-        let fail_fast = run_itinerary_experiment(&base.clone());
+        let fail_fast = run_itinerary_experiment(&base);
         let custody = run_itinerary_experiment(&FtConfig {
             custody: true,
             ..base

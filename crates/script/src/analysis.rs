@@ -1,0 +1,1347 @@
+//! taco-vet: static analysis for TacoScript agent code.
+//!
+//! The paper stores an agent as "a Tcl procedure; the text of the procedure is
+//! stored in the agent's CODE folder" — which means a typo'd builtin or a
+//! use-before-set variable only surfaces after the agent has migrated halfway
+//! across the system.  This pass consumes [`parse_script`] output and reports
+//! spanned [`Diagnostic`]s *before* the agent is launched:
+//!
+//! * **unknown-command** (error): a command that is neither a builtin nor a
+//!   `proc` defined anywhere in the script;
+//! * **wrong-arity** (error): wrong argument count for any builtin or user
+//!   `proc` (argument counts are static in TacoScript: substitution never
+//!   splits words);
+//! * **use-before-set** (error) / **possibly-unset** (warning): definite-
+//!   assignment dataflow with proper joins across `if`/`while`/`foreach` —
+//!   a variable assigned on *no* path is an error, on *some* paths a warning;
+//! * **unreachable** (warning): code after an unconditional `return`, `halt`,
+//!   `break`, `continue` or `error`;
+//! * **after-move-to** (warning): code after `move_to` other than `return` or
+//!   `halt` — it runs at the *departing* site, which is rarely intended;
+//! * **unknown-agent** (error): a literal `meet` target that is neither a
+//!   wellknown agent nor locally installed (only checked when the caller
+//!   provides the known-agent set);
+//! * **no-loop-exit** (warning): a `while` whose condition no body statement
+//!   can ever change and whose body cannot break out — it will burn the whole
+//!   step budget.
+//!
+//! The analyzer is deliberately conservative: anything it cannot see through
+//! (a computed command name, an `eval` of a built string, a non-braced body)
+//! is assumed to be fine.  `catch` bodies are exempt from all checks — failing
+//! inside `catch` is a supported idiom, not a defect.  The invariant that
+//! matters is **zero false positives**: every script the interpreter runs
+//! cleanly must vet cleanly, because `tacoma-core` rejects agents whose CODE
+//! folder produces errors at install time.
+
+use crate::diag::Diagnostic;
+use crate::expr::eval_expr;
+use crate::parser::{parse_script, Command, Span, Word, WordKind, WordPart};
+use crate::value::{is_truthy, parse_list};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Nesting depth cap for the analyzer's recursive descent (mirrors the
+/// interpreter's `max_depth`); beyond it we stop descending rather than risk
+/// unbounded recursion on adversarial input.
+const MAX_DEPTH: u32 = 64;
+
+/// Configuration for [`analyze_with`].
+#[derive(Debug, Clone, Default)]
+pub struct AnalysisConfig {
+    known_agents: Option<BTreeSet<String>>,
+    predefined: BTreeSet<String>,
+}
+
+impl AnalysisConfig {
+    /// A configuration with no known-agent set (so `meet` targets are not
+    /// checked) and no predefined variables.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enables the `meet`-target check with the given set of resolvable agent
+    /// names (wellknown agents plus whatever is installed at the site).
+    pub fn known_agents<I, S>(mut self, agents: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.known_agents = Some(agents.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Adds one resolvable agent name (enables the `meet` check if it was
+    /// not already enabled).
+    pub fn add_known_agent(&mut self, name: impl Into<String>) {
+        self.known_agents
+            .get_or_insert_with(BTreeSet::new)
+            .insert(name.into());
+    }
+
+    /// Declares variables that are bound before the script runs (for example
+    /// arguments an agent receives), exempting them from use-before-set.
+    pub fn predefined<I, S>(mut self, vars: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.predefined = vars.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Adds one predefined variable.
+    pub fn add_predefined(&mut self, name: impl Into<String>) {
+        self.predefined.insert(name.into());
+    }
+}
+
+/// Analyzes a script with the default configuration (no `meet` check, no
+/// predefined variables) and returns its diagnostics sorted by position.
+pub fn analyze(src: &str) -> Vec<Diagnostic> {
+    analyze_with(src, &AnalysisConfig::default())
+}
+
+/// Analyzes a script with an explicit [`AnalysisConfig`].
+pub fn analyze_with(src: &str, config: &AnalysisConfig) -> Vec<Diagnostic> {
+    let mut info = Collected::default();
+    collect_script(src, 0, &mut info);
+    let mut analyzer = Analyzer {
+        config,
+        info,
+        diags: Vec::new(),
+    };
+    let mut env = Env::default();
+    for var in &config.predefined {
+        env.assign(var);
+    }
+    analyzer.check_script(src, Span::START, &mut env, Ctx::default());
+    analyzer
+        .diags
+        .sort_by(|a, b| a.span.cmp(&b.span).then(b.severity.cmp(&a.severity)));
+    analyzer.diags
+}
+
+// --- builtin signature table -------------------------------------------------
+
+/// Every builtin the interpreter knows, in one place so the unknown-command
+/// check and the suggestion engine share it.
+const BUILTIN_NAMES: &[&str] = &[
+    "set",
+    "unset",
+    "incr",
+    "append",
+    "expr",
+    "if",
+    "while",
+    "foreach",
+    "proc",
+    "return",
+    "halt",
+    "break",
+    "continue",
+    "eval",
+    "error",
+    "catch",
+    "list",
+    "llength",
+    "lindex",
+    "lappend",
+    "lrange",
+    "concat",
+    "split",
+    "join",
+    "string",
+    "puts",
+    "log",
+    "bc_put",
+    "bc_push",
+    "bc_pop",
+    "bc_dequeue",
+    "bc_peek",
+    "bc_list",
+    "bc_size",
+    "bc_del",
+    "cab_append",
+    "cab_contains",
+    "cab_list",
+    "cab_pop",
+    "meet",
+    "move_to",
+    "send_remote",
+    "my_site",
+    "site_count",
+    "neighbors",
+    "random",
+    "now",
+];
+
+/// (min, max) argument counts for each builtin, mirroring `Interp::invoke`
+/// exactly — this table being wrong in either direction is a bug: too loose
+/// misses real defects, too strict rejects scripts the interpreter runs.
+fn builtin_arity(name: &str) -> Option<(usize, Option<usize>)> {
+    Some(match name {
+        "set" => (1, Some(2)),
+        "unset" => (0, None),
+        "incr" => (1, Some(2)),
+        "append" | "lappend" => (1, None),
+        "expr" | "error" | "eval" | "puts" | "log" => (1, None),
+        "if" => (2, None),
+        "while" => (2, Some(2)),
+        "foreach" | "proc" | "lrange" | "cab_append" | "cab_contains" => (3, Some(3)),
+        "return" | "halt" => (0, Some(1)),
+        "break" | "continue" => (0, Some(0)),
+        "catch" | "split" | "join" => (1, Some(2)),
+        "list" | "concat" => (0, None),
+        "llength" | "bc_pop" | "bc_dequeue" | "bc_peek" | "bc_list" | "bc_size" | "bc_del"
+        | "random" | "meet" => (1, Some(1)),
+        "lindex" | "bc_put" | "bc_push" | "cab_list" | "cab_pop" => (2, Some(2)),
+        "string" => (2, Some(4)),
+        "move_to" => (1, Some(2)),
+        "send_remote" => (2, None),
+        "my_site" | "site_count" | "neighbors" | "now" => (0, Some(0)),
+        _ => return None,
+    })
+}
+
+// --- pre-pass: collect procs and all assigned names --------------------------
+
+#[derive(Debug, Default)]
+struct Collected {
+    /// proc name → parameter count, for arity checking of user procs.
+    procs: BTreeMap<String, usize>,
+    /// Every variable name assigned *anywhere* in the script (any scope).
+    /// Used to keep proc-body checks conservative: procs read outer dynamic
+    /// scopes, so only a name assigned nowhere at all is a definite error.
+    assigned: BTreeSet<String>,
+}
+
+fn collect_script(src: &str, depth: u32, out: &mut Collected) {
+    if depth > MAX_DEPTH {
+        return;
+    }
+    let Ok(cmds) = parse_script(src) else { return };
+    for cmd in &cmds {
+        for word in &cmd.words {
+            if let WordKind::Parts(parts) = &word.kind {
+                for part in parts {
+                    if let WordPart::Command(inner) = part {
+                        collect_script(inner, depth + 1, out);
+                    }
+                }
+            }
+        }
+        let Some(name) = cmd.words[0].static_text() else {
+            continue;
+        };
+        let args = &cmd.words[1..];
+        let static_arg = |i: usize| args.get(i).and_then(Word::static_text);
+        let braced_arg = |i: usize| {
+            args.get(i).and_then(|w| match &w.kind {
+                WordKind::Braced(t) => Some(t.as_str()),
+                WordKind::Parts(_) => None,
+            })
+        };
+        match name {
+            "set" if args.len() >= 2 => {
+                if let Some(v) = static_arg(0) {
+                    out.assigned.insert(v.to_string());
+                }
+            }
+            "incr" | "append" | "lappend" => {
+                if let Some(v) = static_arg(0) {
+                    out.assigned.insert(v.to_string());
+                }
+            }
+            "foreach" => {
+                if let Some(v) = static_arg(0) {
+                    out.assigned.insert(v.to_string());
+                }
+                if let Some(body) = braced_arg(2) {
+                    collect_script(body, depth + 1, out);
+                }
+            }
+            "while" | "if" => {
+                // Conditions and bodies both arrive braced; collecting a
+                // condition as if it were a script is harmless (nothing in it
+                // matches an assignment shape unless it really is one).
+                for (i, _) in args.iter().enumerate() {
+                    if let Some(text) = braced_arg(i) {
+                        collect_script(text, depth + 1, out);
+                    }
+                }
+            }
+            "catch" => {
+                if let Some(body) = braced_arg(0) {
+                    collect_script(body, depth + 1, out);
+                }
+                if let Some(v) = static_arg(1) {
+                    out.assigned.insert(v.to_string());
+                }
+            }
+            "eval" => {
+                if let Some(body) = braced_arg(0) {
+                    collect_script(body, depth + 1, out);
+                }
+            }
+            "proc" => {
+                if let (Some(pname), Some(params)) = (static_arg(0), static_arg(1)) {
+                    let params = parse_list(params);
+                    out.procs.insert(pname.to_string(), params.len());
+                    for p in params {
+                        out.assigned.insert(p);
+                    }
+                }
+                if let Some(body) = braced_arg(2) {
+                    collect_script(body, depth + 1, out);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+// --- the main pass -----------------------------------------------------------
+
+/// Definite-assignment state at one program point.
+#[derive(Debug, Clone, Default)]
+struct Env {
+    /// Assigned on every path reaching this point.
+    definite: BTreeSet<String>,
+    /// Assigned on at least one path (superset of `definite`).
+    maybe: BTreeSet<String>,
+}
+
+impl Env {
+    fn assign(&mut self, name: &str) {
+        self.definite.insert(name.to_string());
+        self.maybe.insert(name.to_string());
+    }
+
+    fn unassign(&mut self, name: &str) {
+        self.definite.remove(name);
+        self.maybe.remove(name);
+    }
+
+    /// Folds another path's assignments in as merely *possible*.
+    fn merge_maybe(&mut self, other: &Env) {
+        for v in &other.maybe {
+            self.maybe.insert(v.clone());
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Ctx {
+    /// Inside a proc body: outer-scope reads are legal (dynamic scoping), so
+    /// only never-assigned-anywhere names are errors and nothing warns.
+    in_proc: bool,
+    /// Inside a `catch` body: all diagnostics are suppressed.
+    in_catch: bool,
+    depth: u32,
+}
+
+impl Ctx {
+    fn deeper(self) -> Ctx {
+        Ctx {
+            depth: self.depth + 1,
+            ..self
+        }
+    }
+}
+
+/// How a block of commands can end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Exit {
+    /// Control can fall off the end.
+    Falls,
+    /// Every path ends in `return`/`halt`/`break`/`continue`/`error`.
+    Terminates,
+}
+
+/// What one command does to control flow.
+struct CmdEffect {
+    /// `Some(cmd)` when the command unconditionally leaves the block.
+    terminal: Option<&'static str>,
+    /// The command queues a migration (`move_to`).
+    migrates: bool,
+}
+
+impl CmdEffect {
+    const NONE: CmdEffect = CmdEffect {
+        terminal: None,
+        migrates: false,
+    };
+
+    fn terminal(cause: &'static str) -> CmdEffect {
+        CmdEffect {
+            terminal: Some(cause),
+            migrates: false,
+        }
+    }
+}
+
+/// Maps a span relative to an embedded script (braced body, condition text,
+/// bracketed substitution) to an absolute span in the original source.
+fn map_span(base: Span, rel: Span) -> Span {
+    if rel.line == 1 {
+        Span::new(base.line, base.col + rel.col - 1)
+    } else {
+        Span::new(base.line + rel.line - 1, rel.col)
+    }
+}
+
+/// The position where a braced word's *content* starts (one past the `{`).
+fn content_base(word: &Word) -> Span {
+    Span::new(word.span.line, word.span.col + 1)
+}
+
+struct Analyzer<'c> {
+    config: &'c AnalysisConfig,
+    info: Collected,
+    diags: Vec<Diagnostic>,
+}
+
+impl Analyzer<'_> {
+    fn push(&mut self, ctx: Ctx, diag: Diagnostic) {
+        if !ctx.in_catch {
+            self.diags.push(diag);
+        }
+    }
+
+    /// Checks one script (the whole source, or an embedded body) and reports
+    /// how it can end.  `base` anchors relative spans in the original source.
+    fn check_script(&mut self, src: &str, base: Span, env: &mut Env, ctx: Ctx) -> Exit {
+        if ctx.depth > MAX_DEPTH {
+            return Exit::Falls;
+        }
+        let cmds = match parse_script(src) {
+            Ok(c) => c,
+            Err(e) => {
+                self.push(
+                    ctx,
+                    Diagnostic::error("parse", map_span(base, e.span()), e.message),
+                );
+                return Exit::Falls;
+            }
+        };
+        let mut terminated: Option<&'static str> = None;
+        let mut warned_unreachable = false;
+        let mut moved = false;
+        let mut warned_after_move = false;
+        for cmd in &cmds {
+            let span = map_span(base, cmd.span);
+            if let Some(cause) = terminated {
+                if !warned_unreachable {
+                    self.push(
+                        ctx,
+                        Diagnostic::warning(
+                            "unreachable",
+                            span,
+                            format!("unreachable code after '{cause}'"),
+                        ),
+                    );
+                    warned_unreachable = true;
+                }
+                continue;
+            }
+            if moved && !warned_after_move {
+                let name = cmd.words[0].static_text();
+                if name != Some("return") && name != Some("halt") {
+                    self.push(
+                        ctx,
+                        Diagnostic::warning(
+                            "after-move-to",
+                            span,
+                            "code after 'move_to' still runs at the departing site before \
+                             migration; conventionally only 'return' or 'halt' follow it",
+                        ),
+                    );
+                    warned_after_move = true;
+                }
+            }
+            let effect = self.check_command(cmd, base, env, ctx);
+            if let Some(cause) = effect.terminal {
+                terminated = Some(cause);
+            }
+            if effect.migrates {
+                moved = true;
+            }
+        }
+        if terminated.is_some() {
+            Exit::Terminates
+        } else {
+            Exit::Falls
+        }
+    }
+
+    fn check_command(&mut self, cmd: &Command, base: Span, env: &mut Env, ctx: Ctx) -> CmdEffect {
+        // Generic pass first: every substitution in every word is evaluated
+        // left-to-right before the command runs, exactly like the interpreter.
+        for word in &cmd.words {
+            self.check_word(word, base, env, ctx);
+        }
+        let Some(name) = cmd.words[0].static_text().map(str::to_string) else {
+            return CmdEffect::NONE; // computed command name: opaque
+        };
+        let span = map_span(base, cmd.span);
+        let args = &cmd.words[1..];
+        let argc = args.len();
+
+        if let Some((min, max)) = builtin_arity(&name) {
+            if argc < min || max.is_some_and(|m| argc > m) {
+                self.push(
+                    ctx,
+                    Diagnostic::error("wrong-arity", span, arity_msg(&name, min, max, argc)),
+                );
+                return CmdEffect::NONE;
+            }
+        } else if let Some(&params) = self.info.procs.get(name.as_str()) {
+            if argc != params {
+                self.push(
+                    ctx,
+                    Diagnostic::error(
+                        "wrong-arity",
+                        span,
+                        format!("proc '{name}' expects {params} argument(s), got {argc}"),
+                    ),
+                );
+            }
+            return CmdEffect::NONE;
+        } else {
+            let hint = self
+                .suggest(&name)
+                .map(|s| format!("; did you mean '{s}'?"))
+                .unwrap_or_default();
+            self.push(
+                ctx,
+                Diagnostic::error(
+                    "unknown-command",
+                    span,
+                    format!("unknown command '{name}'{hint}"),
+                ),
+            );
+            return CmdEffect::NONE;
+        }
+
+        match name.as_str() {
+            "set" => {
+                if let Some(var) = args[0].static_text() {
+                    if argc == 1 {
+                        // `set x` with one argument *reads* x.
+                        self.check_var(var, map_span(base, args[0].span), env, ctx);
+                    } else {
+                        env.assign(var);
+                    }
+                }
+            }
+            "unset" => {
+                for a in args {
+                    if let Some(var) = a.static_text() {
+                        env.unassign(var);
+                    }
+                }
+            }
+            // `incr`/`append`/`lappend` default a missing variable to 0 / "",
+            // so they assign without requiring a prior set.
+            "incr" | "append" | "lappend" => {
+                if let Some(var) = args[0].static_text() {
+                    env.assign(var);
+                }
+            }
+            "expr" if argc == 1 => {
+                if let WordKind::Braced(text) = &args[0].kind {
+                    self.scan_condition(text, content_base(&args[0]), env, ctx);
+                }
+            }
+            "if" => return self.check_if(args, span, env, ctx),
+            "while" => self.check_while(args, span, env, ctx),
+            "foreach" => self.check_foreach(args, env, ctx),
+            "proc" => self.check_proc(args, ctx),
+            "catch" => self.check_catch(args, env, ctx),
+            "eval" if argc == 1 => {
+                if let WordKind::Braced(text) = &args[0].kind {
+                    let exit = self.check_script(text, content_base(&args[0]), env, ctx.deeper());
+                    if exit == Exit::Terminates {
+                        return CmdEffect::terminal("eval");
+                    }
+                }
+            }
+            "return" => return CmdEffect::terminal("return"),
+            "halt" => return CmdEffect::terminal("halt"),
+            "break" => return CmdEffect::terminal("break"),
+            "continue" => return CmdEffect::terminal("continue"),
+            "error" => return CmdEffect::terminal("error"),
+            "meet" => {
+                if let (Some(agents), Some(target)) =
+                    (&self.config.known_agents, args[0].static_text())
+                {
+                    if !agents.contains(target) {
+                        self.push(
+                            ctx,
+                            Diagnostic::error(
+                                "unknown-agent",
+                                span,
+                                format!(
+                                    "meet target '{target}' is neither a wellknown agent nor \
+                                     installed locally"
+                                ),
+                            ),
+                        );
+                    }
+                }
+            }
+            "move_to" => {
+                return CmdEffect {
+                    terminal: None,
+                    migrates: true,
+                }
+            }
+            "string" => self.check_string(args, span, ctx),
+            _ => {}
+        }
+        CmdEffect::NONE
+    }
+
+    /// Generic word check: variables and command substitutions in non-braced
+    /// words.  Braced words are literal — nothing to check.
+    fn check_word(&mut self, word: &Word, base: Span, env: &mut Env, ctx: Ctx) {
+        let WordKind::Parts(parts) = &word.kind else {
+            return;
+        };
+        let span = map_span(base, word.span);
+        for part in parts {
+            match part {
+                WordPart::Literal(_) => {}
+                WordPart::Variable(name) => self.check_var(name, span, env, ctx),
+                // A substitution's script runs unconditionally as part of word
+                // evaluation, so its assignments are definite; its `return`
+                // does not propagate (the interpreter takes its value).
+                WordPart::Command(script) => {
+                    self.check_script(script, span, env, ctx.deeper());
+                }
+            }
+        }
+    }
+
+    fn check_var(&mut self, name: &str, span: Span, env: &Env, ctx: Ctx) {
+        if env.definite.contains(name) || self.config.predefined.contains(name) {
+            return;
+        }
+        if env.maybe.contains(name) {
+            if !ctx.in_proc {
+                self.push(
+                    ctx,
+                    Diagnostic::warning(
+                        "possibly-unset",
+                        span,
+                        format!("variable '{name}' may be unset here: it is assigned on only some paths"),
+                    ),
+                );
+            }
+            return;
+        }
+        // Procs read outer dynamic scopes, so a name assigned anywhere in the
+        // script might be visible at call time; only never-assigned is certain.
+        if ctx.in_proc && self.info.assigned.contains(name) {
+            return;
+        }
+        let hint = if self.info.assigned.contains(name) {
+            " (it is assigned only later or in another scope)"
+        } else {
+            ""
+        };
+        self.push(
+            ctx,
+            Diagnostic::error(
+                "use-before-set",
+                span,
+                format!("variable '{name}' is used before it is set{hint}"),
+            ),
+        );
+    }
+
+    fn check_if(&mut self, args: &[Word], span: Span, env: &mut Env, ctx: Ctx) -> CmdEffect {
+        let mut i = 0;
+        let mut branches: Vec<(Env, Exit)> = Vec::new();
+        let mut has_else = false;
+        let mut structure_ok = true;
+        while i < args.len() {
+            if i == 0 || args[i].static_text() == Some("elseif") {
+                let off = usize::from(i != 0);
+                let (Some(cond), Some(body)) = (args.get(i + off), args.get(i + off + 1)) else {
+                    self.push(
+                        ctx,
+                        Diagnostic::error(
+                            "wrong-arity",
+                            span,
+                            "'if' expects {cond} {body} with optional elseif/else clauses",
+                        ),
+                    );
+                    structure_ok = false;
+                    break;
+                };
+                if let WordKind::Braced(text) = &cond.kind {
+                    self.scan_condition(text, content_base(cond), env, ctx);
+                }
+                if let WordKind::Braced(text) = &body.kind {
+                    let mut benv = env.clone();
+                    let exit = self.check_script(text, content_base(body), &mut benv, ctx.deeper());
+                    branches.push((benv, exit));
+                } else {
+                    structure_ok = false;
+                }
+                i += off + 2;
+            } else if args[i].static_text() == Some("else") {
+                has_else = true;
+                let Some(body) = args.get(i + 1) else {
+                    self.push(
+                        ctx,
+                        Diagnostic::error("wrong-arity", span, "'if': 'else' needs a {body}"),
+                    );
+                    structure_ok = false;
+                    break;
+                };
+                if let WordKind::Braced(text) = &body.kind {
+                    let mut benv = env.clone();
+                    let exit = self.check_script(text, content_base(body), &mut benv, ctx.deeper());
+                    branches.push((benv, exit));
+                } else {
+                    structure_ok = false;
+                }
+                break;
+            } else {
+                if let Some(word) = args[i].static_text() {
+                    self.push(
+                        ctx,
+                        Diagnostic::error(
+                            "wrong-arity",
+                            span,
+                            format!("'if': expected 'elseif' or 'else', got '{word}'"),
+                        ),
+                    );
+                }
+                structure_ok = false;
+                break;
+            }
+        }
+        // Join: assignments on terminated branches never reach the code after
+        // the `if`, so only falling branches contribute.
+        let falling: Vec<&Env> = branches
+            .iter()
+            .filter(|(_, exit)| *exit == Exit::Falls)
+            .map(|(benv, _)| benv)
+            .collect();
+        for benv in &falling {
+            env.merge_maybe(benv);
+        }
+        if structure_ok && has_else && !branches.is_empty() {
+            if falling.is_empty() {
+                return CmdEffect::terminal("if");
+            }
+            let mut definite = falling[0].definite.clone();
+            for benv in &falling[1..] {
+                definite = definite.intersection(&benv.definite).cloned().collect();
+            }
+            env.definite = definite;
+        }
+        CmdEffect::NONE
+    }
+
+    fn check_while(&mut self, args: &[Word], span: Span, env: &mut Env, ctx: Ctx) {
+        let (cond, body) = (&args[0], &args[1]);
+        if let WordKind::Braced(text) = &cond.kind {
+            self.scan_condition(text, content_base(cond), env, ctx);
+        }
+        if let WordKind::Braced(body_text) = &body.kind {
+            // The body may run zero times: its assignments are only maybes.
+            let mut benv = env.clone();
+            self.check_script(body_text, content_base(body), &mut benv, ctx.deeper());
+            env.merge_maybe(&benv);
+            if let Some(cond_text) = cond.static_text() {
+                self.check_loop_exit(cond_text, body_text, span, ctx);
+            }
+        }
+    }
+
+    /// The "no induction variable touched" heuristic: a loop whose condition
+    /// is static (no `[...]`) and whose body neither updates any condition
+    /// variable nor can escape (`break`/`return`/`halt`/`error`) will spin
+    /// until the step budget kills it.
+    fn check_loop_exit(&mut self, cond: &str, body: &str, span: Span, ctx: Ctx) {
+        if cond.contains('[') {
+            return; // condition consults a command: dynamic, assume fine
+        }
+        let vars = cond_var_names(cond);
+        if vars.is_empty() {
+            // Constant condition: fine if it is falsy (zero-trip) or does not
+            // evaluate (the interpreter reports that loudly at runtime).
+            match eval_expr(cond) {
+                Ok(v) if is_truthy(&v) => {}
+                _ => return,
+            }
+        }
+        if !body_can_exit(body, &vars, 0, true, true) {
+            let why = if vars.is_empty() {
+                "the condition is constant-true and the body cannot break out".to_string()
+            } else {
+                format!(
+                    "the body never updates any condition variable ({}) and cannot break out",
+                    vars.iter().cloned().collect::<Vec<_>>().join(", ")
+                )
+            };
+            self.push(
+                ctx,
+                Diagnostic::warning(
+                    "no-loop-exit",
+                    span,
+                    format!("loop has no reachable exit: {why}; it will exhaust the step budget"),
+                ),
+            );
+        }
+    }
+
+    fn check_foreach(&mut self, args: &[Word], env: &mut Env, ctx: Ctx) {
+        let var = args[0].static_text();
+        if let WordKind::Braced(body_text) = &args[2].kind {
+            let mut benv = env.clone();
+            if let Some(var) = var {
+                benv.assign(var); // bound on every body iteration
+            }
+            self.check_script(body_text, content_base(&args[2]), &mut benv, ctx.deeper());
+            env.merge_maybe(&benv); // zero-trip possible: maybes only
+        } else if let Some(var) = var {
+            // Opaque body; the loop variable still may have been bound.
+            let mut benv = env.clone();
+            benv.assign(var);
+            env.merge_maybe(&benv);
+        }
+    }
+
+    fn check_proc(&mut self, args: &[Word], ctx: Ctx) {
+        let (Some(params), WordKind::Braced(body)) = (args[1].static_text(), &args[2].kind) else {
+            return;
+        };
+        let mut penv = Env::default();
+        for p in parse_list(params) {
+            penv.assign(&p);
+        }
+        let pctx = Ctx {
+            in_proc: true,
+            ..ctx.deeper()
+        };
+        let mut env = penv;
+        self.check_script(body, content_base(&args[2]), &mut env, pctx);
+    }
+
+    fn check_catch(&mut self, args: &[Word], env: &mut Env, ctx: Ctx) {
+        if let WordKind::Braced(body) = &args[0].kind {
+            let mut benv = env.clone();
+            let cctx = Ctx {
+                in_catch: true,
+                ..ctx.deeper()
+            };
+            self.check_script(body, content_base(&args[0]), &mut benv, cctx);
+            env.merge_maybe(&benv); // the body may have failed part-way
+        }
+        if let Some(var) = args.get(1).and_then(Word::static_text) {
+            env.assign(var); // the result variable is set on success and error
+        }
+    }
+
+    fn check_string(&mut self, args: &[Word], span: Span, ctx: Ctx) {
+        let Some(op) = args[0].static_text() else {
+            return;
+        };
+        let want = match op {
+            "length" | "toupper" | "tolower" | "trim" => 2,
+            "equal" | "first" => 3,
+            "range" => 4,
+            _ => {
+                self.push(
+                    ctx,
+                    Diagnostic::error(
+                        "unknown-command",
+                        span,
+                        format!("unknown 'string' subcommand '{op}'"),
+                    ),
+                );
+                return;
+            }
+        };
+        if args.len() != want {
+            self.push(
+                ctx,
+                Diagnostic::error(
+                    "wrong-arity",
+                    span,
+                    format!(
+                        "'string {op}' expects {} argument(s) after the subcommand, got {}",
+                        want - 1,
+                        args.len() - 1
+                    ),
+                ),
+            );
+        }
+    }
+
+    /// Scans brace-quoted condition text the way the interpreter's
+    /// `substitute` does: `$name` / `${name}` are variable reads, `[...]` is
+    /// an embedded script evaluated in the same scope.
+    fn scan_condition(&mut self, text: &str, base: Span, env: &mut Env, ctx: Ctx) {
+        let chars: Vec<char> = text.chars().collect();
+        let mut i = 0;
+        let mut line = 1u32;
+        let mut col = 1u32;
+        let step = |c: char, line: &mut u32, col: &mut u32| {
+            if c == '\n' {
+                *line += 1;
+                *col = 1;
+            } else {
+                *col += 1;
+            }
+        };
+        while i < chars.len() {
+            match chars[i] {
+                '$' => {
+                    let vspan = map_span(base, Span::new(line, col));
+                    step(chars[i], &mut line, &mut col);
+                    i += 1;
+                    let mut name = String::new();
+                    if i < chars.len() && chars[i] == '{' {
+                        step(chars[i], &mut line, &mut col);
+                        i += 1;
+                        while i < chars.len() && chars[i] != '}' {
+                            name.push(chars[i]);
+                            step(chars[i], &mut line, &mut col);
+                            i += 1;
+                        }
+                        if i < chars.len() {
+                            step(chars[i], &mut line, &mut col);
+                            i += 1;
+                        }
+                    } else {
+                        while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                            name.push(chars[i]);
+                            step(chars[i], &mut line, &mut col);
+                            i += 1;
+                        }
+                    }
+                    if !name.is_empty() {
+                        self.check_var(&name, vspan, env, ctx);
+                    }
+                }
+                '[' => {
+                    step(chars[i], &mut line, &mut col);
+                    i += 1;
+                    let sspan = map_span(base, Span::new(line, col));
+                    let mut depth = 1;
+                    let mut inner = String::new();
+                    while i < chars.len() && depth > 0 {
+                        match chars[i] {
+                            '[' => {
+                                depth += 1;
+                                inner.push('[');
+                            }
+                            ']' => {
+                                depth -= 1;
+                                if depth > 0 {
+                                    inner.push(']');
+                                }
+                            }
+                            c => inner.push(c),
+                        }
+                        step(chars[i], &mut line, &mut col);
+                        i += 1;
+                    }
+                    self.check_script(&inner, sspan, env, ctx.deeper());
+                }
+                c => {
+                    step(c, &mut line, &mut col);
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    fn suggest(&self, name: &str) -> Option<String> {
+        if name.len() > 30 {
+            return None;
+        }
+        let mut best: Option<(usize, &str)> = None;
+        for cand in BUILTIN_NAMES
+            .iter()
+            .copied()
+            .chain(self.info.procs.keys().map(String::as_str))
+        {
+            let d = levenshtein(name, cand);
+            if d <= 2 && best.is_none_or(|(bd, _)| d < bd) {
+                best = Some((d, cand));
+            }
+        }
+        best.map(|(_, c)| c.to_string())
+    }
+}
+
+fn arity_msg(name: &str, min: usize, max: Option<usize>, got: usize) -> String {
+    let expected = match max {
+        Some(m) if m == min => format!("{min}"),
+        Some(m) => format!("{min} to {m}"),
+        None => format!("at least {min}"),
+    };
+    format!("wrong number of arguments to '{name}': expected {expected}, got {got}")
+}
+
+/// All `$name` / `${name}` variable names mentioned in condition text.
+fn cond_var_names(text: &str) -> BTreeSet<String> {
+    let chars: Vec<char> = text.chars().collect();
+    let mut out = BTreeSet::new();
+    let mut i = 0;
+    while i < chars.len() {
+        if chars[i] == '$' {
+            i += 1;
+            let mut name = String::new();
+            if i < chars.len() && chars[i] == '{' {
+                i += 1;
+                while i < chars.len() && chars[i] != '}' {
+                    name.push(chars[i]);
+                    i += 1;
+                }
+                i += 1;
+            } else {
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    name.push(chars[i]);
+                    i += 1;
+                }
+            }
+            if !name.is_empty() {
+                out.insert(name);
+            }
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Whether a loop body can possibly terminate the loop: by updating one of
+/// the condition's variables, or by escaping.  `break_ok` is false inside
+/// nested loops (their `break` stays inside); `raise_ok` is false inside
+/// `catch` and substitutions (`return`/`error` are absorbed there; only
+/// `halt` always escapes).  Anything opaque returns `true` (conservative).
+fn body_can_exit(
+    src: &str,
+    vars: &BTreeSet<String>,
+    depth: u32,
+    break_ok: bool,
+    raise_ok: bool,
+) -> bool {
+    if depth > MAX_DEPTH {
+        return true;
+    }
+    let Ok(cmds) = parse_script(src) else {
+        return true; // parse error is reported elsewhere; don't double up
+    };
+    for cmd in &cmds {
+        // Substitutions anywhere in the command can assign condition vars.
+        for word in &cmd.words {
+            if let WordKind::Parts(parts) = &word.kind {
+                for part in parts {
+                    if let WordPart::Command(inner) = part {
+                        if body_can_exit(inner, vars, depth + 1, false, false) {
+                            return true;
+                        }
+                    }
+                }
+            }
+        }
+        let Some(name) = cmd.words[0].static_text() else {
+            return true; // computed command: could be anything
+        };
+        let args = &cmd.words[1..];
+        let static_arg = |i: usize| args.get(i).and_then(Word::static_text);
+        let braced_arg = |i: usize| {
+            args.get(i).and_then(|w| match &w.kind {
+                WordKind::Braced(t) => Some(t.as_str()),
+                WordKind::Parts(_) => None,
+            })
+        };
+        match name {
+            "halt" => return true,
+            "break" if break_ok => return true,
+            "return" | "error" if raise_ok => return true,
+            "eval" => return true, // built scripts are opaque
+            "set" | "incr" | "append" | "lappend" | "unset" => match static_arg(0) {
+                Some(var) => {
+                    if vars.contains(var) {
+                        return true;
+                    }
+                }
+                None => return true, // computed variable name
+            },
+            "foreach" => {
+                if static_arg(0).is_some_and(|v| vars.contains(v)) {
+                    return true;
+                }
+                if let Some(body) = braced_arg(2) {
+                    if body_can_exit(body, vars, depth + 1, false, raise_ok) {
+                        return true;
+                    }
+                }
+            }
+            "while" => {
+                if let Some(cond) = braced_arg(0) {
+                    if cond.contains('[') && body_can_exit(cond, vars, depth + 1, false, false) {
+                        return true;
+                    }
+                }
+                if let Some(body) = braced_arg(1) {
+                    if body_can_exit(body, vars, depth + 1, false, raise_ok) {
+                        return true;
+                    }
+                }
+            }
+            "if" => {
+                for (i, _) in args.iter().enumerate() {
+                    if let Some(text) = braced_arg(i) {
+                        if body_can_exit(text, vars, depth + 1, break_ok, raise_ok) {
+                            return true;
+                        }
+                    }
+                }
+            }
+            "catch" => {
+                if static_arg(1).is_some_and(|v| vars.contains(v)) {
+                    return true;
+                }
+                if let Some(body) = braced_arg(0) {
+                    // Inside catch only `halt` escapes and assignments count.
+                    if body_can_exit(body, vars, depth + 1, false, false) {
+                        return true;
+                    }
+                }
+            }
+            "proc" => {} // defining a proc does nothing by itself
+            _ => {}
+        }
+    }
+    false
+}
+
+fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            cur[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::has_errors;
+
+    fn vet(src: &str) -> Vec<Diagnostic> {
+        analyze_with(
+            src,
+            &AnalysisConfig::new().known_agents(["rexec", "courier", "diffusion", "ag_tac"]),
+        )
+    }
+
+    fn codes(src: &str) -> Vec<&'static str> {
+        vet(src).into_iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn clean_scripts_produce_no_diagnostics() {
+        // The migration idiom every example agent uses.
+        let hop = r#"
+            bc_push DATA "from [my_site]"
+            set next [bc_dequeue ITINERARY]
+            if {$next ne ""} {
+                bc_push CODE [bc_peek ORIGCODE]
+                bc_put HOST $next
+                bc_put CONTACT ag_tac
+                meet rexec
+            } else {
+                foreach d [bc_list DATA] { cab_append shared RESULTS $d }
+            }
+        "#;
+        assert_eq!(vet(hop), vec![]);
+        // Conditions, procs, loops with real induction variables.
+        let busy = r#"
+            proc double {x} { return [expr $x * 2] }
+            set i 0
+            set sum 0
+            while {$i < 10} {
+                incr i
+                if {$i == 3} { continue }
+                set sum [expr $sum + [double $i]]
+            }
+            if {[my_site] == 1} { move_to 2 } else { cab_append t DONE $sum }
+        "#;
+        assert_eq!(vet(busy), vec![]);
+    }
+
+    #[test]
+    fn unknown_commands_are_flagged_with_suggestions() {
+        let diags = vet("set x 1\nfrobnicate $x");
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, "unknown-command");
+        assert_eq!(diags[0].span, Span::new(2, 1));
+        // A near-miss of a builtin gets a suggestion.
+        let diags = vet("bc_psh F 1");
+        assert!(diags[0].message.contains("did you mean 'bc_push'"));
+    }
+
+    #[test]
+    fn wrong_arity_for_builtins_and_procs() {
+        assert_eq!(codes("bc_put ONLYONE"), vec!["wrong-arity"]);
+        assert_eq!(codes("my_site extra"), vec!["wrong-arity"]);
+        assert_eq!(codes("string frobnicate x"), vec!["unknown-command"]);
+        assert_eq!(codes("string equal a"), vec!["wrong-arity"]);
+        let diags = vet("proc f {a b} { expr $a + $b }\nf 1");
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, "wrong-arity");
+        assert!(diags[0].message.contains("proc 'f' expects 2"));
+    }
+
+    #[test]
+    fn use_before_set_with_branch_joins() {
+        // Never assigned: error.
+        let diags = vet("set y $x");
+        assert_eq!(diags[0].code, "use-before-set");
+        assert!(diags[0].is_error());
+        // Assigned later: still an error at the use site.
+        assert_eq!(codes("set y $x\nset x 1"), vec!["use-before-set"]);
+        // Assigned on only one branch: warning.
+        let diags = vet("set a 1\nif {$a} { set b 1 }\nputs $b");
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, "possibly-unset");
+        assert!(!diags[0].is_error());
+        // Assigned on every branch: clean.
+        assert_eq!(
+            vet("set a 1\nif {$a} { set b 1 } else { set b 2 }\nputs $b"),
+            vec![]
+        );
+        // A branch that returns does not poison the join.
+        assert_eq!(
+            vet("set a 1\nif {$a} { return } else { set b 2 }\nputs $b"),
+            vec![]
+        );
+        // While bodies may run zero times.
+        let diags = vet("set i 0\nwhile {$i < 3} { incr i; set b 1 }\nputs $b");
+        assert_eq!(codes_of(&diags), vec!["possibly-unset"]);
+        // Condition text and substitutions are scanned too.
+        assert_eq!(codes("if {$nope} { set x 1 }"), vec!["use-before-set"]);
+        assert_eq!(codes("puts [expr $nope + 1]"), vec!["use-before-set"]);
+    }
+
+    fn codes_of(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn unreachable_and_after_move_to() {
+        let diags = vet("return done\nputs after");
+        assert_eq!(codes_of(&diags), vec!["unreachable"]);
+        assert_eq!(codes("error boom\nputs after"), vec!["unreachable"]);
+        // move_to followed by return is the universal idiom: clean.
+        assert_eq!(vet("move_to 1\nreturn moving"), vec![]);
+        // Anything else after move_to draws a warning.
+        let diags = vet("move_to 1\nbc_put X 1");
+        assert_eq!(codes_of(&diags), vec!["after-move-to"]);
+        // Both branches returning makes the tail unreachable.
+        assert_eq!(
+            codes("set a 1\nif {$a} { return x } else { return y }\nputs tail"),
+            vec!["unreachable"]
+        );
+    }
+
+    #[test]
+    fn meet_targets_are_checked_only_with_a_known_set() {
+        assert_eq!(codes("meet nonsuch"), vec!["unknown-agent"]);
+        assert_eq!(vet("meet rexec"), vec![]);
+        // Dynamic targets are not checked.
+        assert_eq!(vet("set a rexec\nmeet $a"), vec![]);
+        // Without a known-agent set the check is off entirely.
+        assert_eq!(analyze("meet nonsuch"), vec![]);
+    }
+
+    #[test]
+    fn loops_with_no_reachable_exit_warn() {
+        assert_eq!(codes("while {1} { set x 1 }"), vec!["no-loop-exit"]);
+        // The condition variable is never touched in the body.
+        assert_eq!(
+            codes("set i 0\nwhile {$i < 3} { bc_push F $i }"),
+            vec!["no-loop-exit"]
+        );
+        // Updating the induction variable, breaking, or a dynamic condition
+        // all count as exits.
+        assert_eq!(vet("set i 0\nwhile {$i < 3} { incr i }"), vec![]);
+        assert_eq!(vet("while {1} { if {[my_site]} { break } }"), vec![]);
+        assert_eq!(vet("while {[bc_size Q] > 0} { bc_pop Q }"), vec![]);
+        // halt escapes even from inside catch.
+        assert_eq!(vet("while {1} { catch { halt done } }"), vec![]);
+        // break inside a nested loop does not exit the outer loop.
+        assert_eq!(
+            codes("while {1} { foreach x {1 2} { break } }"),
+            vec!["no-loop-exit"]
+        );
+        // Constant-false conditions are zero-trip, not infinite.
+        assert_eq!(vet("while {0} { set x 1 }"), vec![]);
+    }
+
+    #[test]
+    fn catch_bodies_are_exempt() {
+        assert_eq!(vet("catch { frobnicate $nope }"), vec![]);
+        assert_eq!(vet("catch { meet ghost }"), vec![]);
+        // The result variable counts as assigned afterwards.
+        assert_eq!(vet("catch { error boom } msg\nputs $msg"), vec![]);
+    }
+
+    #[test]
+    fn procs_may_read_outer_dynamic_scope() {
+        // `g` is assigned somewhere in the script, so the proc body reading it
+        // is legal under dynamic scoping; `never` is not assigned anywhere.
+        assert_eq!(vet("set g 1\nproc f {} { return $g }\nf"), vec![]);
+        let diags = vet("proc f {} { return $never }\nf");
+        assert_eq!(codes_of(&diags), vec!["use-before-set"]);
+    }
+
+    #[test]
+    fn predefined_variables_are_exempt() {
+        let cfg = AnalysisConfig::new().predefined(["argv"]);
+        assert_eq!(analyze_with("puts $argv", &cfg), vec![]);
+        assert!(has_errors(&analyze("puts $argv")));
+    }
+
+    #[test]
+    fn parse_errors_become_diagnostics() {
+        let diags = analyze("set x 1\nset y {oops");
+        assert_eq!(codes_of(&diags), vec!["parse"]);
+        assert!(diags[0].is_error());
+        assert_eq!(diags[0].span.line, 2);
+    }
+
+    #[test]
+    fn spans_point_into_nested_bodies() {
+        let src = "set a 1\nif {$a} {\n    frobnicate\n}";
+        let diags = vet(src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].span, Span::new(3, 5));
+    }
+
+    #[test]
+    fn diagnostics_are_sorted_by_position() {
+        let diags = vet("set y $x\nfrobnicate\nbc_put ONLY");
+        let lines: Vec<u32> = diags.iter().map(|d| d.span.line).collect();
+        assert_eq!(lines, vec![1, 2, 3]);
+    }
+}

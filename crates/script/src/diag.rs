@@ -1,0 +1,122 @@
+//! Spanned diagnostics for the taco-vet analysis pass.
+//!
+//! A [`Diagnostic`] is one finding anchored to a source position.  Diagnostics
+//! come in two severities: [`Severity::Error`] for defects that are certain to
+//! fail at runtime (unknown command, wrong arity, a variable that is never
+//! assigned), and [`Severity::Warning`] for likely-but-not-certain problems
+//! (a variable assigned on only some paths, unreachable code, a loop with no
+//! visible exit).  The install-time gate in `tacoma-core` rejects agents whose
+//! CODE folder produces errors; warnings are advisory unless the `taco-vet`
+//! CLI is run with `--deny-warnings`.
+
+use crate::parser::Span;
+use std::fmt;
+
+/// How serious a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Advisory: the script may still run correctly.
+    Warning,
+    /// The script is certain to fail (or never do what was written).
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One analysis finding, anchored to where it occurs in the script.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Error or warning.
+    pub severity: Severity,
+    /// A stable machine-readable code, e.g. `use-before-set`.
+    pub code: &'static str,
+    /// Human-readable description of the finding.
+    pub message: String,
+    /// Where the finding is (1-based line and column).
+    pub span: Span,
+}
+
+impl Diagnostic {
+    /// An error-severity diagnostic.
+    pub fn error(code: &'static str, span: Span, message: impl Into<String>) -> Self {
+        Diagnostic {
+            severity: Severity::Error,
+            code,
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// A warning-severity diagnostic.
+    pub fn warning(code: &'static str, span: Span, message: impl Into<String>) -> Self {
+        Diagnostic {
+            severity: Severity::Warning,
+            code,
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// Whether this diagnostic is an error.
+    pub fn is_error(&self) -> bool {
+        self.severity == Severity::Error
+    }
+
+    /// Renders the diagnostic anchored to a named file, in the conventional
+    /// `file:line:col: severity[code]: message` shape.
+    pub fn render(&self, file: &str) -> String {
+        format!(
+            "{file}:{}:{}: {}[{}]: {}",
+            self.span.line, self.span.col, self.severity, self.code, self.message
+        )
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render("<script>"))
+    }
+}
+
+/// Renders a batch of diagnostics, one per line, anchored to `file`.
+pub fn render_report(diags: &[Diagnostic], file: &str) -> String {
+    let mut out = String::new();
+    for d in diags {
+        out.push_str(&d.render(file));
+        out.push('\n');
+    }
+    out
+}
+
+/// True when any diagnostic in the slice is an error.
+pub fn has_errors(diags: &[Diagnostic]) -> bool {
+    diags.iter().any(Diagnostic::is_error)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rendering_points_at_the_source() {
+        let d = Diagnostic::error("unknown-command", Span::new(3, 7), "unknown command 'foo'");
+        assert_eq!(
+            d.render("agent.taco"),
+            "agent.taco:3:7: error[unknown-command]: unknown command 'foo'"
+        );
+        assert!(d.to_string().starts_with("<script>:3:7"));
+        let w = Diagnostic::warning("unreachable", Span::new(9, 1), "unreachable code");
+        assert!(!w.is_error());
+        assert!(has_errors(&[w.clone(), d.clone()]));
+        assert!(!has_errors(std::slice::from_ref(&w)));
+        let report = render_report(&[d, w], "x.taco");
+        assert_eq!(report.lines().count(), 2);
+    }
+}

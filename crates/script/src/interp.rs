@@ -9,7 +9,7 @@
 
 use crate::expr::eval_expr;
 use crate::host::ScriptHost;
-use crate::parser::{parse_script, Command, Word, WordPart};
+use crate::parser::{parse_script, Command, Word, WordKind, WordPart};
 use crate::value::{as_int, format_list, is_truthy, parse_list};
 use std::collections::HashMap;
 
@@ -22,6 +22,8 @@ pub enum ScriptError {
     Runtime(String),
     /// The step budget was exhausted.
     BudgetExceeded,
+    /// The script was rejected by static analysis before it ran (taco-vet).
+    Rejected(String),
 }
 
 impl std::fmt::Display for ScriptError {
@@ -30,6 +32,7 @@ impl std::fmt::Display for ScriptError {
             ScriptError::Parse(m) => write!(f, "parse error: {m}"),
             ScriptError::Runtime(m) => write!(f, "runtime error: {m}"),
             ScriptError::BudgetExceeded => write!(f, "script step budget exceeded"),
+            ScriptError::Rejected(m) => write!(f, "script rejected: {m}"),
         }
     }
 }
@@ -68,6 +71,9 @@ pub struct ScriptOutcome {
 enum Flow {
     Normal(String),
     Return(String),
+    /// `halt` — terminate the whole script immediately (propagates through
+    /// loops, procs and `catch`, unlike `return`).
+    Halt(String),
     Break,
     Continue,
 }
@@ -75,7 +81,7 @@ enum Flow {
 impl Flow {
     fn value(self) -> String {
         match self {
-            Flow::Normal(v) | Flow::Return(v) => v,
+            Flow::Normal(v) | Flow::Return(v) | Flow::Halt(v) => v,
             Flow::Break | Flow::Continue => String::new(),
         }
     }
@@ -175,13 +181,13 @@ impl<'h> Interp<'h> {
         }
         let name = words[0].clone();
         let args = &words[1..];
-        self.invoke(&name, args, cmd.line, depth)
+        self.invoke(&name, args, cmd.line(), depth)
     }
 
     fn eval_word(&mut self, word: &Word, depth: u32) -> Result<String, ScriptError> {
-        match word {
-            Word::Braced(s) => Ok(s.clone()),
-            Word::Parts(parts) => {
+        match &word.kind {
+            WordKind::Braced(s) => Ok(s.clone()),
+            WordKind::Parts(parts) => {
                 let mut out = String::new();
                 for part in parts {
                     match part {
@@ -293,6 +299,7 @@ impl<'h> Interp<'h> {
                 _ => Err(Self::arity_err("proc", "name {params} {body}", line)),
             },
             "return" => Ok(Flow::Return(args.first().cloned().unwrap_or_default())),
+            "halt" => Ok(Flow::Halt(args.first().cloned().unwrap_or_default())),
             "break" => Ok(Flow::Break),
             "continue" => Ok(Flow::Continue),
             "eval" => {
@@ -302,11 +309,13 @@ impl<'h> Interp<'h> {
             "error" => Err(ScriptError::Runtime(args.join(" "))),
             "catch" => match args {
                 [body] => match self.eval_script(body, depth + 1) {
+                    Ok(halt @ Flow::Halt(_)) => Ok(halt),
                     Ok(_) => Ok(Flow::Normal("0".into())),
                     Err(ScriptError::BudgetExceeded) => Err(ScriptError::BudgetExceeded),
                     Err(_) => Ok(Flow::Normal("1".into())),
                 },
                 [body, var] => match self.eval_script(body, depth + 1) {
+                    Ok(halt @ Flow::Halt(_)) => Ok(halt),
                     Ok(flow) => {
                         self.set_in_scope(var, flow.value());
                         Ok(Flow::Normal("0".into()))
@@ -686,7 +695,7 @@ impl<'h> Interp<'h> {
             match self.eval_script(body, depth + 1)? {
                 Flow::Break => break,
                 Flow::Continue | Flow::Normal(_) => {}
-                ret @ Flow::Return(_) => return Ok(ret),
+                ret @ (Flow::Return(_) | Flow::Halt(_)) => return Ok(ret),
             }
             self.steps += 1;
             if self.steps > self.config.max_steps {
@@ -705,7 +714,7 @@ impl<'h> Interp<'h> {
             match self.eval_script(body, depth + 1)? {
                 Flow::Break => break,
                 Flow::Continue | Flow::Normal(_) => {}
-                ret @ Flow::Return(_) => return Ok(ret),
+                ret @ (Flow::Return(_) | Flow::Halt(_)) => return Ok(ret),
             }
         }
         Ok(Flow::Normal(String::new()))
@@ -773,6 +782,7 @@ impl<'h> Interp<'h> {
         self.scopes.pop();
         match result? {
             Flow::Return(v) | Flow::Normal(v) => Ok(Flow::Normal(v)),
+            halt @ Flow::Halt(_) => Ok(halt),
             Flow::Break | Flow::Continue => Err(ScriptError::Runtime(format!(
                 "line {line}: break/continue outside a loop in proc '{name}'"
             ))),
@@ -958,6 +968,19 @@ mod tests {
             "runtime error: boom"
         );
         assert_eq!(run("catch {expr 2 + 2} v; set v"), "4");
+    }
+
+    #[test]
+    fn halt_terminates_the_whole_script() {
+        // Unlike `return`, `halt` punches through loops, procs and `catch`.
+        assert_eq!(run("halt done\nset never reached"), "done");
+        assert_eq!(
+            run("set i 0\nwhile {1} { incr i; if {$i > 2} { halt $i } }\nset never x"),
+            "3"
+        );
+        assert_eq!(run("proc f {} { halt inner }\nf\nset never x"), "inner");
+        assert_eq!(run("catch { halt stop }\nset never x"), "stop");
+        assert_eq!(run("halt"), "");
     }
 
     #[test]

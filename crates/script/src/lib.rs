@@ -27,13 +27,17 @@
 
 #![warn(missing_docs)]
 
+pub mod analysis;
+pub mod diag;
 pub mod expr;
 pub mod host;
 pub mod interp;
 pub mod parser;
 pub mod value;
 
+pub use analysis::{analyze, analyze_with, AnalysisConfig};
+pub use diag::{has_errors, render_report, Diagnostic, Severity};
 pub use host::{HostCall, NullHost, RecordingHost, ScriptHost};
 pub use interp::{Interp, InterpConfig, ScriptError, ScriptOutcome};
-pub use parser::{parse_script, Command, Word, WordPart};
+pub use parser::{parse_script, Command, ParseError, Span, Word, WordKind, WordPart};
 pub use value::{format_list, parse_list};

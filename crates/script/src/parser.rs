@@ -10,6 +10,39 @@
 
 use std::fmt;
 
+/// A 1-based source position (line and column), attached to every parsed
+/// command and word so downstream passes (the analyzer, error reporting) can
+/// point at the offending text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Span {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number (in characters, not bytes).
+    pub col: u32,
+}
+
+impl Span {
+    /// The start of a script.
+    pub const START: Span = Span { line: 1, col: 1 };
+
+    /// Creates a span at the given position.
+    pub fn new(line: u32, col: u32) -> Self {
+        Span { line, col }
+    }
+}
+
+impl Default for Span {
+    fn default() -> Self {
+        Span::START
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
 /// One component of a word after parsing.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WordPart {
@@ -21,19 +54,43 @@ pub enum WordPart {
     Command(String),
 }
 
-/// A word: either a brace-quoted literal or a concatenation of parts.
+/// How a word's text is interpreted at evaluation time.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub enum Word {
+pub enum WordKind {
     /// `{...}` — literal text, no substitution performed.
     Braced(String),
     /// Bare or double-quoted word made of parts to be substituted and joined.
     Parts(Vec<WordPart>),
 }
 
+/// A word with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Word {
+    /// The word's content.
+    pub kind: WordKind,
+    /// Where the word starts in the source text.
+    pub span: Span,
+}
+
 impl Word {
     /// A purely literal (non-braced) word, convenient for tests.
     pub fn literal(s: impl Into<String>) -> Self {
-        Word::Parts(vec![WordPart::Literal(s.into())])
+        Word {
+            kind: WordKind::Parts(vec![WordPart::Literal(s.into())]),
+            span: Span::START,
+        }
+    }
+
+    /// The word's text when it is statically known (a braced word or a single
+    /// literal part); `None` when the text depends on substitution.
+    pub fn static_text(&self) -> Option<&str> {
+        match &self.kind {
+            WordKind::Braced(s) => Some(s),
+            WordKind::Parts(parts) => match parts.as_slice() {
+                [WordPart::Literal(s)] => Some(s),
+                _ => None,
+            },
+        }
     }
 }
 
@@ -42,8 +99,15 @@ impl Word {
 pub struct Command {
     /// The words of the command; the first is the command name.
     pub words: Vec<Word>,
-    /// 1-based line number where the command starts (for error messages).
-    pub line: u32,
+    /// Where the command starts (for error messages and diagnostics).
+    pub span: Span,
+}
+
+impl Command {
+    /// 1-based line number where the command starts.
+    pub fn line(&self) -> u32 {
+        self.span.line
+    }
 }
 
 /// Errors produced by the parser.
@@ -53,11 +117,31 @@ pub struct ParseError {
     pub message: String,
     /// 1-based line number.
     pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+impl ParseError {
+    /// The error's position as a [`Span`].
+    pub fn span(&self) -> Span {
+        Span::new(self.line, self.col)
+    }
+
+    /// Renders the error anchored to a named source file, in the conventional
+    /// `file:line:col: message` shape.
+    pub fn render(&self, file: &str) -> String {
+        format!(
+            "{file}:{}:{}: parse error: {}",
+            self.line, self.col, self.message
+        )
+    }
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at line {}: {}", self.line, self.message)
+        // `<script>` stands in for the file name, which the parser does not
+        // know; callers with a real path use [`ParseError::render`].
+        write!(f, "{}", self.render("<script>"))
     }
 }
 
@@ -67,6 +151,7 @@ struct Cursor<'a> {
     chars: Vec<char>,
     pos: usize,
     line: u32,
+    col: u32,
     _src: &'a str,
 }
 
@@ -76,6 +161,7 @@ impl<'a> Cursor<'a> {
             chars: src.chars().collect(),
             pos: 0,
             line: 1,
+            col: 1,
             _src: src,
         }
     }
@@ -89,14 +175,22 @@ impl<'a> Cursor<'a> {
         self.pos += 1;
         if c == '\n' {
             self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
         }
         Some(c)
+    }
+
+    fn span(&self) -> Span {
+        Span::new(self.line, self.col)
     }
 
     fn err(&self, message: impl Into<String>) -> ParseError {
         ParseError {
             message: message.into(),
             line: self.line,
+            col: self.col,
         }
     }
 }
@@ -110,10 +204,10 @@ pub fn parse_script(src: &str) -> Result<Vec<Command>, ParseError> {
         if cursor.peek().is_none() {
             break;
         }
-        let line = cursor.line;
+        let span = cursor.span();
         let words = parse_command(&mut cursor)?;
         if !words.is_empty() {
-            commands.push(Command { words, line });
+            commands.push(Command { words, span });
         }
     }
     Ok(commands)
@@ -184,21 +278,19 @@ fn parse_command(cursor: &mut Cursor<'_>) -> Result<Vec<Word>, ParseError> {
 }
 
 fn parse_word(cursor: &mut Cursor<'_>) -> Result<Word, ParseError> {
-    match cursor.peek() {
+    let span = cursor.span();
+    let kind = match cursor.peek() {
         Some('{') => {
             let inner = parse_braced(cursor)?;
-            Ok(Word::Braced(inner))
+            WordKind::Braced(inner)
         }
         Some('"') => {
             cursor.bump();
-            let parts = parse_parts(cursor, true)?;
-            Ok(Word::Parts(parts))
+            WordKind::Parts(parse_parts(cursor, true)?)
         }
-        _ => {
-            let parts = parse_parts(cursor, false)?;
-            Ok(Word::Parts(parts))
-        }
-    }
+        _ => WordKind::Parts(parse_parts(cursor, false)?),
+    };
+    Ok(Word { kind, span })
 }
 
 /// Parses a `{...}` word, returning the inner text with nested braces kept.
@@ -350,8 +442,19 @@ mod tests {
         let cmds = parse_script("set x 1\nset y 2").unwrap();
         assert_eq!(cmds.len(), 2);
         assert_eq!(cmds[0].words.len(), 3);
-        assert_eq!(cmds[0].words[0], Word::literal("set"));
-        assert_eq!(cmds[1].line, 2);
+        assert_eq!(cmds[0].words[0].kind, Word::literal("set").kind);
+        assert_eq!(cmds[1].span, Span::new(2, 1));
+    }
+
+    #[test]
+    fn spans_track_lines_and_columns() {
+        let cmds = parse_script("set x 1\n  incr x; puts $x").unwrap();
+        assert_eq!(cmds.len(), 3);
+        assert_eq!(cmds[0].span, Span::new(1, 1));
+        assert_eq!(cmds[0].words[2].span, Span::new(1, 7));
+        assert_eq!(cmds[1].span, Span::new(2, 3));
+        assert_eq!(cmds[2].span, Span::new(2, 11));
+        assert_eq!(cmds[2].words[1].span, Span::new(2, 16));
     }
 
     #[test]
@@ -364,22 +467,26 @@ mod tests {
     fn comments_and_blank_lines_are_skipped() {
         let cmds = parse_script("\n# a comment\n  # another\nset x 1\n\n").unwrap();
         assert_eq!(cmds.len(), 1);
-        assert_eq!(cmds[0].line, 4);
+        assert_eq!(cmds[0].span, Span::new(4, 1));
     }
 
     #[test]
     fn braced_words_keep_content_verbatim() {
         let cmds = parse_script("if {$x > 1} { set y [foo] }").unwrap();
         assert_eq!(cmds.len(), 1);
-        assert_eq!(cmds[0].words[1], Word::Braced("$x > 1".into()));
-        assert_eq!(cmds[0].words[2], Word::Braced(" set y [foo] ".into()));
+        assert_eq!(cmds[0].words[1].kind, WordKind::Braced("$x > 1".into()));
+        assert_eq!(cmds[0].words[1].span, Span::new(1, 4));
+        assert_eq!(
+            cmds[0].words[2].kind,
+            WordKind::Braced(" set y [foo] ".into())
+        );
     }
 
     #[test]
     fn nested_braces() {
         let cmds = parse_script("proc f {a} { if {$a} { return 1 } }").unwrap();
-        match &cmds[0].words[3] {
-            Word::Braced(body) => assert!(body.contains("{ return 1 }")),
+        match &cmds[0].words[3].kind {
+            WordKind::Braced(body) => assert!(body.contains("{ return 1 }")),
             other => panic!("expected braced body, got {other:?}"),
         }
     }
@@ -387,7 +494,7 @@ mod tests {
     #[test]
     fn variable_and_command_substitution_parts() {
         let cmds = parse_script("set msg \"x=$x y=[get y] done\"").unwrap();
-        let Word::Parts(parts) = &cmds[0].words[2] else {
+        let WordKind::Parts(parts) = &cmds[0].words[2].kind else {
             panic!("expected parts")
         };
         assert_eq!(
@@ -405,7 +512,7 @@ mod tests {
     #[test]
     fn bare_word_with_substitutions() {
         let cmds = parse_script("puts $a[b]c").unwrap();
-        let Word::Parts(parts) = &cmds[0].words[1] else {
+        let WordKind::Parts(parts) = &cmds[0].words[1].kind else {
             panic!("expected parts")
         };
         assert_eq!(parts.len(), 3);
@@ -417,7 +524,7 @@ mod tests {
     #[test]
     fn dollar_brace_variable() {
         let cmds = parse_script("puts ${long name}").unwrap();
-        let Word::Parts(parts) = &cmds[0].words[1] else {
+        let WordKind::Parts(parts) = &cmds[0].words[1].kind else {
             panic!("expected parts")
         };
         assert_eq!(parts, &vec![WordPart::Variable("long name".into())]);
@@ -427,13 +534,13 @@ mod tests {
     fn lone_dollar_is_literal() {
         let cmds = parse_script("puts $ x").unwrap();
         assert_eq!(cmds[0].words.len(), 3);
-        assert_eq!(cmds[0].words[1], Word::literal("$"));
+        assert_eq!(cmds[0].words[1].kind, Word::literal("$").kind);
     }
 
     #[test]
     fn escapes_in_words() {
         let cmds = parse_script(r#"puts "a\nb\t\"q\"""#).unwrap();
-        let Word::Parts(parts) = &cmds[0].words[1] else {
+        let WordKind::Parts(parts) = &cmds[0].words[1].kind else {
             panic!("expected parts")
         };
         assert_eq!(parts, &vec![WordPart::Literal("a\nb\t\"q\"".into())]);
@@ -453,13 +560,15 @@ mod tests {
         assert!(parse_script("set x \"oops").is_err());
         let err = parse_script("\n\nset x {").unwrap_err();
         assert_eq!(err.line, 3);
-        assert!(err.to_string().contains("line 3"));
+        assert_eq!(err.col, 8);
+        assert!(err.to_string().contains("<script>:3:8"));
+        assert!(err.render("a.taco").starts_with("a.taco:3:8: parse error"));
     }
 
     #[test]
     fn nested_brackets() {
         let cmds = parse_script("set x [a [b c] d]").unwrap();
-        let Word::Parts(parts) = &cmds[0].words[2] else {
+        let WordKind::Parts(parts) = &cmds[0].words[2].kind else {
             panic!("expected parts")
         };
         assert_eq!(parts, &vec![WordPart::Command("a [b c] d".into())]);

@@ -1,0 +1,51 @@
+//! Property tests for the taco-vet analysis pass.
+//!
+//! The analyzer runs inside the kernel's install gate, where a panic would
+//! take down the whole simulation, so the headline property is total
+//! robustness: `analyze` must return diagnostics (possibly a parse error) for
+//! *any* input, never panic or loop.
+
+use proptest::prelude::*;
+use tacoma_script::{analyze, parse_script};
+
+proptest! {
+    /// The analyzer never panics on arbitrary printable byte soup.
+    #[test]
+    fn analyze_never_panics_on_ascii_soup(src in "[ -~\n\t]{0,200}") {
+        let diags = analyze(&src);
+        for d in &diags {
+            prop_assert!(d.span.line >= 1);
+            prop_assert!(d.span.col >= 1);
+        }
+    }
+
+    /// Dense Tcl metacharacter soup (braces, brackets, dollars, quotes,
+    /// semicolons) exercises the nested-script recursion paths; the depth cap
+    /// must keep the analyzer total.
+    #[test]
+    fn analyze_never_panics_on_tcl_soup(src in "[{}$\\[\\]\"; \nsetwhileafobcx0-9]{0,160}") {
+        let _ = analyze(&src);
+    }
+
+    /// Diagnostics come back sorted by source position, so reports read
+    /// top-to-bottom regardless of analysis order.
+    #[test]
+    fn diagnostics_are_position_sorted(src in "[ -~\n]{0,200}") {
+        let diags = analyze(&src);
+        for pair in diags.windows(2) {
+            prop_assert!(pair[0].span <= pair[1].span);
+        }
+    }
+
+    /// A script the parser rejects yields exactly one `parse` diagnostic and
+    /// nothing else.  (A script that parses at the top level may still carry
+    /// parse diagnostics from nested braced bodies, which are parsed lazily.)
+    #[test]
+    fn parse_failures_yield_one_diagnostic(src in "[ -~\n]{0,160}") {
+        if parse_script(&src).is_err() {
+            let diags = analyze(&src);
+            prop_assert_eq!(diags.len(), 1);
+            prop_assert_eq!(diags[0].code, "parse");
+        }
+    }
+}

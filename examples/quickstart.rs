@@ -18,25 +18,9 @@ fn main() {
         .with_agents(standard_agents)
         .build();
 
-    // The touring agent: visit every site in ITINERARY using the paper's
-    // migration idiom (set HOST/CONTACT, meet rexec), sign each guest book,
-    // and when the itinerary is empty file the accumulated TRAIL folder into
-    // the last site's archive cabinet.
-    let code = r#"
-        set here [my_site]
-        cab_append guestbook VISITORS "toured by quickstart at $here"
-        bc_push TRAIL "visited $here at [now]us"
-        set next [bc_dequeue ITINERARY]
-        if {$next ne ""} {
-            bc_push CODE [bc_peek ORIGCODE]
-            bc_put HOST $next
-            bc_put CONTACT ag_tac
-            meet rexec
-        } else {
-            foreach entry [bc_list TRAIL] { cab_append archive TRAIL $entry }
-            log "tour finished at site $here"
-        }
-    "#;
+    // The touring agent lives in its own .taco file so `taco-vet` (and the CI
+    // lint job) can check it without compiling this example.
+    let code = include_str!("scripts/quickstart_tour.taco");
 
     let mut bc = script_briefcase(code, &[]);
     bc.put_string("ORIGCODE", code);

@@ -181,7 +181,7 @@ fn rear_guards_change_the_outcome_under_injected_failures() {
     };
     let unguarded = run_itinerary_experiment(&FtConfig {
         guarded: false,
-        ..base.clone()
+        ..base
     });
     let guarded = run_itinerary_experiment(&FtConfig {
         guarded: true,
