@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::time::Duration;
-use tacoma_bench::{ablation_guard_depth, ablation_report_period};
+use tacoma_bench::{ablation_guard_depth, ablation_report_period, RunOpts};
 
 fn config() -> Criterion {
     Criterion::default()
@@ -14,13 +14,13 @@ fn config() -> Criterion {
 
 fn bench_ablation_guard_depth(c: &mut Criterion) {
     c.bench_function("a3_guard_depth", |b| {
-        b.iter(|| std::hint::black_box(ablation_guard_depth()))
+        b.iter(|| std::hint::black_box(ablation_guard_depth(RunOpts::new(true))))
     });
 }
 
 fn bench_ablation_report_period(c: &mut Criterion) {
     c.bench_function("a4_report_period", |b| {
-        b.iter(|| std::hint::black_box(ablation_report_period()))
+        b.iter(|| std::hint::black_box(ablation_report_period(RunOpts::new(true))))
     });
 }
 

@@ -7,6 +7,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::time::Duration;
 use tacoma_bench as exp;
+use tacoma_bench::RunOpts;
 
 fn config() -> Criterion {
     Criterion::default()
@@ -17,31 +18,31 @@ fn config() -> Criterion {
 
 fn bench_e1_bandwidth(c: &mut Criterion) {
     c.bench_function("e1_bandwidth_quick", |b| {
-        b.iter(|| std::hint::black_box(exp::e1_bandwidth(true)))
+        b.iter(|| std::hint::black_box(exp::e1_bandwidth(RunOpts::new(true))))
     });
 }
 
 fn bench_e2_diffusion(c: &mut Criterion) {
     c.bench_function("e2_diffusion_quick", |b| {
-        b.iter(|| std::hint::black_box(exp::e2_diffusion(true)))
+        b.iter(|| std::hint::black_box(exp::e2_diffusion(RunOpts::new(true))))
     });
 }
 
 fn bench_e5_cash(c: &mut Criterion) {
     c.bench_function("e5_cash_quick", |b| {
-        b.iter(|| std::hint::black_box(exp::e5_cash(true)))
+        b.iter(|| std::hint::black_box(exp::e5_cash(RunOpts::new(true))))
     });
 }
 
 fn bench_e6_exchange(c: &mut Criterion) {
     c.bench_function("e6_exchange_quick", |b| {
-        b.iter(|| std::hint::black_box(exp::e6_exchange(true)))
+        b.iter(|| std::hint::black_box(exp::e6_exchange(RunOpts::new(true))))
     });
 }
 
 fn bench_e7_scheduling(c: &mut Criterion) {
     c.bench_function("e7_scheduling_quick", |b| {
-        b.iter(|| std::hint::black_box(exp::e7_scheduling(true)))
+        b.iter(|| std::hint::black_box(exp::e7_scheduling(RunOpts::new(true))))
     });
 }
 
@@ -53,13 +54,13 @@ fn bench_e8_protected(c: &mut Criterion) {
 
 fn bench_e9_rear_guard(c: &mut Criterion) {
     c.bench_function("e9_rear_guard_quick", |b| {
-        b.iter(|| std::hint::black_box(exp::e9_rear_guard(true)))
+        b.iter(|| std::hint::black_box(exp::e9_rear_guard(RunOpts::new(true))))
     });
 }
 
 fn bench_e10_apps(c: &mut Criterion) {
     c.bench_function("e10_apps_quick", |b| {
-        b.iter(|| std::hint::black_box(exp::e10_apps(true)))
+        b.iter(|| std::hint::black_box(exp::e10_apps(RunOpts::new(true))))
     });
 }
 

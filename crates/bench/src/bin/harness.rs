@@ -48,16 +48,18 @@ fn main() -> ExitCode {
         }
     };
     let workers = args.jobs.max(1);
+    let opts = runner::RunOpts::new(args.quick).with_shards(args.shards.max(1));
     println!(
-        "# TACOMA reproduction — experiment harness ({} mode, {} job(s), {} worker(s))",
+        "# TACOMA reproduction — experiment harness ({} mode, {} job(s), {} worker(s), {} shard(s))",
         if args.quick { "quick" } else { "full" },
         specs.len(),
         workers.min(specs.len().max(1)),
+        opts.shards,
     );
     println!();
 
     let started = std::time::Instant::now();
-    let results = runner::run_jobs(&specs, args.quick, workers);
+    let results = runner::run_jobs(&specs, opts, workers);
     let total_wall_ms = started.elapsed().as_secs_f64() * 1_000.0;
 
     for result in &results {
@@ -72,6 +74,17 @@ fn main() -> ExitCode {
         total_wall_ms,
         workers.min(specs.len().max(1))
     );
+    // Wall-clock notes (E17's events/sec and speedups) live outside the
+    // deterministic report; CI lifts this section into the job summary.
+    if results.iter().any(|r| !r.table.notes.is_empty()) {
+        println!();
+        println!("## shard speedup (wall clock; not part of the report)");
+        for result in &results {
+            for note in &result.table.notes {
+                println!("  {:<4} {note}", result.id);
+            }
+        }
+    }
 
     let set = ReportSet::new(
         args.quick,

@@ -1,5 +1,6 @@
-//! The E1–E16 experiment drivers and the design-choice ablations.
+//! The E1–E17 experiment drivers and the design-choice ablations.
 
+use crate::runner::RunOpts;
 use crate::table::Table;
 use tacoma_agents::testing::SinkAgent;
 use tacoma_agents::{diffusion_briefcase, naive_flood_briefcase, standard_agents, NaiveFloodAgent};
@@ -105,10 +106,12 @@ fn e1_run(
     selectivity: f64,
     agent_plan: bool,
     seed: u64,
+    shards: u32,
 ) -> (u64, f64) {
     let mut sys = TacomaSystem::builder()
         .topology(Topology::star(sites + 1, LinkSpec::wan()))
         .seed(seed)
+        .shards(shards)
         .build();
     sys.register_agent(USiteId(0), Box::new(SinkAgent::new()));
     let mut rng = DetRng::new(seed ^ 0xE1);
@@ -151,7 +154,8 @@ fn e1_run(
 
 /// E1: bytes on the wire, agent plan vs client-server, over data sizes and
 /// selectivities (§1's bandwidth-conservation claim).
-pub fn e1_bandwidth(quick: bool) -> Table {
+pub fn e1_bandwidth(opts: RunOpts) -> Table {
+    let quick = opts.quick;
     let mut table = Table::new(
         "E1 — bandwidth conservation (filter at the data)",
         "§1: \"communication-network bandwidth is conserved … there is rarely a need to transmit raw data\"",
@@ -168,8 +172,8 @@ pub fn e1_bandwidth(quick: bool) -> Table {
         ]
     };
     for &(sites, records, selectivity) in sweeps {
-        let (agent_bytes, _) = e1_run(sites, records, selectivity, true, 7);
-        let (cs_bytes, _) = e1_run(sites, records, selectivity, false, 7);
+        let (agent_bytes, _) = e1_run(sites, records, selectivity, true, 7, opts.shards);
+        let (cs_bytes, _) = e1_run(sites, records, selectivity, false, 7, opts.shards);
         table.row(vec![
             sites.to_string(),
             records.to_string(),
@@ -186,10 +190,11 @@ pub fn e1_bandwidth(quick: bool) -> Table {
 // E2 — diffusion vs naive flooding
 // ---------------------------------------------------------------------------
 
-fn e2_run(topology: Topology, naive: bool) -> (u64, u64, usize) {
+fn e2_run(topology: Topology, naive: bool, shards: u32) -> (u64, u64, usize) {
     let mut sys = TacomaSystem::builder()
         .topology(topology)
         .seed(2)
+        .shards(shards)
         .with_agents(standard_agents)
         .build();
     let sites = sys.site_count();
@@ -227,7 +232,8 @@ fn e2_run(topology: Topology, naive: bool) -> (u64, u64, usize) {
 }
 
 /// E2: agents spawned and bytes moved by bounded diffusion vs naive flooding.
-pub fn e2_diffusion(quick: bool) -> Table {
+pub fn e2_diffusion(opts: RunOpts) -> Table {
+    let quick = opts.quick;
     let mut table = Table::new(
         "E2 — diffusion bounded by site-local folders",
         "§2: without the site-local visited folder \"the number of agents increases without bound\"",
@@ -249,7 +255,7 @@ pub fn e2_diffusion(quick: bool) -> Table {
     for (name, topology) in topologies {
         let sites = topology.site_count();
         for naive in [false, true] {
-            let (meets, bytes, covered) = e2_run(topology.clone(), naive);
+            let (meets, bytes, covered) = e2_run(topology.clone(), naive, opts.shards);
             table.row(vec![
                 name.to_string(),
                 sites.to_string(),
@@ -319,7 +325,8 @@ pub fn e3_local_meets(n: u64) -> f64 {
 }
 
 /// E3: migration cost by payload size and transport personality.
-pub fn e3_meet_rexec(quick: bool) -> Table {
+pub fn e3_meet_rexec(opts: RunOpts) -> Table {
+    let quick = opts.quick;
     let mut table = Table::new(
         "E3 — meet and rexec migration cost",
         "§2/§6: meet is a procedure call; rexec has rsh, TCP and Horus implementations that differ in setup cost",
@@ -355,7 +362,8 @@ pub fn e3_meet_rexec(quick: bool) -> Table {
 // ---------------------------------------------------------------------------
 
 /// E4: folder/briefcase/cabinet operation costs and move costs.
-pub fn e4_folders(quick: bool) -> Table {
+pub fn e4_folders(opts: RunOpts) -> Table {
+    let quick = opts.quick;
     let mut table = Table::new(
         "E4 — folders are cheap to move, cabinets are cheap to access",
         "§2: cabinets may use access-optimising structures \"even if this increases the cost of moving\"",
@@ -402,7 +410,8 @@ pub fn e4_folders(quick: bool) -> Table {
 // ---------------------------------------------------------------------------
 
 /// E5: double-spend acceptance with and without the validation agent.
-pub fn e5_cash(quick: bool) -> Table {
+pub fn e5_cash(opts: RunOpts) -> Table {
+    let quick = opts.quick;
     let mut table = Table::new(
         "E5 — the validation agent foils double spending",
         "§3: \"an attempt by an agent to spend retired or copied ECUs will be foiled if a validation agent is always consulted\"",
@@ -474,7 +483,8 @@ pub fn e5_cash(quick: bool) -> Table {
 // ---------------------------------------------------------------------------
 
 /// E6: cheat detection by audits, and message overhead vs a transaction baseline.
-pub fn e6_exchange(quick: bool) -> Table {
+pub fn e6_exchange(opts: RunOpts) -> Table {
+    let quick = opts.quick;
     let mut table = Table::new(
         "E6 — audits instead of transactions",
         "§3: participants document actions; \"a third party … can perform an audit to find violations of a contract\"",
@@ -545,7 +555,8 @@ pub fn e6_exchange(quick: bool) -> Table {
 // ---------------------------------------------------------------------------
 
 /// E7: makespan, waits and imbalance per placement policy.
-pub fn e7_scheduling(quick: bool) -> Table {
+pub fn e7_scheduling(opts: RunOpts) -> Table {
+    let quick = opts.quick;
     let mut table = Table::new(
         "E7 — brokers schedule by load and capacity",
         "§4/§6: requests are \"distributed amongst service providers based on load and capacity\"",
@@ -568,6 +579,7 @@ pub fn e7_scheduling(quick: bool) -> Table {
             mean_job_ms: 80.0,
             mean_interarrival_ms: 25.0,
             policy,
+            sim_shards: opts.shards,
             seed: 77,
             ..Default::default()
         });
@@ -672,7 +684,8 @@ pub fn e8_protected(attempts: u32) -> Table {
 // ---------------------------------------------------------------------------
 
 /// E9: completion probability and overhead with and without rear guards.
-pub fn e9_rear_guard(quick: bool) -> Table {
+pub fn e9_rear_guard(opts: RunOpts) -> Table {
+    let quick = opts.quick;
     let mut table = Table::new(
         "E9 — rear guards let computations survive site failures",
         "§5: a rear guard relaunches a vanished agent and terminates itself when no longer necessary",
@@ -689,6 +702,7 @@ pub fn e9_rear_guard(quick: bool) -> Table {
                 crash_window_ms: 15,
                 downtime_ms: (500, 3_000),
                 guarded,
+                sim_shards: opts.shards,
                 seed: 909,
                 ..Default::default()
             });
@@ -711,7 +725,8 @@ pub fn e9_rear_guard(quick: bool) -> Table {
 // ---------------------------------------------------------------------------
 
 /// E10: StormCast and AgentMail end-to-end runs.
-pub fn e10_apps(quick: bool) -> Table {
+pub fn e10_apps(opts: RunOpts) -> Table {
+    let quick = opts.quick;
     let mut table = Table::new(
         "E10 — prototype applications: StormCast and AgentMail",
         "§6: StormCast storm prediction and an \"interactive mail system where messages are implemented by agents\"",
@@ -725,6 +740,7 @@ pub fn e10_apps(quick: bool) -> Table {
             readings_per_sensor: readings,
             storm_fraction: 0.25,
             plan,
+            sim_shards: opts.shards,
             seed: 1995,
         });
         table.row(vec![
@@ -739,6 +755,7 @@ pub fn e10_apps(quick: bool) -> Table {
         users: 12,
         messages: if quick { 20 } else { 60 },
         moved_fraction: 0.25,
+        sim_shards: opts.shards,
         seed: 3,
     });
     table.row(vec![
@@ -814,6 +831,7 @@ struct ScaleConfig {
     rounds: u32,
     hoppers: u32,
     hop_len: u32,
+    sim_shards: u32,
     seed: u64,
 }
 
@@ -838,6 +856,7 @@ fn scale_system(cfg: &ScaleConfig, cached: bool) -> (TacomaSystem, Vec<Vec<u32>>
     let mut sys = TacomaSystem::builder()
         .topology(topology)
         .seed(cfg.seed)
+        .shards(cfg.sim_shards)
         .with_agents(|_| {
             vec![
                 Box::new(ReporterAgent) as Box<dyn Agent>,
@@ -915,7 +934,8 @@ fn e11_run(cfg: &ScaleConfig, cached: bool) -> ScaleOutcome {
 /// workload, with and without the route cache.  Everything except the
 /// routing work must be identical between the two runs (the invalidation
 /// tests enforce it); the `bfs saving` column is the cache's payoff.
-pub fn e11_scale(quick: bool) -> Table {
+pub fn e11_scale(opts: RunOpts) -> Table {
+    let quick = opts.quick;
     let mut table = Table::new(
         "E11 — routing fast path at scale (ring of cliques)",
         "§4: state dissemination \"seems to be equivalent to routing in a wide-area network\" — cached routes make large topologies affordable",
@@ -944,6 +964,7 @@ pub fn e11_scale(quick: bool) -> Table {
             rounds,
             hoppers,
             hop_len: 6,
+            sim_shards: opts.shards,
             seed: 1111,
         };
         let fast = e11_run(&cfg, true);
@@ -994,13 +1015,20 @@ fn e12_round(sys: &mut TacomaSystem, sites: u32, clique_size: u32, half: u32) {
     }
 }
 
-fn e12_run(cliques: u32, clique_size: u32, cycles: u32, cached: bool) -> ScaleOutcome {
+fn e12_run(
+    cliques: u32,
+    clique_size: u32,
+    cycles: u32,
+    cached: bool,
+    sim_shards: u32,
+) -> ScaleOutcome {
     let cfg = ScaleConfig {
         cliques,
         clique_size,
         rounds: 0,
         hoppers: 0,
         hop_len: 0,
+        sim_shards,
         seed: 1212,
     };
     let (mut sys, _) = scale_system(&cfg, cached);
@@ -1026,7 +1054,8 @@ fn e12_run(cliques: u32, clique_size: u32, cycles: u32, cached: bool) -> ScaleOu
 /// E12: repeated partition/heal/crash/recover cycles under load.  The cache
 /// must deliver byte-identical traffic to the uncached reference while
 /// re-validating routes across every epoch bump.
-pub fn e12_churn(quick: bool) -> Table {
+pub fn e12_churn(opts: RunOpts) -> Table {
+    let quick = opts.quick;
     let mut table = Table::new(
         "E12 — partition churn and route-cache invalidation",
         "§5: sites crash and networks partition; routing state must track failures without recomputing the world per message",
@@ -1051,8 +1080,8 @@ pub fn e12_churn(quick: bool) -> Table {
         &[(4, 4, 6), (8, 8, 8)]
     };
     for &(cliques, clique_size, cycles) in sweeps {
-        let fast = e12_run(cliques, clique_size, cycles, true);
-        let reference = e12_run(cliques, clique_size, cycles, false);
+        let fast = e12_run(cliques, clique_size, cycles, true, opts.shards);
+        let reference = e12_run(cliques, clique_size, cycles, false, opts.shards);
         debug_assert_eq!(fast.bytes, reference.bytes);
         debug_assert_eq!(fast.send_failures, reference.send_failures);
         table.row(vec![
@@ -1090,11 +1119,12 @@ struct E13Outcome {
 /// holds for two simulated seconds, then heals and the run drains.  With
 /// `custody` set to `(capacity, ttl_ms)` the cross-partition legs park in
 /// custody; with `None` they fail fast — the paper-motivating contrast.
-fn e13_run(custody: Option<(usize, u64)>, msgs_per_site: u32) -> E13Outcome {
+fn e13_run(custody: Option<(usize, u64)>, msgs_per_site: u32, sim_shards: u32) -> E13Outcome {
     let sites = 12u32;
     let mut builder = TacomaSystem::builder()
         .topology(Topology::full_mesh(sites, LinkSpec::wan()))
         .seed(1313)
+        .shards(sim_shards)
         .with_agents(|_| {
             vec![
                 Box::new(ReporterAgent) as Box<dyn Agent>,
@@ -1134,7 +1164,8 @@ fn e13_run(custody: Option<(usize, u64)>, msgs_per_site: u32) -> E13Outcome {
 /// E13: the delayed-but-delivered experiment — a partition-heal mail workload
 /// under fail-fast vs custody, sweeping queue capacity and TTL.  Short TTLs
 /// expire instead of delivering; small queues overflow into fail-fast.
-pub fn e13_custody(quick: bool) -> Table {
+pub fn e13_custody(opts: RunOpts) -> Table {
+    let quick = opts.quick;
     let mut table = Table::new(
         "E13 — store-and-forward custody across partitions",
         "§1/§6: agents suit \"computers … only intermittently connected to a network\" — messages should ride out a partition, not fail fast",
@@ -1161,7 +1192,7 @@ pub fn e13_custody(quick: bool) -> Table {
         configs.push(Some((4, 10_000)));
     }
     for config in configs {
-        let outcome = e13_run(config, msgs_per_site);
+        let outcome = e13_run(config, msgs_per_site, opts.shards);
         debug_assert_eq!(outcome.backlog, 0, "drained runs leave no backlog");
         let (variant, capacity, ttl) = match config {
             None => ("fail-fast".to_string(), "—".to_string(), "—".to_string()),
@@ -1189,7 +1220,8 @@ pub fn e13_custody(quick: bool) -> Table {
 /// custody.  The `conserved` flag asserts the meet-accounting invariant:
 /// every requested meet lands in exactly one terminal bucket (completed,
 /// failed, send-failed, expired, or — fail-fast only — dropped in flight).
-pub fn e14_custody_churn(quick: bool) -> Table {
+pub fn e14_custody_churn(opts: RunOpts) -> Table {
+    let quick = opts.quick;
     let mut table = Table::new(
         "E14 — custody conservation under crash churn",
         "§5: sites crash and recover; with custody every meet is delayed-but-delivered or terminally expired — none silently vanish",
@@ -1218,6 +1250,7 @@ pub fn e14_custody_churn(quick: bool) -> Table {
             downtime_ms: (500, 3_000),
             guarded: true,
             custody,
+            sim_shards: opts.shards,
             seed: 1414,
             ..Default::default()
         });
@@ -1253,8 +1286,9 @@ fn e15_config(
     shards: u32,
     digest_ms: u64,
     policy: PlacementPolicy,
-    quick: bool,
+    opts: RunOpts,
 ) -> FederationConfig {
+    let quick = opts.quick;
     FederationConfig {
         cliques: 128,
         clique_size: 8,
@@ -1274,6 +1308,7 @@ fn e15_config(
         mean_interarrival_ms: if quick { 4.0 } else { 3.0 },
         capacities: vec![1.0, 2.0, 4.0, 8.0],
         custody: None,
+        sim_shards: opts.shards,
         seed: 1515,
     }
 }
@@ -1299,7 +1334,8 @@ fn e15_row(table: &mut Table, label: &str, digest_ms: &str, r: &FederationResult
 /// period against the seed's single-broker design.  Shard-local monitors
 /// keep reports LAN-fresh and off the WAN ring; the single broker pays ring
 /// transit on every report *and* places on information that is seconds old.
-pub fn e15_federation(quick: bool) -> Table {
+pub fn e15_federation(opts: RunOpts) -> Table {
+    let quick = opts.quick;
     let mut table = Table::new(
         "E15 — federated broker scheduling at 1024 sites",
         "§4: \"brokers are expected to communicate among themselves … so that requests can be distributed … based on load and capacity\"",
@@ -1318,22 +1354,18 @@ pub fn e15_federation(quick: bool) -> Table {
             "digests",
         ],
     );
-    let single = run_federation_experiment(&e15_config(1, 250, PlacementPolicy::LoadBased, quick));
+    let single = run_federation_experiment(&e15_config(1, 250, PlacementPolicy::LoadBased, opts));
     e15_row(&mut table, "single load-based (seed)", "—", &single);
     let shard_sweep: &[u32] = if quick { &[8] } else { &[4, 8, 32] };
     for &shards in shard_sweep {
         let fed =
-            run_federation_experiment(&e15_config(shards, 250, PlacementPolicy::PowerOfTwo, quick));
+            run_federation_experiment(&e15_config(shards, 250, PlacementPolicy::PowerOfTwo, opts));
         e15_row(&mut table, "federated p2c + decay", "250", &fed);
     }
     let digest_sweep: &[u64] = if quick { &[1_000] } else { &[100, 1_000] };
     for &digest_ms in digest_sweep {
-        let fed = run_federation_experiment(&e15_config(
-            8,
-            digest_ms,
-            PlacementPolicy::PowerOfTwo,
-            quick,
-        ));
+        let fed =
+            run_federation_experiment(&e15_config(8, digest_ms, PlacementPolicy::PowerOfTwo, opts));
         e15_row(
             &mut table,
             "federated p2c + decay",
@@ -1352,7 +1384,8 @@ pub fn e15_federation(quick: bool) -> Table {
 /// 4-second outage starting at 500 ms, while job sources keep churning.
 /// `shards == 1` reproduces the seed's single-point-of-failure; `guarded`
 /// installs a ring of `BrokerGuardAgent`s so the orphaned shard is adopted.
-fn e16_run(shards: u32, custody: bool, guarded: bool, quick: bool) -> FederationResult {
+fn e16_run(shards: u32, custody: bool, guarded: bool, opts: RunOpts) -> FederationResult {
+    let quick = opts.quick;
     let config = FederationConfig {
         cliques: 16,
         clique_size: 4,
@@ -1373,6 +1406,7 @@ fn e16_run(shards: u32, custody: bool, guarded: bool, quick: bool) -> Federation
             capacity: 256,
             ttl: Duration::from_secs(30),
         }),
+        sim_shards: opts.shards,
         seed: 1616,
     };
     let (mut sys, layout) = build_federation(&config);
@@ -1420,7 +1454,7 @@ fn e16_run(shards: u32, custody: bool, guarded: bool, quick: bool) -> Federation
 /// orphans every job submitted during its outage; custody alone recovers
 /// them but only after the broker returns; federation with guards re-adopts
 /// the shard and keeps placing throughout — zero orphaned jobs.
-pub fn e16_failover(quick: bool) -> Table {
+pub fn e16_failover(opts: RunOpts) -> Table {
     let mut table = Table::new(
         "E16 — broker crash and failover under job churn",
         "§5: agents (and their brokers) vanish in failures; a guard launches a replacement and the shard is re-adopted, not orphaned",
@@ -1444,7 +1478,7 @@ pub fn e16_failover(quick: bool) -> Table {
         ("federated + guards + custody", 4, true, true),
     ];
     for &(label, shards, custody, guarded) in variants {
-        let r = e16_run(shards, custody, guarded, quick);
+        let r = e16_run(shards, custody, guarded, opts);
         table.row(vec![
             label.to_string(),
             shards.to_string(),
@@ -1463,11 +1497,141 @@ pub fn e16_failover(quick: bool) -> Table {
 }
 
 // ---------------------------------------------------------------------------
+// E17 — sharded event core scale sweep
+// ---------------------------------------------------------------------------
+
+/// One E17 scale point: a ring-of-cliques gossip workload at a fixed size,
+/// run on the legacy global-heap engine and on the sharded calendar-queue
+/// engine at each shard count in `shard_counts`.
+struct E17Point {
+    cliques: u32,
+    rounds: u32,
+    shard_counts: &'static [u32],
+}
+
+/// E17: the sharded event-core scale sweep — the same gossip workload on the
+/// legacy global `BinaryHeap` engine and the sharded calendar-queue engine at
+/// 1/4(/8) shards.  Every deterministic column (events, delivered, bytes,
+/// digest, end time) must be identical across engines and shard counts; the
+/// driver asserts it and the table is the CI witness.  Wall-clock throughput
+/// and speedup go into the table's notes, outside the gated report.
+///
+/// This experiment sweeps shard counts internally, so it deliberately ignores
+/// `opts.shards` — the CI shard matrix still diffs its rows byte-for-byte.
+pub fn e17_shard_sweep(opts: RunOpts) -> Table {
+    use std::time::Instant;
+    use tacoma_net::parallel::{run_gossip, run_gossip_reference, GossipConfig};
+
+    let mut table = Table::new(
+        "E17 — sharded event core scale sweep (calendar vs heap)",
+        "scaling TACOMA's simulated WAN past 4096 sites: per-clique event shards with conservative lookahead beat one global heap without changing a single event",
+        &[
+            "sites",
+            "engine",
+            "shards",
+            "events",
+            "delivered",
+            "hops",
+            "bytes",
+            "timers",
+            "digest",
+            "end ms",
+        ],
+    );
+    let points: &[E17Point] = if opts.quick {
+        &[E17Point {
+            cliques: 64,
+            rounds: 64,
+            shard_counts: &[1, 4],
+        }]
+    } else {
+        &[
+            E17Point {
+                cliques: 64,
+                rounds: 64,
+                shard_counts: &[1, 4],
+            },
+            E17Point {
+                // ~4.2M standing timers: deep enough that the global heap
+                // falls out of cache while per-shard calendars stay resident
+                // — the regime the tentpole targets (>= 2x at 4 shards).
+                cliques: 512,
+                rounds: 1_024,
+                shard_counts: &[1, 4],
+            },
+            E17Point {
+                cliques: 2_048,
+                rounds: 128,
+                shard_counts: &[1, 4, 8],
+            },
+        ]
+    };
+    for point in points {
+        let cfg = GossipConfig {
+            cliques: point.cliques,
+            clique_size: 8,
+            rounds: point.rounds,
+            fanout: 2,
+            cross_permille: 10,
+            payload: 512,
+            interval_us: 2_000,
+            seed: 7,
+        };
+        let sites = cfg.cliques * cfg.clique_size;
+        let emit = |table: &mut Table,
+                    engine: &str,
+                    shards: u32,
+                    outcome: &tacoma_net::parallel::Outcome| {
+            table.row(vec![
+                sites.to_string(),
+                engine.to_string(),
+                shards.to_string(),
+                outcome.events.to_string(),
+                outcome.delivered.to_string(),
+                outcome.hops.to_string(),
+                outcome.bytes.to_string(),
+                outcome.timers.to_string(),
+                format!("{:016x}", outcome.digest),
+                format!("{:.1}", outcome.end.as_millis_f64()),
+            ]);
+        };
+        let heap_start = Instant::now();
+        let heap = run_gossip_reference(cfg);
+        let heap_wall = heap_start.elapsed();
+        emit(&mut table, "heap", 1, &heap);
+        let heap_rate = heap.events as f64 / heap_wall.as_secs_f64().max(1e-9);
+        table.note(format!(
+            "{sites} sites: heap engine {:.0} events/s ({:.2}s wall)",
+            heap_rate,
+            heap_wall.as_secs_f64()
+        ));
+        for &shards in point.shard_counts {
+            let start = Instant::now();
+            let outcome = run_gossip(cfg, shards);
+            let wall = start.elapsed();
+            assert_eq!(
+                outcome, heap,
+                "{sites} sites / {shards} shards diverged from the heap engine"
+            );
+            emit(&mut table, "calendar", shards, &outcome);
+            let rate = outcome.events as f64 / wall.as_secs_f64().max(1e-9);
+            table.note(format!(
+                "{sites} sites, {shards} shard(s): {:.0} events/s, {:.2}x vs heap ({:.2}s wall)",
+                rate,
+                rate / heap_rate.max(1e-9),
+                wall.as_secs_f64()
+            ));
+        }
+    }
+    table
+}
+
+// ---------------------------------------------------------------------------
 // Ablations
 // ---------------------------------------------------------------------------
 
 /// A3: rear-guard chain depth vs completion and overhead.
-pub fn ablation_guard_depth() -> Table {
+pub fn ablation_guard_depth(opts: RunOpts) -> Table {
     let mut table = Table::new(
         "A3 — rear-guard chain depth",
         "design choice: how many trailing guards to keep alive (DESIGN.md §3, ablations)",
@@ -1485,6 +1649,7 @@ pub fn ablation_guard_depth() -> Table {
             crash_window_ms: 15,
             downtime_ms: (500, 3_000),
             guarded: true,
+            sim_shards: opts.shards,
             seed: 31_000 + depth as u64,
             ..Default::default()
         });
@@ -1500,7 +1665,7 @@ pub fn ablation_guard_depth() -> Table {
 }
 
 /// A4: load-report dissemination period vs scheduling quality.
-pub fn ablation_report_period() -> Table {
+pub fn ablation_report_period(opts: RunOpts) -> Table {
     let mut table = Table::new(
         "A4 — load-report dissemination period",
         "design choice: how often monitors report to brokers (§4 likens this to routing-state dissemination)",
@@ -1515,6 +1680,7 @@ pub fn ablation_report_period() -> Table {
             mean_interarrival_ms: 20.0,
             policy: PlacementPolicy::LoadBased,
             report_period: Duration::from_millis(period_ms),
+            sim_shards: opts.shards,
             seed: 404,
         });
         table.row(vec![
@@ -1533,10 +1699,10 @@ pub fn ablation_report_period() -> Table {
 /// Thin wrapper over [`crate::runner::registry`] — the registry is the single
 /// source of truth for which jobs exist and how quick mode configures them;
 /// use [`crate::runner::run_jobs`] when you also want reports or parallelism.
-pub fn all_experiments(quick: bool) -> Vec<Table> {
+pub fn all_experiments(opts: RunOpts) -> Vec<Table> {
     crate::runner::registry()
         .into_iter()
-        .map(|spec| (spec.run)(quick))
+        .map(|spec| (spec.run)(opts))
         .collect()
 }
 
@@ -1546,7 +1712,7 @@ mod tests {
 
     #[test]
     fn e1_agents_win_on_selective_queries() {
-        let table = e1_bandwidth(true);
+        let table = e1_bandwidth(RunOpts::new(true));
         assert_eq!(table.rows.len(), 1);
         let agent: u64 = table.rows[0][3].parse().unwrap();
         let cs: u64 = table.rows[0][4].parse().unwrap();
@@ -1558,7 +1724,7 @@ mod tests {
 
     #[test]
     fn e2_naive_flooding_costs_more() {
-        let table = e2_diffusion(true);
+        let table = e2_diffusion(RunOpts::new(true));
         let bounded: u64 = table.rows[0][3].parse().unwrap();
         let naive: u64 = table.rows[1][3].parse().unwrap();
         assert!(naive > bounded);
@@ -1567,7 +1733,7 @@ mod tests {
 
     #[test]
     fn e3_rsh_is_slowest_transport() {
-        let table = e3_meet_rexec(true);
+        let table = e3_meet_rexec(RunOpts::new(true));
         let ms: Vec<f64> = table.rows[..3]
             .iter()
             .map(|r| r[2].parse().unwrap())
@@ -1579,7 +1745,7 @@ mod tests {
 
     #[test]
     fn e5_validation_blocks_all_double_spends() {
-        let table = e5_cash(true);
+        let table = e5_cash(RunOpts::new(true));
         assert!(!table.rows[0][5].is_empty());
         let with_validation: u64 = table.rows[0][4].parse().unwrap();
         let without: u64 = table.rows[0][3].parse().unwrap();
@@ -1595,6 +1761,7 @@ mod tests {
             rounds: 12,
             hoppers: 2,
             hop_len: 6,
+            sim_shards: 1,
             seed: 1111,
         };
         let fast = e11_run(&cfg, true);
@@ -1618,8 +1785,8 @@ mod tests {
 
     #[test]
     fn e12_churn_is_identical_with_and_without_the_cache() {
-        let fast = e12_run(4, 4, 3, true);
-        let reference = e12_run(4, 4, 3, false);
+        let fast = e12_run(4, 4, 3, true, 1);
+        let reference = e12_run(4, 4, 3, false, 1);
         assert_eq!(fast.bytes, reference.bytes);
         assert_eq!(fast.meets, reference.meets);
         assert_eq!(fast.send_failures, reference.send_failures);
@@ -1639,7 +1806,7 @@ mod tests {
 
     #[test]
     fn e13_custody_delivers_after_heal_where_fail_fast_loses() {
-        let table = e13_custody(true);
+        let table = e13_custody(RunOpts::new(true));
         let cell = |r: usize, c: usize| table.rows[r][c].parse::<u64>().unwrap();
         let cross = cell(0, 3);
         // Fail-fast: every cross-partition send fails, nothing is delivered.
@@ -1659,7 +1826,7 @@ mod tests {
 
     #[test]
     fn e14_accounting_is_conserved_in_both_modes() {
-        let table = e14_custody_churn(true);
+        let table = e14_custody_churn(RunOpts::new(true));
         assert_eq!(table.rows.len(), 2);
         for row in &table.rows {
             assert_eq!(row[10], "true", "conservation must hold: {row:?}");
@@ -1671,7 +1838,7 @@ mod tests {
 
     #[test]
     fn e15_federation_beats_the_single_broker_at_1024_sites() {
-        let table = e15_federation(true);
+        let table = e15_federation(RunOpts::new(true));
         assert_eq!(table.rows.len(), 3);
         let completed = |r: usize| table.rows[r][4].parse::<u64>().unwrap();
         let p95 = |r: usize| table.rows[r][5].parse::<f64>().unwrap();
@@ -1701,7 +1868,7 @@ mod tests {
 
     #[test]
     fn e16_zero_orphans_only_with_guarded_federation() {
-        let table = e16_failover(true);
+        let table = e16_failover(RunOpts::new(true));
         assert_eq!(table.rows.len(), 3);
         let orphaned = |r: usize| table.rows[r][4].parse::<u64>().unwrap();
         assert!(orphaned(0) > 0, "fail-fast must lose the outage's jobs");
@@ -1725,7 +1892,8 @@ mod tests {
 
     #[test]
     fn tables_render() {
-        for table in [e4_folders(true), e6_exchange(true), e10_apps(true)] {
+        let quick = RunOpts::new(true);
+        for table in [e4_folders(quick), e6_exchange(quick), e10_apps(quick)] {
             let rendered = table.render();
             assert!(rendered.contains("claim:"));
             assert!(!table.rows.is_empty());

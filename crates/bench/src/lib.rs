@@ -1,10 +1,10 @@
 //! Experiment drivers for the TACOMA reproduction.
 //!
 //! The paper (a HotOS position paper) contains no numbered tables or figures;
-//! DESIGN.md defines experiments E1–E16, one per measurable claim in the
+//! DESIGN.md defines experiments E1–E17, one per measurable claim in the
 //! text (plus the E11/E12 scale experiments the ROADMAP's north star asks
-//! for, the E13/E14 custody experiments, and the E15/E16 broker-federation
-//! experiments).  Each `eN_*` function here runs one experiment and returns a
+//! for, the E13/E14 custody experiments, the E15/E16 broker-federation
+//! experiments, and the E17 sharded event-core sweep).  Each `eN_*` function here runs one experiment and returns a
 //! [`Table`]; the `harness` binary prints them all (this is the artifact that
 //! stands in for "regenerating the paper's tables"), and the Criterion
 //! benches in `benches/` time the same code paths.
@@ -32,5 +32,5 @@ pub use args::HarnessArgs;
 pub use baseline::{compare, CompareConfig, CompareOutcome};
 pub use experiments::*;
 pub use report::{Report, ReportSet};
-pub use runner::{registry, run_jobs, select, JobResult, JobSpec};
+pub use runner::{registry, run_jobs, select, JobResult, JobSpec, RunOpts};
 pub use table::Table;

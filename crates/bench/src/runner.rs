@@ -1,6 +1,6 @@
 //! The parallel experiment runner.
 //!
-//! Every experiment (E1–E16) and ablation (A3/A4; A1/A2 are reserved ids,
+//! Every experiment (E1–E17) and ablation (A3/A4; A1/A2 are reserved ids,
 //! see [`RESERVED_IDS`]) is registered here as an independent [`JobSpec`].
 //! Each job builds and drives its own seeded `SimNet`/`TacomaSystem`, so jobs
 //! share no mutable state and the worker count cannot perturb any measured
@@ -18,6 +18,39 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
+/// Per-run knobs every experiment driver receives.
+///
+/// `shards` selects how many event-queue shards each driver's simulations
+/// partition their pending events into.  It is a layout knob, never a
+/// semantic one: every shard count must produce byte-identical tables and
+/// reports, which CI enforces by diffing `--shards 1` against `--shards 4`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunOpts {
+    /// Run the quick (smoke) configuration instead of the full sweep.
+    pub quick: bool,
+    /// Event-queue shards per simulation (≥ 1).
+    pub shards: u32,
+}
+
+impl RunOpts {
+    /// Options for a quick or full run with the default single shard.
+    pub fn new(quick: bool) -> Self {
+        RunOpts { quick, shards: 1 }
+    }
+
+    /// Replaces the shard count.
+    pub fn with_shards(mut self, shards: u32) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+}
+
+impl Default for RunOpts {
+    fn default() -> Self {
+        RunOpts::new(false)
+    }
+}
+
 /// One schedulable experiment: id, primary seed, and the driver function.
 #[derive(Debug, Clone, Copy)]
 pub struct JobSpec {
@@ -27,24 +60,16 @@ pub struct JobSpec {
     pub summary: &'static str,
     /// The primary seed the driver hard-codes; recorded in the report.
     pub seed: u64,
-    /// The driver; `true` selects the quick configuration.
-    pub run: fn(bool) -> Table,
+    /// The driver, parameterized by the run options.
+    pub run: fn(RunOpts) -> Table,
 }
 
 /// Ablation ids reserved in DESIGN.md but not yet implemented; `--filter`
 /// recognises them and says so instead of reporting a typo.
 pub const RESERVED_IDS: &[&str] = &["A1", "A2"];
 
-fn e8_job(quick: bool) -> Table {
-    crate::e8_protected(if quick { 20 } else { 100 })
-}
-
-fn a3_job(_quick: bool) -> Table {
-    crate::ablation_guard_depth()
-}
-
-fn a4_job(_quick: bool) -> Table {
-    crate::ablation_report_period()
+fn e8_job(opts: RunOpts) -> Table {
+    crate::e8_protected(if opts.quick { 20 } else { 100 })
 }
 
 /// The full job registry, in presentation order.
@@ -147,16 +172,22 @@ pub fn registry() -> Vec<JobSpec> {
             run: crate::e16_failover,
         },
         JobSpec {
+            id: "E17",
+            summary: "sharded event core scale sweep (calendar vs heap)",
+            seed: 7,
+            run: crate::e17_shard_sweep,
+        },
+        JobSpec {
             id: "A3",
             summary: "ablation: rear-guard chain depth",
             seed: 31_001,
-            run: a3_job,
+            run: crate::ablation_guard_depth,
         },
         JobSpec {
             id: "A4",
             summary: "ablation: load-report dissemination period",
             seed: 404,
-            run: a4_job,
+            run: crate::ablation_report_period,
         },
     ]
 }
@@ -212,7 +243,7 @@ pub struct JobResult {
 /// `workers` is clamped to `1..=specs.len()`; with one worker this degrades
 /// to a plain sequential loop over the same code path, which is what makes
 /// the sequential-vs-parallel determinism test meaningful.
-pub fn run_jobs(specs: &[JobSpec], quick: bool, workers: usize) -> Vec<JobResult> {
+pub fn run_jobs(specs: &[JobSpec], opts: RunOpts, workers: usize) -> Vec<JobResult> {
     let workers = workers.clamp(1, specs.len().max(1));
     let injector = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<JobResult>>> = specs.iter().map(|_| Mutex::new(None)).collect();
@@ -222,7 +253,7 @@ pub fn run_jobs(specs: &[JobSpec], quick: bool, workers: usize) -> Vec<JobResult
                 let i = injector.fetch_add(1, Ordering::Relaxed);
                 let Some(spec) = specs.get(i) else { break };
                 let started = Instant::now();
-                let table = (spec.run)(quick);
+                let table = (spec.run)(opts);
                 let wall_ms = started.elapsed().as_secs_f64() * 1_000.0;
                 let report = Report::from_table(spec.id, spec.seed, &table, wall_ms);
                 *slots[i].lock().unwrap() = Some(JobResult {
@@ -264,16 +295,17 @@ mod tests {
     #[test]
     fn registry_ids_are_unique_and_cover_e1_to_a4() {
         let specs = registry();
-        assert_eq!(specs.len(), 18);
+        assert_eq!(specs.len(), 19);
         let mut ids: Vec<&str> = specs.iter().map(|s| s.id).collect();
         assert_eq!(ids.first(), Some(&"E1"));
         assert_eq!(ids.last(), Some(&"A4"));
         assert!(ids.contains(&"E11") && ids.contains(&"E12"));
         assert!(ids.contains(&"E13") && ids.contains(&"E14"));
         assert!(ids.contains(&"E15") && ids.contains(&"E16"));
+        assert!(ids.contains(&"E17"));
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 18, "duplicate experiment ids in the registry");
+        assert_eq!(ids.len(), 19, "duplicate experiment ids in the registry");
     }
 
     #[test]
@@ -285,14 +317,14 @@ mod tests {
             .unwrap_err()
             .contains("unknown experiment id"));
         assert!(select(&["a1".into()]).unwrap_err().contains("reserved"));
-        assert_eq!(select(&[]).unwrap().len(), 18);
+        assert_eq!(select(&[]).unwrap().len(), 19);
     }
 
     #[test]
     fn parallel_and_sequential_runs_serialize_byte_identically() {
         let specs = select(&cheap_ids()).unwrap();
-        let sequential = run_jobs(&specs, true, 1);
-        let parallel = run_jobs(&specs, true, 8);
+        let sequential = run_jobs(&specs, RunOpts::new(true), 1);
+        let parallel = run_jobs(&specs, RunOpts::new(true), 8);
         let a = ReportSet::new(true, sequential.iter().map(|r| r.report.clone()).collect());
         let b = ReportSet::new(true, parallel.iter().map(|r| r.report.clone()).collect());
         assert_eq!(a.to_json_string(), b.to_json_string());
@@ -303,9 +335,26 @@ mod tests {
     }
 
     #[test]
+    fn sharded_and_single_queue_runs_serialize_byte_identically() {
+        // The shard-count determinism contract, at unit-test scale: the same
+        // experiments must produce byte-identical reports and tables with one
+        // event queue and with four shards (CI repeats this over the whole
+        // quick suite via `--shards 4`).
+        let specs = select(&cheap_ids()).unwrap();
+        let single = run_jobs(&specs, RunOpts::new(true), 2);
+        let sharded = run_jobs(&specs, RunOpts::new(true).with_shards(4), 2);
+        let a = ReportSet::new(true, single.iter().map(|r| r.report.clone()).collect());
+        let b = ReportSet::new(true, sharded.iter().map(|r| r.report.clone()).collect());
+        assert_eq!(a.to_json_string(), b.to_json_string());
+        for (s, p) in single.iter().zip(&sharded) {
+            assert_eq!(s.table.render(), p.table.render());
+        }
+    }
+
+    #[test]
     fn results_come_back_in_registry_order_even_with_many_workers() {
         let specs = select(&cheap_ids()).unwrap();
-        let results = run_jobs(&specs, true, specs.len() * 4);
+        let results = run_jobs(&specs, RunOpts::new(true), specs.len() * 4);
         let ids: Vec<&str> = results.iter().map(|r| r.id).collect();
         assert_eq!(ids, ["E4", "E5", "E8", "E13", "E14", "E16"]);
         assert!(results.iter().all(|r| !r.report.metrics.is_empty()));

@@ -14,6 +14,12 @@ pub struct Table {
     pub headers: Vec<String>,
     /// Rows of cells (same arity as `headers`).
     pub rows: Vec<Vec<String>>,
+    /// Wall-clock commentary (events/sec, speedups).  Deliberately outside
+    /// the deterministic surface: excluded from [`Table::metrics`] and
+    /// [`Table::render`], so reports and rendered tables stay byte-identical
+    /// across machines and worker counts.  The harness prints notes in a
+    /// separate section that CI lifts into the job summary.
+    pub notes: Vec<String>,
 }
 
 impl Table {
@@ -24,6 +30,7 @@ impl Table {
             claim: claim.into(),
             headers: headers.iter().map(|h| h.to_string()).collect(),
             rows: Vec::new(),
+            notes: Vec::new(),
         }
     }
 
@@ -31,6 +38,11 @@ impl Table {
     pub fn row(&mut self, cells: Vec<String>) {
         debug_assert_eq!(cells.len(), self.headers.len());
         self.rows.push(cells);
+    }
+
+    /// Appends a wall-clock note (not part of the deterministic report).
+    pub fn note(&mut self, line: impl Into<String>) {
+        self.notes.push(line.into());
     }
 
     /// Flattens every cell into a typed metric, keyed `r{row}.{header-slug}`.
@@ -107,6 +119,19 @@ mod tests {
         // Header line and the two data lines align on the second column.
         let col = lines[3].find("value").unwrap();
         assert_eq!(lines[5].len().min(col), col);
+    }
+
+    #[test]
+    fn notes_stay_out_of_metrics_and_render() {
+        let mut t = Table::new("E0", "claim", &["n"]);
+        t.row(vec!["1".into()]);
+        t.note("4 shards: 2.35x (1.9s wall)");
+        assert_eq!(t.metrics().len(), 1, "notes must not become gated metrics");
+        assert!(
+            !t.render().contains("2.35x"),
+            "notes must not perturb the deterministic rendering"
+        );
+        assert_eq!(t.notes.len(), 1);
     }
 
     #[test]

@@ -12,7 +12,7 @@ fn baseline_path() -> PathBuf {
 
 fn quick_run() -> ReportSet {
     let specs = runner::registry();
-    let results = runner::run_jobs(&specs, true, 4);
+    let results = runner::run_jobs(&specs, runner::RunOpts::new(true), 4);
     ReportSet::new(true, results.into_iter().map(|r| r.report).collect())
 }
 

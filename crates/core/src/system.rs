@@ -76,6 +76,7 @@ pub struct SystemBuilder {
     custody: Option<CustodyConfig>,
     factories: Vec<AgentFactory>,
     vet_scripts: bool,
+    sim_shards: u32,
 }
 
 impl SystemBuilder {
@@ -88,6 +89,7 @@ impl SystemBuilder {
             custody: None,
             factories: Vec::new(),
             vet_scripts: true,
+            sim_shards: 1,
         }
     }
 
@@ -115,6 +117,18 @@ impl SystemBuilder {
     /// Without this, such sends fail fast and count as `send_failures`.
     pub fn custody(mut self, config: CustodyConfig) -> Self {
         self.custody = Some(config);
+        self
+    }
+
+    /// Sets the number of event-queue shards the network simulator partitions
+    /// its pending events into (clique-aligned on ring-of-cliques topologies).
+    ///
+    /// Sharding is a pure storage-layout choice: events are always executed
+    /// in global (time, sequence) order, so any shard count produces
+    /// byte-identical runs — CI diffs `--shards 1` against `--shards 4` to
+    /// enforce exactly that.  Values are clamped to the topology by the plan.
+    pub fn shards(mut self, shards: u32) -> Self {
+        self.sim_shards = shards.max(1);
         self
     }
 
@@ -166,6 +180,9 @@ impl SystemBuilder {
             .map(|s| self.topology.neighbors(SiteId(s)))
             .collect();
         let mut net = SimNet::new(self.topology);
+        if self.sim_shards > 1 {
+            net.set_shards(self.sim_shards);
+        }
         if let Some(config) = self.custody {
             net.set_custody(config);
         }

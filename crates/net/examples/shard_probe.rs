@@ -1,0 +1,47 @@
+//! Quick throughput probe for the sharded engine (dev tool, not a test).
+
+use std::time::Instant;
+use tacoma_net::parallel::{run_gossip, run_gossip_reference, GossipConfig};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let cliques: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(512);
+    let rounds: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(16);
+    let cross: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(100);
+    let cfg = GossipConfig {
+        cliques,
+        clique_size: 8,
+        rounds,
+        fanout: 2,
+        cross_permille: cross,
+        payload: 512,
+        interval_us: 2_000,
+        seed: 7,
+    };
+    println!("sites = {}", cfg.sites());
+
+    let t0 = Instant::now();
+    let reference = run_gossip_reference(cfg);
+    let ref_secs = t0.elapsed().as_secs_f64();
+    println!(
+        "reference heap: {} events in {:.3}s = {:.0} ev/s (digest {:016x})",
+        reference.events,
+        ref_secs,
+        reference.events as f64 / ref_secs,
+        reference.digest
+    );
+
+    for shards in [1u32, 2, 4, 8] {
+        let t0 = Instant::now();
+        let out = run_gossip(cfg, shards);
+        let secs = t0.elapsed().as_secs_f64();
+        assert_eq!(out, reference, "shards = {shards}");
+        println!(
+            "sharded x{shards}: {} events in {:.3}s = {:.0} ev/s  speedup {:.2}x",
+            out.events,
+            secs,
+            out.events as f64 / secs,
+            ref_secs / secs
+        );
+    }
+}

@@ -29,24 +29,38 @@
 //!   in are parked across partitions and outages instead of failing fast,
 //!   re-attempted on every routing-epoch bump, and expire terminally on TTL
 //!   (experiments E13/E14).
+//! * [`calendar::CalendarQueue`] — the hierarchical calendar queue behind
+//!   every event queue: amortised `O(1)` push/pop over `(time, key)` with
+//!   FIFO order at equal timestamps via monotone keys.
+//! * [`shard::ShardPlan`] — clique-aligned assignment of sites to event
+//!   shards, plus the conservative lookahead (the minimum cross-shard link
+//!   latency) that bounds how far shards may run ahead of each other.
+//! * [`parallel`] — the sharded discrete-event engine (experiment E17): one
+//!   calendar queue per clique shard, windowed conservative synchronization,
+//!   and byte-identical outcomes at any shard count.
 
 #![warn(missing_docs)]
 
+pub mod calendar;
 pub mod custody;
 pub mod failure;
 pub mod group;
 pub mod metrics;
+pub mod parallel;
 pub mod routing;
+pub mod shard;
 pub mod sim;
 pub mod time;
 pub mod topology;
 pub mod transport;
 
+pub use calendar::CalendarQueue;
 pub use custody::CustodyConfig;
 pub use failure::FailurePlan;
 pub use group::{GroupEvent, GroupId, ProcessGroup, ViewId};
 pub use metrics::NetMetrics;
 pub use routing::Router;
+pub use shard::ShardPlan;
 pub use sim::{DeliveredMessage, Event, ExpiredMessage, MessageId, NetError, SendOptions, SimNet};
 pub use time::{Duration, SimTime};
 pub use topology::{LinkSpec, Topology, TopologyKind};

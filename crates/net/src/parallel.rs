@@ -1,0 +1,882 @@
+//! Conservatively-synchronized parallel simulation over sharded event queues.
+//!
+//! [`crate::sim::SimNet`] shards its event *queue* but still executes events
+//! one at a time, because the TACOMA kernel above it mutates global state
+//! (router cache, metrics, agent tables) on every event.  This module is the
+//! other half of the refactor: a discrete-event engine whose per-site state
+//! is owned by the shard that runs it, so shards genuinely execute in
+//! parallel and only rendezvous when simulated traffic crosses a shard
+//! boundary.
+//!
+//! The synchronization scheme is classic conservative windowing (CMB-style
+//! lookahead, the same family dtn7-style node-per-task runtimes land in):
+//!
+//! 1. all shards agree on the global minimum next-event time `w`;
+//! 2. every shard executes its local events in `[w, w + lookahead)` — the
+//!    lookahead is the minimum latency of any cross-shard link
+//!    ([`crate::shard::ShardPlan::lookahead`]), so no send made during the
+//!    window can *arrive* inside it;
+//! 3. at the barrier, cross-shard sends are exchanged and the loop repeats.
+//!
+//! Determinism does not depend on scheduling luck: every event carries a
+//! shard-count-invariant key `(origin site, origin sequence)`, queues pop in
+//! `(time, key)` order, and outboxes are merged in shard order at the
+//! barrier.  Two runs with different `--shards` values therefore execute the
+//! exact same event set with the same per-site order, and the per-site
+//! digests fold to the same value — a property the concurrency tests (and
+//! CI's ThreadSanitizer job) hold the engine to.
+
+use crate::calendar::CalendarQueue;
+use crate::shard::ShardPlan;
+use crate::time::{Duration, SimTime};
+use crate::topology::{LinkSpec, Topology};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::thread;
+use tacoma_util::{DetRng, SiteId};
+
+/// Shard-count-invariant event key: the site that created the event and that
+/// site's private sequence counter.  Unique per live event, totally ordered,
+/// and — unlike [`crate::sim::SimNet`]'s global sequence — independent of
+/// how many shards the simulation runs on.
+pub type EventKey = (u32, u64);
+
+/// An event as it sits in a shard's queue: where it fires, and what it is.
+#[derive(Debug, Clone)]
+enum Fire {
+    /// A message hop arriving at a site (delivered if the site is the
+    /// destination, forwarded otherwise).
+    Hop {
+        /// Final destination.
+        dst: SiteId,
+        /// Payload size charged per hop.
+        bytes: u32,
+        /// Opaque payload word the receiving actor folds into its state.
+        tag: u64,
+    },
+    /// A timer the site scheduled on itself.
+    Timer {
+        /// Caller-chosen timer key.
+        key: u64,
+    },
+}
+
+/// A queued event: fires at `site` at time `at`.
+#[derive(Debug, Clone)]
+struct Scheduled {
+    at: SimTime,
+    key: EventKey,
+    site: SiteId,
+    fire: Fire,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.key == other.key
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.key).cmp(&(other.at, other.key))
+    }
+}
+
+/// What a site does when events fire on it.  Implementations own all their
+/// mutable state (the engine gives each site exclusive access), emit effects
+/// through [`Effects`], and summarize their final state as a digest.
+pub trait SiteActor: Send {
+    /// Called once at `t = 0`, before any event fires.
+    fn on_start(&mut self, fx: &mut Effects);
+    /// A timer scheduled by this site fired.
+    fn on_timer(&mut self, key: u64, fx: &mut Effects);
+    /// A message addressed to this site arrived.
+    fn on_message(&mut self, bytes: u32, tag: u64, fx: &mut Effects);
+    /// A commutative-free summary of the final state; the engine folds the
+    /// digests in global site order, so the fold is shard-count-invariant.
+    fn digest(&self) -> u64;
+}
+
+/// Effect buffer handed to actor callbacks: sends and timers are recorded
+/// here and applied by the engine after the callback returns (which keeps
+/// the actor borrow and the queue borrow disjoint).
+#[derive(Debug, Default)]
+pub struct Effects {
+    now: SimTime,
+    site: SiteId,
+    sends: Vec<(SiteId, u32, u64)>,
+    timers: Vec<(Duration, u64)>,
+}
+
+impl Effects {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The site this callback runs on.
+    pub fn site(&self) -> SiteId {
+        self.site
+    }
+
+    /// Sends `bytes` payload bytes to `to`, carrying `tag`.
+    pub fn send(&mut self, to: SiteId, bytes: u32, tag: u64) {
+        self.sends.push((to, bytes, tag));
+    }
+
+    /// Schedules a timer on this site after `delay`, tagged `key`.
+    pub fn timer(&mut self, delay: Duration, key: u64) {
+        self.timers.push((delay, key));
+    }
+}
+
+/// Aggregate outcome of a run.  Every field is a pure function of the
+/// simulated event set, so it must be byte-identical across shard counts —
+/// `digest` is the witness the experiment tables print.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Outcome {
+    /// Events executed (hops + timer fires).
+    pub events: u64,
+    /// Messages that reached their destination.
+    pub delivered: u64,
+    /// Link hops traversed.
+    pub hops: u64,
+    /// Payload bytes × hops charged to links.
+    pub bytes: u64,
+    /// Timer fires.
+    pub timers: u64,
+    /// Fold of per-site state digests, in global site order.
+    pub digest: u64,
+    /// Simulated time of the last event.
+    pub end: SimTime,
+}
+
+/// Per-shard mutable state: contiguous site range, the sites' actors and
+/// sequence counters, the shard's calendar queue and counters.
+struct Shard<A> {
+    /// First site id owned by this shard (sites are contiguous).
+    base: u32,
+    actors: Vec<A>,
+    seqs: Vec<u64>,
+    queue: CalendarQueue<EventKey, (SiteId, Fire)>,
+    clock: SimTime,
+    events: u64,
+    delivered: u64,
+    hops: u64,
+    bytes: u64,
+    timers: u64,
+    /// Scratch effect buffer, reused across events.
+    fx: Effects,
+}
+
+/// The parallel engine: a ring-of-cliques world, a shard plan over it, and
+/// one shard of actors (with its own calendar queue) per plan shard.
+pub struct ParallelSim<A: SiteActor> {
+    topology: Topology,
+    links: LinkModel,
+    plan: ShardPlan,
+    shards: Vec<Shard<A>>,
+}
+
+impl<A: SiteActor> ParallelSim<A> {
+    /// Builds an engine over `topology` split into `shards` shards, with one
+    /// actor per site produced by `make_actor` (called in site order).
+    pub fn new(topology: Topology, shards: u32, mut make_actor: impl FnMut(SiteId) -> A) -> Self {
+        let plan = ShardPlan::new(&topology, shards);
+        let shards = (0..plan.shards() as u16)
+            .map(|shard| {
+                let sites = plan.sites_of(shard);
+                let base = sites.first().map_or(0, |s| s.0);
+                Shard {
+                    base,
+                    actors: sites.iter().map(|&s| make_actor(s)).collect(),
+                    seqs: vec![0; sites.len()],
+                    // A wider wheel than the serial simulator's default:
+                    // scale workloads arm whole agendas of timers up front,
+                    // and a 2-second window keeps them on the wheel instead
+                    // of churning through the overflow heap.
+                    queue: CalendarQueue::with_geometry(1_024, 2_048),
+                    clock: SimTime::ZERO,
+                    events: 0,
+                    delivered: 0,
+                    hops: 0,
+                    bytes: 0,
+                    timers: 0,
+                    fx: Effects::default(),
+                }
+            })
+            .collect();
+        let links = LinkModel::of(&topology);
+        ParallelSim {
+            topology,
+            links,
+            plan,
+            shards,
+        }
+    }
+
+    /// Runs every site's `on_start`, then executes windows until quiescent,
+    /// and folds the outcome.
+    pub fn run(&mut self) -> Outcome {
+        let lookahead = self.plan.lookahead();
+        // on_start: serial per shard, site order — cheap and deterministic.
+        let mut outboxes: Vec<Vec<Scheduled>> = Vec::new();
+        for shard in &mut self.shards {
+            let mut outbox = Vec::new();
+            for i in 0..shard.actors.len() {
+                let site = SiteId(shard.base + i as u32);
+                shard.fx.now = SimTime::ZERO;
+                shard.fx.site = site;
+                shard.actors[i].on_start(&mut shard.fx);
+                apply_effects(
+                    shard,
+                    i,
+                    &self.topology,
+                    self.links,
+                    &self.plan,
+                    &mut outbox,
+                );
+            }
+            outboxes.push(outbox);
+        }
+        self.merge(outboxes);
+
+        while let Some(window) = self
+            .shards
+            .iter()
+            .filter_map(|s| s.queue.peek().map(|(at, _)| at))
+            .min()
+        {
+            let until = window + lookahead;
+            let outboxes = self.run_window(until);
+            self.merge(outboxes);
+        }
+
+        let mut outcome = Outcome {
+            events: 0,
+            delivered: 0,
+            hops: 0,
+            bytes: 0,
+            timers: 0,
+            digest: 0x9e37_79b9_7f4a_7c15,
+            end: SimTime::ZERO,
+        };
+        for shard in &self.shards {
+            outcome.events += shard.events;
+            outcome.delivered += shard.delivered;
+            outcome.hops += shard.hops;
+            outcome.bytes += shard.bytes;
+            outcome.timers += shard.timers;
+            outcome.end = outcome.end.max(shard.clock);
+            for actor in &shard.actors {
+                outcome.digest = mix(outcome.digest ^ actor.digest());
+            }
+        }
+        outcome
+    }
+
+    /// Executes one window on every shard — in parallel when there is more
+    /// than one — and returns the per-shard outboxes.
+    fn run_window(&mut self, until: SimTime) -> Vec<Vec<Scheduled>> {
+        let topology = &self.topology;
+        let links = self.links;
+        let plan = &self.plan;
+        if self.shards.len() == 1 {
+            return vec![run_shard_window(
+                &mut self.shards[0],
+                topology,
+                links,
+                plan,
+                until,
+            )];
+        }
+        thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter_mut()
+                .map(|shard| {
+                    scope.spawn(move || run_shard_window(shard, topology, links, plan, until))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker panicked"))
+                .collect()
+        })
+    }
+
+    /// Applies the barrier exchange: outboxes are drained in shard order, so
+    /// the destination queues receive identical contents regardless of how
+    /// the window's threads were scheduled.
+    fn merge(&mut self, outboxes: Vec<Vec<Scheduled>>) {
+        for outbox in outboxes {
+            for ev in outbox {
+                let shard = self.plan.shard_of(ev.site) as usize;
+                self.shards[shard]
+                    .queue
+                    .push(ev.at, ev.key, (ev.site, ev.fire));
+            }
+        }
+    }
+}
+
+/// O(1) link-spec resolver.  The generic `Topology` stores links in a
+/// `BTreeMap`, and a per-hop tree lookup would dwarf the queue work this
+/// module exists to optimize; on the clique shape every link is either
+/// intra-clique or a gateway link, so two cached specs answer every query.
+#[derive(Debug, Clone, Copy)]
+enum LinkModel {
+    /// Ring-of-cliques: `cs` sites per clique, one spec per link class.
+    Clique {
+        cs: u32,
+        intra: LinkSpec,
+        inter: LinkSpec,
+    },
+    /// Any other shape: consult the topology's link table per hop.
+    Table,
+}
+
+impl LinkModel {
+    fn of(topology: &Topology) -> Self {
+        match topology.clique_size() {
+            Some(cs) if cs > 0 => {
+                let intra = if cs > 1 {
+                    topology.link(SiteId(0), SiteId(1)).copied()
+                } else {
+                    None
+                };
+                let inter = topology.link(SiteId(0), SiteId(cs)).copied().or(intra);
+                LinkModel::Clique {
+                    cs,
+                    intra: intra.or(inter).unwrap_or_default(),
+                    inter: inter.unwrap_or_default(),
+                }
+            }
+            _ => LinkModel::Table,
+        }
+    }
+
+    fn spec(&self, topology: &Topology, a: SiteId, b: SiteId) -> LinkSpec {
+        match *self {
+            LinkModel::Clique { cs, intra, inter } => {
+                if a.0 / cs == b.0 / cs {
+                    intra
+                } else {
+                    inter
+                }
+            }
+            LinkModel::Table => topology.link(a, b).copied().unwrap_or_default(),
+        }
+    }
+}
+
+/// Digest mixer (splitmix64 finalizer).
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Executes one shard's events in `[clock, until)`, queueing cross-shard
+/// traffic into the returned outbox.
+fn run_shard_window<A: SiteActor>(
+    shard: &mut Shard<A>,
+    topology: &Topology,
+    links: LinkModel,
+    plan: &ShardPlan,
+    until: SimTime,
+) -> Vec<Scheduled> {
+    let mut outbox = Vec::new();
+    let own_shard = plan.shard_of(SiteId(shard.base));
+    while let Some((at, _)) = shard.queue.peek() {
+        if at >= until {
+            break;
+        }
+        let (at, key, (site, fire)) = shard.queue.pop().expect("peeked");
+        shard.clock = shard.clock.max(at);
+        shard.events += 1;
+        let idx = (site.0 - shard.base) as usize;
+        match fire {
+            Fire::Hop { dst, bytes, tag } => {
+                if site == dst {
+                    shard.delivered += 1;
+                    shard.fx.now = at;
+                    shard.fx.site = site;
+                    shard.actors[idx].on_message(bytes, tag, &mut shard.fx);
+                    apply_effects(shard, idx, topology, links, plan, &mut outbox);
+                } else {
+                    // Forward one hop along the clique route, keeping the
+                    // original key: the message stays one live event.
+                    let next = next_hop(topology, site, dst);
+                    let spec = links.spec(topology, site, next);
+                    shard.hops += 1;
+                    shard.bytes += bytes as u64;
+                    let arrive = at + spec.transfer_time(bytes as u64);
+                    let ev = Scheduled {
+                        at: arrive,
+                        key,
+                        site: next,
+                        fire: Fire::Hop { dst, bytes, tag },
+                    };
+                    if plan.shard_of(next) == own_shard {
+                        shard.queue.push(ev.at, ev.key, (ev.site, ev.fire));
+                    } else {
+                        debug_assert!(
+                            arrive >= until,
+                            "cross-shard hop inside the window violates lookahead"
+                        );
+                        outbox.push(ev);
+                    }
+                }
+            }
+            Fire::Timer { key } => {
+                shard.timers += 1;
+                shard.fx.now = at;
+                shard.fx.site = site;
+                shard.actors[idx].on_timer(key, &mut shard.fx);
+                apply_effects(shard, idx, topology, links, plan, &mut outbox);
+            }
+        }
+    }
+    outbox
+}
+
+/// Drains the shard's effect buffer: assigns origin keys, routes first hops,
+/// and enqueues locally or into the outbox.
+fn apply_effects<A: SiteActor>(
+    shard: &mut Shard<A>,
+    idx: usize,
+    topology: &Topology,
+    links: LinkModel,
+    plan: &ShardPlan,
+    outbox: &mut Vec<Scheduled>,
+) {
+    let site = SiteId(shard.base + idx as u32);
+    let own_shard = plan.shard_of(site);
+    let now = shard.fx.now;
+    for (to, bytes, tag) in std::mem::take(&mut shard.fx.sends) {
+        let key = (site.0, shard.seqs[idx]);
+        shard.seqs[idx] += 1;
+        let (next, arrive) = if to == site {
+            // Local loopback: a small constant kernel cost.
+            (site, now + Duration::from_micros(10))
+        } else {
+            let next = next_hop(topology, site, to);
+            let spec = links.spec(topology, site, next);
+            shard.hops += 1;
+            shard.bytes += bytes as u64;
+            (next, now + spec.transfer_time(bytes as u64))
+        };
+        let ev = Scheduled {
+            at: arrive,
+            key,
+            site: next,
+            fire: Fire::Hop {
+                dst: to,
+                bytes,
+                tag,
+            },
+        };
+        if plan.shard_of(next) == own_shard {
+            shard.queue.push(ev.at, ev.key, (ev.site, ev.fire));
+        } else {
+            outbox.push(ev);
+        }
+    }
+    for (delay, key) in std::mem::take(&mut shard.fx.timers) {
+        let seq = shard.seqs[idx];
+        shard.seqs[idx] += 1;
+        shard
+            .queue
+            .push(now + delay, (site.0, seq), (site, Fire::Timer { key }));
+    }
+}
+
+/// Deterministic next hop on a ring-of-cliques topology: intra-clique hops
+/// are direct (cliques are fully meshed), cross-clique traffic funnels
+/// through its clique gateway and rides the gateway ring the short way
+/// (ties break toward ascending clique numbers).
+fn next_hop(topology: &Topology, from: SiteId, to: SiteId) -> SiteId {
+    let Some(cs) = topology.clique_size().filter(|&cs| cs > 0) else {
+        return to;
+    };
+    let cliques = topology.site_count().div_ceil(cs).max(1);
+    let cf = from.0 / cs;
+    let ct = to.0 / cs;
+    if cf == ct {
+        return to;
+    }
+    let gateway = |c: u32| SiteId(c * cs);
+    if from != gateway(cf) {
+        return gateway(cf);
+    }
+    let forward = (ct + cliques - cf) % cliques;
+    let backward = (cf + cliques - ct) % cliques;
+    let next_clique = if forward <= backward {
+        (cf + 1) % cliques
+    } else {
+        (cf + cliques - 1) % cliques
+    };
+    gateway(next_clique)
+}
+
+/// Runs the same event set through a single global `BinaryHeap` with no
+/// windowing — the pre-refactor engine shape.  E17 uses this as its
+/// throughput baseline: identical semantics and digests, different queue.
+pub fn run_reference<A: SiteActor>(topology: &Topology, mut actors: Vec<A>) -> Outcome {
+    let links = LinkModel::of(topology);
+    let mut queue: BinaryHeap<Reverse<Scheduled>> = BinaryHeap::new();
+    let mut seqs = vec![0u64; actors.len()];
+    let mut fx = Effects::default();
+    let mut outcome = Outcome {
+        events: 0,
+        delivered: 0,
+        hops: 0,
+        bytes: 0,
+        timers: 0,
+        digest: 0x9e37_79b9_7f4a_7c15,
+        end: SimTime::ZERO,
+    };
+    let emit = |fx: &mut Effects,
+                seqs: &mut Vec<u64>,
+                queue: &mut BinaryHeap<Reverse<Scheduled>>,
+                hops: &mut u64,
+                bytes_total: &mut u64| {
+        let site = fx.site;
+        let now = fx.now;
+        for (to, bytes, tag) in std::mem::take(&mut fx.sends) {
+            let key = (site.0, seqs[site.index()]);
+            seqs[site.index()] += 1;
+            let (next, arrive) = if to == site {
+                (site, now + Duration::from_micros(10))
+            } else {
+                let next = next_hop(topology, site, to);
+                let spec = links.spec(topology, site, next);
+                *hops += 1;
+                *bytes_total += bytes as u64;
+                (next, now + spec.transfer_time(bytes as u64))
+            };
+            queue.push(Reverse(Scheduled {
+                at: arrive,
+                key,
+                site: next,
+                fire: Fire::Hop {
+                    dst: to,
+                    bytes,
+                    tag,
+                },
+            }));
+        }
+        for (delay, key) in std::mem::take(&mut fx.timers) {
+            let seq = seqs[site.index()];
+            seqs[site.index()] += 1;
+            queue.push(Reverse(Scheduled {
+                at: now + delay,
+                key: (site.0, seq),
+                site,
+                fire: Fire::Timer { key },
+            }));
+        }
+    };
+    for (i, actor) in actors.iter_mut().enumerate() {
+        fx.now = SimTime::ZERO;
+        fx.site = SiteId(i as u32);
+        actor.on_start(&mut fx);
+        emit(
+            &mut fx,
+            &mut seqs,
+            &mut queue,
+            &mut outcome.hops,
+            &mut outcome.bytes,
+        );
+    }
+    while let Some(Reverse(Scheduled {
+        at,
+        key,
+        site,
+        fire,
+    })) = queue.pop()
+    {
+        outcome.events += 1;
+        outcome.end = outcome.end.max(at);
+        match fire {
+            Fire::Hop { dst, bytes, tag } => {
+                if site == dst {
+                    outcome.delivered += 1;
+                    fx.now = at;
+                    fx.site = site;
+                    actors[site.index()].on_message(bytes, tag, &mut fx);
+                    emit(
+                        &mut fx,
+                        &mut seqs,
+                        &mut queue,
+                        &mut outcome.hops,
+                        &mut outcome.bytes,
+                    );
+                } else {
+                    let next = next_hop(topology, site, dst);
+                    let spec = links.spec(topology, site, next);
+                    outcome.hops += 1;
+                    outcome.bytes += bytes as u64;
+                    queue.push(Reverse(Scheduled {
+                        at: at + spec.transfer_time(bytes as u64),
+                        key,
+                        site: next,
+                        fire: Fire::Hop { dst, bytes, tag },
+                    }));
+                }
+            }
+            Fire::Timer { key } => {
+                outcome.timers += 1;
+                fx.now = at;
+                fx.site = site;
+                actors[site.index()].on_timer(key, &mut fx);
+                emit(
+                    &mut fx,
+                    &mut seqs,
+                    &mut queue,
+                    &mut outcome.hops,
+                    &mut outcome.bytes,
+                );
+            }
+        }
+    }
+    for actor in &actors {
+        outcome.digest = mix(outcome.digest ^ actor.digest());
+    }
+    outcome
+}
+
+/// Parameters of the gossip workload E17 drives through the engine: every
+/// site runs `rounds` fanout rounds of mostly-local gossip with a trickle of
+/// cross-clique traffic, the mix that exercises both the intra-shard fast
+/// path and the barrier exchange.
+#[derive(Debug, Clone, Copy)]
+pub struct GossipConfig {
+    /// Cliques in the ring.
+    pub cliques: u32,
+    /// Sites per clique.
+    pub clique_size: u32,
+    /// Gossip rounds per site.
+    pub rounds: u32,
+    /// Messages sent per round per site.
+    pub fanout: u32,
+    /// Per-mille of sends aimed at a random site in another clique.
+    pub cross_permille: u32,
+    /// Payload bytes per message.
+    pub payload: u32,
+    /// Microseconds between a site's rounds (jittered per site).
+    pub interval_us: u64,
+    /// Master seed; per-site streams are derived from it.
+    pub seed: u64,
+}
+
+impl GossipConfig {
+    /// Total sites.
+    pub fn sites(&self) -> u32 {
+        self.cliques * self.clique_size
+    }
+
+    /// The ring-of-cliques topology this workload runs on.
+    pub fn topology(&self) -> Topology {
+        Topology::ring_of_cliques(
+            self.cliques,
+            self.clique_size,
+            LinkSpec::lan(),
+            LinkSpec::wan(),
+        )
+    }
+}
+
+/// Per-site state of the gossip workload.
+#[derive(Debug)]
+pub struct GossipActor {
+    site: SiteId,
+    cfg: GossipConfig,
+    rng: DetRng,
+    round: u32,
+    state: u64,
+}
+
+impl GossipActor {
+    /// Builds the actor for `site`, deriving its RNG stream from the master
+    /// seed — shard assignment never touches the stream.
+    pub fn new(site: SiteId, cfg: GossipConfig) -> Self {
+        GossipActor {
+            site,
+            cfg,
+            rng: DetRng::new(cfg.seed).derive(site.0 as u64),
+            round: 0,
+            state: mix(cfg.seed ^ site.0 as u64),
+        }
+    }
+
+    /// A random peer in this site's clique (never itself), or `None` when
+    /// the clique has one site.
+    fn local_peer(&mut self) -> Option<SiteId> {
+        let cs = self.cfg.clique_size;
+        if cs <= 1 {
+            return None;
+        }
+        let base = (self.site.0 / cs) * cs;
+        let mut pick = base + self.rng.next_below(cs as u64) as u32;
+        if pick == self.site.0 {
+            pick = base + (pick - base + 1) % cs;
+        }
+        Some(SiteId(pick))
+    }
+
+    /// A random site in a random *other* clique, or `None` with one clique.
+    fn remote_peer(&mut self) -> Option<SiteId> {
+        if self.cfg.cliques <= 1 {
+            return None;
+        }
+        let own = self.site.0 / self.cfg.clique_size;
+        let mut clique = self.rng.next_below(self.cfg.cliques as u64) as u32;
+        if clique == own {
+            clique = (clique + 1) % self.cfg.cliques;
+        }
+        let member = self.rng.next_below(self.cfg.clique_size as u64) as u32;
+        Some(SiteId(clique * self.cfg.clique_size + member))
+    }
+}
+
+impl SiteActor for GossipActor {
+    fn on_start(&mut self, fx: &mut Effects) {
+        // Every round's alarm is armed up front, spread over the horizon:
+        // a standing agenda of sites × rounds timers keeps the event queue
+        // under realistic pressure for the whole run.
+        for round in 0..self.cfg.rounds {
+            let jitter = self.rng.next_below(self.cfg.interval_us.max(1));
+            let at = self.cfg.interval_us * round as u64 + jitter;
+            fx.timer(Duration::from_micros(at), round as u64);
+        }
+    }
+
+    fn on_timer(&mut self, key: u64, fx: &mut Effects) {
+        self.round += 1;
+        self.state = mix(self.state ^ key.wrapping_mul(0xa076_1d64_78bd_642f));
+        for _ in 0..self.cfg.fanout {
+            let cross = self.rng.next_below(1000) < self.cfg.cross_permille as u64;
+            let target = if cross {
+                self.remote_peer().or_else(|| self.local_peer())
+            } else {
+                self.local_peer().or_else(|| self.remote_peer())
+            };
+            let Some(target) = target else { continue };
+            let tag = self.rng.next_u64();
+            self.state = mix(self.state ^ tag);
+            fx.send(target, self.cfg.payload, tag);
+        }
+    }
+
+    fn on_message(&mut self, bytes: u32, tag: u64, fx: &mut Effects) {
+        let _ = fx;
+        self.state = mix(self.state ^ tag ^ (bytes as u64).rotate_left(17));
+    }
+
+    fn digest(&self) -> u64 {
+        mix(self.state ^ ((self.round as u64) << 32) ^ self.site.0 as u64)
+    }
+}
+
+/// Runs the gossip workload on `shards` shards and returns the outcome.
+pub fn run_gossip(cfg: GossipConfig, shards: u32) -> Outcome {
+    let mut sim = ParallelSim::new(cfg.topology(), shards, |site| GossipActor::new(site, cfg));
+    sim.run()
+}
+
+/// Runs the gossip workload through the single-global-heap reference engine.
+pub fn run_gossip_reference(cfg: GossipConfig) -> Outcome {
+    let topology = cfg.topology();
+    let actors = (0..cfg.sites())
+        .map(|s| GossipActor::new(SiteId(s), cfg))
+        .collect();
+    run_reference(&topology, actors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> GossipConfig {
+        GossipConfig {
+            cliques: 8,
+            clique_size: 4,
+            rounds: 6,
+            fanout: 2,
+            cross_permille: 200,
+            payload: 256,
+            interval_us: 3_000,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn next_hop_routes_intra_clique_directly() {
+        let t = Topology::ring_of_cliques(4, 4, LinkSpec::lan(), LinkSpec::wan());
+        assert_eq!(next_hop(&t, SiteId(1), SiteId(3)), SiteId(3));
+    }
+
+    #[test]
+    fn next_hop_funnels_through_gateways_the_short_way() {
+        let t = Topology::ring_of_cliques(6, 4, LinkSpec::lan(), LinkSpec::wan());
+        // Non-gateway to another clique: first to the local gateway.
+        assert_eq!(next_hop(&t, SiteId(1), SiteId(9)), SiteId(0));
+        // Gateway rides the ring forward (clique 0 → 2 is 2 forward, 4 back).
+        assert_eq!(next_hop(&t, SiteId(0), SiteId(9)), SiteId(4));
+        // ... and backward when shorter (clique 0 → 5 is 1 backward).
+        assert_eq!(next_hop(&t, SiteId(0), SiteId(21)), SiteId(20));
+        // Arriving gateway hands over to the clique member.
+        assert_eq!(next_hop(&t, SiteId(8), SiteId(9)), SiteId(9));
+    }
+
+    #[test]
+    fn hop_by_hop_route_terminates_at_destination() {
+        let t = Topology::ring_of_cliques(6, 4, LinkSpec::lan(), LinkSpec::wan());
+        let mut at = SiteId(1);
+        let dst = SiteId(18);
+        let mut hops = 0;
+        while at != dst {
+            let next = next_hop(&t, at, dst);
+            assert!(t.has_link(at, next), "{at} -> {next} must be a link");
+            at = next;
+            hops += 1;
+            assert!(hops < 32, "route must terminate");
+        }
+    }
+
+    #[test]
+    fn outcome_is_invariant_across_shard_counts() {
+        let cfg = small_cfg();
+        let one = run_gossip(cfg, 1);
+        assert!(one.events > 0 && one.delivered > 0 && one.hops > 0);
+        for shards in [2, 4, 8] {
+            assert_eq!(run_gossip(cfg, shards), one, "shards = {shards}");
+        }
+    }
+
+    #[test]
+    fn reference_engine_agrees_with_sharded_engine() {
+        let cfg = small_cfg();
+        assert_eq!(run_gossip_reference(cfg), run_gossip(cfg, 4));
+    }
+
+    #[test]
+    fn different_seeds_give_different_digests() {
+        let a = run_gossip(small_cfg(), 2);
+        let b = run_gossip(
+            GossipConfig {
+                seed: 43,
+                ..small_cfg()
+            },
+            2,
+        );
+        assert_ne!(a.digest, b.digest);
+    }
+}

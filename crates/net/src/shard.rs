@@ -1,0 +1,166 @@
+//! Shard planning: carving a topology into per-shard event domains.
+//!
+//! The sharded simulator cores (the serial argmin merge inside
+//! [`crate::sim::SimNet`] and the conservatively-synchronized parallel engine
+//! in [`crate::parallel`]) both need the same two pieces of information:
+//!
+//! * **which shard owns which site** — every event fires *at* a site
+//!   (a delivery at its destination, a timer/failure/custody alarm at its
+//!   site), so a site→shard map partitions the event queue;
+//! * **the lookahead** — the minimum latency of any link that crosses a
+//!   shard boundary.  A cross-shard send made at time `t` cannot arrive
+//!   before `t + lookahead`, so every shard may safely execute all events in
+//!   the window `[w, w + lookahead)` without hearing from its peers.
+//!
+//! On the ring-of-cliques shape the plan aligns shard boundaries with clique
+//! boundaries (cliques are contiguous site ranges), so the only cross-shard
+//! links are the WAN gateway links and the lookahead is the WAN latency —
+//! tens of milliseconds of safe parallel slack.  Any other shape falls back
+//! to contiguous site blocks, which stays correct (the lookahead shrinks to
+//! the cheapest severed link) but parallelizes less.
+
+use crate::time::Duration;
+use crate::topology::Topology;
+use tacoma_util::SiteId;
+
+/// Lookahead to report when no link crosses a shard boundary (one shard, or
+/// disconnected shards): any positive window works, so use a generous one.
+const UNCOUPLED_LOOKAHEAD: Duration = Duration(1_000_000);
+
+/// A partition of a topology's sites into shards, plus the conservative
+/// synchronization window that partition supports.
+#[derive(Debug, Clone)]
+pub struct ShardPlan {
+    shard_of: Vec<u16>,
+    shards: u32,
+    lookahead: Duration,
+}
+
+impl ShardPlan {
+    /// Plans `shards` shards over `topology`.  The count is clamped to
+    /// `1..=site_count` (and to `u16` range); clique-shaped topologies get
+    /// clique-aligned shards, everything else contiguous site blocks.
+    pub fn new(topology: &Topology, shards: u32) -> Self {
+        let sites = topology.site_count();
+        let shards = shards.clamp(1, sites.max(1)).min(u16::MAX as u32);
+        let shard_of: Vec<u16> = match topology.clique_size() {
+            Some(cs) if cs > 0 => {
+                let cliques = sites.div_ceil(cs).max(1);
+                let shards = shards.min(cliques);
+                (0..sites)
+                    .map(|s| {
+                        let clique = (s / cs).min(cliques - 1);
+                        ((clique as u64 * shards as u64) / cliques as u64) as u16
+                    })
+                    .collect()
+            }
+            _ => (0..sites)
+                .map(|s| ((s as u64 * shards as u64) / sites.max(1) as u64) as u16)
+                .collect(),
+        };
+        let shards = shard_of.last().map_or(1, |&last| last as u32 + 1);
+        let lookahead = topology
+            .links()
+            .filter(|&(a, b, _)| shard_of[a.index()] != shard_of[b.index()])
+            .map(|(_, _, spec)| spec.latency)
+            .min()
+            .unwrap_or(UNCOUPLED_LOOKAHEAD);
+        ShardPlan {
+            shard_of,
+            shards,
+            lookahead,
+        }
+    }
+
+    /// Number of shards actually planned (≤ the requested count).
+    pub fn shards(&self) -> u32 {
+        self.shards
+    }
+
+    /// The shard owning `site`.  Out-of-range sites map to shard 0, so the
+    /// plan is total over any `SiteId` the simulator can be handed.
+    pub fn shard_of(&self, site: SiteId) -> u16 {
+        self.shard_of.get(site.index()).copied().unwrap_or(0)
+    }
+
+    /// The conservative window: no event executed in one shard can schedule
+    /// an event in another shard sooner than this far in the future.
+    pub fn lookahead(&self) -> Duration {
+        self.lookahead
+    }
+
+    /// The sites of shard `shard`, in ascending id order.  Both planners
+    /// assign contiguous, monotone ranges, so concatenating shard 0..n
+    /// enumerates all sites in global order — the property the parallel
+    /// engine's digest fold relies on.
+    pub fn sites_of(&self, shard: u16) -> Vec<SiteId> {
+        self.shard_of
+            .iter()
+            .enumerate()
+            .filter(|&(_, &s)| s == shard)
+            .map(|(i, _)| SiteId(i as u32))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::LinkSpec;
+
+    #[test]
+    fn clique_aligned_plan_has_wan_lookahead() {
+        let t = Topology::ring_of_cliques(8, 4, LinkSpec::lan(), LinkSpec::wan());
+        let plan = ShardPlan::new(&t, 4);
+        assert_eq!(plan.shards(), 4);
+        // Two whole cliques per shard: sites 0..8 in shard 0, 8..16 in 1, ...
+        for s in 0..32u32 {
+            assert_eq!(plan.shard_of(SiteId(s)), (s / 8) as u16, "site {s}");
+        }
+        // The only severed links are WAN gateway links.
+        assert_eq!(plan.lookahead(), LinkSpec::wan().latency);
+    }
+
+    #[test]
+    fn more_shards_than_cliques_clamps_to_cliques() {
+        let t = Topology::ring_of_cliques(2, 16, LinkSpec::lan(), LinkSpec::wan());
+        let plan = ShardPlan::new(&t, 8);
+        assert_eq!(plan.shards(), 2);
+        assert_eq!(plan.shard_of(SiteId(15)), 0);
+        assert_eq!(plan.shard_of(SiteId(16)), 1);
+    }
+
+    #[test]
+    fn generic_topology_falls_back_to_contiguous_blocks() {
+        let t = Topology::ring(10, LinkSpec::default());
+        let plan = ShardPlan::new(&t, 2);
+        assert_eq!(plan.shards(), 2);
+        assert_eq!(plan.shard_of(SiteId(4)), 0);
+        assert_eq!(plan.shard_of(SiteId(5)), 1);
+        // The ring's links all share one spec, so severed links carry it.
+        assert_eq!(plan.lookahead(), LinkSpec::default().latency);
+        assert_eq!(plan.sites_of(1).len(), 5);
+    }
+
+    #[test]
+    fn single_shard_plan_is_total_and_uncoupled() {
+        let t = Topology::full_mesh(5, LinkSpec::lan());
+        let plan = ShardPlan::new(&t, 1);
+        assert_eq!(plan.shards(), 1);
+        assert_eq!(plan.shard_of(SiteId(3)), 0);
+        assert_eq!(plan.shard_of(SiteId(999)), 0, "total over any id");
+        assert!(plan.lookahead() > LinkSpec::wan().latency);
+        assert_eq!(plan.sites_of(0).len(), 5);
+    }
+
+    #[test]
+    fn shard_ranges_concatenate_to_global_site_order() {
+        let t = Topology::ring_of_cliques(6, 3, LinkSpec::lan(), LinkSpec::wan());
+        let plan = ShardPlan::new(&t, 4);
+        let mut all = Vec::new();
+        for shard in 0..plan.shards() as u16 {
+            all.extend(plan.sites_of(shard));
+        }
+        assert_eq!(all, (0..18).map(SiteId).collect::<Vec<_>>());
+    }
+}

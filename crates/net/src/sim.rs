@@ -13,16 +13,17 @@
 //! sites, so a crash can also make two live sites temporarily unreachable on
 //! sparse topologies.
 
+use crate::calendar::CalendarQueue;
 use crate::custody::{CustodyConfig, CustodyStore, Parked};
 use crate::failure::{FailureAction, FailurePlan};
 use crate::metrics::NetMetrics;
 use crate::routing::Router;
+use crate::shard::ShardPlan;
 use crate::time::{Duration, SimTime};
 use crate::topology::Topology;
 use crate::transport::{Transport, TransportKind};
 use serde::{Deserialize, Serialize};
-use std::cmp::Reverse;
-use std::collections::{BTreeSet, BinaryHeap};
+use std::collections::BTreeSet;
 use tacoma_util::SiteId;
 
 /// A partition installed by [`SimNet::partition`]: one membership mask per
@@ -216,28 +217,17 @@ enum Pending {
     },
 }
 
-/// Heap entry ordered by (time, sequence number).
-#[derive(Debug, Clone)]
-struct QueuedEvent {
-    at: SimTime,
-    seq: u64,
-    pending: Pending,
-}
-
-impl PartialEq for QueuedEvent {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for QueuedEvent {}
-impl PartialOrd for QueuedEvent {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for QueuedEvent {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
+impl Pending {
+    /// The site an event fires *at* — the key the sharded queue partitions
+    /// on.  Deliveries fire at their destination; timers, failures and
+    /// custody alarms at their own site.
+    fn site(&self) -> SiteId {
+        match self {
+            Pending::Deliver { msg, .. } => msg.to,
+            Pending::Timer { site, .. } => *site,
+            Pending::Failure { site, .. } => *site,
+            Pending::CustodyExpire { site, .. } => *site,
+        }
     }
 }
 
@@ -247,7 +237,15 @@ pub struct SimNet {
     router: Router,
     up: Vec<bool>,
     clock: SimTime,
-    queue: BinaryHeap<Reverse<QueuedEvent>>,
+    /// One calendar queue per shard of the shard plan (a single queue by
+    /// default).  Events are keyed by the global sequence number, so popping
+    /// the argmin `(time, seq)` across shards reproduces exactly the order a
+    /// single global queue would produce — sharding the queue can never
+    /// change a simulation result, which is what lets CI gate `--shards N`
+    /// against `--shards 1` byte-for-byte.
+    queues: Vec<CalendarQueue<u64, Pending>>,
+    /// Site → shard map plus the cross-shard lookahead.
+    plan: ShardPlan,
     seq: u64,
     next_msg_id: u64,
     transport: Transport,
@@ -273,11 +271,13 @@ impl SimNet {
     /// Creates a simulator over `topology` with every site up.
     pub fn new(topology: Topology) -> Self {
         let sites = topology.site_count() as usize;
+        let plan = ShardPlan::new(&topology, 1);
         SimNet {
             router: Router::new(topology),
             up: vec![true; sites],
             clock: SimTime::ZERO,
-            queue: BinaryHeap::new(),
+            queues: vec![CalendarQueue::new()],
+            plan,
             seq: 0,
             next_msg_id: 1,
             transport: Transport::new(),
@@ -287,6 +287,39 @@ impl SimNet {
             route_buf: Vec::new(),
             custody: None,
         }
+    }
+
+    /// Re-partitions the event queue into `shards` per-shard calendar
+    /// queues, clique-aligned on ring-of-cliques topologies (see
+    /// [`ShardPlan`]).  Already-queued events are redistributed with their
+    /// original `(time, seq)` keys, so calling this at any point — even
+    /// mid-run — cannot change the order in which events pop.
+    pub fn set_shards(&mut self, shards: u32) {
+        self.plan = ShardPlan::new(self.router.topology(), shards);
+        let mut pending: Vec<(SimTime, u64, Pending)> = Vec::new();
+        for queue in &mut self.queues {
+            while let Some(entry) = queue.pop() {
+                pending.push(entry);
+            }
+        }
+        self.queues = (0..self.plan.shards())
+            .map(|_| CalendarQueue::new())
+            .collect();
+        for (at, seq, ev) in pending {
+            let shard = self.plan.shard_of(ev.site()) as usize;
+            self.queues[shard].push(at, seq, ev);
+        }
+    }
+
+    /// Number of event-queue shards (1 unless [`SimNet::set_shards`] raised it).
+    pub fn shard_count(&self) -> u32 {
+        self.plan.shards()
+    }
+
+    /// The conservative lookahead of the current shard plan: the minimum
+    /// latency of any link crossing a shard boundary.
+    pub fn shard_lookahead(&self) -> Duration {
+        self.plan.lookahead()
     }
 
     /// Installs a custody store: sends whose [`SendOptions::custody`] flag is
@@ -375,6 +408,9 @@ impl SimNet {
     pub fn edit_topology(&mut self, edit: impl FnOnce(&mut Topology)) {
         self.router.edit_topology(edit);
         self.epoch += 1;
+        // Link changes can change which links cross shard boundaries;
+        // re-plan at the same shard count so the lookahead stays honest.
+        self.set_shards(self.plan.shards());
         self.flush_custody();
     }
 
@@ -762,10 +798,10 @@ impl SimNet {
     /// and do not surface.
     pub fn step(&mut self) -> Option<Event> {
         loop {
-            let Reverse(ev) = self.queue.pop()?;
-            debug_assert!(ev.at >= self.clock, "time must not go backwards");
-            self.clock = self.clock.max(ev.at);
-            match ev.pending {
+            let (at, _, pending) = self.pop_next()?;
+            debug_assert!(at >= self.clock, "time must not go backwards");
+            self.clock = self.clock.max(at);
+            match pending {
                 Pending::Deliver { msg, custody } => {
                     if self.is_up(msg.to) {
                         if custody.is_some_and(|tag| tag.was_parked) {
@@ -827,19 +863,37 @@ impl SimNet {
         }
     }
 
+    /// Pops the globally next event: the argmin of `(time, seq)` across the
+    /// per-shard queues.  Sequence numbers are globally unique, so this is a
+    /// total order and the pop sequence is independent of the shard count.
+    fn pop_next(&mut self) -> Option<(SimTime, u64, Pending)> {
+        let shard = self
+            .queues
+            .iter()
+            .enumerate()
+            .filter_map(|(i, q)| q.peek().map(|front| (front, i)))
+            .min()?
+            .1;
+        self.queues[shard].pop()
+    }
+
     /// The time of the next pending event, if any.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.queue.peek().map(|Reverse(ev)| ev.at)
+        self.queues
+            .iter()
+            .filter_map(CalendarQueue::peek)
+            .min()
+            .map(|(at, _)| at)
     }
 
     /// Whether any events are pending.
     pub fn has_pending(&self) -> bool {
-        !self.queue.is_empty()
+        self.queues.iter().any(|q| !q.is_empty())
     }
 
     /// Number of pending events (messages in flight, timers, failures).
     pub fn pending_count(&self) -> usize {
-        self.queue.len()
+        self.queues.iter().map(CalendarQueue::len).sum()
     }
 
     fn apply_failure(&mut self, site: SiteId, action: FailureAction) -> bool {
@@ -875,7 +929,8 @@ impl SimNet {
     fn push(&mut self, at: SimTime, pending: Pending) {
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Reverse(QueuedEvent { at, seq, pending }));
+        let shard = self.plan.shard_of(pending.site()) as usize;
+        self.queues[shard].push(at, seq, pending);
     }
 }
 

@@ -83,6 +83,12 @@ pub struct Topology {
     kind: TopologyKind,
     sites: u32,
     links: BTreeMap<(SiteId, SiteId), LinkSpec>,
+    /// For [`TopologyKind::RingOfCliques`]: the number of sites per clique.
+    /// The shard planner ([`crate::shard::ShardPlan`]) uses this to align
+    /// shard boundaries with clique boundaries, so the only cross-shard links
+    /// are the high-latency gateway links that give the scheduler its
+    /// lookahead.
+    clique_size: Option<u32>,
 }
 
 impl Topology {
@@ -92,6 +98,7 @@ impl Topology {
             kind: TopologyKind::Custom,
             sites,
             links: BTreeMap::new(),
+            clique_size: None,
         }
     }
 
@@ -164,6 +171,7 @@ impl Topology {
     ) -> Self {
         let mut t = Topology::empty(cliques * clique_size);
         t.kind = TopologyKind::RingOfCliques;
+        t.clique_size = (clique_size > 0).then_some(clique_size);
         let gateway = |c: u32| SiteId(c * clique_size);
         for c in 0..cliques {
             let base = c * clique_size;
@@ -232,6 +240,13 @@ impl Topology {
     /// The shape this topology was built with.
     pub fn kind(&self) -> TopologyKind {
         self.kind
+    }
+
+    /// Sites per clique, when this is a [`TopologyKind::RingOfCliques`]
+    /// shape.  `None` for every other shape (shard planning then falls back
+    /// to contiguous site blocks).
+    pub fn clique_size(&self) -> Option<u32> {
+        self.clique_size
     }
 
     /// Number of (bidirectional) links.
@@ -379,6 +394,9 @@ mod tests {
         assert_eq!(t.link(SiteId(0), SiteId(1)), Some(&LinkSpec::lan()));
         // A non-gateway member only sees its own clique.
         assert_eq!(t.neighbors(SiteId(4)), vec![SiteId(3), SiteId(5)]);
+        // The clique geometry is recorded for the shard planner.
+        assert_eq!(t.clique_size(), Some(3));
+        assert_eq!(Topology::ring(4, LinkSpec::default()).clique_size(), None);
     }
 
     #[test]

@@ -1,0 +1,137 @@
+//! Property tests pitting [`CalendarQueue`] against a plain `BinaryHeap`
+//! reference model.
+//!
+//! The simulator's determinism contract hangs on the queue popping the exact
+//! total order on `(time, key)` — including FIFO order at equal timestamps,
+//! which callers get by assigning keys from a monotone sequence counter.  The
+//! tests below replay random interleaved push/pop traces against a model heap
+//! and demand identical `(time, key, value)` streams, over random (often
+//! degenerate) wheel geometries so bucket wrap, overflow migration, and late
+//! pushes all get exercised.
+
+use proptest::prelude::*;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use tacoma_net::calendar::CalendarQueue;
+use tacoma_net::time::SimTime;
+
+/// The reference model: a binary heap over the same `(time, key, value)`
+/// triples, ordered the way the simulator needs — `(time, key)` ascending.
+#[derive(Default)]
+struct ModelHeap {
+    heap: BinaryHeap<Reverse<(SimTime, u64, u32)>>,
+}
+
+impl ModelHeap {
+    fn push(&mut self, at: SimTime, key: u64, value: u32) {
+        self.heap.push(Reverse((at, key, value)));
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, u64, u32)> {
+        self.heap.pop().map(|Reverse(e)| e)
+    }
+
+    fn peek(&self) -> Option<(SimTime, u64)> {
+        self.heap.peek().map(|&Reverse((at, key, _))| (at, key))
+    }
+}
+
+proptest! {
+    /// Interleaved pushes and pops agree with the model heap step by step:
+    /// same pops, same peeks, same lengths, on an arbitrary small geometry.
+    #[test]
+    fn interleaved_trace_matches_binary_heap(
+        bucket_width in 1u64..900,
+        slots in 1usize..48,
+        ops in proptest::collection::vec((any::<bool>(), 0u64..6_000), 1..300),
+    ) {
+        let mut queue = CalendarQueue::with_geometry(bucket_width, slots);
+        let mut model = ModelHeap::default();
+        let mut seq = 0u64;
+        for &(is_pop, time) in &ops {
+            if is_pop {
+                let got = queue.pop();
+                let want = model.pop();
+                prop_assert_eq!(got, want);
+            } else {
+                // Keys are assigned monotonically, exactly as the simulator
+                // does — this is what makes (time, key) order equal FIFO
+                // order at equal timestamps.
+                queue.push(SimTime(time), seq, seq as u32);
+                model.push(SimTime(time), seq, seq as u32);
+                seq += 1;
+            }
+            prop_assert_eq!(queue.peek(), model.peek());
+            prop_assert_eq!(queue.len(), model.heap.len());
+            prop_assert_eq!(queue.is_empty(), model.heap.is_empty());
+        }
+        // Drain whatever is left and require identical tails.
+        loop {
+            let got = queue.pop();
+            let want = model.pop();
+            prop_assert_eq!(got, want);
+            if want.is_none() {
+                break;
+            }
+        }
+    }
+
+    /// Equal-timestamp events pop in insertion (FIFO) order: drain order is
+    /// exactly the push order after a stable sort on time alone.
+    #[test]
+    fn equal_timestamps_pop_fifo(
+        bucket_width in 1u64..300,
+        slots in 1usize..16,
+        // Few distinct timestamps over many events forces heavy collisions.
+        times in proptest::collection::vec(0u64..8, 1..120),
+    ) {
+        let mut queue = CalendarQueue::with_geometry(bucket_width, slots);
+        for (i, &t) in times.iter().enumerate() {
+            queue.push(SimTime(t * 1_000), i as u64, i as u32);
+        }
+        let mut expected: Vec<(u64, usize)> =
+            times.iter().map(|&t| t * 1_000).zip(0..).collect();
+        // Stable sort: ties keep insertion order — the FIFO contract.
+        expected.sort_by_key(|&(t, _)| t);
+        let mut drained = Vec::new();
+        while let Some((at, key, value)) = queue.pop() {
+            prop_assert_eq!(key as u32, value);
+            drained.push((at.micros(), key as usize));
+        }
+        prop_assert_eq!(drained, expected);
+    }
+
+    /// Pushes earlier than an already-popped timestamp (the conservative
+    /// engine never emits these, but `SimNet` clients may) still pop first,
+    /// in agreement with the model.
+    #[test]
+    fn late_pushes_agree_with_the_model(
+        bucket_width in 1u64..200,
+        slots in 1usize..8,
+        rounds in proptest::collection::vec((0u64..500, 0u64..500), 1..60),
+    ) {
+        let mut queue = CalendarQueue::with_geometry(bucket_width, slots);
+        let mut model = ModelHeap::default();
+        let mut seq = 0u64;
+        for &(a, b) in &rounds {
+            // Push one "future" event, pop the front, then push an event
+            // that may land before the popped time.
+            queue.push(SimTime(a + 500), seq, 0);
+            model.push(SimTime(a + 500), seq, 0);
+            seq += 1;
+            prop_assert_eq!(queue.pop(), model.pop());
+            queue.push(SimTime(b), seq, 1);
+            model.push(SimTime(b), seq, 1);
+            seq += 1;
+            prop_assert_eq!(queue.peek(), model.peek());
+        }
+        loop {
+            let got = queue.pop();
+            let want = model.pop();
+            prop_assert_eq!(got, want);
+            if want.is_none() {
+                break;
+            }
+        }
+    }
+}

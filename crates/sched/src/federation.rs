@@ -474,6 +474,9 @@ pub struct FederationConfig {
     /// Store-and-forward custody configuration, when enabled (E16's failover
     /// runs park in-flight submissions across the broker outage).
     pub custody: Option<CustodyConfig>,
+    /// Event-queue shards for the network simulator — unrelated to the broker
+    /// `shards` above (`1` = single queue; any value is byte-identical).
+    pub sim_shards: u32,
     /// Random seed.
     pub seed: u64,
 }
@@ -493,6 +496,7 @@ impl Default for FederationConfig {
             mean_interarrival_ms: 10.0,
             capacities: vec![1.0, 2.0, 4.0, 8.0],
             custody: None,
+            sim_shards: 1,
             seed: 1515,
         }
     }
@@ -551,6 +555,7 @@ pub fn build_federation(config: &FederationConfig) -> (TacomaSystem, FederationL
     let mut builder = TacomaSystem::builder()
         .topology(topology)
         .seed(config.seed)
+        .shards(config.sim_shards)
         .with_agents_at(broker_sites.clone(), move |site| {
             let shard = (site.0 / clique_size) / cliques_per_shard;
             vec![
