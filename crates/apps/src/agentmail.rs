@@ -19,33 +19,18 @@ pub const MAILBOX_CABINET: &str = "mailbox";
 /// Cabinet holding forwarding addresses: folder per user, top element = new site.
 pub const FORWARDING_CABINET: &str = "mail_forwarding";
 
-/// The TacoScript source of a mail-message agent.
+/// Repository-relative path of the mail-message agent's source, so tooling
+/// (vet reports, the fleet audit) can point diagnostics at the real file
+/// instead of an embedded-string placeholder.
+pub const MAIL_AGENT_SOURCE: &str = "crates/apps/src/mail_agent.taco";
+
+/// The TacoScript source of a mail-message agent, shipped as a real `.taco`
+/// file (see [`MAIL_AGENT_SOURCE`]).
 ///
 /// Expects briefcase folders `TO` (user name), `BODY` (message text), and
 /// `HOPS` (forwarding hops used so far).
 pub fn mail_agent_code() -> &'static str {
-    r#"
-        set to [bc_peek TO]
-        set fwd [cab_list mail_forwarding $to]
-        if {[llength $fwd] > 0} {
-            # The user moved: hop to their new home site (last known address).
-            set target [lindex $fwd [expr [llength $fwd] - 1]]
-            set hops [bc_peek HOPS]
-            if {$hops eq ""} { set hops 0 }
-            if {$hops > 8} {
-                cab_append mailbox dead_letter "undeliverable to $to"
-                return dead_letter
-            }
-            bc_put HOPS [expr $hops + 1]
-            bc_push CODE [bc_peek ORIGCODE]
-            bc_put HOST $target
-            bc_put CONTACT ag_tac
-            meet rexec
-            return forwarded
-        }
-        cab_append mailbox $to "[bc_peek FROM]: [bc_peek BODY]"
-        return delivered
-    "#
+    include_str!("mail_agent.taco")
 }
 
 /// Parameters of the mail experiment.

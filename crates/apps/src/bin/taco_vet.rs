@@ -6,30 +6,41 @@
 //!
 //! ```text
 //! taco-vet [--deny-warnings] [--agent NAME]... [--define VAR]... <file-or-dir>...
+//! taco-vet --audit [--deny-warnings] <manifest>...
 //! ```
 //!
 //! Directories are walked recursively for `.taco` files.  The known-agent set
 //! used to check `meet` targets starts from the well-known TACOMA agents and
 //! grows with every `--agent`.  `--define` marks a variable as pre-bound by
-//! the host (exempt from use-before-set).  Exit status: 0 clean, 1 when any
-//! diagnostic was denied, 2 on usage or I/O errors.
+//! the host (exempt from use-before-set).
+//!
+//! `--audit` switches to whole-fleet mode: each input is a fleet manifest
+//! (see `tacoma_apps::audit_manifest` for the format) whose agents are
+//! composed and checked for inter-agent defects — folder flow, itineraries
+//! against the declared site count, and meet-graph livelocks.
+//!
+//! Exit status (both modes): 0 clean, 1 when any diagnostic was denied
+//! (errors always; warnings too under `--deny-warnings`), 2 on usage, I/O or
+//! manifest errors.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use tacoma_apps::load_manifest;
 use tacoma_core::wellknown;
 use tacoma_script::{analyze_with, AnalysisConfig, Severity};
 
-const USAGE: &str =
-    "usage: taco-vet [--deny-warnings] [--agent NAME]... [--define VAR]... <file-or-dir>...";
+const USAGE: &str = "usage: taco-vet [--deny-warnings] [--agent NAME]... [--define VAR]... <file-or-dir>...\n       taco-vet --audit [--deny-warnings] <manifest>...";
 
 struct Options {
     deny_warnings: bool,
+    audit: bool,
     config: AnalysisConfig,
     inputs: Vec<PathBuf>,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut deny_warnings = false;
+    let mut audit = false;
     let mut config =
         AnalysisConfig::new().known_agents(wellknown::AGENTS.iter().map(|a| a.to_string()));
     let mut inputs = Vec::new();
@@ -37,6 +48,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--deny-warnings" => deny_warnings = true,
+            "--audit" => audit = true,
             "--agent" => {
                 let name = it.next().ok_or("--agent requires a name")?;
                 config.add_known_agent(name.clone());
@@ -53,13 +65,53 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         }
     }
     if inputs.is_empty() {
-        return Err("no input files".to_string());
+        return Err(if audit {
+            "no manifest files".to_string()
+        } else {
+            "no input files".to_string()
+        });
     }
     Ok(Options {
         deny_warnings,
+        audit,
         config,
         inputs,
     })
+}
+
+/// Runs `--audit` mode: every input is a fleet manifest.
+fn run_audit(opts: &Options) -> ExitCode {
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    for manifest in &opts.inputs {
+        let config = match load_manifest(manifest) {
+            Ok(config) => config,
+            Err(msg) => {
+                eprintln!("taco-vet: {msg}");
+                return ExitCode::from(2);
+            }
+        };
+        let findings = tacoma_script::audit(&config);
+        for f in &findings {
+            if f.diag.is_error() {
+                errors += 1;
+            } else {
+                warnings += 1;
+            }
+        }
+        print!("{}", tacoma_script::render_audit(&findings));
+    }
+    if errors + warnings > 0 || opts.inputs.len() > 1 {
+        eprintln!(
+            "taco-vet: audited {} fleet(s), {errors} error(s), {warnings} warning(s)",
+            opts.inputs.len()
+        );
+    }
+    if errors > 0 || (opts.deny_warnings && warnings > 0) {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 /// Recursively collects `.taco` files under a directory.
@@ -89,6 +141,9 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if opts.audit {
+        return run_audit(&opts);
+    }
 
     let mut files = Vec::new();
     for input in &opts.inputs {

@@ -1,0 +1,53 @@
+//! Golden tests over the seeded-defect audit fixtures.
+//!
+//! Each directory under `examples/audit_fixtures/` is named after exactly one
+//! diagnostic code (underscores for hyphens) and contains a `fleet.audit`
+//! manifest, the scripts it references, and `expected.txt` — the full report
+//! `taco-vet --audit` must produce.  The expectations are enforced *here*, by
+//! a test, so CI never has to grep tool logs: the lint job just runs this.
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use tacoma_apps::load_manifest;
+use tacoma_script::{audit, render_audit};
+
+fn fixtures_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../examples/audit_fixtures")
+}
+
+#[test]
+fn every_fixture_produces_exactly_its_named_diagnostic() {
+    let mut dirs: Vec<PathBuf> = std::fs::read_dir(fixtures_dir())
+        .expect("examples/audit_fixtures exists")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    dirs.sort();
+    assert_eq!(dirs.len(), 5, "one fixture per fleet-audit diagnostic code");
+
+    for dir in dirs {
+        let name = dir.file_name().unwrap().to_string_lossy().into_owned();
+        let expected_code = name.replace('_', "-");
+        let config = load_manifest(&dir.join("fleet.audit"))
+            .unwrap_or_else(|e| panic!("fixture {name}: {e}"));
+        let findings = audit(&config);
+
+        // The report matches the blessed golden byte for byte.
+        let expected = std::fs::read_to_string(dir.join("expected.txt"))
+            .unwrap_or_else(|e| panic!("fixture {name}: expected.txt: {e}"));
+        assert_eq!(
+            render_audit(&findings),
+            expected,
+            "fixture {name}: report drifted from expected.txt"
+        );
+
+        // And the fixture is *pure*: exactly its named code, nothing else.
+        let codes: BTreeSet<&str> = findings.iter().map(|f| f.diag.code).collect();
+        assert_eq!(
+            codes,
+            BTreeSet::from([expected_code.as_str()]),
+            "fixture {name}: expected only '{expected_code}'"
+        );
+    }
+}

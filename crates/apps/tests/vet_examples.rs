@@ -4,9 +4,10 @@
 //! known-good agents must come through completely clean.
 
 use std::path::PathBuf;
-use tacoma_apps::mail_agent_code;
+use tacoma_apps::agentmail::MAIL_AGENT_SOURCE;
+use tacoma_apps::{load_manifest, mail_agent_code};
 use tacoma_core::wellknown;
-use tacoma_script::{analyze_with, render_report, AnalysisConfig};
+use tacoma_script::{analyze_with, render_report, AnalysisConfig, AuditConfig};
 
 fn config() -> AnalysisConfig {
     AnalysisConfig::new().known_agents(wellknown::AGENTS.iter().map(|a| a.to_string()))
@@ -43,5 +44,54 @@ fn example_scripts_vet_clean() {
 
 #[test]
 fn embedded_application_scripts_vet_clean() {
-    assert_clean("mail_agent_code", mail_agent_code());
+    assert_clean(MAIL_AGENT_SOURCE, mail_agent_code());
+}
+
+#[track_caller]
+fn assert_fleet_clean(name: &str, config: &AuditConfig) {
+    let findings = tacoma_script::audit(config);
+    assert!(
+        findings.is_empty(),
+        "expected the {name} fleet to audit clean, got:\n{}",
+        tacoma_script::render_audit(&findings)
+    );
+}
+
+#[test]
+fn the_example_fleet_audits_clean() {
+    // The same manifest CI feeds to `taco-vet --audit`.
+    let manifest =
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../examples/scripts/fleet.audit");
+    let config = load_manifest(&manifest).expect("manifest parses");
+    assert_eq!(config.agents().len(), 5, "every example script is declared");
+    assert_fleet_clean("examples", &config);
+}
+
+#[test]
+fn the_agentmail_fleet_audits_clean() {
+    // One mail-message agent plus the folders run_mail_experiment injects.
+    let config = AuditConfig::new()
+        .site_count(6)
+        .agent("mailer", MAIL_AGENT_SOURCE, mail_agent_code())
+        .inject("TO")
+        .inject("FROM")
+        .inject("BODY")
+        .inject("HOPS")
+        .inject("ORIGCODE")
+        .inject("CODE");
+    assert_fleet_clean("agentmail", &config);
+}
+
+#[test]
+fn the_stormcast_and_federation_fleets_audit_clean() {
+    // These deployments are pure native (Rust) agents; the audit must accept
+    // a script-free fleet without inventing findings.
+    let config = AuditConfig::new()
+        .site_count(8)
+        .native("storm_expert")
+        .native("storm_collector")
+        .native("storm_sensor_server")
+        .native("broker")
+        .native("broker_guard");
+    assert_fleet_clean("stormcast/federation", &config);
 }

@@ -60,6 +60,13 @@ pub struct SystemStats {
     /// folder failed static analysis, so the meet was refused before any
     /// request was queued (not counted in `meets_requested`).
     pub scripts_rejected: u64,
+    /// Script agents rejected by the install-time fleet audit
+    /// ([`SystemBuilder::audit_fleet`]): the CODE folder vetted clean in
+    /// isolation but composed badly with the declared fleet (unproduced
+    /// folder reads, out-of-range itineraries, meet livelocks).  Like
+    /// `scripts_rejected`, the refusal happens before the meet is counted in
+    /// `meets_requested`.
+    pub audits_rejected: u64,
     /// Site crashes observed.
     pub crashes: u64,
     /// Site recoveries observed.
@@ -76,6 +83,7 @@ pub struct SystemBuilder {
     custody: Option<CustodyConfig>,
     factories: Vec<AgentFactory>,
     vet_scripts: bool,
+    audit_fleet: Option<tacoma_script::AuditConfig>,
     sim_shards: u32,
 }
 
@@ -89,6 +97,7 @@ impl SystemBuilder {
             custody: None,
             factories: Vec::new(),
             vet_scripts: true,
+            audit_fleet: None,
             sim_shards: 1,
         }
     }
@@ -140,6 +149,22 @@ impl SystemBuilder {
     /// through a migration.  Disable to reproduce the unvetted behaviour.
     pub fn vet_scripts(mut self, enabled: bool) -> Self {
         self.vet_scripts = enabled;
+        self
+    }
+
+    /// Enables the install-time *fleet audit* (off by default).
+    ///
+    /// The per-script vet ([`SystemBuilder::vet_scripts`]) checks a CODE
+    /// folder in isolation; the fleet audit additionally composes it against
+    /// the declared fleet — checking folder flow, literal itineraries against
+    /// the real site count, and the meet graph for livelocks.  An injected
+    /// script whose audit produces error-severity findings is refused before
+    /// the meet request is queued, counted in
+    /// [`SystemStats::audits_rejected`].  The briefcase's own folders are
+    /// added to the config's injected set, and the topology's site count is
+    /// filled in automatically if the config does not declare one.
+    pub fn audit_fleet(mut self, config: tacoma_script::AuditConfig) -> Self {
+        self.audit_fleet = Some(config);
         self
     }
 
@@ -210,6 +235,15 @@ impl SystemBuilder {
             next_timer_key: 1,
             default_transport: self.default_transport,
             vet_scripts: self.vet_scripts,
+            audit_fleet: {
+                let mut audit = self.audit_fleet;
+                if let Some(config) = audit.as_mut() {
+                    if config.declared_site_count().is_none() {
+                        config.set_site_count(site_count);
+                    }
+                }
+                audit
+            },
             stats,
             rng: master.derive(1),
             trace: Vec::new(),
@@ -241,6 +275,8 @@ pub struct TacomaSystem {
     default_transport: TransportKind,
     /// Whether entry-point meets carrying a CODE folder are statically vetted.
     vet_scripts: bool,
+    /// Fleet-level audit applied to entry-point CODE folders, when enabled.
+    audit_fleet: Option<tacoma_script::AuditConfig>,
     stats: SystemStats,
     rng: DetRng,
     trace: Vec<String>,
@@ -366,6 +402,14 @@ impl TacomaSystem {
             self.stats.scripts_rejected += 1;
             self.trace.push(format!(
                 "[{}] rejected CODE folder bound for {contact} at {site}:\n{report}",
+                self.net.now()
+            ));
+            return;
+        }
+        if let Err(report) = self.audit_briefcase(&contact, &briefcase) {
+            self.stats.audits_rejected += 1;
+            self.trace.push(format!(
+                "[{}] fleet audit rejected CODE folder bound for {contact} at {site}:\n{report}",
                 self.net.now()
             ));
             return;
@@ -719,10 +763,33 @@ impl TacomaSystem {
                 .into_iter()
                 .map(|n| n.as_str().to_string()),
         );
-        let config = tacoma_script::AnalysisConfig::new().known_agents(known);
-        let diags = tacoma_script::analyze_with(&code, &config);
-        if tacoma_script::has_errors(&diags) {
-            Err(tacoma_script::render_report(&diags, "CODE"))
+        let config = tacoma_script::AnalysisConfig::new()
+            .known_agents(known)
+            .source_name("CODE");
+        tacoma_script::vet(&code, &config)
+    }
+
+    /// Audits the briefcase's CODE folder against the configured fleet (when
+    /// [`SystemBuilder::audit_fleet`] is set).  The script is declared under
+    /// the contact's name and every folder the briefcase actually carries is
+    /// added to the injected set, so the audit sees exactly the environment
+    /// the agent will run in.  Returns the rendered findings when any are
+    /// error-severity.
+    fn audit_briefcase(&self, contact: &AgentName, briefcase: &Briefcase) -> Result<(), String> {
+        let Some(base) = &self.audit_fleet else {
+            return Ok(());
+        };
+        let Some(code) = briefcase.peek_string(wellknown::CODE) else {
+            return Ok(());
+        };
+        let mut config = base.clone();
+        config.add_agent(contact.as_str(), "CODE", code);
+        for folder in briefcase.names() {
+            config.add_injected(folder);
+        }
+        let findings = tacoma_script::audit(&config);
+        if tacoma_script::audit_has_errors(&findings) {
+            Err(tacoma_script::render_audit(&findings))
         } else {
             Ok(())
         }
@@ -740,6 +807,12 @@ impl TacomaSystem {
         if let Err(report) = self.vet_briefcase(site, &briefcase) {
             self.stats.scripts_rejected += 1;
             return Err(TacomaError::Script(format!("script rejected:\n{report}")));
+        }
+        if let Err(report) = self.audit_briefcase(contact, &briefcase) {
+            self.stats.audits_rejected += 1;
+            return Err(TacomaError::Script(format!(
+                "script rejected by fleet audit:\n{report}"
+            )));
         }
         let (alive, reachable, custody) = self.dispatch_inputs(site);
         let mut outbox = Vec::new();
@@ -1177,5 +1250,84 @@ mod tests {
         let s = sys.stats();
         assert_eq!(s.scripts_rejected, 0);
         assert_eq!(s.meets_requested, 1);
+    }
+
+    #[test]
+    fn fleet_audit_rejects_what_the_per_script_vet_cannot_see() {
+        // `move_to 99` is perfectly well-formed in isolation — the per-script
+        // vet passes it — but the fleet has only 4 sites, which only the
+        // fleet audit knows.
+        let mut bc = Briefcase::new();
+        bc.put(
+            wellknown::CODE,
+            Folder::of_str("bc_push LOG [my_site]\nmove_to 99\nreturn moving"),
+        );
+        let mut sys = TacomaSystem::builder()
+            .topology(Topology::full_mesh(4, LinkSpec::default()))
+            .audit_fleet(tacoma_script::AuditConfig::new().deliver("LOG"))
+            .build();
+        sys.inject_meet(SiteId(0), AgentName::new(wellknown::AG_TAC), bc.clone());
+        sys.run_until_quiescent(100);
+        let s = sys.stats();
+        assert_eq!(s.scripts_rejected, 0, "the per-script vet saw nothing");
+        assert_eq!(s.audits_rejected, 1);
+        assert_eq!(s.meets_requested, 0, "rejected before the request counts");
+        assert!(sys
+            .trace()
+            .iter()
+            .any(|l| l.contains("itinerary-out-of-range")));
+
+        // The synchronous entry point surfaces the findings too.
+        let err = sys
+            .try_direct_meet(SiteId(0), &AgentName::new(wellknown::AG_TAC), bc.clone())
+            .unwrap_err();
+        assert!(err.to_string().contains("itinerary-out-of-range"));
+        assert_eq!(sys.stats().audits_rejected, 2);
+        assert_eq!(sys.stats().meets_requested, 0);
+
+        // Without an audit config (the default) the same briefcase is
+        // admitted: the fleet audit is strictly opt-in.
+        let mut raw = TacomaSystem::builder()
+            .topology(Topology::full_mesh(4, LinkSpec::default()))
+            .build();
+        raw.inject_meet(SiteId(0), AgentName::new(wellknown::AG_TAC), bc);
+        raw.run_until_quiescent(100);
+        assert_eq!(raw.stats().audits_rejected, 0);
+        assert_eq!(raw.stats().meets_requested, 1);
+    }
+
+    #[test]
+    fn fleet_audit_admits_clean_scripts_and_tolerates_warnings() {
+        // Reads HOPS (present in the briefcase, so auto-injected) and writes
+        // NOTE, which nothing reads — a dead-folder-write *warning*, and
+        // warnings do not reject.
+        let mut bc = Briefcase::new();
+        bc.put(
+            wellknown::CODE,
+            Folder::of_str("set h [bc_pop HOPS]\nbc_put NOTE $h\nreturn ok"),
+        );
+        bc.put("HOPS", Folder::of_str("3"));
+        let mut sys = TacomaSystem::builder()
+            .topology(Topology::full_mesh(2, LinkSpec::default()))
+            .audit_fleet(tacoma_script::AuditConfig::new())
+            .build();
+        sys.inject_meet(SiteId(0), AgentName::new(wellknown::AG_TAC), bc);
+        sys.run_until_quiescent(100);
+        let s = sys.stats();
+        assert_eq!(s.audits_rejected, 0);
+        assert_eq!(s.meets_requested, 1);
+    }
+
+    #[test]
+    fn wellknown_agents_are_modelled_by_the_audit() {
+        // Every wellknown agent the kernel installs must be known to the
+        // audit's implicit-agent model, or literal meets against it would
+        // dangle out of the meet graph.
+        for agent in wellknown::AGENTS {
+            assert!(
+                tacoma_script::audit::WELLKNOWN_AGENTS.contains(agent),
+                "wellknown agent '{agent}' missing from the audit model"
+            );
+        }
     }
 }

@@ -49,6 +49,7 @@ const MAX_DEPTH: u32 = 64;
 pub struct AnalysisConfig {
     known_agents: Option<BTreeSet<String>>,
     predefined: BTreeSet<String>,
+    source_name: Option<String>,
 }
 
 impl AnalysisConfig {
@@ -92,6 +93,21 @@ impl AnalysisConfig {
     pub fn add_predefined(&mut self, name: impl Into<String>) {
         self.predefined.insert(name.into());
     }
+
+    /// Names the source the script came from (a real file path for scripts on
+    /// disk, a folder name like `CODE` for scripts in flight), so rendered
+    /// diagnostics point somewhere actionable instead of the `<script>`
+    /// placeholder.
+    pub fn source_name(mut self, name: impl Into<String>) -> Self {
+        self.source_name = Some(name.into());
+        self
+    }
+
+    /// The label diagnostics should be rendered against: the configured
+    /// source name, or `<script>` when none was given.
+    pub fn source_label(&self) -> &str {
+        self.source_name.as_deref().unwrap_or("<script>")
+    }
 }
 
 /// Analyzes a script with the default configuration (no `meet` check, no
@@ -114,92 +130,43 @@ pub fn analyze_with(src: &str, config: &AnalysisConfig) -> Vec<Diagnostic> {
         env.assign(var);
     }
     analyzer.check_script(src, Span::START, &mut env, Ctx::default());
+    let usage = scan_usage(src);
+    if !usage.opaque {
+        for (name, span) in &usage.writes {
+            if !usage.reads.contains(name) && !config.predefined.contains(name) {
+                analyzer.diags.push(Diagnostic::warning(
+                    "unused-variable",
+                    *span,
+                    format!("variable '{name}' is assigned but never read"),
+                ));
+            }
+        }
+    }
     analyzer
         .diags
         .sort_by(|a, b| a.span.cmp(&b.span).then(b.severity.cmp(&a.severity)));
     analyzer.diags
 }
 
+/// Analyzes a script and renders error-severity findings into a report
+/// anchored at the configured [`AnalysisConfig::source_name`].  This is the
+/// entry point install-time gates use: `Ok(())` means the script may run.
+pub fn vet(src: &str, config: &AnalysisConfig) -> Result<(), String> {
+    let diags = analyze_with(src, config);
+    if crate::diag::has_errors(&diags) {
+        Err(crate::diag::render_report(&diags, config.source_label()))
+    } else {
+        Ok(())
+    }
+}
+
 // --- builtin signature table -------------------------------------------------
 
-/// Every builtin the interpreter knows, in one place so the unknown-command
-/// check and the suggestion engine share it.
-const BUILTIN_NAMES: &[&str] = &[
-    "set",
-    "unset",
-    "incr",
-    "append",
-    "expr",
-    "if",
-    "while",
-    "foreach",
-    "proc",
-    "return",
-    "halt",
-    "break",
-    "continue",
-    "eval",
-    "error",
-    "catch",
-    "list",
-    "llength",
-    "lindex",
-    "lappend",
-    "lrange",
-    "concat",
-    "split",
-    "join",
-    "string",
-    "puts",
-    "log",
-    "bc_put",
-    "bc_push",
-    "bc_pop",
-    "bc_dequeue",
-    "bc_peek",
-    "bc_list",
-    "bc_size",
-    "bc_del",
-    "cab_append",
-    "cab_contains",
-    "cab_list",
-    "cab_pop",
-    "meet",
-    "move_to",
-    "send_remote",
-    "my_site",
-    "site_count",
-    "neighbors",
-    "random",
-    "now",
-];
-
-/// (min, max) argument counts for each builtin, mirroring `Interp::invoke`
-/// exactly — this table being wrong in either direction is a bug: too loose
-/// misses real defects, too strict rejects scripts the interpreter runs.
+/// (min, max) argument counts for each builtin.  This is the shared
+/// [`crate::builtins::BUILTINS`] table — the interpreter enforces the same
+/// entries at runtime, so the two can never drift.
 fn builtin_arity(name: &str) -> Option<(usize, Option<usize>)> {
-    Some(match name {
-        "set" => (1, Some(2)),
-        "unset" => (0, None),
-        "incr" => (1, Some(2)),
-        "append" | "lappend" => (1, None),
-        "expr" | "error" | "eval" | "puts" | "log" => (1, None),
-        "if" => (2, None),
-        "while" => (2, Some(2)),
-        "foreach" | "proc" | "lrange" | "cab_append" | "cab_contains" => (3, Some(3)),
-        "return" | "halt" => (0, Some(1)),
-        "break" | "continue" => (0, Some(0)),
-        "catch" | "split" | "join" => (1, Some(2)),
-        "list" | "concat" => (0, None),
-        "llength" | "bc_pop" | "bc_dequeue" | "bc_peek" | "bc_list" | "bc_size" | "bc_del"
-        | "random" | "meet" => (1, Some(1)),
-        "lindex" | "bc_put" | "bc_push" | "cab_list" | "cab_pop" => (2, Some(2)),
-        "string" => (2, Some(4)),
-        "move_to" => (1, Some(2)),
-        "send_remote" => (2, None),
-        "my_site" | "site_count" | "neighbors" | "now" => (0, Some(0)),
-        _ => return None,
-    })
+    crate::builtins::builtin(name).map(|spec| (spec.min_args, spec.max_args))
 }
 
 // --- pre-pass: collect procs and all assigned names --------------------------
@@ -295,6 +262,256 @@ fn collect_script(src: &str, depth: u32, out: &mut Collected) {
                 }
             }
             _ => {}
+        }
+    }
+}
+
+// --- unused-variable pass ----------------------------------------------------
+
+/// What the unused-variable scan learned about a script.
+#[derive(Debug, Default)]
+struct Usage {
+    /// Every name that could possibly be read anywhere: `$name` in any word
+    /// or braced text, `[...]` scripts, one-argument `set`, the
+    /// read-modify-write builtins, `unset` targets, `catch` result variables,
+    /// `foreach` loop variables and `proc` parameters.  Deliberately
+    /// over-collected: a phantom read only suppresses a warning.
+    reads: BTreeSet<String>,
+    /// First plain `set name value` site per name, outside `catch` bodies.
+    writes: BTreeMap<String, Span>,
+    /// Something dynamic defeated the scan (a computed command or variable
+    /// name, a non-braced `eval`): suppress every unused-variable warning.
+    opaque: bool,
+}
+
+fn scan_usage(src: &str) -> Usage {
+    let mut usage = Usage::default();
+    scan_usage_script(src, Span::START, 0, false, &mut usage);
+    usage
+}
+
+fn scan_usage_script(src: &str, base: Span, depth: u32, in_catch: bool, out: &mut Usage) {
+    if depth > MAX_DEPTH {
+        out.opaque = true;
+        return;
+    }
+    let Ok(cmds) = parse_script(src) else { return };
+    for cmd in &cmds {
+        for word in &cmd.words {
+            match &word.kind {
+                WordKind::Parts(parts) => {
+                    for part in parts {
+                        match part {
+                            WordPart::Literal(_) => {}
+                            WordPart::Variable(name) => {
+                                out.reads.insert(name.clone());
+                            }
+                            WordPart::Command(script) => scan_usage_script(
+                                script,
+                                map_span(base, word.span),
+                                depth + 1,
+                                in_catch,
+                                out,
+                            ),
+                        }
+                    }
+                }
+                // Braced text may later be evaluated as a condition or expr:
+                // harvest its `$name`s and scan its `[...]` scripts.  Braced
+                // *bodies* are additionally walked as scripts below.
+                WordKind::Braced(text) => scan_braced_reads(
+                    text,
+                    map_span(base, content_base(word)),
+                    depth,
+                    in_catch,
+                    out,
+                ),
+            }
+        }
+        let Some(name) = cmd.words[0].static_text() else {
+            out.opaque = true;
+            continue;
+        };
+        let args = &cmd.words[1..];
+        let static_arg = |i: usize| args.get(i).and_then(Word::static_text);
+        match name {
+            "set" => match (static_arg(0), args.len()) {
+                (Some(v), 2) if !in_catch => {
+                    out.writes
+                        .entry(v.to_string())
+                        .or_insert_with(|| map_span(base, cmd.span));
+                }
+                (Some(_), 2) => {}
+                (Some(v), 1) => {
+                    out.reads.insert(v.to_string());
+                }
+                (None, _) => out.opaque = true,
+                _ => {}
+            },
+            "unset" => {
+                for (i, _) in args.iter().enumerate() {
+                    match static_arg(i) {
+                        Some(v) => {
+                            out.reads.insert(v.to_string());
+                        }
+                        None => out.opaque = true,
+                    }
+                }
+            }
+            // Read-modify-write: the variable's value is consumed.
+            "incr" | "append" | "lappend" => match static_arg(0) {
+                Some(v) => {
+                    out.reads.insert(v.to_string());
+                }
+                None => out.opaque = true,
+            },
+            "foreach" => {
+                // The loop variable is bound by the loop itself; an unused
+                // one is idiomatic (`foreach _ [...] { ... }`), so exempt it.
+                match static_arg(0) {
+                    Some(v) => {
+                        out.reads.insert(v.to_string());
+                    }
+                    None => out.opaque = true,
+                }
+                if let Some((text, b)) = usage_body(args, base, 2, out) {
+                    scan_usage_script(text, b, depth + 1, in_catch, out);
+                }
+            }
+            "while" => {
+                if let Some((text, b)) = usage_body(args, base, 1, out) {
+                    scan_usage_script(text, b, depth + 1, in_catch, out);
+                }
+            }
+            "if" => {
+                let mut i = 0;
+                while i < args.len() {
+                    if i == 0 || args[i].static_text() == Some("elseif") {
+                        let off = usize::from(i != 0);
+                        if args.get(i + off + 1).is_some() {
+                            if let Some((text, b)) = usage_body(args, base, i + off + 1, out) {
+                                scan_usage_script(text, b, depth + 1, in_catch, out);
+                            }
+                        }
+                        i += off + 2;
+                    } else if args[i].static_text() == Some("else") {
+                        if args.get(i + 1).is_some() {
+                            if let Some((text, b)) = usage_body(args, base, i + 1, out) {
+                                scan_usage_script(text, b, depth + 1, in_catch, out);
+                            }
+                        }
+                        break;
+                    } else {
+                        break; // malformed: wrong-arity reported by the main pass
+                    }
+                }
+            }
+            "catch" => {
+                if let Some((text, b)) = usage_body(args, base, 0, out) {
+                    scan_usage_script(text, b, depth + 1, true, out);
+                }
+                // The result variable is host-observable state; exempt it.
+                if let Some(v) = static_arg(1) {
+                    out.reads.insert(v.to_string());
+                }
+            }
+            "proc" => {
+                // Parameters are bound by the caller; exempt them.
+                if let Some(params) = static_arg(1) {
+                    for p in parse_list(params) {
+                        out.reads.insert(p);
+                    }
+                }
+                if let Some((text, b)) = usage_body(args, base, 2, out) {
+                    scan_usage_script(text, b, depth + 1, in_catch, out);
+                }
+            }
+            "eval" => {
+                if args.len() == 1 {
+                    if let Some((text, b)) = usage_body(args, base, 0, out) {
+                        scan_usage_script(text, b, depth + 1, in_catch, out);
+                    }
+                } else {
+                    out.opaque = true; // script assembled from pieces
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Fetches a braced body argument for the usage scan; a body position that
+/// exists but is not braced is a script built at runtime, which defeats the
+/// scan entirely.
+fn usage_body<'a>(
+    args: &'a [Word],
+    base: Span,
+    i: usize,
+    out: &mut Usage,
+) -> Option<(&'a str, Span)> {
+    let word = args.get(i)?;
+    match &word.kind {
+        WordKind::Braced(t) => Some((t.as_str(), map_span(base, content_base(word)))),
+        WordKind::Parts(_) => {
+            out.opaque = true;
+            None
+        }
+    }
+}
+
+/// Scans brace-quoted text the way `substitute` would: `$name`/`${name}` are
+/// reads, `[...]` is an embedded script.
+fn scan_braced_reads(text: &str, base: Span, depth: u32, in_catch: bool, out: &mut Usage) {
+    if depth > MAX_DEPTH {
+        out.opaque = true;
+        return;
+    }
+    for name in cond_var_names(text) {
+        out.reads.insert(name);
+    }
+    let chars: Vec<char> = text.chars().collect();
+    let mut i = 0;
+    let mut line = 1u32;
+    let mut col = 1u32;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '[' {
+            i += 1;
+            col += 1;
+            let sspan = map_span(base, Span::new(line, col));
+            let mut nesting = 1;
+            let mut inner = String::new();
+            while i < chars.len() && nesting > 0 {
+                match chars[i] {
+                    '[' => {
+                        nesting += 1;
+                        inner.push('[');
+                    }
+                    ']' => {
+                        nesting -= 1;
+                        if nesting > 0 {
+                            inner.push(']');
+                        }
+                    }
+                    ch => inner.push(ch),
+                }
+                if chars[i] == '\n' {
+                    line += 1;
+                    col = 1;
+                } else {
+                    col += 1;
+                }
+                i += 1;
+            }
+            scan_usage_script(&inner, sspan, depth + 1, in_catch, out);
+        } else {
+            if c == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            i += 1;
         }
     }
 }
@@ -549,17 +766,22 @@ impl Analyzer<'_> {
             }
             "expr" if argc == 1 => {
                 if let WordKind::Braced(text) = &args[0].kind {
-                    self.scan_condition(text, content_base(&args[0]), env, ctx);
+                    self.scan_condition(text, map_span(base, content_base(&args[0])), env, ctx);
                 }
             }
-            "if" => return self.check_if(args, span, env, ctx),
-            "while" => self.check_while(args, span, env, ctx),
-            "foreach" => self.check_foreach(args, env, ctx),
-            "proc" => self.check_proc(args, ctx),
-            "catch" => self.check_catch(args, env, ctx),
+            "if" => return self.check_if(args, base, span, env, ctx),
+            "while" => self.check_while(args, base, span, env, ctx),
+            "foreach" => self.check_foreach(args, base, env, ctx),
+            "proc" => self.check_proc(args, base, ctx),
+            "catch" => self.check_catch(args, base, env, ctx),
             "eval" if argc == 1 => {
                 if let WordKind::Braced(text) = &args[0].kind {
-                    let exit = self.check_script(text, content_base(&args[0]), env, ctx.deeper());
+                    let exit = self.check_script(
+                        text,
+                        map_span(base, content_base(&args[0])),
+                        env,
+                        ctx.deeper(),
+                    );
                     if exit == Exit::Terminates {
                         return CmdEffect::terminal("eval");
                     }
@@ -659,7 +881,14 @@ impl Analyzer<'_> {
         );
     }
 
-    fn check_if(&mut self, args: &[Word], span: Span, env: &mut Env, ctx: Ctx) -> CmdEffect {
+    fn check_if(
+        &mut self,
+        args: &[Word],
+        base: Span,
+        span: Span,
+        env: &mut Env,
+        ctx: Ctx,
+    ) -> CmdEffect {
         let mut i = 0;
         let mut branches: Vec<(Env, Exit)> = Vec::new();
         let mut has_else = false;
@@ -680,11 +909,16 @@ impl Analyzer<'_> {
                     break;
                 };
                 if let WordKind::Braced(text) = &cond.kind {
-                    self.scan_condition(text, content_base(cond), env, ctx);
+                    self.scan_condition(text, map_span(base, content_base(cond)), env, ctx);
                 }
                 if let WordKind::Braced(text) = &body.kind {
                     let mut benv = env.clone();
-                    let exit = self.check_script(text, content_base(body), &mut benv, ctx.deeper());
+                    let exit = self.check_script(
+                        text,
+                        map_span(base, content_base(body)),
+                        &mut benv,
+                        ctx.deeper(),
+                    );
                     branches.push((benv, exit));
                 } else {
                     structure_ok = false;
@@ -702,7 +936,12 @@ impl Analyzer<'_> {
                 };
                 if let WordKind::Braced(text) = &body.kind {
                     let mut benv = env.clone();
-                    let exit = self.check_script(text, content_base(body), &mut benv, ctx.deeper());
+                    let exit = self.check_script(
+                        text,
+                        map_span(base, content_base(body)),
+                        &mut benv,
+                        ctx.deeper(),
+                    );
                     branches.push((benv, exit));
                 } else {
                     structure_ok = false;
@@ -746,15 +985,20 @@ impl Analyzer<'_> {
         CmdEffect::NONE
     }
 
-    fn check_while(&mut self, args: &[Word], span: Span, env: &mut Env, ctx: Ctx) {
+    fn check_while(&mut self, args: &[Word], base: Span, span: Span, env: &mut Env, ctx: Ctx) {
         let (cond, body) = (&args[0], &args[1]);
         if let WordKind::Braced(text) = &cond.kind {
-            self.scan_condition(text, content_base(cond), env, ctx);
+            self.scan_condition(text, map_span(base, content_base(cond)), env, ctx);
         }
         if let WordKind::Braced(body_text) = &body.kind {
             // The body may run zero times: its assignments are only maybes.
             let mut benv = env.clone();
-            self.check_script(body_text, content_base(body), &mut benv, ctx.deeper());
+            self.check_script(
+                body_text,
+                map_span(base, content_base(body)),
+                &mut benv,
+                ctx.deeper(),
+            );
             env.merge_maybe(&benv);
             if let Some(cond_text) = cond.static_text() {
                 self.check_loop_exit(cond_text, body_text, span, ctx);
@@ -799,14 +1043,19 @@ impl Analyzer<'_> {
         }
     }
 
-    fn check_foreach(&mut self, args: &[Word], env: &mut Env, ctx: Ctx) {
+    fn check_foreach(&mut self, args: &[Word], base: Span, env: &mut Env, ctx: Ctx) {
         let var = args[0].static_text();
         if let WordKind::Braced(body_text) = &args[2].kind {
             let mut benv = env.clone();
             if let Some(var) = var {
                 benv.assign(var); // bound on every body iteration
             }
-            self.check_script(body_text, content_base(&args[2]), &mut benv, ctx.deeper());
+            self.check_script(
+                body_text,
+                map_span(base, content_base(&args[2])),
+                &mut benv,
+                ctx.deeper(),
+            );
             env.merge_maybe(&benv); // zero-trip possible: maybes only
         } else if let Some(var) = var {
             // Opaque body; the loop variable still may have been bound.
@@ -816,7 +1065,7 @@ impl Analyzer<'_> {
         }
     }
 
-    fn check_proc(&mut self, args: &[Word], ctx: Ctx) {
+    fn check_proc(&mut self, args: &[Word], base: Span, ctx: Ctx) {
         let (Some(params), WordKind::Braced(body)) = (args[1].static_text(), &args[2].kind) else {
             return;
         };
@@ -829,17 +1078,22 @@ impl Analyzer<'_> {
             ..ctx.deeper()
         };
         let mut env = penv;
-        self.check_script(body, content_base(&args[2]), &mut env, pctx);
+        self.check_script(body, map_span(base, content_base(&args[2])), &mut env, pctx);
     }
 
-    fn check_catch(&mut self, args: &[Word], env: &mut Env, ctx: Ctx) {
+    fn check_catch(&mut self, args: &[Word], base: Span, env: &mut Env, ctx: Ctx) {
         if let WordKind::Braced(body) = &args[0].kind {
             let mut benv = env.clone();
             let cctx = Ctx {
                 in_catch: true,
                 ..ctx.deeper()
             };
-            self.check_script(body, content_base(&args[0]), &mut benv, cctx);
+            self.check_script(
+                body,
+                map_span(base, content_base(&args[0])),
+                &mut benv,
+                cctx,
+            );
             env.merge_maybe(&benv); // the body may have failed part-way
         }
         if let Some(var) = args.get(1).and_then(Word::static_text) {
@@ -967,9 +1221,9 @@ impl Analyzer<'_> {
             return None;
         }
         let mut best: Option<(usize, &str)> = None;
-        for cand in BUILTIN_NAMES
+        for cand in crate::builtins::BUILTINS
             .iter()
-            .copied()
+            .map(|spec| spec.name)
             .chain(self.info.procs.keys().map(String::as_str))
         {
             let d = levenshtein(name, cand);
@@ -991,7 +1245,7 @@ fn arity_msg(name: &str, min: usize, max: Option<usize>, got: usize) -> String {
 }
 
 /// All `$name` / `${name}` variable names mentioned in condition text.
-fn cond_var_names(text: &str) -> BTreeSet<String> {
+pub(crate) fn cond_var_names(text: &str) -> BTreeSet<String> {
     let chars: Vec<char> = text.chars().collect();
     let mut out = BTreeSet::new();
     let mut i = 0;
@@ -1027,7 +1281,7 @@ fn cond_var_names(text: &str) -> BTreeSet<String> {
 /// nested loops (their `break` stays inside); `raise_ok` is false inside
 /// `catch` and substitutions (`return`/`error` are absorbed there; only
 /// `halt` always escapes).  Anything opaque returns `true` (conservative).
-fn body_can_exit(
+pub(crate) fn body_can_exit(
     src: &str,
     vars: &BTreeSet<String>,
     depth: u32,
@@ -1214,12 +1468,16 @@ mod tests {
 
     #[test]
     fn use_before_set_with_branch_joins() {
-        // Never assigned: error.
+        // Never assigned: error ('y' itself is also never read, which the
+        // unused-variable pass reports alongside).
         let diags = vet("set y $x");
-        assert_eq!(diags[0].code, "use-before-set");
-        assert!(diags[0].is_error());
+        assert_eq!(codes_of(&diags), vec!["unused-variable", "use-before-set"]);
+        assert!(diags[1].is_error());
         // Assigned later: still an error at the use site.
-        assert_eq!(codes("set y $x\nset x 1"), vec!["use-before-set"]);
+        assert_eq!(
+            codes("set y $x\nset x 1"),
+            vec!["unused-variable", "use-before-set"]
+        );
         // Assigned on only one branch: warning.
         let diags = vet("set a 1\nif {$a} { set b 1 }\nputs $b");
         assert_eq!(diags.len(), 1);
@@ -1239,7 +1497,10 @@ mod tests {
         let diags = vet("set i 0\nwhile {$i < 3} { incr i; set b 1 }\nputs $b");
         assert_eq!(codes_of(&diags), vec!["possibly-unset"]);
         // Condition text and substitutions are scanned too.
-        assert_eq!(codes("if {$nope} { set x 1 }"), vec!["use-before-set"]);
+        assert_eq!(
+            codes("if {$nope} { set x 1 }"),
+            vec!["use-before-set", "unused-variable"]
+        );
         assert_eq!(codes("puts [expr $nope + 1]"), vec!["use-before-set"]);
     }
 
@@ -1276,7 +1537,10 @@ mod tests {
 
     #[test]
     fn loops_with_no_reachable_exit_warn() {
-        assert_eq!(codes("while {1} { set x 1 }"), vec!["no-loop-exit"]);
+        assert_eq!(
+            codes("while {1} { set x 1 }"),
+            vec!["no-loop-exit", "unused-variable"]
+        );
         // The condition variable is never touched in the body.
         assert_eq!(
             codes("set i 0\nwhile {$i < 3} { bc_push F $i }"),
@@ -1295,7 +1559,7 @@ mod tests {
             vec!["no-loop-exit"]
         );
         // Constant-false conditions are zero-trip, not infinite.
-        assert_eq!(vet("while {0} { set x 1 }"), vec![]);
+        assert_eq!(vet("while {0} { puts idle }"), vec![]);
     }
 
     #[test]
@@ -1342,6 +1606,76 @@ mod tests {
     fn diagnostics_are_sorted_by_position() {
         let diags = vet("set y $x\nfrobnicate\nbc_put ONLY");
         let lines: Vec<u32> = diags.iter().map(|d| d.span.line).collect();
-        assert_eq!(lines, vec![1, 2, 3]);
+        // Line 1 carries two findings: unused-variable for 'y' at the
+        // command, then use-before-set at the '$x' use site.
+        assert_eq!(lines, vec![1, 1, 2, 3]);
+        assert_eq!(
+            codes_of(&diags),
+            vec![
+                "unused-variable",
+                "use-before-set",
+                "unknown-command",
+                "wrong-arity"
+            ]
+        );
+    }
+
+    #[test]
+    fn spans_point_into_doubly_nested_bodies() {
+        // Composition of nested body offsets must stay absolute at depth 2+.
+        let src = "set a 1\nif {$a} {\n    if {$a} {\n        frobnicate\n    }\n}";
+        let diags = vet(src);
+        assert_eq!(codes_of(&diags), vec!["unknown-command"]);
+        assert_eq!(diags[0].span, Span::new(4, 9));
+    }
+
+    #[test]
+    fn unused_variables_are_warned_conservatively() {
+        // Plain assigned-never-read: warning, anchored at the assignment.
+        let diags = vet("set ghost 42\nputs done");
+        assert_eq!(codes_of(&diags), vec!["unused-variable"]);
+        assert!(!diags[0].is_error());
+        assert_eq!(diags[0].span, Span::new(1, 1));
+        // Reads anywhere count: conditions, substitutions, nested bodies.
+        assert_eq!(vet("set n 1\nwhile {$n < 3} { incr n }"), vec![]);
+        assert_eq!(vet("set n 1\nputs [expr $n + 1]"), vec![]);
+        assert_eq!(vet("set a 1\nif {$a} { puts $a }"), vec![]);
+        // incr/append/lappend/unset count as reads of their target.
+        assert_eq!(vet("set n 0\nincr n"), vec![]);
+        assert_eq!(vet("set s a\nappend s b"), vec![]);
+        assert_eq!(vet("set l {}\nlappend l x"), vec![]);
+        // foreach loop variables and proc parameters are exempt.
+        assert_eq!(vet("foreach x {1 2 3} { puts hop }"), vec![]);
+        assert_eq!(vet("proc f {a b} { return $a }\nf 1 2"), vec![]);
+        // catch result variables are exempt, and so are catch-body writes.
+        assert_eq!(vet("catch { error boom } msg"), vec![]);
+        assert_eq!(vet("catch { set tmp 1 }"), vec![]);
+        // Any dynamic construct makes the pass stand down entirely.
+        assert_eq!(
+            vet("set ghost 42\nset name ghost\nputs [set $name]"),
+            vec![]
+        );
+        assert_eq!(vet("set ghost 42\nset cmd {puts x}\neval $cmd"), vec![]);
+        // A braced eval body is fully visible, so the pass stays active.
+        assert_eq!(vet("set ghost 42\neval {puts $ghost}"), vec![]);
+        // Writes in branches still warn when nothing ever reads them.
+        let diags = vet("set a 1\nif {$a} { set dead 9 }");
+        assert_eq!(codes_of(&diags), vec!["unused-variable"]);
+        assert_eq!(diags[0].span, Span::new(2, 11));
+    }
+
+    #[test]
+    fn vet_entry_point_renders_against_the_source_name() {
+        let cfg = AnalysisConfig::new().source_name("mission.taco");
+        let err = super::vet("bc_put ONLY", &cfg).unwrap_err();
+        assert!(
+            err.starts_with("mission.taco:1:1: error[wrong-arity]"),
+            "{err}"
+        );
+        // Warnings alone do not fail the vet.
+        assert!(super::vet("set ghost 1\nputs ok", &cfg).is_ok());
+        // Default label preserved for embedded scripts without a name.
+        let err = super::vet("bc_put ONLY", &AnalysisConfig::new()).unwrap_err();
+        assert!(err.starts_with("<script>:1:1:"), "{err}");
     }
 }

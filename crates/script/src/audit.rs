@@ -1,0 +1,1210 @@
+//! taco-audit: whole-fleet static analysis over TacoScript agents.
+//!
+//! taco-vet (PR 6) checks one script in isolation; the defects that actually
+//! bite a TACOMA deployment are *inter-agent protocol* bugs — a folder read
+//! that no counterpart ever writes, a meet cycle that never halts, an
+//! itinerary into a site that does not exist.  This module lifts the analysis
+//! to a declared fleet:
+//!
+//! 1. **Effect summaries** ([`summarize`]): a per-script abstraction of what
+//!    the agent does to the shared world — folders read and written, cabinets
+//!    touched, literal `meet` targets, literal `move_to`/`send_remote` sites,
+//!    briefcase-growth operations inside loops, and whether any `halt` is
+//!    present.  Extraction follows the taco-vet discipline: computed folder,
+//!    cabinet or meet names and any `eval` make the summary *opaque*
+//!    (the agent is then assumed to read and write everything), and `catch`
+//!    bodies are exempt from opacity and flagging (failing inside `catch` is
+//!    a supported idiom).
+//! 2. **Fleet composition** ([`audit`]): summaries plus declared native
+//!    agents, injected briefcase folders and declared deliverables are
+//!    composed into writer/reader sets and a meet graph, yielding five coded
+//!    diagnostics:
+//!
+//!    * **folder-never-produced** (error): a script reads a folder that no
+//!      fleet agent writes and that is not injected;
+//!    * **dead-folder-write** (warning): a script writes a folder nothing in
+//!      the fleet (or the declared delivery set) ever reads;
+//!    * **meet-cycle-no-exit** (error): a strongly connected component of the
+//!      meet graph in which every member meets back into the component
+//!      unconditionally and no member can halt;
+//!    * **itinerary-out-of-range** (error): a literal `move_to`/`send_remote`
+//!      site outside the declared site count;
+//!    * **unbounded-growth** (warning): `bc_push`/`cab_append` inside a loop
+//!      whose exit the dataflow cannot see.
+//!
+//! The soundness direction is the same as taco-vet's: **zero false
+//! positives** on fleets that run cleanly.  Every approximation errs toward
+//! silence — opaque agents become universal readers/writers (suppressing
+//! folder findings), unknown native agents are universal, a meet counts as
+//! *unconditional* only when it is reached before any branching or fallible
+//! command at the top level of the script, and foreach loops (bounded by
+//! their list) never trigger the growth check.  The price is deliberate
+//! blindness: folder flow is fleet-global rather than per-meet-chain, and a
+//! self-migration cycle re-armed through `ORIGCODE` is invisible to the meet
+//! graph.  See DESIGN.md §6 for the full argument.
+
+use crate::diag::Diagnostic;
+use crate::expr::eval_expr;
+use crate::parser::{parse_script, ParseError, Span, Word, WordKind, WordPart};
+use crate::value::{as_int, is_truthy};
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::analysis::{body_can_exit, cond_var_names};
+use crate::graph::Digraph;
+
+/// Nesting depth cap, mirroring the analyzer's.
+const MAX_DEPTH: u32 = 64;
+
+/// Folders the TACOMA kernel itself writes into briefcases (timer meets,
+/// error reports, courier provenance): always considered produced.
+const KERNEL_WRITTEN: &[&str] = &["TIMER", "ERROR", "ORIGIN"];
+
+/// Wellknown system agents every site provides, and the folders the two
+/// protocol-critical ones consume.  Everything else on this list is a
+/// service whose behaviour is not worth modelling precisely: those are
+/// treated as universal readers and writers (never the source of a finding,
+/// always a consumer/producer of anything).  `tacoma-core` asserts its
+/// `wellknown::AGENTS` slice stays within this list.
+pub const WELLKNOWN_AGENTS: &[&str] = &[
+    "ag_tac",
+    "rexec",
+    "courier",
+    "diffusion",
+    "broker",
+    "monitor",
+    "ticket",
+    "mint",
+    "court",
+    "broker_guard",
+];
+
+/// The folders a wellknown agent reads, or `None` if the agent is modelled
+/// as universal.
+fn wellknown_reads(name: &str) -> Option<&'static [&'static str]> {
+    match name {
+        // ag_tac executes the CODE folder of whoever meets it.
+        "ag_tac" => Some(&["CODE"]),
+        // rexec ships CODE to the site in HOST addressed to CONTACT.
+        "rexec" => Some(&["CODE", "HOST", "CONTACT"]),
+        _ => None,
+    }
+}
+
+// --- effect summaries --------------------------------------------------------
+
+/// One literal `meet` edge out of a script.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MeetEdge {
+    /// Where the first such `meet` appears.
+    pub span: Span,
+    /// True when at least one occurrence is reached unconditionally: at the
+    /// top level, before any branching construct or fallible command.
+    pub unconditional: bool,
+}
+
+/// One literal site reference (`move_to N` or `send_remote N ...`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SiteRef {
+    /// The literal site number.
+    pub site: i64,
+    /// Where the command appears.
+    pub span: Span,
+    /// `"move_to"` or `"send_remote"`.
+    pub command: &'static str,
+}
+
+/// One growth operation inside a loop with no visible exit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GrowthSite {
+    /// The folder (for `bc_push`) or cabinet (for `cab_append`) grown.
+    pub target: String,
+    /// Where the operation appears.
+    pub span: Span,
+    /// `"bc_push"` or `"cab_append"`.
+    pub command: &'static str,
+}
+
+/// What one script does to the shared world, abstracted for fleet analysis.
+#[derive(Debug, Clone, Default)]
+pub struct EffectSummary {
+    /// Folders read on the normal path (outside `catch` and `proc` bodies),
+    /// with the first read site — these are *flaggable*.
+    pub reads: BTreeMap<String, Span>,
+    /// Folders written on the normal path, with the first write site.
+    pub writes: BTreeMap<String, Span>,
+    /// Every folder possibly read anywhere, including `catch`/`proc` bodies.
+    pub reads_all: BTreeSet<String>,
+    /// Every folder possibly written anywhere.
+    pub writes_all: BTreeSet<String>,
+    /// Cabinets touched by any `cab_*` command.
+    pub cabinets: BTreeSet<String>,
+    /// Literal `meet` targets.
+    pub meets: BTreeMap<String, MeetEdge>,
+    /// Literal `move_to`/`send_remote` site numbers.
+    pub move_sites: Vec<SiteRef>,
+    /// Growth operations inside loops with no visible exit.
+    pub growth: Vec<GrowthSite>,
+    /// Whether a `halt` appears anywhere (halt escapes every construct).
+    pub halts: bool,
+    /// A computed folder/cabinet/meet name, non-braced body, or `eval` was
+    /// seen outside `catch`: the summary under-approximates and the agent
+    /// must be treated as a universal reader/writer.
+    pub opaque: bool,
+}
+
+/// Extracts the effect summary of one script.  Returns the parse error if
+/// the script does not parse at all (nested bodies that fail to parse make
+/// the summary opaque instead).
+pub fn summarize(src: &str) -> Result<EffectSummary, ParseError> {
+    parse_script(src)?;
+    let mut out = EffectSummary::default();
+    let ctx = WalkCtx {
+        base: Span::START,
+        depth: 0,
+        conditional: false,
+        in_catch: false,
+        in_proc: false,
+        in_unbounded_loop: false,
+    };
+    walk(src, ctx, &mut out);
+    Ok(out)
+}
+
+#[derive(Debug, Clone, Copy)]
+struct WalkCtx {
+    base: Span,
+    depth: u32,
+    /// Inside any branch, loop body, catch or proc: effects still count, but
+    /// meets are conditional.
+    conditional: bool,
+    /// Inside a `catch` body: dynamic constructs are exempt from opacity and
+    /// effects are recorded only in the `_all` tiers.
+    in_catch: bool,
+    /// Inside a `proc` body: the proc may never be called, so effects are
+    /// recorded only in the `_all` tiers.
+    in_proc: bool,
+    /// Inside a `while` whose exit the dataflow cannot see.
+    in_unbounded_loop: bool,
+}
+
+impl WalkCtx {
+    fn nested(self, base: Span) -> Self {
+        WalkCtx {
+            base,
+            depth: self.depth + 1,
+            conditional: true,
+            ..self
+        }
+    }
+}
+
+/// Maps a span relative to an embedded script to an absolute span (same
+/// convention as the analyzer's).
+fn map_span(base: Span, rel: Span) -> Span {
+    if rel.line == 1 {
+        Span::new(base.line, base.col + rel.col - 1)
+    } else {
+        Span::new(base.line + rel.line - 1, rel.col)
+    }
+}
+
+fn content_base(word: &Word) -> Span {
+    Span::new(word.span.line, word.span.col + 1)
+}
+
+impl EffectSummary {
+    fn read(&mut self, folder: &str, span: Span, ctx: WalkCtx) {
+        self.reads_all.insert(folder.to_string());
+        if !ctx.in_catch && !ctx.in_proc {
+            self.reads.entry(folder.to_string()).or_insert(span);
+        }
+    }
+
+    fn write(&mut self, folder: &str, span: Span, ctx: WalkCtx) {
+        self.writes_all.insert(folder.to_string());
+        if !ctx.in_catch && !ctx.in_proc {
+            self.writes.entry(folder.to_string()).or_insert(span);
+        }
+    }
+
+    /// Marks the summary opaque — unless the dynamic construct sits inside
+    /// `catch`, which is exempt by convention.
+    fn dynamic(&mut self, ctx: WalkCtx) {
+        if !ctx.in_catch {
+            self.opaque = true;
+        }
+    }
+}
+
+/// Commands that can neither raise nor branch (given fully static words):
+/// a meet after a straight line of these is still unconditional.
+fn infallible(name: &str) -> bool {
+    matches!(
+        name,
+        "bc_put" | "bc_push" | "bc_del" | "cab_append" | "puts" | "log" | "set" | "list"
+    )
+}
+
+#[allow(clippy::too_many_lines)]
+fn walk(src: &str, ctx: WalkCtx, out: &mut EffectSummary) {
+    if ctx.depth > MAX_DEPTH {
+        out.dynamic(ctx);
+        return;
+    }
+    let Ok(cmds) = parse_script(src) else {
+        // A nested body that does not parse hides arbitrary effects.
+        out.dynamic(ctx);
+        return;
+    };
+    // True until a command that can branch, raise, or terminate is passed:
+    // a meet reached while this holds runs on every execution of the script.
+    let mut path_certain = !ctx.conditional;
+    for cmd in &cmds {
+        let span = map_span(ctx.base, cmd.span);
+        // Substitutions run as part of word evaluation, in this context.
+        for word in &cmd.words {
+            if let WordKind::Parts(parts) = &word.kind {
+                for part in parts {
+                    if let WordPart::Command(script) = part {
+                        let mut wctx = ctx;
+                        wctx.base = map_span(ctx.base, word.span);
+                        wctx.depth += 1;
+                        wctx.conditional = ctx.conditional || !path_certain;
+                        walk(script, wctx, out);
+                    }
+                }
+            }
+        }
+        let Some(name) = cmd.words[0].static_text() else {
+            out.dynamic(ctx);
+            path_certain = false;
+            continue;
+        };
+        let args = &cmd.words[1..];
+        let static_arg = |i: usize| args.get(i).and_then(Word::static_text);
+        let braced_arg = |i: usize| {
+            args.get(i).and_then(|w| match &w.kind {
+                WordKind::Braced(t) => Some((t.as_str(), map_span(ctx.base, content_base(w)))),
+                WordKind::Parts(_) => None,
+            })
+        };
+        match name {
+            "bc_put" | "bc_push" => {
+                match static_arg(0) {
+                    Some(folder) => {
+                        out.write(folder, span, ctx);
+                        if name == "bc_push" && ctx.in_unbounded_loop && !ctx.in_catch {
+                            out.growth.push(GrowthSite {
+                                target: folder.to_string(),
+                                span,
+                                command: "bc_push",
+                            });
+                        }
+                    }
+                    None => out.dynamic(ctx),
+                }
+                path_certain = path_certain && all_words_static(cmd.words.as_slice());
+            }
+            "bc_pop" | "bc_dequeue" | "bc_peek" | "bc_list" | "bc_size" | "bc_del" => {
+                match static_arg(0) {
+                    Some(folder) => out.read(folder, span, ctx),
+                    None => out.dynamic(ctx),
+                }
+                path_certain =
+                    path_certain && name == "bc_del" && all_words_static(cmd.words.as_slice());
+            }
+            "cab_append" | "cab_contains" | "cab_list" | "cab_pop" => {
+                match static_arg(0) {
+                    Some(cabinet) => {
+                        out.cabinets.insert(cabinet.to_string());
+                        if name == "cab_append" && ctx.in_unbounded_loop && !ctx.in_catch {
+                            out.growth.push(GrowthSite {
+                                target: cabinet.to_string(),
+                                span,
+                                command: "cab_append",
+                            });
+                        }
+                    }
+                    None => out.dynamic(ctx),
+                }
+                path_certain =
+                    path_certain && name == "cab_append" && all_words_static(cmd.words.as_slice());
+            }
+            "meet" => {
+                match static_arg(0) {
+                    Some(target) => {
+                        let unconditional =
+                            !ctx.conditional && !ctx.in_catch && !ctx.in_proc && path_certain;
+                        let edge = out.meets.entry(target.to_string()).or_insert(MeetEdge {
+                            span,
+                            unconditional: false,
+                        });
+                        edge.unconditional |= unconditional;
+                    }
+                    None => out.dynamic(ctx),
+                }
+                path_certain = false; // a refused meet raises
+            }
+            "move_to" => {
+                if let Some(site) = static_arg(0).and_then(as_int) {
+                    out.move_sites.push(SiteRef {
+                        site,
+                        span,
+                        command: "move_to",
+                    });
+                }
+                path_certain = false;
+            }
+            "send_remote" => {
+                if let Some(site) = static_arg(0).and_then(as_int) {
+                    out.move_sites.push(SiteRef {
+                        site,
+                        span,
+                        command: "send_remote",
+                    });
+                }
+                // Shipped folders are read out of the briefcase.
+                for (i, _) in args.iter().enumerate().skip(2) {
+                    match static_arg(i) {
+                        Some(folder) => out.read(folder, span, ctx),
+                        None => out.dynamic(ctx),
+                    }
+                }
+                path_certain = false;
+            }
+            "halt" => {
+                out.halts = true;
+                path_certain = false;
+            }
+            "return" | "error" | "break" | "continue" => path_certain = false,
+            "while" => {
+                match (braced_arg(0), braced_arg(1)) {
+                    (Some((cond_text, cond_base)), Some((body_text, body_base))) => {
+                        scan_brackets(cond_text, cond_base, ctx, out);
+                        let unbounded = loop_exit_invisible(cond_text, body_text);
+                        let mut bctx = ctx.nested(body_base);
+                        bctx.in_unbounded_loop = ctx.in_unbounded_loop || unbounded;
+                        walk(body_text, bctx, out);
+                    }
+                    _ => out.dynamic(ctx), // runtime-built condition or body
+                }
+                path_certain = false;
+            }
+            "foreach" => {
+                // Bounded by its list: never an unbounded-growth site.
+                match braced_arg(2) {
+                    Some((body_text, body_base)) => walk(body_text, ctx.nested(body_base), out),
+                    None if args.len() >= 3 => out.dynamic(ctx),
+                    None => {}
+                }
+                path_certain = false;
+            }
+            "if" => {
+                let mut i = 0;
+                while i < args.len() {
+                    if i == 0 || args[i].static_text() == Some("elseif") {
+                        let off = usize::from(i != 0);
+                        if let Some((cond_text, cond_base)) = braced_arg(i + off) {
+                            scan_brackets(cond_text, cond_base, ctx, out);
+                        }
+                        match braced_arg(i + off + 1) {
+                            Some((body_text, body_base)) => {
+                                walk(body_text, ctx.nested(body_base), out);
+                            }
+                            None if args.get(i + off + 1).is_some() => out.dynamic(ctx),
+                            None => {}
+                        }
+                        i += off + 2;
+                    } else if args[i].static_text() == Some("else") {
+                        match braced_arg(i + 1) {
+                            Some((body_text, body_base)) => {
+                                walk(body_text, ctx.nested(body_base), out);
+                            }
+                            None if args.get(i + 1).is_some() => out.dynamic(ctx),
+                            None => {}
+                        }
+                        break;
+                    } else {
+                        break; // malformed: taco-vet reports wrong-arity
+                    }
+                }
+                path_certain = false;
+            }
+            "catch" => {
+                if let Some((body_text, body_base)) = braced_arg(0) {
+                    let mut cctx = ctx.nested(body_base);
+                    cctx.in_catch = true;
+                    walk(body_text, cctx, out);
+                }
+                path_certain = false; // the body may have halted
+            }
+            "proc" => {
+                match braced_arg(2) {
+                    Some((body_text, body_base)) => {
+                        let mut pctx = ctx.nested(body_base);
+                        pctx.in_proc = true;
+                        walk(body_text, pctx, out);
+                    }
+                    None if args.len() >= 3 => out.dynamic(ctx),
+                    None => {}
+                }
+                // Defining a proc is pure: path_certain unchanged.
+            }
+            "eval" => {
+                // Even a braced eval is a script chosen at runtime to be code;
+                // the summary abstraction deliberately refuses to follow it.
+                out.dynamic(ctx);
+                path_certain = false;
+            }
+            "expr" => {
+                if args.len() == 1 {
+                    if let Some((text, base)) = braced_arg(0) {
+                        scan_brackets(text, base, ctx, out);
+                    }
+                }
+                path_certain = false;
+            }
+            other => {
+                path_certain =
+                    path_certain && infallible(other) && all_words_static(cmd.words.as_slice());
+            }
+        }
+    }
+}
+
+fn all_words_static(words: &[Word]) -> bool {
+    words.iter().all(|w| w.static_text().is_some())
+}
+
+/// Walks the `[...]` scripts embedded in brace-quoted condition/expr text —
+/// `while {[bc_size Q] > 0}` reads folder `Q`.
+fn scan_brackets(text: &str, base: Span, ctx: WalkCtx, out: &mut EffectSummary) {
+    if ctx.depth > MAX_DEPTH {
+        out.dynamic(ctx);
+        return;
+    }
+    let chars: Vec<char> = text.chars().collect();
+    let mut i = 0;
+    let mut line = 1u32;
+    let mut col = 1u32;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '[' {
+            i += 1;
+            col += 1;
+            let sspan = map_span(base, Span::new(line, col));
+            let mut nesting = 1;
+            let mut inner = String::new();
+            while i < chars.len() && nesting > 0 {
+                match chars[i] {
+                    '[' => {
+                        nesting += 1;
+                        inner.push('[');
+                    }
+                    ']' => {
+                        nesting -= 1;
+                        if nesting > 0 {
+                            inner.push(']');
+                        }
+                    }
+                    ch => inner.push(ch),
+                }
+                if chars[i] == '\n' {
+                    line += 1;
+                    col = 1;
+                } else {
+                    col += 1;
+                }
+                i += 1;
+            }
+            let mut sctx = ctx;
+            sctx.base = sspan;
+            sctx.depth += 1;
+            walk(&inner, sctx, out);
+        } else {
+            if c == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }
+    }
+}
+
+/// Whether a `while` loop's exit is invisible to the dataflow: the condition
+/// consults runtime state (`[...]`) with no visible escape in the body, or is
+/// static but never influenced by the body.
+fn loop_exit_invisible(cond: &str, body: &str) -> bool {
+    if cond.contains('[') {
+        // Exit depends on state the analysis cannot track; only an explicit
+        // escape (halt/break/return/error) in the body bounds the loop.
+        return !body_can_exit(body, &BTreeSet::new(), 0, true, true);
+    }
+    let vars = cond_var_names(cond);
+    if vars.is_empty() {
+        // Constant condition: falsy or non-evaluating conditions terminate
+        // (loudly, in the latter case).
+        match eval_expr(cond) {
+            Ok(v) if is_truthy(&v) => !body_can_exit(body, &vars, 0, true, true),
+            _ => false,
+        }
+    } else {
+        !body_can_exit(body, &vars, 0, true, true)
+    }
+}
+
+// --- fleet composition -------------------------------------------------------
+
+/// One agent declared to the fleet audit.
+#[derive(Debug, Clone)]
+pub struct AgentSpec {
+    /// The agent's meet name.
+    pub name: String,
+    /// The label findings about this agent render against (a file path, or a
+    /// folder name like `CODE` for scripts in flight).
+    pub source: String,
+    /// The TacoScript source, or `None` for a native (Rust) agent.
+    pub code: Option<String>,
+}
+
+/// A declared fleet: agents, site count, and the folder environment.
+#[derive(Debug, Clone, Default)]
+pub struct AuditConfig {
+    agents: Vec<AgentSpec>,
+    site_count: Option<u32>,
+    injected: BTreeSet<String>,
+    delivered: BTreeSet<String>,
+}
+
+impl AuditConfig {
+    /// An empty fleet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a script agent (builder form).
+    pub fn agent(
+        mut self,
+        name: impl Into<String>,
+        source: impl Into<String>,
+        code: impl Into<String>,
+    ) -> Self {
+        self.add_agent(name, source, code);
+        self
+    }
+
+    /// Declares a script agent, replacing any previous agent of the same name.
+    pub fn add_agent(
+        &mut self,
+        name: impl Into<String>,
+        source: impl Into<String>,
+        code: impl Into<String>,
+    ) {
+        let spec = AgentSpec {
+            name: name.into(),
+            source: source.into(),
+            code: Some(code.into()),
+        };
+        self.agents.retain(|a| a.name != spec.name);
+        self.agents.push(spec);
+    }
+
+    /// Declares a native (Rust) agent: a universal reader/writer unless it is
+    /// one of the precisely modelled wellknown agents (builder form).
+    pub fn native(mut self, name: impl Into<String>) -> Self {
+        self.add_native(name);
+        self
+    }
+
+    /// Declares a native agent.
+    pub fn add_native(&mut self, name: impl Into<String>) {
+        let name = name.into();
+        let spec = AgentSpec {
+            source: format!("<native {name}>"),
+            name,
+            code: None,
+        };
+        self.agents.retain(|a| a.name != spec.name);
+        self.agents.push(spec);
+    }
+
+    /// Declares the number of sites, enabling the itinerary check (builder
+    /// form).
+    pub fn site_count(mut self, n: u32) -> Self {
+        self.site_count = Some(n);
+        self
+    }
+
+    /// Sets the site count in place (used by `tacoma-core`, which knows the
+    /// topology at build time).
+    pub fn set_site_count(&mut self, n: u32) {
+        self.site_count = Some(n);
+    }
+
+    /// The declared site count, if any.
+    pub fn declared_site_count(&self) -> Option<u32> {
+        self.site_count
+    }
+
+    /// Declares a folder present in the injected briefcase (builder form).
+    pub fn inject(mut self, folder: impl Into<String>) -> Self {
+        self.add_injected(folder);
+        self
+    }
+
+    /// Declares an injected folder.
+    pub fn add_injected(&mut self, folder: impl Into<String>) {
+        self.injected.insert(folder.into());
+    }
+
+    /// Declares a folder that is a deliverable: something outside the fleet
+    /// (the experiment driver, a human) reads it, so writing it is not dead
+    /// (builder form).
+    pub fn deliver(mut self, folder: impl Into<String>) -> Self {
+        self.add_delivered(folder);
+        self
+    }
+
+    /// Declares a delivered folder.
+    pub fn add_delivered(&mut self, folder: impl Into<String>) {
+        self.delivered.insert(folder.into());
+    }
+
+    /// The declared agents, in declaration order.
+    pub fn agents(&self) -> &[AgentSpec] {
+        &self.agents
+    }
+}
+
+/// One fleet-audit finding: a diagnostic anchored to the agent it is about.
+#[derive(Debug, Clone)]
+pub struct AuditFinding {
+    /// The meet name of the agent the finding is about.
+    pub agent: String,
+    /// The source label findings render against.
+    pub source: String,
+    /// The finding itself.
+    pub diag: Diagnostic,
+}
+
+struct Node {
+    name: String,
+    source: String,
+    summary: Option<EffectSummary>,
+    /// Universal reader/writer: opaque script, unknown native, or a
+    /// wellknown service agent not modelled precisely.
+    universal: bool,
+    /// Folders a precisely modelled native reads.
+    native_reads: &'static [&'static str],
+    /// Native agents always survive their meetings.
+    can_halt: bool,
+}
+
+/// Audits a declared fleet, returning findings sorted by source, position
+/// and severity.  An empty result means the fleet composes cleanly.
+#[allow(clippy::too_many_lines)]
+pub fn audit(config: &AuditConfig) -> Vec<AuditFinding> {
+    let mut findings: Vec<AuditFinding> = Vec::new();
+    let mut nodes: Vec<Node> = Vec::new();
+    for spec in &config.agents {
+        match &spec.code {
+            Some(code) => match summarize(code) {
+                Ok(summary) => {
+                    let universal = summary.opaque;
+                    nodes.push(Node {
+                        name: spec.name.clone(),
+                        source: spec.source.clone(),
+                        summary: Some(summary),
+                        universal,
+                        native_reads: &[],
+                        can_halt: false,
+                    });
+                }
+                Err(e) => {
+                    findings.push(AuditFinding {
+                        agent: spec.name.clone(),
+                        source: spec.source.clone(),
+                        diag: Diagnostic::error("parse", e.span(), e.message.clone()),
+                    });
+                    // An unparsable script never runs: it contributes nothing.
+                }
+            },
+            None => nodes.push(native_node(&spec.name, &spec.source)),
+        }
+    }
+    // Wellknown agents pulled in implicitly by literal meet targets.
+    let declared: BTreeSet<String> = nodes.iter().map(|n| n.name.clone()).collect();
+    let mut implicit: BTreeSet<&str> = BTreeSet::new();
+    for node in &nodes {
+        if let Some(summary) = &node.summary {
+            for target in summary.meets.keys() {
+                if !declared.contains(target) {
+                    if let Some(&wk) = WELLKNOWN_AGENTS.iter().find(|&&a| a == target) {
+                        implicit.insert(wk);
+                    }
+                }
+            }
+        }
+    }
+    for name in implicit {
+        nodes.push(native_node(name, &format!("<wellknown {name}>")));
+    }
+
+    // Folder-flow composition.
+    let mut writers: BTreeSet<&str> = config.injected.iter().map(String::as_str).collect();
+    writers.extend(KERNEL_WRITTEN);
+    let mut readers: BTreeSet<&str> = config.delivered.iter().map(String::as_str).collect();
+    let mut universal_writer = false;
+    let mut universal_reader = false;
+    for node in &nodes {
+        if node.universal {
+            universal_writer = true;
+            universal_reader = true;
+        }
+        readers.extend(node.native_reads);
+        if let Some(summary) = &node.summary {
+            writers.extend(summary.writes_all.iter().map(String::as_str));
+            readers.extend(summary.reads_all.iter().map(String::as_str));
+        }
+    }
+
+    // Per-script findings.
+    for node in &nodes {
+        let Some(summary) = &node.summary else {
+            continue;
+        };
+        let push = |findings: &mut Vec<AuditFinding>, diag: Diagnostic| {
+            findings.push(AuditFinding {
+                agent: node.name.clone(),
+                source: node.source.clone(),
+                diag,
+            });
+        };
+        if !summary.opaque {
+            for (folder, span) in &summary.reads {
+                if !universal_writer && !writers.contains(folder.as_str()) {
+                    push(
+                        &mut findings,
+                        Diagnostic::error(
+                            "folder-never-produced",
+                            *span,
+                            format!(
+                                "folder '{folder}' is read but never produced: no fleet agent \
+                                 writes it and it is not in the injected briefcase"
+                            ),
+                        ),
+                    );
+                }
+            }
+            for (folder, span) in &summary.writes {
+                if !universal_reader && !readers.contains(folder.as_str()) {
+                    push(
+                        &mut findings,
+                        Diagnostic::warning(
+                            "dead-folder-write",
+                            *span,
+                            format!(
+                                "folder '{folder}' is written but never read: no fleet agent, \
+                                 wellknown consumer, or declared deliverable consumes it"
+                            ),
+                        ),
+                    );
+                }
+            }
+        }
+        for site_ref in &summary.move_sites {
+            let out_of_range = match config.site_count {
+                Some(n) => site_ref.site < 0 || site_ref.site >= i64::from(n),
+                None => site_ref.site < 0,
+            };
+            if out_of_range {
+                let detail = match config.site_count {
+                    Some(n) => format!("the fleet declares {n} site(s) (valid: 0..{})", n - 1),
+                    None => "sites are non-negative".to_string(),
+                };
+                push(
+                    &mut findings,
+                    Diagnostic::error(
+                        "itinerary-out-of-range",
+                        site_ref.span,
+                        format!(
+                            "'{}' targets site {}, but {detail}",
+                            site_ref.command, site_ref.site
+                        ),
+                    ),
+                );
+            }
+        }
+        for growth in &summary.growth {
+            let kind = if growth.command == "bc_push" {
+                "folder"
+            } else {
+                "cabinet"
+            };
+            push(
+                &mut findings,
+                Diagnostic::warning(
+                    "unbounded-growth",
+                    growth.span,
+                    format!(
+                        "'{}' into {kind} '{}' repeats inside a loop whose exit the analysis \
+                         cannot see; it may grow without bound",
+                        growth.command, growth.target
+                    ),
+                ),
+            );
+        }
+    }
+
+    // Meet-cycle analysis.
+    let index: BTreeMap<&str, usize> = nodes
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.name.as_str(), i))
+        .collect();
+    let mut graph = Digraph::new(nodes.len());
+    for (i, node) in nodes.iter().enumerate() {
+        if let Some(summary) = &node.summary {
+            for target in summary.meets.keys() {
+                if let Some(&j) = index.get(target.as_str()) {
+                    graph.add_edge(i, j);
+                }
+            }
+        }
+    }
+    for scc in graph.sccs() {
+        let cyclic = scc.len() > 1 || graph.has_edge(scc[0], scc[0]);
+        if !cyclic {
+            continue;
+        }
+        let members: BTreeSet<&str> = scc.iter().map(|&i| nodes[i].name.as_str()).collect();
+        // Flag only when *every* member is a non-opaque script that cannot
+        // halt and unconditionally meets back into the component.
+        let doomed = scc.iter().all(|&i| {
+            let node = &nodes[i];
+            let Some(summary) = &node.summary else {
+                return false; // native members can always exit
+            };
+            !summary.opaque
+                && !summary.halts
+                && !node.can_halt
+                && summary
+                    .meets
+                    .iter()
+                    .any(|(target, edge)| edge.unconditional && members.contains(target.as_str()))
+        });
+        if !doomed {
+            continue;
+        }
+        // Anchor at the first member (by name) and its in-component meet.
+        let &anchor = scc
+            .iter()
+            .min_by_key(|&&i| nodes[i].name.as_str())
+            .expect("nonempty scc");
+        let node = &nodes[anchor];
+        let summary = node.summary.as_ref().expect("scripts only");
+        let (_, edge) = summary
+            .meets
+            .iter()
+            .find(|(target, edge)| edge.unconditional && members.contains(target.as_str()))
+            .expect("doomed member has an unconditional in-component meet");
+        let cycle: Vec<&str> = members.iter().copied().collect();
+        findings.push(AuditFinding {
+            agent: node.name.clone(),
+            source: node.source.clone(),
+            diag: Diagnostic::error(
+                "meet-cycle-no-exit",
+                edge.span,
+                format!(
+                    "meet cycle {{{}}} has no exit: every member meets back into the cycle \
+                     unconditionally and none can halt",
+                    cycle.join(" -> ")
+                ),
+            ),
+        });
+    }
+
+    findings.sort_by(|a, b| {
+        a.source
+            .cmp(&b.source)
+            .then(a.diag.span.cmp(&b.diag.span))
+            .then(b.diag.severity.cmp(&a.diag.severity))
+            .then(a.diag.code.cmp(b.diag.code))
+    });
+    findings
+}
+
+fn native_node(name: &str, source: &str) -> Node {
+    let native_reads = wellknown_reads(name);
+    Node {
+        name: name.to_string(),
+        source: source.to_string(),
+        summary: None,
+        universal: native_reads.is_none(),
+        native_reads: native_reads.unwrap_or(&[]),
+        can_halt: true,
+    }
+}
+
+/// True when any finding is error-severity (the install gate's criterion).
+pub fn audit_has_errors(findings: &[AuditFinding]) -> bool {
+    findings.iter().any(|f| f.diag.is_error())
+}
+
+/// Renders findings one per line as `source:line:col: severity[code]: message`.
+pub fn render_audit(findings: &[AuditFinding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        out.push_str(&f.diag.render(&f.source));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codes(findings: &[AuditFinding]) -> Vec<&'static str> {
+        findings.iter().map(|f| f.diag.code).collect()
+    }
+
+    #[test]
+    fn summaries_extract_folder_effects() {
+        let s = summarize(
+            "set hops [bc_pop HOPS]\nbc_put TALLY $hops\nbc_push TRAIL [my_site]\nhalt done",
+        )
+        .unwrap();
+        assert!(s.reads.contains_key("HOPS"));
+        assert!(s.writes.contains_key("TALLY"));
+        assert!(s.writes.contains_key("TRAIL"));
+        assert!(s.halts);
+        assert!(!s.opaque);
+        assert!(s.growth.is_empty());
+    }
+
+    #[test]
+    fn summaries_see_reads_inside_braced_conditions() {
+        let s = summarize("while {[bc_size Q] > 0} { bc_pop Q }\nreturn done").unwrap();
+        assert!(s.reads.contains_key("Q"));
+        // Draining is not growth.
+        assert!(s.growth.is_empty());
+    }
+
+    #[test]
+    fn computed_names_make_the_summary_opaque_except_in_catch() {
+        let s = summarize("set f DATA\nbc_put $f 1").unwrap();
+        assert!(s.opaque);
+        let s = summarize("set f DATA\ncatch { bc_put $f 1 }").unwrap();
+        assert!(!s.opaque);
+        // Effects inside catch stay out of the flaggable tier.
+        let s = summarize("catch { bc_put SAFE 1 }").unwrap();
+        assert!(!s.writes.contains_key("SAFE"));
+        assert!(s.writes_all.contains("SAFE"));
+        // eval is opaque even when braced.
+        assert!(summarize("eval {bc_put X 1}").unwrap().opaque);
+    }
+
+    #[test]
+    fn meets_record_unconditional_reachability() {
+        // A meet behind nothing but infallible commands is unconditional.
+        let s = summarize("bc_put TRACE ping\nmeet pong").unwrap();
+        assert!(s.meets["pong"].unconditional);
+        // A meet inside a branch is not.
+        let s = summarize("if {[my_site]} { meet pong }").unwrap();
+        assert!(!s.meets["pong"].unconditional);
+        // A meet after a fallible command is not.
+        let s = summarize("set x [bc_pop F]\nmeet pong").unwrap();
+        assert!(!s.meets["pong"].unconditional);
+        // A meet inside catch is not (failure is absorbed).
+        let s = summarize("catch { meet pong }").unwrap();
+        assert!(!s.meets["pong"].unconditional);
+    }
+
+    #[test]
+    fn growth_sites_require_an_invisible_exit() {
+        // Dynamic condition, push in the body: flagged.
+        let s = summarize("while {[bc_size Q] > 0} { bc_push Q [bc_pop Q] }").unwrap();
+        assert_eq!(s.growth.len(), 1);
+        assert_eq!(s.growth[0].target, "Q");
+        assert_eq!(s.growth[0].command, "bc_push");
+        // A visible escape bounds the loop.
+        let s = summarize(
+            "while {[bc_size Q] > 0} { bc_push OUT [bc_pop Q]\nif {[my_site]} { break } }",
+        )
+        .unwrap();
+        assert!(s.growth.is_empty());
+        // Induction variables bound static conditions.
+        let s = summarize("set i 0\nwhile {$i < 3} { bc_push OUT $i\nincr i }").unwrap();
+        assert!(s.growth.is_empty());
+        // foreach is bounded by its list.
+        let s = summarize("foreach x [bc_list IN] { cab_append shared OUT $x }").unwrap();
+        assert!(s.growth.is_empty());
+        // cab_append in a constant-true loop without escape: flagged.
+        let s = summarize("while {1} { cab_append shared LOG tick }").unwrap();
+        assert_eq!(s.growth.len(), 1);
+        assert_eq!(s.growth[0].command, "cab_append");
+    }
+
+    #[test]
+    fn folder_never_produced_and_its_suppressions() {
+        let reader = "set v [bc_pop PLAN]\nbc_put ACK $v\nreturn ok";
+        // Nobody writes PLAN: error.
+        let cfg = AuditConfig::new()
+            .agent("r", "r.taco", reader)
+            .deliver("ACK");
+        assert_eq!(codes(&audit(&cfg)), vec!["folder-never-produced"]);
+        // Injection satisfies the read.
+        let cfg = cfg.inject("PLAN");
+        assert!(audit(&cfg).is_empty());
+        // A fleet writer satisfies it too.
+        let cfg = AuditConfig::new()
+            .agent("r", "r.taco", reader)
+            .agent("w", "w.taco", "bc_put PLAN route\nreturn ok")
+            .deliver("ACK");
+        assert!(audit(&cfg).is_empty());
+        // An opaque agent could write anything: suppressed.
+        let cfg = AuditConfig::new()
+            .agent("r", "r.taco", reader)
+            .agent("mystery", "m.taco", "set f X\nbc_put $f 1")
+            .deliver("ACK");
+        assert!(audit(&cfg).is_empty());
+        // Kernel folders are always produced.
+        let cfg = AuditConfig::new()
+            .agent("r", "r.taco", "set e [bc_pop ERROR]\nbc_put ACK $e")
+            .deliver("ACK");
+        assert!(audit(&cfg).is_empty());
+    }
+
+    #[test]
+    fn dead_folder_writes_and_their_suppressions() {
+        let writer = "bc_put BEACON [my_site]\nreturn ok";
+        let cfg = AuditConfig::new().agent("w", "w.taco", writer);
+        assert_eq!(codes(&audit(&cfg)), vec!["dead-folder-write"]);
+        assert!(!audit(&cfg)[0].diag.is_error());
+        // A declared deliverable is read by the outside world.
+        let cfg = AuditConfig::new()
+            .agent("w", "w.taco", writer)
+            .deliver("BEACON");
+        assert!(audit(&cfg).is_empty());
+        // A fleet reader consumes it.
+        let cfg = AuditConfig::new().agent("w", "w.taco", writer).agent(
+            "r",
+            "r.taco",
+            "set b [bc_pop BEACON]\nlog $b",
+        );
+        assert!(audit(&cfg).is_empty());
+        // Writing HOST/CONTACT/CODE before meeting rexec is consumed by rexec.
+        let mover = "bc_push CODE x\nbc_put HOST 1\nbc_put CONTACT ag_tac\nmeet rexec";
+        let cfg = AuditConfig::new().agent("m", "m.taco", mover);
+        assert!(audit(&cfg).is_empty());
+    }
+
+    #[test]
+    fn itineraries_are_checked_against_the_site_count() {
+        let cfg = AuditConfig::new()
+            .site_count(4)
+            .agent("h", "h.taco", "move_to 7\nreturn moving");
+        let findings = audit(&cfg);
+        assert_eq!(codes(&findings), vec!["itinerary-out-of-range"]);
+        assert!(findings[0].diag.message.contains("site 7"));
+        assert!(findings[0].diag.message.contains("valid: 0..3"));
+        // In range: clean.
+        let cfg = AuditConfig::new()
+            .site_count(4)
+            .agent("h", "h.taco", "move_to 3\nreturn moving");
+        assert!(audit(&cfg).is_empty());
+        // Without a declared count only negatives are wrong.
+        let cfg = AuditConfig::new().agent("h", "h.taco", "move_to -1\nreturn moving");
+        assert_eq!(codes(&audit(&cfg)), vec!["itinerary-out-of-range"]);
+        // send_remote sites are checked the same way; its folders are reads.
+        let cfg = AuditConfig::new().site_count(2).inject("DATA").agent(
+            "s",
+            "s.taco",
+            "send_remote 5 ag_tac DATA\nreturn ok",
+        );
+        assert_eq!(codes(&audit(&cfg)), vec!["itinerary-out-of-range"]);
+    }
+
+    #[test]
+    fn meet_cycles_without_exits_are_fatal() {
+        let ping = "bc_put TRACE ping\nmeet pong";
+        let pong = "bc_put TRACE pong\nmeet ping";
+        let cfg = AuditConfig::new()
+            .agent("ping", "ping.taco", ping)
+            .agent("pong", "pong.taco", pong)
+            .deliver("TRACE");
+        let findings = audit(&cfg);
+        assert_eq!(codes(&findings), vec!["meet-cycle-no-exit"]);
+        assert!(findings[0].diag.message.contains("ping -> pong"));
+        // One member halting breaks the livelock.
+        let cfg = AuditConfig::new()
+            .agent("ping", "ping.taco", ping)
+            .agent(
+                "pong",
+                "pong.taco",
+                "if {[bc_size TRACE] > 3} { halt done }\nmeet ping",
+            )
+            .deliver("TRACE")
+            .inject("TRACE");
+        assert!(audit(&cfg).is_empty());
+        // A conditional meet is an exit.
+        let cfg = AuditConfig::new()
+            .agent("ping", "ping.taco", ping)
+            .agent(
+                "pong",
+                "pong.taco",
+                "if {[my_site]} { meet ping }\nreturn done",
+            )
+            .deliver("TRACE");
+        assert!(audit(&cfg).is_empty());
+        // A native member can always stop meeting back.
+        let cfg = AuditConfig::new()
+            .agent("ping", "ping.taco", "bc_put TRACE x\nmeet helper")
+            .native("helper")
+            .deliver("TRACE");
+        assert!(audit(&cfg).is_empty());
+        // Self-meets count as 1-cycles.
+        let cfg = AuditConfig::new()
+            .agent("narcissus", "n.taco", "meet narcissus")
+            .deliver("TRACE");
+        assert_eq!(codes(&audit(&cfg)), vec!["meet-cycle-no-exit"]);
+    }
+
+    #[test]
+    fn parse_failures_become_parse_findings() {
+        let cfg = AuditConfig::new().agent("b", "b.taco", "set x {unclosed");
+        let findings = audit(&cfg);
+        assert_eq!(codes(&findings), vec!["parse"]);
+        assert!(findings[0].diag.is_error());
+        assert_eq!(findings[0].source, "b.taco");
+    }
+
+    #[test]
+    fn findings_render_like_vet_reports() {
+        let cfg = AuditConfig::new()
+            .site_count(2)
+            .agent("h", "h.taco", "move_to 9\nreturn moving");
+        let findings = audit(&cfg);
+        assert!(audit_has_errors(&findings));
+        let rendered = render_audit(&findings);
+        assert!(
+            rendered.starts_with("h.taco:1:1: error[itinerary-out-of-range]:"),
+            "{rendered}"
+        );
+        assert!(render_audit(&[]).is_empty());
+    }
+
+    #[test]
+    fn declaring_an_agent_twice_replaces_it() {
+        let cfg = AuditConfig::new()
+            .agent("a", "old.taco", "bc_put X 1")
+            .agent("a", "new.taco", "bc_put Y 1\nreturn ok")
+            .deliver("Y");
+        assert!(audit(&cfg).is_empty());
+        assert_eq!(cfg.agents().len(), 1);
+        assert_eq!(cfg.agents()[0].source, "new.taco");
+    }
+}

@@ -210,7 +210,11 @@ impl<'h> Interp<'h> {
     }
 
     fn arity_err(name: &str, usage: &str, line: u32) -> ScriptError {
-        ScriptError::Runtime(format!("line {line}: usage: {name} {usage}"))
+        if usage.is_empty() {
+            ScriptError::Runtime(format!("line {line}: usage: {name}"))
+        } else {
+            ScriptError::Runtime(format!("line {line}: usage: {name} {usage}"))
+        }
     }
 
     #[allow(clippy::too_many_lines)]
@@ -221,6 +225,16 @@ impl<'h> Interp<'h> {
         line: u32,
         depth: u32,
     ) -> Result<Flow, ScriptError> {
+        // Arity is enforced once, from the shared table, so the interpreter
+        // and taco-vet can never disagree about a builtin's signature.  The
+        // per-command `match` arms below keep their structural patterns (and
+        // a few residual arity errors for shapes the table cannot express,
+        // like `split` with an empty separator).
+        if let Some(spec) = crate::builtins::builtin(name) {
+            if spec.arity_violated(args.len()) {
+                return Err(Self::arity_err(name, spec.usage, line));
+            }
+        }
         match name {
             // --- variables & values ------------------------------------------
             "set" => match args {

@@ -28,14 +28,22 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod audit;
+pub mod builtins;
 pub mod diag;
 pub mod expr;
+pub mod graph;
 pub mod host;
 pub mod interp;
 pub mod parser;
 pub mod value;
 
-pub use analysis::{analyze, analyze_with, AnalysisConfig};
+pub use analysis::{analyze, analyze_with, vet, AnalysisConfig};
+pub use audit::{
+    audit, audit_has_errors, render_audit, summarize, AgentSpec, AuditConfig, AuditFinding,
+    EffectSummary,
+};
+pub use builtins::{builtin, BuiltinSpec, BUILTINS};
 pub use diag::{has_errors, render_report, Diagnostic, Severity};
 pub use host::{HostCall, NullHost, RecordingHost, ScriptHost};
 pub use interp::{Interp, InterpConfig, ScriptError, ScriptOutcome};

@@ -1,0 +1,96 @@
+//! Golden fleet-audit reports: multi-agent fleets with seeded protocol
+//! defects must render exactly the expected findings, and well-formed
+//! fleets must render nothing.
+
+use tacoma_script::{audit, render_audit, AuditConfig};
+
+#[track_caller]
+fn expect(config: &AuditConfig, want: &[&str]) {
+    let got = render_audit(&audit(config));
+    let want = want
+        .iter()
+        .map(|l| format!("{l}\n"))
+        .collect::<Vec<_>>()
+        .join("");
+    assert_eq!(got, want);
+}
+
+#[test]
+fn a_whole_defective_fleet_renders_every_finding() {
+    // Three agents, four seeded defects across them: a read nobody produces,
+    // a write nobody consumes, an itinerary off the edge of the world, and a
+    // two-agent meet livelock.
+    let config = AuditConfig::new()
+        .site_count(4)
+        .agent(
+            "navigator",
+            "navigator.taco",
+            "set plan [bc_pop FLIGHT_PLAN]\nbc_put BEACON $plan\nreturn ok",
+        )
+        .agent(
+            "hopper",
+            "hopper.taco",
+            "bc_push LOG [my_site]\nmove_to 9\nreturn moving",
+        )
+        .agent("ping", "ping.taco", "meet pong")
+        .agent("pong", "pong.taco", "meet ping")
+        .deliver("LOG");
+    expect(
+        &config,
+        &[
+            "hopper.taco:2:1: error[itinerary-out-of-range]: 'move_to' targets site 9, but the fleet declares 4 site(s) (valid: 0..3)",
+            "navigator.taco:1:10: error[folder-never-produced]: folder 'FLIGHT_PLAN' is read but never produced: no fleet agent writes it and it is not in the injected briefcase",
+            "navigator.taco:2:1: warning[dead-folder-write]: folder 'BEACON' is written but never read: no fleet agent, wellknown consumer, or declared deliverable consumes it",
+            "ping.taco:1:1: error[meet-cycle-no-exit]: meet cycle {ping -> pong} has no exit: every member meets back into the cycle unconditionally and none can halt",
+        ],
+    );
+}
+
+#[test]
+fn unbounded_growth_warns_with_the_loop_site() {
+    let config = AuditConfig::new().inject("QUEUE").deliver("QUEUE").agent(
+        "hoarder",
+        "hoarder.taco",
+        "while {[bc_size QUEUE] > 0} {\n    bc_push QUEUE [bc_pop QUEUE]\n}\nreturn done",
+    );
+    expect(
+        &config,
+        &[
+            "hoarder.taco:2:5: warning[unbounded-growth]: 'bc_push' into folder 'QUEUE' repeats inside a loop whose exit the analysis cannot see; it may grow without bound",
+        ],
+    );
+}
+
+#[test]
+fn the_paper_migration_idiom_audits_clean() {
+    // The rexec hop: CODE/HOST/CONTACT are consumed by the wellknown rexec
+    // agent, which is pulled in implicitly by the literal meet target.
+    let config = AuditConfig::new()
+        .site_count(8)
+        .inject("HOPS")
+        .inject("ORIGCODE")
+        .deliver("LANDED")
+        .agent(
+            "hopper",
+            "hopper.taco",
+            "set hops [bc_pop HOPS]\nif {$hops > 0} {\n  bc_put HOPS [expr $hops - 1]\n  bc_push CODE [bc_peek ORIGCODE]\n  bc_put HOST 1\n  bc_put CONTACT ag_tac\n  meet rexec\n} else {\n  bc_put LANDED [my_site]\n}",
+        );
+    expect(&config, &[]);
+}
+
+#[test]
+fn a_producer_consumer_pair_audits_clean() {
+    let config = AuditConfig::new()
+        .agent(
+            "producer",
+            "producer.taco",
+            "bc_put ORDERS bread\nbc_push SHIPPED [now]\nreturn ok",
+        )
+        .agent(
+            "consumer",
+            "consumer.taco",
+            "set o [bc_pop ORDERS]\nforeach s [bc_list SHIPPED] { log $s }\nbc_put RECEIPT $o\nhalt done",
+        )
+        .deliver("RECEIPT");
+    expect(&config, &[]);
+}

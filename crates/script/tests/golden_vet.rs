@@ -55,6 +55,7 @@ fn use_before_set_and_branch_joins() {
         "if {[my_site] == 0} {\n    set mode primary\n}\nputs $mode\nset y $never",
         &[
             "t.taco:4:6: warning[possibly-unset]: variable 'mode' may be unset here: it is assigned on only some paths",
+            "t.taco:5:1: warning[unused-variable]: variable 'y' is assigned but never read",
             "t.taco:5:7: error[use-before-set]: variable 'never' is used before it is set",
         ],
     );
@@ -69,12 +70,16 @@ fn use_before_set_and_branch_joins() {
 fn unreachable_and_after_migration() {
     expect(
         "return done\nset dead 1",
-        &["t.taco:2:1: warning[unreachable]: unreachable code after 'return'"],
+        &[
+            "t.taco:2:1: warning[unreachable]: unreachable code after 'return'",
+            "t.taco:2:1: warning[unused-variable]: variable 'dead' is assigned but never read",
+        ],
     );
     expect(
         "move_to 2\nset x 1",
         &[
             "t.taco:2:1: warning[after-move-to]: code after 'move_to' still runs at the departing site before migration; conventionally only 'return' or 'halt' follow it",
+            "t.taco:2:1: warning[unused-variable]: variable 'x' is assigned but never read",
         ],
     );
 }
@@ -95,6 +100,7 @@ fn loops_without_exits() {
         "while {1} { set x 1 }",
         &[
             "t.taco:1:1: warning[no-loop-exit]: loop has no reachable exit: the condition is constant-true and the body cannot break out; it will exhaust the step budget",
+            "t.taco:1:13: warning[unused-variable]: variable 'x' is assigned but never read",
         ],
     );
     // Touching the condition variable, breaking, or halting are all exits.
