@@ -33,6 +33,79 @@ pub fn mail_agent_code() -> &'static str {
     include_str!("mail_agent.taco")
 }
 
+/// Deterministic directory of an AgentMail *population*: millions of users
+/// modeled as rate processes, not resident objects.
+///
+/// The open-arrival experiments (E18/E19) drive mail traffic for user counts
+/// far beyond anything that could be materialised per-user.  The directory
+/// answers the only questions a workload generator needs — where does user
+/// `u` live, and how many users live at site `s` — in `O(1)` from closed
+/// forms, so a six-million-user federation costs sixteen bytes.  Users are
+/// homed round-robin (`u % sites`), which keeps per-site populations exactly
+/// balanced and the arithmetic exact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UserDirectory {
+    users: u64,
+    sites: u32,
+}
+
+impl UserDirectory {
+    /// A directory of `users` users homed round-robin across `sites` sites.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sites` is zero.
+    pub fn new(users: u64, sites: u32) -> Self {
+        assert!(sites > 0, "a user directory needs at least one site");
+        UserDirectory { users, sites }
+    }
+
+    /// Total users in the population.
+    pub fn users(&self) -> u64 {
+        self.users
+    }
+
+    /// Sites the population is spread over.
+    pub fn sites(&self) -> u32 {
+        self.sites
+    }
+
+    /// Home site of user `user`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `user` is outside the population.
+    pub fn home(&self, user: u64) -> SiteId {
+        assert!(user < self.users, "user {user} outside population");
+        SiteId((user % self.sites as u64) as u32)
+    }
+
+    /// Exact number of users homed at `site` — closed form, no enumeration.
+    pub fn population(&self, site: SiteId) -> u64 {
+        if site.0 >= self.sites {
+            return 0;
+        }
+        let base = self.users / self.sites as u64;
+        base + u64::from((site.0 as u64) < self.users % self.sites as u64)
+    }
+
+    /// This site's share of the total population, for splitting an aggregate
+    /// arrival rate into per-site rates.
+    pub fn share(&self, site: SiteId) -> f64 {
+        if self.users == 0 {
+            0.0
+        } else {
+            self.population(site) as f64 / self.users as f64
+        }
+    }
+
+    /// Mailbox folder name for `user` (the per-user folder inside
+    /// [`MAILBOX_CABINET`]).
+    pub fn mailbox_folder(user: u64) -> String {
+        format!("u{user}")
+    }
+}
+
 /// Parameters of the mail experiment.
 #[derive(Debug, Clone)]
 pub struct MailConfig {
@@ -250,5 +323,24 @@ mod tests {
         assert_eq!(mailbox.len(), 1);
         assert!(mailbox[0].contains("find me"));
         assert_eq!(sys.stats().meets_failed, 0);
+    }
+
+    #[test]
+    fn user_directory_populations_sum_exactly() {
+        // Six million users over 7 sites: populations come from arithmetic,
+        // not enumeration, and must cover the base exactly.
+        let dir = UserDirectory::new(6_000_001, 7);
+        let total: u64 = (0..7).map(|s| dir.population(SiteId(s))).sum();
+        assert_eq!(total, dir.users());
+        assert_eq!(dir.population(SiteId(7)), 0, "out-of-range site is empty");
+        // Round-robin homing agrees with the closed-form populations.
+        for u in 0..21 {
+            let home = dir.home(u);
+            assert!(dir.population(home) > 0);
+            assert_eq!(home.0, (u % 7) as u32);
+        }
+        let shares: f64 = (0..7).map(|s| dir.share(SiteId(s))).sum();
+        assert!((shares - 1.0).abs() < 1e-12);
+        assert_eq!(UserDirectory::mailbox_folder(42), "u42");
     }
 }

@@ -23,6 +23,8 @@ pub mod agentmail;
 pub mod audit_manifest;
 pub mod stormcast;
 
-pub use agentmail::{mail_agent_code, run_mail_experiment, MailConfig, MailResult};
+pub use agentmail::{mail_agent_code, run_mail_experiment, MailConfig, MailResult, UserDirectory};
 pub use audit_manifest::load_manifest;
-pub use stormcast::{run_stormcast, StormcastConfig, StormcastPlan, StormcastResult};
+pub use stormcast::{
+    run_stormcast, StormcastConfig, StormcastPlan, StormcastResult, SubscriberModel,
+};

@@ -55,6 +55,97 @@ impl StormcastPlan {
     }
 }
 
+/// Deterministic model of a StormCast *subscriber base*: a population of
+/// warning subscribers spread over regions, modeled as rate processes.
+///
+/// The flash-crowd experiment (E19) needs "every subscriber in the storm
+/// region hits the service at once" without materialising a subscriber
+/// object per person.  Like [`crate::agentmail::UserDirectory`], this is a
+/// closed-form mapping: subscribers are homed round-robin over sites, sites
+/// are grouped into contiguous regions, and the per-region population — the
+/// number that scales a region's arrival rate during a crowd — is exact
+/// arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubscriberModel {
+    subscribers: u64,
+    sites: u32,
+    sites_per_region: u32,
+}
+
+impl SubscriberModel {
+    /// A subscriber base of `subscribers` spread round-robin over `sites`
+    /// sites, grouped into regions of `sites_per_region` consecutive sites
+    /// (the last region may be short).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sites` or `sites_per_region` is zero.
+    pub fn new(subscribers: u64, sites: u32, sites_per_region: u32) -> Self {
+        assert!(sites > 0, "a subscriber model needs at least one site");
+        assert!(sites_per_region > 0, "regions need at least one site");
+        SubscriberModel {
+            subscribers,
+            sites,
+            sites_per_region,
+        }
+    }
+
+    /// Total subscribers.
+    pub fn subscribers(&self) -> u64 {
+        self.subscribers
+    }
+
+    /// Number of regions.
+    pub fn regions(&self) -> u32 {
+        self.sites.div_ceil(self.sites_per_region)
+    }
+
+    /// Home site of subscriber `sub`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sub` is outside the subscriber base.
+    pub fn home(&self, sub: u64) -> SiteId {
+        assert!(sub < self.subscribers, "subscriber {sub} outside base");
+        SiteId((sub % self.sites as u64) as u32)
+    }
+
+    /// Region a site belongs to.
+    pub fn region_of(&self, site: SiteId) -> u32 {
+        site.0 / self.sites_per_region
+    }
+
+    /// The sites of `region`, in order.
+    pub fn region_sites(&self, region: u32) -> impl Iterator<Item = SiteId> + '_ {
+        let first = region * self.sites_per_region;
+        (first..(first + self.sites_per_region).min(self.sites)).map(SiteId)
+    }
+
+    /// Exact number of subscribers homed at `site` — no enumeration.
+    pub fn population(&self, site: SiteId) -> u64 {
+        if site.0 >= self.sites {
+            return 0;
+        }
+        let base = self.subscribers / self.sites as u64;
+        base + u64::from((site.0 as u64) < self.subscribers % self.sites as u64)
+    }
+
+    /// Exact number of subscribers in `region`.
+    pub fn region_population(&self, region: u32) -> u64 {
+        self.region_sites(region).map(|s| self.population(s)).sum()
+    }
+
+    /// The region's share of the total subscriber base — what scales an
+    /// aggregate arrival rate into a regional flash-crowd rate.
+    pub fn region_share(&self, region: u32) -> f64 {
+        if self.subscribers == 0 {
+            0.0
+        } else {
+            self.region_population(region) as f64 / self.subscribers as f64
+        }
+    }
+}
+
 /// Parameters of one StormCast run.
 #[derive(Debug, Clone)]
 pub struct StormcastConfig {
@@ -418,5 +509,23 @@ mod tests {
         let calm = reading_record(SiteId(3), 18, 5.0, 1013.0);
         assert!(!is_suspicious(&calm));
         assert_eq!(r.split(',').count(), 4);
+    }
+
+    #[test]
+    fn subscriber_model_regions_partition_the_base() {
+        // 10 sites in regions of 4 → regions {0..3}, {4..7}, {8,9}.
+        let model = SubscriberModel::new(1_000_003, 10, 4);
+        assert_eq!(model.regions(), 3);
+        assert_eq!(model.region_sites(2).count(), 2, "last region is short");
+        let total: u64 = (0..model.regions())
+            .map(|r| model.region_population(r))
+            .sum();
+        assert_eq!(total, model.subscribers());
+        let shares: f64 = (0..model.regions()).map(|r| model.region_share(r)).sum();
+        assert!((shares - 1.0).abs() < 1e-12);
+        for sub in 0..30 {
+            let home = model.home(sub);
+            assert_eq!(model.region_of(home), home.0 / 4);
+        }
     }
 }

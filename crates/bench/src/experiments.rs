@@ -1,4 +1,4 @@
-//! The E1–E17 experiment drivers and the design-choice ablations.
+//! The E1–E19 experiment drivers and the design-choice ablations.
 
 use crate::runner::RunOpts;
 use crate::table::Table;
@@ -1307,6 +1307,7 @@ fn e15_config(
         mean_job_ms: 1_500.0,
         mean_interarrival_ms: if quick { 4.0 } else { 3.0 },
         capacities: vec![1.0, 2.0, 4.0, 8.0],
+        admission_threshold: None,
         custody: None,
         sim_shards: opts.shards,
         seed: 1515,
@@ -1402,6 +1403,7 @@ fn e16_run(shards: u32, custody: bool, guarded: bool, opts: RunOpts) -> Federati
         mean_job_ms: 60.0,
         mean_interarrival_ms: 30.0,
         capacities: vec![1.0, 2.0, 4.0, 8.0],
+        admission_threshold: None,
         custody: custody.then(|| CustodyConfig {
             capacity: 256,
             ttl: Duration::from_secs(30),
@@ -1623,6 +1625,449 @@ pub fn e17_shard_sweep(opts: RunOpts) -> Table {
             ));
         }
     }
+    table
+}
+
+// ---------------------------------------------------------------------------
+// E18 — open-arrival overload: backpressure and load shedding
+// ---------------------------------------------------------------------------
+
+/// The mailroom: terminal contact for open-arrival mail meets.  The body's
+/// bytes were already charged to the admission server's service time; the
+/// mailroom just accepts delivery (completion is counted by the system).
+struct MailroomAgent;
+impl Agent for MailroomAgent {
+    fn name(&self) -> AgentName {
+        AgentName::new("mailroom")
+    }
+    fn meet(&mut self, _ctx: &mut MeetCtx<'_>, _bc: Briefcase) -> MeetOutcome {
+        Ok(Briefcase::new())
+    }
+}
+
+/// One E18 measurement: an open-arrival mail stream at `multiplier` times
+/// the base rate, delivered through bounded (`bounded = true`) or unbounded
+/// admission queues.
+struct E18Outcome {
+    requested: u64,
+    completed: u64,
+    shed: u64,
+    shed_rate: f64,
+    p99_ms: f64,
+    p999_ms: f64,
+    conserved: bool,
+}
+
+fn e18_run(multiplier: f64, bounded: bool, opts: RunOpts) -> E18Outcome {
+    use tacoma_apps::UserDirectory;
+    use tacoma_net::{Duration as NetDuration, OpenWorkload, RateCurve, SizeDist};
+
+    let sites = 8u32;
+    let horizon = NetDuration::from_secs(if opts.quick { 3 } else { 6 });
+    // Two million mail users as a rate process: the directory answers home
+    // and population queries in O(1); no user objects exist anywhere.
+    let directory = UserDirectory::new(2_000_000, sites);
+    let workload = OpenWorkload {
+        sites,
+        horizon,
+        // ~100/s/site at 1x against ~330/s/site of service capacity; the 4x
+        // point offers ~1.2x capacity at the diurnal peak — genuine overload.
+        curve: RateCurve::diurnal(
+            100.0 * multiplier,
+            vec![0.6, 1.0, 1.4, 1.0],
+            NetDuration::from_secs(2),
+        ),
+        crowds: Vec::new(),
+        sizes: SizeDist::default(),
+        users: directory.users(),
+        seed: 1818,
+    };
+    let admission = AdmissionConfig {
+        capacity: if bounded { 32 } else { usize::MAX },
+        service_floor: Duration::from_millis(2),
+        service_per_kib: Duration::from_millis(1),
+        deadline: if bounded {
+            Some(Duration::from_millis(400))
+        } else {
+            None
+        },
+        janitor_period: Duration::from_millis(50),
+    };
+    let mut sys = TacomaSystem::builder()
+        .topology(Topology::full_mesh(sites, LinkSpec::default()))
+        .seed(1818)
+        .shards(opts.shards)
+        .admission(admission)
+        .with_agents(|_| vec![Box::new(MailroomAgent) as Box<dyn Agent>])
+        .build();
+    for arrival in workload.generate() {
+        // The mail meet executes at the recipient's home site; the recipient
+        // is the user the arrival stream drew from the population.
+        let home = directory.home(arrival.user);
+        let mut bc = Briefcase::new();
+        bc.put_string("TO", UserDirectory::mailbox_folder(arrival.user));
+        let mut body = Folder::new();
+        body.push(vec![b'm'; arrival.bytes as usize]);
+        bc.put("BODY", body);
+        sys.schedule_meet(
+            home,
+            AgentName::new("mailroom"),
+            bc,
+            Duration::from_micros(arrival.at.0),
+        );
+    }
+    sys.run_until_quiescent(50_000_000);
+    let s = sys.stats();
+    let m = sys.net_metrics();
+    E18Outcome {
+        requested: s.meets_requested,
+        completed: s.meets_completed,
+        shed: s.meets_shed,
+        shed_rate: m.shed_rate(),
+        p99_ms: m.admission_waits().percentile(99.0),
+        p999_ms: m.admission_waits().percentile(99.9),
+        conserved: s.meets_requested
+            == s.meets_completed
+                + s.meets_failed
+                + s.send_failures
+                + s.meets_expired
+                + s.meets_shed,
+    }
+}
+
+/// E18: open-arrival overload — a rate ramp to saturation with and without
+/// bounded admission queues.
+///
+/// An AgentMail population (modeled as rate processes, never resident
+/// objects) offers mail at 0.5–4x of the fleet's service capacity under a
+/// diurnal rate curve with heavy-tailed bounded-Pareto bodies.  With bounded
+/// queues and a janitor deadline, the shed rate rises smoothly with offered
+/// load while p99 wait stays bounded; with unbounded queues nothing is shed
+/// and p99 diverges at the saturated point.  Every row's meet conservation
+/// (requested = completed + failed + send-failed + expired + shed) is
+/// asserted by the driver.
+pub fn e18_overload(opts: RunOpts) -> Table {
+    let mut table = Table::new(
+        "E18 — open-arrival overload: backpressure and load shedding",
+        "graceful degradation under open arrivals: bounded admission queues shed load smoothly and keep p99 wait bounded where unbounded queues let it diverge",
+        &[
+            "rate x",
+            "mode",
+            "requested",
+            "completed",
+            "shed",
+            "shed rate",
+            "p99 ms",
+            "p999 ms",
+            "conserved",
+        ],
+    );
+    let multipliers: &[f64] = if opts.quick {
+        &[1.0, 4.0]
+    } else {
+        &[0.5, 1.0, 2.0, 4.0]
+    };
+    let mut top: Vec<(bool, E18Outcome)> = Vec::new();
+    for &multiplier in multipliers {
+        for bounded in [true, false] {
+            let outcome = e18_run(multiplier, bounded, opts);
+            assert!(
+                outcome.conserved,
+                "E18 conservation violated at {multiplier}x bounded={bounded}"
+            );
+            table.row(vec![
+                format!("{multiplier:.1}"),
+                if bounded { "bounded" } else { "unbounded" }.to_string(),
+                outcome.requested.to_string(),
+                outcome.completed.to_string(),
+                outcome.shed.to_string(),
+                format!("{:.3}", outcome.shed_rate),
+                format!("{:.1}", outcome.p99_ms),
+                format!("{:.1}", outcome.p999_ms),
+                outcome.conserved.to_string(),
+            ]);
+            if multiplier == *multipliers.last().unwrap() {
+                top.push((bounded, outcome));
+            }
+        }
+    }
+    // The acceptance bar, checked at the saturated point on every run: with
+    // admission control p99 stays bounded and load is shed; without it the
+    // queue — and p99 — diverges.
+    let bounded = &top.iter().find(|(b, _)| *b).unwrap().1;
+    let unbounded = &top.iter().find(|(b, _)| !*b).unwrap().1;
+    assert!(
+        bounded.shed > 0,
+        "saturation must engage the shed path (shed {})",
+        bounded.shed
+    );
+    assert_eq!(unbounded.shed, 0, "unbounded queues never shed");
+    assert!(
+        bounded.p99_ms * 4.0 < unbounded.p99_ms,
+        "bounded p99 {:.1}ms must stay clearly below the divergent unbounded p99 {:.1}ms",
+        bounded.p99_ms,
+        unbounded.p99_ms
+    );
+    table
+}
+
+// ---------------------------------------------------------------------------
+// E19 — regional flash crowd against the federation
+// ---------------------------------------------------------------------------
+
+/// Relays open-arrival submissions to a shard's broker.  Scheduled meets
+/// carry a `TIMER` folder, which the broker would mistake for its own digest
+/// tick — the relay strips it and ships the submit over the network, which
+/// also charges the client->broker bytes honestly.
+struct CrowdSourceAgent {
+    broker: USiteId,
+}
+impl Agent for CrowdSourceAgent {
+    fn name(&self) -> AgentName {
+        AgentName::new("crowd_source")
+    }
+    fn meet(&mut self, ctx: &mut MeetCtx<'_>, mut bc: Briefcase) -> MeetOutcome {
+        bc.take(wellknown::TIMER);
+        ctx.remote_meet(
+            self.broker,
+            AgentName::new(wellknown::BROKER),
+            bc,
+            TransportKind::Tcp,
+        );
+        Ok(Briefcase::new())
+    }
+}
+
+/// One E19 measurement.
+struct E19Outcome {
+    submitted: u64,
+    completed: u64,
+    shed: u64,
+    forwarded: u64,
+    crowd_p95_ms: f64,
+    calm_p95_ms: f64,
+}
+
+fn e19_run(crowd: bool, admission_threshold: Option<f64>, opts: RunOpts) -> E19Outcome {
+    use tacoma_apps::SubscriberModel;
+    use tacoma_net::{Duration as NetDuration, FlashCrowd, OpenWorkload, RateCurve, SizeDist};
+    use tacoma_sched::agents::{DONE, JOB, JOBS_CABINET, JOB_SIZE, REQUEST};
+    use tacoma_util::Summary;
+
+    let config = FederationConfig {
+        cliques: 8,
+        clique_size: 4,
+        shards: 4,
+        digest_period: Duration::from_millis(200),
+        report_period: Duration::from_millis(100),
+        report_ttl: Duration::from_secs(2),
+        policy: PlacementPolicy::PowerOfTwo,
+        jobs: 0, // all load comes from the open-arrival stream below
+        mean_job_ms: 0.0,
+        mean_interarrival_ms: 0.0,
+        capacities: vec![1.0, 2.0, 4.0, 8.0],
+        admission_threshold,
+        custody: None,
+        sim_shards: opts.shards,
+        seed: 1919,
+    };
+    let (mut sys, layout) = build_federation(&config);
+    let sites_per_shard = (config.cliques / config.shards) * config.clique_size;
+    // Let every monitor's first report land before arrivals start.
+    sys.run_for(Duration::from_millis(200));
+
+    // A million StormCast warning subscribers as a rate process, regions
+    // aligned with the federation's shards.  The flash crowd is region 1's
+    // subscribers hitting the service when the storm warning goes out.
+    let subscribers = SubscriberModel::new(1_000_000, layout.sites, sites_per_shard);
+    let crowd_region = 1u32;
+    let horizon = NetDuration::from_secs(4);
+    let workload = OpenWorkload {
+        sites: layout.sites,
+        horizon,
+        curve: RateCurve::flat(2.0),
+        crowds: if crowd {
+            vec![FlashCrowd {
+                first_site: USiteId(crowd_region * sites_per_shard),
+                sites: sites_per_shard,
+                start: SimTime(1_000_000),
+                duration: NetDuration::from_secs(2),
+                multiplier: 25.0,
+            }]
+        } else {
+            Vec::new()
+        },
+        sizes: SizeDist {
+            alpha: 1.3,
+            min_bytes: 256,
+            max_bytes: 16_384,
+        },
+        users: subscribers.subscribers(),
+        seed: 1919,
+    };
+    for (region, source) in layout.source_sites.iter().enumerate() {
+        sys.register_agent(
+            *source,
+            Box::new(CrowdSourceAgent {
+                broker: layout.broker_sites[region],
+            }),
+        );
+    }
+    let arrivals = workload.generate();
+    let submitted = arrivals.len() as u64;
+    let start = sys.now();
+    for (i, arrival) in arrivals.iter().enumerate() {
+        let region = subscribers.region_of(arrival.site);
+        let mut job = Briefcase::new();
+        job.put_string(REQUEST, "submit");
+        job.put_string(JOB, format!("a{i}"));
+        // Heavy-tailed work: the job's size in ms tracks its payload bytes.
+        job.put_string(JOB_SIZE, (arrival.bytes / 8).max(1).to_string());
+        sys.schedule_meet(
+            layout.source_sites[region as usize],
+            AgentName::new("crowd_source"),
+            job,
+            Duration::from_micros(arrival.at.0),
+        );
+    }
+    // Deadline-driven: monitors re-arm forever, so run to a fixed horizon
+    // (arrival window plus drain allowance) instead of quiescence.
+    sys.run_until(start + horizon + NetDuration::from_secs(8));
+
+    let mut per_region: Vec<Summary> = (0..config.shards).map(|_| Summary::new()).collect();
+    let mut completed = 0u64;
+    for shard in 0..config.shards {
+        for site in &layout.providers_by_shard[shard as usize] {
+            if let Some(done) = sys
+                .place(*site)
+                .cabinets()
+                .get(JOBS_CABINET)
+                .and_then(|c| c.folder_ref(DONE).cloned())
+            {
+                for record in done.strings() {
+                    let wait: u64 = record
+                        .split(':')
+                        .nth(1)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or(0);
+                    completed += 1;
+                    per_region[shard as usize].add(wait as f64 / 1000.0);
+                }
+            }
+        }
+    }
+    let shed: u64 = layout
+        .broker_sites
+        .iter()
+        .map(|b| {
+            sys.place(*b)
+                .cabinets()
+                .get(tacoma_sched::federation::BROKER_CABINET)
+                .and_then(|c| {
+                    c.folder_ref(tacoma_sched::federation::SHED)
+                        .map(|f| f.len() as u64)
+                })
+                .unwrap_or(0)
+        })
+        .sum();
+    let forwarded: u64 = layout
+        .broker_sites
+        .iter()
+        .map(|b| {
+            sys.place(*b)
+                .cabinets()
+                .get(tacoma_sched::federation::BROKER_CABINET)
+                .and_then(|c| {
+                    c.folder_ref(tacoma_sched::federation::FWD)
+                        .map(|f| f.len() as u64)
+                })
+                .unwrap_or(0)
+        })
+        .sum();
+    let calm_p95_ms = (0..config.shards)
+        .filter(|r| *r != crowd_region)
+        .map(|r| per_region[r as usize].percentile(95.0))
+        .fold(0.0f64, f64::max);
+    E19Outcome {
+        submitted,
+        completed,
+        shed,
+        forwarded,
+        crowd_p95_ms: per_region[crowd_region as usize].percentile(95.0),
+        calm_p95_ms,
+    }
+}
+
+/// E19: a regional flash crowd against the federation.
+///
+/// Region 1's StormCast subscribers (a rate process over a million people)
+/// swamp their shard's broker with a 25x submission spike for two seconds.
+/// Without admission control the crowd shard's queues — and its p95 wait —
+/// diverge.  With a digest-driven shed threshold, the saturated broker
+/// forwards overflow only to peers whose digests still show headroom and
+/// sheds the rest, so the crowd shard's p95 stays bounded and the calm
+/// regions stay within tolerance of the no-crowd baseline.
+pub fn e19_flash_crowd(opts: RunOpts) -> Table {
+    let mut table = Table::new(
+        "E19 — regional flash crowd vs federated admission control",
+        "digest-driven shedding confines a regional flash crowd: the crowd shard sheds instead of collapsing and non-crowd regions stay within tolerance",
+        &[
+            "scenario",
+            "submitted",
+            "completed",
+            "shed",
+            "forwarded",
+            "crowd p95 ms",
+            "calm p95 ms",
+        ],
+    );
+    let threshold = Some(1.0);
+    let rows = [
+        ("no crowd, shedding on", false, threshold),
+        ("flash crowd, shedding off", true, None),
+        ("flash crowd, shedding on", true, threshold),
+    ];
+    let mut outcomes = Vec::new();
+    for (label, crowd, admission) in rows {
+        let o = e19_run(crowd, admission, opts);
+        table.row(vec![
+            label.to_string(),
+            o.submitted.to_string(),
+            o.completed.to_string(),
+            o.shed.to_string(),
+            o.forwarded.to_string(),
+            format!("{:.1}", o.crowd_p95_ms),
+            format!("{:.1}", o.calm_p95_ms),
+        ]);
+        outcomes.push(o);
+    }
+    let (baseline, open, gated) = (&outcomes[0], &outcomes[1], &outcomes[2]);
+    assert_eq!(baseline.shed, 0, "no crowd, no shedding");
+    assert_eq!(open.shed, 0, "shedding disabled must shed nothing");
+    assert!(
+        gated.shed > 0,
+        "the crowd must engage the broker shed path: {}",
+        gated.shed
+    );
+    assert!(
+        gated.crowd_p95_ms < open.crowd_p95_ms,
+        "shedding must bound the crowd shard's p95 ({:.1} vs {:.1})",
+        gated.crowd_p95_ms,
+        open.crowd_p95_ms
+    );
+    assert!(
+        gated.calm_p95_ms <= (baseline.calm_p95_ms * 3.0).max(250.0),
+        "calm regions must stay within tolerance of baseline ({:.1} vs {:.1})",
+        gated.calm_p95_ms,
+        baseline.calm_p95_ms
+    );
+    assert!(
+        gated.calm_p95_ms < open.crowd_p95_ms / 3.0,
+        "bounded spill-over to calm regions ({:.1}) must stay far from the \
+         unshed crowd collapse ({:.1})",
+        gated.calm_p95_ms,
+        open.crowd_p95_ms
+    );
     table
 }
 

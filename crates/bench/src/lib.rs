@@ -1,7 +1,7 @@
 //! Experiment drivers for the TACOMA reproduction.
 //!
 //! The paper (a HotOS position paper) contains no numbered tables or figures;
-//! DESIGN.md defines experiments E1–E17, one per measurable claim in the
+//! DESIGN.md defines experiments E1–E19, one per measurable claim in the
 //! text (plus the E11/E12 scale experiments the ROADMAP's north star asks
 //! for, the E13/E14 custody experiments, the E15/E16 broker-federation
 //! experiments, and the E17 sharded event-core sweep).  Each `eN_*` function here runs one experiment and returns a

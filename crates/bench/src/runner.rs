@@ -1,6 +1,6 @@
 //! The parallel experiment runner.
 //!
-//! Every experiment (E1–E17) and ablation (A3/A4; A1/A2 are reserved ids,
+//! Every experiment (E1–E19) and ablation (A3/A4; A1/A2 are reserved ids,
 //! see [`RESERVED_IDS`]) is registered here as an independent [`JobSpec`].
 //! Each job builds and drives its own seeded `SimNet`/`TacomaSystem`, so jobs
 //! share no mutable state and the worker count cannot perturb any measured
@@ -178,6 +178,18 @@ pub fn registry() -> Vec<JobSpec> {
             run: crate::e17_shard_sweep,
         },
         JobSpec {
+            id: "E18",
+            summary: "open-arrival overload: backpressure and load shedding",
+            seed: 1818,
+            run: crate::e18_overload,
+        },
+        JobSpec {
+            id: "E19",
+            summary: "regional flash crowd vs federated admission control",
+            seed: 1919,
+            run: crate::e19_flash_crowd,
+        },
+        JobSpec {
             id: "A3",
             summary: "ablation: rear-guard chain depth",
             seed: 31_001,
@@ -295,7 +307,7 @@ mod tests {
     #[test]
     fn registry_ids_are_unique_and_cover_e1_to_a4() {
         let specs = registry();
-        assert_eq!(specs.len(), 19);
+        assert_eq!(specs.len(), 21);
         let mut ids: Vec<&str> = specs.iter().map(|s| s.id).collect();
         assert_eq!(ids.first(), Some(&"E1"));
         assert_eq!(ids.last(), Some(&"A4"));
@@ -303,9 +315,10 @@ mod tests {
         assert!(ids.contains(&"E13") && ids.contains(&"E14"));
         assert!(ids.contains(&"E15") && ids.contains(&"E16"));
         assert!(ids.contains(&"E17"));
+        assert!(ids.contains(&"E18") && ids.contains(&"E19"));
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 19, "duplicate experiment ids in the registry");
+        assert_eq!(ids.len(), 21, "duplicate experiment ids in the registry");
     }
 
     #[test]
@@ -317,7 +330,7 @@ mod tests {
             .unwrap_err()
             .contains("unknown experiment id"));
         assert!(select(&["a1".into()]).unwrap_err().contains("reserved"));
-        assert_eq!(select(&[]).unwrap().len(), 19);
+        assert_eq!(select(&[]).unwrap().len(), 21);
     }
 
     #[test]

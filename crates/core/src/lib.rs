@@ -64,7 +64,7 @@ pub use cabinet::{CabinetStore, FileCabinet};
 pub use error::TacomaError;
 pub use folder::{Folder, FolderElem};
 pub use place::Place;
-pub use system::{SystemBuilder, SystemStats, TacomaSystem};
+pub use system::{AdmissionConfig, SystemBuilder, SystemStats, TacomaSystem};
 
 /// Convenient glob import for building agents and systems.
 pub mod prelude {
@@ -73,7 +73,7 @@ pub mod prelude {
     pub use crate::cabinet::FileCabinet;
     pub use crate::error::TacomaError;
     pub use crate::folder::Folder;
-    pub use crate::system::{SystemBuilder, TacomaSystem};
+    pub use crate::system::{AdmissionConfig, SystemBuilder, TacomaSystem};
     pub use crate::wellknown;
     pub use tacoma_net::{Duration, SimTime, TransportKind};
     pub use tacoma_util::{AgentId, AgentName, SiteId};

@@ -19,7 +19,7 @@ use crate::codec::{self, MeetRequest};
 use crate::error::TacomaError;
 use crate::place::{DispatchEnv, Place};
 use crate::wellknown;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use tacoma_net::{
     CustodyConfig, Duration, Event, FailurePlan, LinkSpec, NetMetrics, SendOptions, SimNet,
     SimTime, Topology, TransportKind,
@@ -28,6 +28,13 @@ use tacoma_util::{AgentId, AgentIdGen, AgentName, DetRng, SiteId};
 
 /// Message kind used on the wire for meet requests.
 const KIND_MEET: u16 = 1;
+
+/// Timer-key bit marking an admission-service completion (see
+/// [`AdmissionConfig`]); the low bits carry the usual monotone counter.
+const SERVICE_KEY_FLAG: u64 = 1 << 63;
+
+/// Timer key reserved for the janitor sweep tick.
+const JANITOR_KEY: u64 = 1 << 62;
 
 /// A factory that produces the default agents installed at every site (and
 /// re-installed after a recovery).
@@ -54,6 +61,13 @@ pub struct SystemStats {
     /// Custodied meets that expired undelivered (terminal, like a failure,
     /// but attributable to the network rather than the contact agent).
     pub meets_expired: u64,
+    /// Meets shed by a bounded admission queue ([`AdmissionConfig`]): the
+    /// request reached its place but the place pushed back — queue full,
+    /// admission deadline exceeded (janitor sweep), or the site crashed with
+    /// the meet still queued.  A terminal outcome: with admission enabled the
+    /// conservation invariant reads `requested == completed + failed +
+    /// send_failures + expired + shed`.
+    pub meets_shed: u64,
     /// Agents installed across all sites (including recoveries).
     pub agents_installed: u64,
     /// Script agents rejected by the install-time `taco-vet` gate: their CODE
@@ -75,12 +89,84 @@ pub struct SystemStats {
     pub cabinet_flushes: u64,
 }
 
+/// Backpressure configuration: bounded per-place meet admission queues.
+///
+/// Without admission control (the default) a delivered meet request is
+/// dispatched the instant it arrives — fine for closed workloads that drain
+/// to zero, meaningless under open arrivals where offered load can exceed
+/// service capacity indefinitely.  With admission control every place gains:
+///
+/// * a **bounded FIFO admission queue** (`capacity`); a request arriving at a
+///   full queue is *shed* — a terminal outcome counted in
+///   [`SystemStats::meets_shed`] and folded into the meet-conservation
+///   invariant, never silently dropped;
+/// * a **service model**: one meet is dispatched at a time per place, holding
+///   the server for `service_floor + service_per_kib × ⌈encoded size⌉` of
+///   simulated time, so queueing delay is real and p99/p999 waits mean
+///   something;
+/// * a **janitor sweep** every `janitor_period`: entries that have waited
+///   past `deadline` are shed (better a fast no than a useless late yes);
+///   the sweep disarms itself when every queue is empty, so closed runs
+///   still quiesce.
+///
+/// Waits and sheds are recorded in the simulator's
+/// [`tacoma_net::NetMetrics`] (`net.wait_p99_ms`, `net.shed_rate`, …).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdmissionConfig {
+    /// Queue capacity per place; `usize::MAX` models the unbounded queue
+    /// (admission control off, service model still on) E18 uses as its
+    /// divergence baseline.
+    pub capacity: usize,
+    /// Fixed service cost per meet.
+    pub service_floor: Duration,
+    /// Additional service cost per KiB of encoded meet request.
+    pub service_per_kib: Duration,
+    /// Janitor deadline: queued entries older than this are shed by the next
+    /// sweep.  `None` disables deadline shedding.
+    pub deadline: Option<Duration>,
+    /// Janitor sweep period.
+    pub janitor_period: Duration,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            capacity: 64,
+            service_floor: Duration::from_micros(500),
+            service_per_kib: Duration::from_micros(250),
+            deadline: Some(Duration::from_millis(500)),
+            janitor_period: Duration::from_millis(100),
+        }
+    }
+}
+
+impl AdmissionConfig {
+    /// The same service model with the queue bound (and deadline) removed:
+    /// the "no admission control" arm of an overload experiment.
+    pub fn unbounded(mut self) -> Self {
+        self.capacity = usize::MAX;
+        self.deadline = None;
+        self
+    }
+
+    /// Service time for an encoded request of `bytes` bytes.
+    pub fn service_time(&self, bytes: u64) -> Duration {
+        let kib = bytes.div_ceil(1024);
+        Duration::from_micros(
+            self.service_floor
+                .micros()
+                .saturating_add(self.service_per_kib.micros().saturating_mul(kib)),
+        )
+    }
+}
+
 /// Builder for [`TacomaSystem`].
 pub struct SystemBuilder {
     topology: Topology,
     seed: u64,
     default_transport: TransportKind,
     custody: Option<CustodyConfig>,
+    admission: Option<AdmissionConfig>,
     factories: Vec<AgentFactory>,
     vet_scripts: bool,
     audit_fleet: Option<tacoma_script::AuditConfig>,
@@ -95,6 +181,7 @@ impl SystemBuilder {
             seed: 0,
             default_transport: TransportKind::Tcp,
             custody: None,
+            admission: None,
             factories: Vec::new(),
             vet_scripts: true,
             audit_fleet: None,
@@ -126,6 +213,15 @@ impl SystemBuilder {
     /// Without this, such sends fail fast and count as `send_failures`.
     pub fn custody(mut self, config: CustodyConfig) -> Self {
         self.custody = Some(config);
+        self
+    }
+
+    /// Enables bounded admission queues, load shedding, and the janitor
+    /// sweep at every place (see [`AdmissionConfig`]).  Off by default, so
+    /// closed workloads keep their exact historical behaviour: a delivered
+    /// meet dispatches the instant it arrives and nothing is ever shed.
+    pub fn admission(mut self, config: AdmissionConfig) -> Self {
+        self.admission = Some(config);
         self
     }
 
@@ -233,6 +329,10 @@ impl SystemBuilder {
             stable: vec![BTreeMap::new(); site_count as usize],
             pending_timers: BTreeMap::new(),
             next_timer_key: 1,
+            admission: self.admission,
+            admission_queues: vec![VecDeque::new(); site_count as usize],
+            in_service: vec![None; site_count as usize],
+            janitor_armed: false,
             default_transport: self.default_transport,
             vet_scripts: self.vet_scripts,
             audit_fleet: {
@@ -272,6 +372,17 @@ pub struct TacomaSystem {
     /// Timer key → (site, contact, briefcase) for scheduled meets.
     pending_timers: BTreeMap<u64, (SiteId, AgentName, Briefcase)>,
     next_timer_key: u64,
+    /// Backpressure configuration; `None` means meets dispatch on arrival.
+    admission: Option<AdmissionConfig>,
+    /// Per-site bounded FIFO admission queues: (enqueue time, request).
+    /// Unused (all empty) when `admission` is `None`.
+    admission_queues: Vec<VecDeque<(SimTime, MeetRequest)>>,
+    /// Per-site request currently holding the server, keyed by its service
+    /// timer so a stale completion (site crashed and its slot was cleared)
+    /// is detected and ignored.
+    in_service: Vec<Option<(u64, MeetRequest)>>,
+    /// Whether a janitor sweep timer is currently scheduled.
+    janitor_armed: bool,
     default_transport: TransportKind,
     /// Whether entry-point meets carrying a CODE folder are statically vetted.
     vet_scripts: bool,
@@ -514,7 +625,7 @@ impl TacomaSystem {
                 }
                 match codec::decode_meet_request(&msg.payload) {
                     Ok(req) => {
-                        self.execute_meet(msg.to, req);
+                        self.deliver_meet(msg.to, req);
                     }
                     Err(e) => {
                         self.trace.push(format!(
@@ -527,6 +638,14 @@ impl TacomaSystem {
                 }
             }
             Event::Timer { site, key } => {
+                if key & SERVICE_KEY_FLAG != 0 {
+                    self.finish_service(site, key);
+                    return;
+                }
+                if key == JANITOR_KEY {
+                    self.janitor_sweep();
+                    return;
+                }
                 if let Some((timer_site, contact, mut briefcase)) = self.pending_timers.remove(&key)
                 {
                     debug_assert_eq!(site, timer_site);
@@ -539,7 +658,7 @@ impl TacomaSystem {
                         origin: site,
                         briefcase,
                     };
-                    self.execute_meet(site, req);
+                    self.deliver_meet(site, req);
                 }
             }
             Event::MessageExpired(exp) => {
@@ -556,6 +675,20 @@ impl TacomaSystem {
             Event::SiteCrashed(site) => {
                 self.stats.crashes += 1;
                 self.places[site.index()].crash();
+                // A crash takes the admission queue down with the place:
+                // everything queued or in service there is terminally shed
+                // (the service-completion timer for the in-service entry dies
+                // with the site inside the simulator, so only the slot needs
+                // clearing here).
+                let dropped = self.admission_queues[site.index()].len() as u64
+                    + u64::from(self.in_service[site.index()].take().is_some());
+                self.admission_queues[site.index()].clear();
+                if dropped > 0 {
+                    self.stats.meets_shed += dropped;
+                    for _ in 0..dropped {
+                        self.net.metrics_mut().record_shed();
+                    }
+                }
                 self.trace
                     .push(format!("[{}] {site} crashed", self.net.now()));
             }
@@ -565,6 +698,156 @@ impl TacomaSystem {
                 self.trace
                     .push(format!("[{}] {site} recovered", self.net.now()));
             }
+        }
+    }
+
+    /// Schedules a meet with `contact` at `site` to be requested after
+    /// `delay` of simulated time, as an open-arrival workload driver would.
+    ///
+    /// Unlike [`TacomaSystem::inject_meet`], which enqueues the request as a
+    /// zero-latency local message *now*, this arms a kernel timer: the meet
+    /// counts toward `meets_requested` only when the timer fires, so an
+    /// entire arrival trace can be pre-loaded up front and still replay
+    /// identically at any `--jobs`/`--shards` setting.  The briefcase gains a
+    /// `TIMER` folder carrying the timer key, like any scheduled meet.
+    pub fn schedule_meet(
+        &mut self,
+        site: SiteId,
+        contact: AgentName,
+        briefcase: Briefcase,
+        delay: Duration,
+    ) {
+        let key = self.next_timer_key;
+        self.next_timer_key += 1;
+        self.pending_timers.insert(key, (site, contact, briefcase));
+        self.net.schedule_timer(site, delay, key);
+    }
+
+    /// Routes a delivered meet request through admission control when it is
+    /// enabled, or straight to dispatch when it is not.
+    fn deliver_meet(&mut self, site: SiteId, req: MeetRequest) {
+        if self.admission.is_some() {
+            self.admit_meet(site, req);
+        } else {
+            self.execute_meet(site, req);
+        }
+    }
+
+    /// Admission control: enqueue the request at `site`, or shed it if the
+    /// bounded queue is full.  Shedding is a terminal outcome — it is counted
+    /// in [`SystemStats::meets_shed`] and the simulator's metrics, keeping
+    /// the meet-conservation invariant exact.
+    fn admit_meet(&mut self, site: SiteId, req: MeetRequest) {
+        let config = self
+            .admission
+            .expect("admit_meet requires admission config");
+        let queue = &mut self.admission_queues[site.index()];
+        if queue.len() >= config.capacity {
+            self.stats.meets_shed += 1;
+            self.net.metrics_mut().record_shed();
+            self.trace.push(format!(
+                "[{}] shed meet with {} at {site}: admission queue full ({})",
+                self.net.now(),
+                req.contact,
+                config.capacity
+            ));
+            return;
+        }
+        let now = self.net.now();
+        queue.push_back((now, req));
+        self.arm_janitor();
+        self.maybe_start_service(site);
+    }
+
+    /// Starts serving the next queued request at `site` if the server there
+    /// is idle: records the admission wait, charges the size-dependent
+    /// service time, and arms the completion timer.
+    fn maybe_start_service(&mut self, site: SiteId) {
+        if self.in_service[site.index()].is_some() {
+            return;
+        }
+        let Some((enqueued_at, req)) = self.admission_queues[site.index()].pop_front() else {
+            return;
+        };
+        let config = self.admission.expect("service requires admission config");
+        let now = self.net.now();
+        let wait_ms = now.since(enqueued_at).as_millis_f64();
+        let depth = self.admission_queues[site.index()].len() as u64 + 1;
+        let bytes = codec::encode_meet_request(&req).len() as u64;
+        self.net.metrics_mut().record_admission(wait_ms, depth);
+        let service = config.service_time(bytes);
+        let key = SERVICE_KEY_FLAG | self.next_timer_key;
+        self.next_timer_key += 1;
+        self.in_service[site.index()] = Some((key, req));
+        self.net.schedule_timer(site, service, key);
+    }
+
+    /// Service completion: dispatch the meet that held the server at `site`
+    /// and pull the next one off the queue.  A stale key (the site crashed
+    /// and its slot was cleared, then recovered before the timer popped) is
+    /// ignored.
+    fn finish_service(&mut self, site: SiteId, key: u64) {
+        match self.in_service[site.index()] {
+            Some((stored, _)) if stored == key => {}
+            _ => return,
+        }
+        let (_, req) = self.in_service[site.index()].take().expect("checked above");
+        self.execute_meet(site, req);
+        self.maybe_start_service(site);
+    }
+
+    /// Arms the janitor sweep timer if admission control has a deadline and
+    /// no sweep is already scheduled.  The janitor timer is anchored at site
+    /// 0 purely as an event-queue address; the sweep itself walks every
+    /// site's queue.
+    fn arm_janitor(&mut self) {
+        if self.janitor_armed {
+            return;
+        }
+        let Some(config) = self.admission else {
+            return;
+        };
+        if config.deadline.is_none() {
+            return;
+        }
+        self.janitor_armed = true;
+        self.net
+            .schedule_timer(SiteId(0), config.janitor_period, JANITOR_KEY);
+    }
+
+    /// Periodic janitor sweep: sheds queued entries whose wait has passed the
+    /// admission deadline (the queues are FIFO, so expired entries are always
+    /// at the front), then re-arms itself only while work remains — an idle
+    /// system quiesces with no standing timer.
+    fn janitor_sweep(&mut self) {
+        self.janitor_armed = false;
+        let Some(config) = self.admission else {
+            return;
+        };
+        let Some(deadline) = config.deadline else {
+            return;
+        };
+        let now = self.net.now();
+        let mut swept: u64 = 0;
+        for queue in &mut self.admission_queues {
+            while let Some((enqueued_at, _)) = queue.front() {
+                if now.since(*enqueued_at) < deadline {
+                    break;
+                }
+                queue.pop_front();
+                swept += 1;
+            }
+        }
+        self.stats.meets_shed += swept;
+        self.net.metrics_mut().record_janitor_sweep(swept);
+        if swept > 0 {
+            self.trace
+                .push(format!("[{now}] janitor shed {swept} expired meet(s)"));
+        }
+        let busy = self.admission_queues.iter().any(|q| !q.is_empty())
+            || self.in_service.iter().any(|s| s.is_some());
+        if busy {
+            self.arm_janitor();
         }
     }
 
@@ -1329,5 +1612,151 @@ mod tests {
                 "wellknown agent '{agent}' missing from the audit model"
             );
         }
+    }
+
+    /// Conservation with the shed bucket: every requested meet lands in
+    /// exactly one terminal outcome.
+    fn assert_conserved(s: &SystemStats) {
+        assert_eq!(
+            s.meets_requested,
+            s.meets_completed + s.meets_failed + s.send_failures + s.meets_expired + s.meets_shed,
+            "meet conservation violated: {s:?}"
+        );
+    }
+
+    fn admission_system(config: AdmissionConfig) -> TacomaSystem {
+        TacomaSystem::builder()
+            .topology(Topology::full_mesh(2, LinkSpec::default()))
+            .seed(7)
+            .admission(config)
+            .with_agents(|_| vec![Box::new(Pinger)])
+            .build()
+    }
+
+    #[test]
+    fn admission_overflow_sheds_and_conserves() {
+        // Queue of 2 with slow service: a burst of 10 can hold at most one
+        // in service plus two queued at its peak, so most of the burst sheds.
+        let mut sys = admission_system(AdmissionConfig {
+            capacity: 2,
+            service_floor: Duration::from_millis(50),
+            service_per_kib: Duration::from_micros(0),
+            deadline: None,
+            janitor_period: Duration::from_millis(100),
+        });
+        for _ in 0..10 {
+            sys.inject_meet(SiteId(0), AgentName::new("pinger"), Briefcase::new());
+        }
+        sys.run_until_quiescent(10_000);
+        let s = sys.stats();
+        assert_eq!(s.meets_requested, 10);
+        assert!(s.meets_shed >= 7, "expected most of the burst shed: {s:?}");
+        assert!(s.meets_completed >= 1, "the served head must complete");
+        assert_conserved(&s);
+        let m = sys.net_metrics();
+        assert_eq!(m.shed_meets(), s.meets_shed);
+        assert_eq!(m.admitted_meets(), s.meets_completed);
+        assert!(m.shed_rate() > 0.5);
+        assert!(m.admission_queue_peak() >= 2);
+    }
+
+    #[test]
+    fn admission_unbounded_never_sheds() {
+        let mut sys = admission_system(
+            AdmissionConfig {
+                capacity: 2,
+                service_floor: Duration::from_millis(5),
+                service_per_kib: Duration::from_micros(0),
+                deadline: Some(Duration::from_millis(1)),
+                janitor_period: Duration::from_millis(1),
+            }
+            .unbounded(),
+        );
+        for _ in 0..20 {
+            sys.inject_meet(SiteId(0), AgentName::new("pinger"), Briefcase::new());
+        }
+        sys.run_until_quiescent(10_000);
+        let s = sys.stats();
+        assert_eq!(s.meets_shed, 0, "unbounded admission must not shed");
+        assert_eq!(s.meets_completed, 20);
+        assert_conserved(&s);
+        // Queueing delay is real: later arrivals waited behind ~95ms of
+        // service, which the wait summary must reflect.
+        assert!(sys.net_metrics().admission_waits().max() >= 90.0);
+    }
+
+    #[test]
+    fn janitor_sheds_expired_entries_and_quiesces() {
+        // Slow service with a short deadline: everything behind the head of
+        // the queue goes stale and the janitor sweeps it.
+        let mut sys = admission_system(AdmissionConfig {
+            capacity: usize::MAX,
+            service_floor: Duration::from_millis(50),
+            service_per_kib: Duration::from_micros(0),
+            deadline: Some(Duration::from_millis(10)),
+            janitor_period: Duration::from_millis(5),
+        });
+        for _ in 0..6 {
+            sys.inject_meet(SiteId(0), AgentName::new("pinger"), Briefcase::new());
+        }
+        let processed = sys.run_until_quiescent(10_000);
+        assert!(
+            processed < 10_000,
+            "janitor must disarm and let the run drain"
+        );
+        let s = sys.stats();
+        let m = sys.net_metrics();
+        assert!(m.janitor_sweeps() > 0, "janitor never ran");
+        assert!(m.janitor_shed() > 0, "janitor never shed: {s:?}");
+        assert_eq!(
+            m.janitor_shed() + (m.shed_meets() - m.janitor_shed()),
+            s.meets_shed
+        );
+        assert!(s.meets_completed >= 1);
+        assert_conserved(&s);
+    }
+
+    #[test]
+    fn scheduled_meets_flow_through_admission() {
+        let mut sys = admission_system(AdmissionConfig::default());
+        for i in 0..4u64 {
+            sys.schedule_meet(
+                SiteId(1),
+                AgentName::new("pinger"),
+                Briefcase::new(),
+                Duration::from_millis(i),
+            );
+        }
+        sys.run_until_quiescent(10_000);
+        let s = sys.stats();
+        assert_eq!(s.timer_meets, 4);
+        assert_eq!(s.meets_requested, 4);
+        assert_eq!(s.meets_completed, 4);
+        assert_conserved(&s);
+        assert_eq!(sys.net_metrics().admitted_meets(), 4);
+    }
+
+    #[test]
+    fn crash_sheds_queued_admissions() {
+        let mut sys = admission_system(AdmissionConfig {
+            capacity: usize::MAX,
+            service_floor: Duration::from_millis(50),
+            service_per_kib: Duration::from_micros(0),
+            deadline: None,
+            janitor_period: Duration::from_millis(100),
+        });
+        for _ in 0..5 {
+            sys.inject_meet(SiteId(0), AgentName::new("pinger"), Briefcase::new());
+        }
+        // Let the burst land in the queue, then take the site down mid-queue
+        // (the crash is a scheduled event so it flows through the loop).
+        sys.apply_failure_plan(&FailurePlan::none().crash(SiteId(0), SimTime(5_000)));
+        sys.run_until_quiescent(10_000);
+        let s = sys.stats();
+        assert!(
+            s.meets_shed >= 4,
+            "queued and in-service meets must shed: {s:?}"
+        );
+        assert_conserved(&s);
     }
 }

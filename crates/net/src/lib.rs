@@ -38,6 +38,10 @@
 //! * [`parallel`] — the sharded discrete-event engine (experiment E17): one
 //!   calendar queue per clique shard, windowed conservative synchronization,
 //!   and byte-identical outcomes at any shard count.
+//! * [`workload`] — open-arrival workload generation (experiments E18/E19):
+//!   deterministic per-site arrival streams with heavy-tailed bounded-Pareto
+//!   sizes, diurnal rate curves and regional flash crowds; users are modeled
+//!   as rate processes, not resident objects.
 
 #![warn(missing_docs)]
 
@@ -53,6 +57,7 @@ pub mod sim;
 pub mod time;
 pub mod topology;
 pub mod transport;
+pub mod workload;
 
 pub use calendar::CalendarQueue;
 pub use custody::CustodyConfig;
@@ -65,5 +70,6 @@ pub use sim::{DeliveredMessage, Event, ExpiredMessage, MessageId, NetError, Send
 pub use time::{Duration, SimTime};
 pub use topology::{LinkSpec, Topology, TopologyKind};
 pub use transport::{Transport, TransportKind};
+pub use workload::{Arrival, FlashCrowd, OpenWorkload, RateCurve, SizeDist};
 
 pub use tacoma_util::SiteId;

@@ -7,7 +7,7 @@
 
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
-use tacoma_util::{ByteCount, MetricValue, SiteId};
+use tacoma_util::{ByteCount, MetricValue, SiteId, Summary};
 
 /// Byte and message counters for a whole simulation run.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
@@ -23,6 +23,12 @@ pub struct NetMetrics {
     custody_rejected: u64,
     custody_stored_bytes: u64,
     custody_peak_bytes: u64,
+    admitted_meets: u64,
+    shed_meets: u64,
+    janitor_sweeps: u64,
+    janitor_shed: u64,
+    admission_queue_peak: u64,
+    admission_waits: Summary,
     per_link_bytes: BTreeMap<(SiteId, SiteId), ByteCount>,
     per_site_sent: BTreeMap<SiteId, u64>,
     per_site_received: BTreeMap<SiteId, u64>,
@@ -88,6 +94,72 @@ impl NetMetrics {
     /// custodian's queue was full.
     pub fn record_custody_rejection(&mut self) {
         self.custody_rejected += 1;
+    }
+
+    /// Records a meet admitted through a bounded admission queue, with the
+    /// time it waited in the queue before service started (milliseconds).
+    pub fn record_admission(&mut self, wait_ms: f64, queue_depth: u64) {
+        self.admitted_meets += 1;
+        self.admission_waits.add(wait_ms);
+        self.admission_queue_peak = self.admission_queue_peak.max(queue_depth);
+    }
+
+    /// Records a meet shed at admission: the queue was full (or the site
+    /// died with the meet still queued), so the meet terminated in the
+    /// `Shed` bucket instead of ever being dispatched.
+    pub fn record_shed(&mut self) {
+        self.shed_meets += 1;
+    }
+
+    /// Records one janitor sweep that shed `swept` queue entries past their
+    /// admission deadline.  Swept entries are shed, so they also count in
+    /// [`NetMetrics::shed_meets`].
+    pub fn record_janitor_sweep(&mut self, swept: u64) {
+        self.janitor_sweeps += 1;
+        self.janitor_shed += swept;
+        self.shed_meets += swept;
+    }
+
+    /// Meets admitted through a bounded admission queue.
+    pub fn admitted_meets(&self) -> u64 {
+        self.admitted_meets
+    }
+
+    /// Meets shed at admission (queue overflow, janitor deadline, or a crash
+    /// that destroyed a non-empty queue).
+    pub fn shed_meets(&self) -> u64 {
+        self.shed_meets
+    }
+
+    /// Janitor sweeps performed.
+    pub fn janitor_sweeps(&self) -> u64 {
+        self.janitor_sweeps
+    }
+
+    /// Queue entries the janitor shed for overstaying the admission deadline.
+    pub fn janitor_shed(&self) -> u64 {
+        self.janitor_shed
+    }
+
+    /// Deepest admission queue observed at any site.
+    pub fn admission_queue_peak(&self) -> u64 {
+        self.admission_queue_peak
+    }
+
+    /// The admission-wait distribution (milliseconds queued before service).
+    pub fn admission_waits(&self) -> &Summary {
+        &self.admission_waits
+    }
+
+    /// Shed fraction of everything that reached an admission queue:
+    /// `shed / (admitted + shed)`, 0 when no admission traffic was recorded.
+    pub fn shed_rate(&self) -> f64 {
+        let total = self.admitted_meets + self.shed_meets;
+        if total == 0 {
+            0.0
+        } else {
+            self.shed_meets as f64 / total as f64
+        }
     }
 
     /// Total bytes moved across all links (counted per hop).
@@ -222,6 +294,20 @@ impl NetMetrics {
                 "net.custody_peak_bytes".into(),
                 MetricValue::Count(self.custody_peak_bytes),
             ),
+            (
+                "net.admitted_meets".into(),
+                MetricValue::Count(self.admitted_meets),
+            ),
+            ("net.shed_meets".into(), MetricValue::Count(self.shed_meets)),
+            ("net.shed_rate".into(), MetricValue::Float(self.shed_rate())),
+            (
+                "net.wait_p99_ms".into(),
+                MetricValue::Float(self.admission_waits.percentile(99.0)),
+            ),
+            (
+                "net.wait_p999_ms".into(),
+                MetricValue::Float(self.admission_waits.percentile(99.9)),
+            ),
         ]
     }
 }
@@ -292,10 +378,42 @@ mod tests {
                 "net.custody_expired",
                 "net.custody_rejected",
                 "net.custody_peak_bytes",
+                "net.admitted_meets",
+                "net.shed_meets",
+                "net.shed_rate",
+                "net.wait_p99_ms",
+                "net.wait_p999_ms",
             ]
         );
         assert_eq!(exported[0].1, MetricValue::Count(64));
         assert_eq!(exported[3].1, MetricValue::Count(1));
+    }
+
+    #[test]
+    fn admission_counters_track_sheds_waits_and_rate() {
+        let mut m = NetMetrics::new();
+        assert_eq!(m.shed_rate(), 0.0, "no traffic, no rate");
+        m.record_admission(1.0, 3);
+        m.record_admission(9.0, 7);
+        m.record_shed();
+        assert_eq!(m.admitted_meets(), 2);
+        assert_eq!(m.shed_meets(), 1);
+        assert_eq!(m.admission_queue_peak(), 7);
+        assert!((m.shed_rate() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(m.admission_waits().count(), 2);
+        m.record_janitor_sweep(4);
+        assert_eq!(m.janitor_sweeps(), 1);
+        assert_eq!(m.janitor_shed(), 4);
+        assert_eq!(m.shed_meets(), 5, "janitor sheds count as sheds");
+        let exported = m.export();
+        let shed = exported
+            .iter()
+            .find(|(k, _)| k == "net.shed_meets")
+            .unwrap();
+        assert_eq!(shed.1, MetricValue::Count(5));
+        m.reset();
+        assert_eq!(m.admitted_meets(), 0);
+        assert_eq!(m.admission_waits().count(), 0);
     }
 
     #[test]

@@ -419,6 +419,13 @@ impl SimNet {
         &self.metrics
     }
 
+    /// Mutable access to the counters, for layers above the simulator that
+    /// account their own terminal outcomes here (the kernel's admission
+    /// queues record sheds and waits so one export carries the whole story).
+    pub fn metrics_mut(&mut self) -> &mut NetMetrics {
+        &mut self.metrics
+    }
+
     /// Resets the byte/message counters and the routing-work counters (the
     /// clock keeps running and cached routes stay valid).
     pub fn reset_metrics(&mut self) {

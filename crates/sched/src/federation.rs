@@ -53,6 +53,9 @@ pub const DIG_TX: &str = "DIG_TX";
 pub const DIG_RX: &str = "DIG_RX";
 /// Folder with one element per shard adoption performed.
 pub const ADOPTED: &str = "ADOPTED";
+/// Folder with one element per submission shed by broker admission control
+/// (the local shard and every under-threshold peer were saturated).
+pub const SHED: &str = "SHED";
 /// Well-known name of the federated job source agent.
 pub const FED_SOURCE: &str = "fed_source";
 
@@ -131,6 +134,10 @@ pub struct FederatedBrokerAgent {
     rr_counter: u64,
     jobs_placed: u64,
     jobs_forwarded: u64,
+    /// Aggregate-wait threshold for digest-driven load shedding; `None`
+    /// disables broker admission control.
+    shed_threshold: Option<f64>,
+    jobs_shed: u64,
 }
 
 impl FederatedBrokerAgent {
@@ -154,7 +161,20 @@ impl FederatedBrokerAgent {
             rr_counter: 0,
             jobs_placed: 0,
             jobs_forwarded: 0,
+            shed_threshold: None,
+            jobs_shed: 0,
         }
+    }
+
+    /// Enables broker admission control: when this broker's own shard digest
+    /// shows an aggregate wait above `threshold` *and* no peer digest is
+    /// under it, new submissions are shed (refused and recorded in the
+    /// [`SHED`] folder) instead of being queued into a saturated federation.
+    /// A saturated broker with an under-threshold peer forwards there
+    /// instead — the digest-driven half of power-of-two placement.
+    pub fn shed_threshold(mut self, threshold: Option<f64>) -> Self {
+        self.shed_threshold = threshold;
+        self
     }
 
     /// Jobs this broker placed onto its own shard.
@@ -165,6 +185,30 @@ impl FederatedBrokerAgent {
     /// Jobs this broker forwarded to a peer.
     pub fn jobs_forwarded(&self) -> u64 {
         self.jobs_forwarded
+    }
+
+    /// Jobs this broker shed at admission.
+    pub fn jobs_shed(&self) -> u64 {
+        self.jobs_shed
+    }
+
+    /// The best (lowest) aggregate wait any usable peer digest reports, with
+    /// the site advertising it.  `None` when no digest is usable.
+    fn best_peer_wait(&self, now: u64, ctx: &MeetCtx<'_>) -> Option<(SiteId, f64)> {
+        let ttl = self.reports.report_ttl().micros();
+        self.digests
+            .values()
+            .filter(|d| {
+                d.live_providers > 0
+                    && now.saturating_sub(d.at_micros) <= ttl
+                    && ctx.site_is_up(d.broker_site)
+            })
+            .min_by(|a, b| {
+                a.aggregate_wait()
+                    .total_cmp(&b.aggregate_wait())
+                    .then(a.shard.cmp(&b.shard))
+            })
+            .map(|d| (d.broker_site, d.aggregate_wait()))
     }
 
     fn digest(&self, now: u64, ctx: &MeetCtx<'_>) -> ShardDigest {
@@ -282,6 +326,44 @@ impl Agent for FederatedBrokerAgent {
             }
             "lookup" | "submit" => {
                 let now = ctx.now().micros();
+                if request == "submit" {
+                    if let Some(threshold) = self.shed_threshold {
+                        let local_wait = self.digest(now, ctx).aggregate_wait();
+                        if local_wait > threshold {
+                            // Saturated here.  A peer advertising headroom
+                            // absorbs the overflow (forward once); with none,
+                            // the job is shed at admission — a fast explicit
+                            // no instead of a queue that only grows.
+                            if !bc.contains(FORWARDED) {
+                                if let Some((peer, wait)) = self.best_peer_wait(now, ctx) {
+                                    if wait <= threshold {
+                                        self.jobs_forwarded += 1;
+                                        let job = bc.peek_string(JOB).unwrap_or_default();
+                                        ctx.cabinet(BROKER_CABINET).append_str(FWD, &job);
+                                        bc.put_string(FORWARDED, "1");
+                                        let mut reply = Briefcase::new();
+                                        reply.put_string(PROVIDER, format!("forwarded:{peer}"));
+                                        ctx.remote_meet(
+                                            peer,
+                                            AgentName::new(wellknown::BROKER),
+                                            bc,
+                                            TransportKind::Tcp,
+                                        );
+                                        return Ok(reply);
+                                    }
+                                }
+                            }
+                            self.jobs_shed += 1;
+                            let job = bc.peek_string(JOB).unwrap_or_default();
+                            ctx.cabinet(BROKER_CABINET).append_str(SHED, &job);
+                            return Err(TacomaError::Refused(format!(
+                                "shard {} shed '{job}': aggregate wait {local_wait:.2} over \
+                                 threshold {threshold:.2} with no peer headroom",
+                                self.shard
+                            )));
+                        }
+                    }
+                }
                 let reports = self.reports.fresh(now, |s| ctx.site_is_up(s));
                 let mut chosen = self.policy.choose(
                     &reports,
@@ -471,6 +553,12 @@ pub struct FederationConfig {
     pub mean_interarrival_ms: f64,
     /// Provider capacities, cycled over provider sites.
     pub capacities: Vec<f64>,
+    /// Aggregate-wait threshold for broker admission control: a broker whose
+    /// own shard digest shows a higher aggregate wait forwards new submits
+    /// to an under-threshold peer, or sheds them when no peer has headroom
+    /// (recorded in the [`SHED`] folder).  `None` disables shedding — the
+    /// historical behaviour, where overload just queues.
+    pub admission_threshold: Option<f64>,
     /// Store-and-forward custody configuration, when enabled (E16's failover
     /// runs park in-flight submissions across the broker outage).
     pub custody: Option<CustodyConfig>,
@@ -495,6 +583,7 @@ impl Default for FederationConfig {
             mean_job_ms: 60.0,
             mean_interarrival_ms: 10.0,
             capacities: vec![1.0, 2.0, 4.0, 8.0],
+            admission_threshold: None,
             custody: None,
             sim_shards: 1,
             seed: 1515,
@@ -559,19 +648,22 @@ pub fn build_federation(config: &FederationConfig) -> (TacomaSystem, FederationL
         .with_agents_at(broker_sites.clone(), move |site| {
             let shard = (site.0 / clique_size) / cliques_per_shard;
             vec![
-                Box::new(FederatedBrokerAgent::new(
-                    shard,
-                    brokers
-                        .iter()
-                        .enumerate()
-                        .filter(|(b, _)| *b as u32 != shard)
-                        .map(|(b, s)| (b as u32, *s))
-                        .collect(),
-                    cfg.policy,
-                    cfg.report_ttl,
-                    cfg.report_period,
-                    cfg.digest_period,
-                )) as Box<dyn Agent>,
+                Box::new(
+                    FederatedBrokerAgent::new(
+                        shard,
+                        brokers
+                            .iter()
+                            .enumerate()
+                            .filter(|(b, _)| *b as u32 != shard)
+                            .map(|(b, s)| (b as u32, *s))
+                            .collect(),
+                        cfg.policy,
+                        cfg.report_ttl,
+                        cfg.report_period,
+                        cfg.digest_period,
+                    )
+                    .shed_threshold(cfg.admission_threshold),
+                ) as Box<dyn Agent>,
                 Box::new(TicketAgent::new()) as Box<dyn Agent>,
             ]
         });
@@ -670,6 +762,8 @@ pub struct FederationResult {
     pub digests_sent: u64,
     /// Shard adoptions performed by failover guards.
     pub adoptions: u64,
+    /// Submissions shed by broker admission control.
+    pub shed: u64,
     /// Remote sends that failed fast.
     pub send_failures: u64,
     /// Custodied meets that expired undelivered.
@@ -757,6 +851,7 @@ pub fn drive_federation(
         forwarded: broker_folder_len(sys, FWD),
         digests_sent: broker_folder_len(sys, DIG_TX),
         adoptions: broker_folder_len(sys, ADOPTED),
+        shed: broker_folder_len(sys, SHED),
         send_failures: sys.stats().send_failures,
         meets_expired: sys.stats().meets_expired,
     }
@@ -895,5 +990,44 @@ mod tests {
             .and_then(|c| c.folder_ref(FWD).map(|f| f.len()))
             .unwrap_or(0);
         assert_eq!(fwd, 1, "the forward was recorded");
+    }
+
+    #[test]
+    fn saturated_federation_sheds_at_admission() {
+        // An aggressive threshold with a heavy burst: every shard's digest
+        // reports saturation, so late submits are shed — recorded in the
+        // SHED folder instead of queueing without bound.
+        let mut config = small(2);
+        config.jobs = 96;
+        config.mean_job_ms = 400.0;
+        config.mean_interarrival_ms = 2.0;
+        config.admission_threshold = Some(0.5);
+        let result = run_federation_experiment(&config);
+        assert!(result.shed > 0, "overload must shed: {result:?}");
+        assert!(
+            result.completed >= 1,
+            "admitted jobs still complete: {result:?}"
+        );
+        assert!(
+            result.shed <= result.orphaned,
+            "every shed job must be accounted among the uncompleted: {result:?}"
+        );
+
+        // The identical run without admission control sheds nothing.
+        config.admission_threshold = None;
+        let open = run_federation_experiment(&config);
+        assert_eq!(open.shed, 0);
+    }
+
+    #[test]
+    fn threshold_high_enough_changes_nothing() {
+        let mut config = small(2);
+        config.admission_threshold = Some(f64::INFINITY);
+        let gated = run_federation_experiment(&config);
+        config.admission_threshold = None;
+        let plain = run_federation_experiment(&config);
+        assert_eq!(gated.completed, plain.completed);
+        assert_eq!(gated.shed, 0);
+        assert_eq!(gated.net_bytes, plain.net_bytes);
     }
 }

@@ -7,7 +7,8 @@
 //!
 //! * [`core`] — folders, briefcases, file cabinets, agents, `meet`, places and
 //!   the [`core::TacomaSystem`] driver on a simulated network;
-//! * [`net`] — the deterministic discrete-event network simulator;
+//! * [`net`] — the deterministic discrete-event network simulator and the
+//!   open-arrival workload generator;
 //! * [`script`] — TacoScript, the Tcl-like language mobile agents are written in;
 //! * [`agents`] — the system agents (`ag_tac`, `rexec`, `courier`, `diffusion`);
 //! * [`cash`] — electronic cash, the validation agent and the audit protocol;
