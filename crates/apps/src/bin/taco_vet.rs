@@ -5,8 +5,9 @@
 //! defective agent never reaches an install attempt at all.
 //!
 //! ```text
-//! taco-vet [--deny-warnings] [--agent NAME]... [--define VAR]... <file-or-dir>...
-//! taco-vet --audit [--deny-warnings] <manifest>...
+//! taco-vet [--deny-warnings] [--format FMT] [--agent NAME]... [--define VAR]... <file-or-dir>...
+//! taco-vet --audit [--deny-warnings] [--format FMT] <manifest>...
+//! taco-vet --cost [--deny-unbounded] [--deny-warnings] [--format FMT] <file-dir-or-manifest>...
 //! ```
 //!
 //! Directories are walked recursively for `.taco` files.  The known-agent set
@@ -19,28 +20,53 @@
 //! composed and checked for inter-agent defects — folder flow, itineraries
 //! against the declared site count, and meet-graph livelocks.
 //!
-//! Exit status (both modes): 0 clean, 1 when any diagnostic was denied
+//! `--cost` switches to static cost mode: every script (and every script
+//! agent of any `.audit` manifest given) gets one table line with its proven
+//! worst-case step/depth/growth bounds and a verdict — `bounded`,
+//! `input-bound` (finite per element, list length decided at runtime), or
+//! `unbounded`.  `--deny-unbounded` turns the `unbounded` verdict into a
+//! denied error, which is how CI keeps divergent agents out of the corpus.
+//!
+//! `--format json` replaces the text lines with one JSON document on stdout
+//! (stable field order; see `tacoma_apps::cli`) shared by all three modes.
+//!
+//! Exit status (all modes): 0 clean, 1 when any diagnostic was denied
 //! (errors always; warnings too under `--deny-warnings`), 2 on usage, I/O or
 //! manifest errors.
 
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 use std::process::ExitCode;
+use tacoma_apps::cli::{
+    expand_inputs, render_json_report, CostRow, FileDiagnostic, OutputFormat, RunSummary,
+    EXIT_DENIED, EXIT_USAGE,
+};
 use tacoma_apps::load_manifest;
 use tacoma_core::wellknown;
-use tacoma_script::{analyze_with, AnalysisConfig, Severity};
+use tacoma_script::{analyze_with, cost_bound, AnalysisConfig, Diagnostic, Span};
 
-const USAGE: &str = "usage: taco-vet [--deny-warnings] [--agent NAME]... [--define VAR]... <file-or-dir>...\n       taco-vet --audit [--deny-warnings] <manifest>...";
+const USAGE: &str = "usage: taco-vet [--deny-warnings] [--format text|json] [--agent NAME]... [--define VAR]... <file-or-dir>...\n       taco-vet --audit [--deny-warnings] [--format text|json] <manifest>...\n       taco-vet --cost [--deny-unbounded] [--deny-warnings] [--format text|json] <file-dir-or-manifest>...";
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Vet,
+    Audit,
+    Cost,
+}
 
 struct Options {
     deny_warnings: bool,
-    audit: bool,
+    deny_unbounded: bool,
+    mode: Mode,
+    format: OutputFormat,
     config: AnalysisConfig,
     inputs: Vec<PathBuf>,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut deny_warnings = false;
-    let mut audit = false;
+    let mut deny_unbounded = false;
+    let mut mode = Mode::Vet;
+    let mut format = OutputFormat::Text;
     let mut config =
         AnalysisConfig::new().known_agents(wellknown::AGENTS.iter().map(|a| a.to_string()));
     let mut inputs = Vec::new();
@@ -48,7 +74,13 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--deny-warnings" => deny_warnings = true,
-            "--audit" => audit = true,
+            "--deny-unbounded" => deny_unbounded = true,
+            "--audit" => mode = Mode::Audit,
+            "--cost" => mode = Mode::Cost,
+            "--format" => {
+                let name = it.next().ok_or("--format requires an argument")?;
+                format = OutputFormat::parse(name)?;
+            }
             "--agent" => {
                 let name = it.next().ok_or("--agent requires a name")?;
                 config.add_known_agent(name.clone());
@@ -64,69 +96,216 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             path => inputs.push(PathBuf::from(path)),
         }
     }
+    if deny_unbounded && mode != Mode::Cost {
+        return Err("--deny-unbounded only applies to --cost mode".to_string());
+    }
     if inputs.is_empty() {
-        return Err(if audit {
-            "no manifest files".to_string()
-        } else {
-            "no input files".to_string()
+        return Err(match mode {
+            Mode::Audit => "no manifest files".to_string(),
+            _ => "no input files".to_string(),
         });
     }
     Ok(Options {
         deny_warnings,
-        audit,
+        deny_unbounded,
+        mode,
+        format,
         config,
         inputs,
     })
 }
 
-/// Runs `--audit` mode: every input is a fleet manifest.
-fn run_audit(opts: &Options) -> ExitCode {
-    let mut errors = 0usize;
-    let mut warnings = 0usize;
-    for manifest in &opts.inputs {
-        let config = match load_manifest(manifest) {
-            Ok(config) => config,
-            Err(msg) => {
-                eprintln!("taco-vet: {msg}");
-                return ExitCode::from(2);
+/// Emits the run's output in the selected format and maps the tally to the
+/// process exit code.
+fn finish(
+    opts: &Options,
+    diags: &[FileDiagnostic],
+    bounds: Option<&[CostRow]>,
+    summary: &RunSummary,
+    noun: &str,
+) -> ExitCode {
+    match opts.format {
+        OutputFormat::Text => {
+            if let Some(rows) = bounds {
+                for row in rows {
+                    println!("{}", row.render_text());
+                }
             }
-        };
-        let findings = tacoma_script::audit(&config);
-        for f in &findings {
-            if f.diag.is_error() {
-                errors += 1;
-            } else {
-                warnings += 1;
+            for d in diags {
+                println!("{}", d.render_text());
+            }
+            if summary.errors + summary.warnings > 0 || summary.files > 1 {
+                eprintln!(
+                    "taco-vet: {} {noun}, {} error(s), {} warning(s)",
+                    summary.files, summary.errors, summary.warnings
+                );
             }
         }
-        print!("{}", tacoma_script::render_audit(&findings));
+        OutputFormat::Json => println!("{}", render_json_report(diags, bounds, summary)),
     }
-    if errors + warnings > 0 || opts.inputs.len() > 1 {
-        eprintln!(
-            "taco-vet: audited {} fleet(s), {errors} error(s), {warnings} warning(s)",
-            opts.inputs.len()
-        );
-    }
-    if errors > 0 || (opts.deny_warnings && warnings > 0) {
-        ExitCode::from(1)
+    if summary.denied(opts.deny_warnings) {
+        ExitCode::from(EXIT_DENIED)
     } else {
         ExitCode::SUCCESS
     }
 }
 
-/// Recursively collects `.taco` files under a directory.
-fn collect_scripts(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
-    let entries = std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
-    let mut children: Vec<PathBuf> = entries.filter_map(Result::ok).map(|e| e.path()).collect();
-    children.sort();
-    for child in children {
-        if child.is_dir() {
-            collect_scripts(&child, out)?;
-        } else if child.extension().is_some_and(|e| e == "taco") {
-            out.push(child);
+/// Default mode: per-script lint over every `.taco` input.
+fn run_vet(opts: &Options) -> ExitCode {
+    let files = match expand_inputs(&opts.inputs) {
+        Ok(files) => files,
+        Err(msg) => {
+            eprintln!("taco-vet: {msg}");
+            return ExitCode::from(EXIT_USAGE);
+        }
+    };
+    let mut diags = Vec::new();
+    let mut summary = RunSummary {
+        files: files.len(),
+        ..RunSummary::default()
+    };
+    for file in &files {
+        let src = match std::fs::read_to_string(file) {
+            Ok(src) => src,
+            Err(e) => {
+                eprintln!("taco-vet: {}: {e}", file.display());
+                return ExitCode::from(EXIT_USAGE);
+            }
+        };
+        for diag in analyze_with(&src, &opts.config) {
+            summary.count(&diag);
+            diags.push(FileDiagnostic {
+                file: file.display().to_string(),
+                diag,
+            });
         }
     }
-    Ok(())
+    finish(opts, &diags, None, &summary, "file(s)")
+}
+
+/// `--audit` mode: every input is a fleet manifest.
+fn run_audit(opts: &Options) -> ExitCode {
+    let mut diags = Vec::new();
+    let mut summary = RunSummary {
+        files: opts.inputs.len(),
+        ..RunSummary::default()
+    };
+    for manifest in &opts.inputs {
+        let config = match load_manifest(manifest) {
+            Ok(config) => config,
+            Err(msg) => {
+                eprintln!("taco-vet: {msg}");
+                return ExitCode::from(EXIT_USAGE);
+            }
+        };
+        for f in tacoma_script::audit(&config) {
+            summary.count(&f.diag);
+            diags.push(FileDiagnostic {
+                file: f.source.clone(),
+                diag: f.diag,
+            });
+        }
+    }
+    finish(opts, &diags, None, &summary, "fleet(s)")
+}
+
+/// Costs one script, recording its table row and any denial diagnostics.
+fn cost_one(
+    label: String,
+    src: &str,
+    opts: &Options,
+    rows: &mut Vec<CostRow>,
+    diags: &mut Vec<FileDiagnostic>,
+    summary: &mut RunSummary,
+) {
+    summary.files += 1;
+    match cost_bound(src) {
+        Ok(bound) => {
+            if opts.deny_unbounded && bound.verdict() == "unbounded" {
+                let diag = Diagnostic::error(
+                    "cost-unbounded",
+                    Span::new(1, 1),
+                    format!("no finite step bound (steps {})", bound.steps.render(true)),
+                );
+                summary.count(&diag);
+                diags.push(FileDiagnostic {
+                    file: label.clone(),
+                    diag,
+                });
+            }
+            rows.push(CostRow { file: label, bound });
+        }
+        Err(e) => {
+            let diag = Diagnostic::error("parse-error", e.span(), e.message);
+            summary.count(&diag);
+            diags.push(FileDiagnostic { file: label, diag });
+        }
+    }
+}
+
+/// `--cost` mode: static worst-case bounds for every script input; `.audit`
+/// manifests contribute one row per script agent.
+fn run_cost(opts: &Options) -> ExitCode {
+    let mut manifests = Vec::new();
+    let mut scripts = Vec::new();
+    for input in &opts.inputs {
+        if input.extension().is_some_and(|e| e == "audit") {
+            manifests.push(input.clone());
+        } else {
+            scripts.push(input.clone());
+        }
+    }
+    let files = match expand_inputs(&scripts) {
+        Ok(files) => files,
+        Err(msg) => {
+            eprintln!("taco-vet: {msg}");
+            return ExitCode::from(EXIT_USAGE);
+        }
+    };
+
+    let mut rows = Vec::new();
+    let mut diags = Vec::new();
+    let mut summary = RunSummary::default();
+    for file in &files {
+        let src = match std::fs::read_to_string(file) {
+            Ok(src) => src,
+            Err(e) => {
+                eprintln!("taco-vet: {}: {e}", file.display());
+                return ExitCode::from(EXIT_USAGE);
+            }
+        };
+        cost_one(
+            file.display().to_string(),
+            &src,
+            opts,
+            &mut rows,
+            &mut diags,
+            &mut summary,
+        );
+    }
+    for manifest in &manifests {
+        let config = match load_manifest(manifest) {
+            Ok(config) => config,
+            Err(msg) => {
+                eprintln!("taco-vet: {msg}");
+                return ExitCode::from(EXIT_USAGE);
+            }
+        };
+        for agent in config.agents() {
+            let Some(code) = &agent.code else {
+                continue; // native agents have no TacoScript to bound
+            };
+            cost_one(
+                format!("{}#{}", manifest.display(), agent.name),
+                code,
+                opts,
+                &mut rows,
+                &mut diags,
+                &mut summary,
+            );
+        }
+    }
+    finish(opts, &diags, Some(&rows), &summary, "script(s)")
 }
 
 fn main() -> ExitCode {
@@ -138,58 +317,12 @@ fn main() -> ExitCode {
                 eprintln!("taco-vet: {msg}");
             }
             eprintln!("{USAGE}");
-            return ExitCode::from(2);
+            return ExitCode::from(EXIT_USAGE);
         }
     };
-    if opts.audit {
-        return run_audit(&opts);
-    }
-
-    let mut files = Vec::new();
-    for input in &opts.inputs {
-        if !input.exists() {
-            eprintln!("taco-vet: {}: no such file or directory", input.display());
-            return ExitCode::from(2);
-        }
-        if input.is_dir() {
-            if let Err(msg) = collect_scripts(input, &mut files) {
-                eprintln!("taco-vet: {msg}");
-                return ExitCode::from(2);
-            }
-        } else {
-            files.push(input.clone());
-        }
-    }
-
-    let mut errors = 0usize;
-    let mut warnings = 0usize;
-    for file in &files {
-        let src = match std::fs::read_to_string(file) {
-            Ok(src) => src,
-            Err(e) => {
-                eprintln!("taco-vet: {}: {e}", file.display());
-                return ExitCode::from(2);
-            }
-        };
-        for d in analyze_with(&src, &opts.config) {
-            match d.severity {
-                Severity::Error => errors += 1,
-                Severity::Warning => warnings += 1,
-            }
-            println!("{}", d.render(&file.display().to_string()));
-        }
-    }
-
-    let denied = errors > 0 || (opts.deny_warnings && warnings > 0);
-    if errors + warnings > 0 || files.len() > 1 {
-        eprintln!(
-            "taco-vet: {} file(s), {errors} error(s), {warnings} warning(s)",
-            files.len()
-        );
-    }
-    if denied {
-        ExitCode::from(1)
-    } else {
-        ExitCode::SUCCESS
+    match opts.mode {
+        Mode::Vet => run_vet(&opts),
+        Mode::Audit => run_audit(&opts),
+        Mode::Cost => run_cost(&opts),
     }
 }

@@ -1,0 +1,297 @@
+//! Shared command-line plumbing for the TacoScript tool binaries.
+//!
+//! `taco-vet` grew three modes — per-script linting, whole-fleet `--audit`,
+//! and static `--cost` bounds — and each needs the same input handling and
+//! output shaping: a deterministic recursive walk for `.taco` files, a text
+//! rendering that editors and CI problem-matchers can parse
+//! (`file:line:col: severity[code]: message`), a `--format json` rendering
+//! with a stable field order for machine consumers, and the common exit-code
+//! contract (0 clean, 1 denied, 2 usage/I/O).  This module holds that
+//! plumbing once so the modes cannot drift apart.
+//!
+//! JSON is rendered by hand (the workspace carries no serde derive support);
+//! field order is part of the output contract: diagnostics are
+//! `file, line, col, severity, code, message`, cost rows are
+//! `file, steps, depth, growth, verdict`, and the trailing summary is
+//! `files, errors, warnings`.
+
+use std::path::{Path, PathBuf};
+use tacoma_script::{CostBound, Diagnostic, Severity};
+
+/// Exit code when no diagnostic was denied.
+pub const EXIT_CLEAN: u8 = 0;
+/// Exit code when at least one diagnostic was denied (errors always;
+/// warnings under `--deny-warnings`; unbounded scripts under
+/// `--deny-unbounded`).
+pub const EXIT_DENIED: u8 = 1;
+/// Exit code for usage, I/O, or manifest errors.
+pub const EXIT_USAGE: u8 = 2;
+
+/// Output format shared by every `taco-vet` mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OutputFormat {
+    /// Human- and problem-matcher-oriented lines on stdout.
+    #[default]
+    Text,
+    /// One JSON document on stdout with a stable field order.
+    Json,
+}
+
+impl OutputFormat {
+    /// Parses a `--format` argument (`text` or `json`).
+    pub fn parse(name: &str) -> Result<Self, String> {
+        match name {
+            "text" => Ok(OutputFormat::Text),
+            "json" => Ok(OutputFormat::Json),
+            other => Err(format!("unknown format '{other}' (expected text or json)")),
+        }
+    }
+}
+
+/// One diagnostic bound to the file it was found in.
+///
+/// The severity/code/message/span live in the underlying
+/// [`Diagnostic`]; this pairs them with a path so batches from many
+/// files can be rendered as one report.
+#[derive(Debug, Clone)]
+pub struct FileDiagnostic {
+    /// Path of the script (or, for audit findings, the agent source label).
+    pub file: String,
+    /// The finding itself.
+    pub diag: Diagnostic,
+}
+
+impl FileDiagnostic {
+    /// The conventional text line: `file:line:col: severity[code]: message`.
+    pub fn render_text(&self) -> String {
+        self.diag.render(&self.file)
+    }
+
+    /// One JSON object with the stable field order
+    /// `file, line, col, severity, code, message`.
+    pub fn render_json(&self) -> String {
+        format!(
+            "{{\"file\":\"{}\",\"line\":{},\"col\":{},\"severity\":\"{}\",\"code\":\"{}\",\"message\":\"{}\"}}",
+            json_escape(&self.file),
+            self.diag.span.line,
+            self.diag.span.col,
+            self.diag.severity,
+            json_escape(self.diag.code),
+            json_escape(&self.diag.message),
+        )
+    }
+}
+
+/// One per-script result row from `--cost` mode.
+#[derive(Debug, Clone)]
+pub struct CostRow {
+    /// Path of the script (or `manifest#agent` for manifest-declared agents).
+    pub file: String,
+    /// The statically proven bound.
+    pub bound: CostBound,
+}
+
+impl CostRow {
+    /// The text table line: `file: steps L..H depth L..H growth L..H [verdict]`.
+    pub fn render_text(&self) -> String {
+        format!("{}: {}", self.file, self.bound.summary())
+    }
+
+    /// One JSON object with the stable field order
+    /// `file, steps, depth, growth, verdict`; absent upper bounds are `null`.
+    pub fn render_json(&self) -> String {
+        format!(
+            "{{\"file\":\"{}\",\"steps\":{},\"depth\":{},\"growth\":{},\"verdict\":\"{}\"}}",
+            json_escape(&self.file),
+            interval_json(self.bound.steps.lo, self.bound.steps.hi),
+            interval_json(self.bound.depth.lo, self.bound.depth.hi),
+            interval_json(self.bound.growth_bytes.lo, self.bound.growth_bytes.hi),
+            self.bound.verdict(),
+        )
+    }
+}
+
+fn interval_json(lo: u64, hi: Option<u64>) -> String {
+    match hi {
+        Some(hi) => format!("{{\"lo\":{lo},\"hi\":{hi}}}"),
+        None => format!("{{\"lo\":{lo},\"hi\":null}}"),
+    }
+}
+
+/// Tally of findings across a run, driving the stderr summary and exit code.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunSummary {
+    /// Scripts (or fleets, in audit mode) examined.
+    pub files: usize,
+    /// Error-severity diagnostics seen.
+    pub errors: usize,
+    /// Warning-severity diagnostics seen.
+    pub warnings: usize,
+}
+
+impl RunSummary {
+    /// Records one diagnostic in the tally.
+    pub fn count(&mut self, diag: &Diagnostic) {
+        match diag.severity {
+            Severity::Error => self.errors += 1,
+            Severity::Warning => self.warnings += 1,
+        }
+    }
+
+    /// Whether the run should exit denied.
+    pub fn denied(&self, deny_warnings: bool) -> bool {
+        self.errors > 0 || (deny_warnings && self.warnings > 0)
+    }
+
+    /// The JSON summary object: `{"files":N,"errors":N,"warnings":N}`.
+    pub fn render_json(&self) -> String {
+        format!(
+            "{{\"files\":{},\"errors\":{},\"warnings\":{}}}",
+            self.files, self.errors, self.warnings
+        )
+    }
+}
+
+/// Renders the whole-run JSON document shared by all modes: a `diagnostics`
+/// array, a `bounds` array when cost rows were produced (`--cost` mode), and
+/// the trailing `summary`.
+pub fn render_json_report(
+    diags: &[FileDiagnostic],
+    bounds: Option<&[CostRow]>,
+    summary: &RunSummary,
+) -> String {
+    let mut out = String::from("{\"diagnostics\":[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&d.render_json());
+    }
+    out.push(']');
+    if let Some(rows) = bounds {
+        out.push_str(",\"bounds\":[");
+        for (i, r) in rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&r.render_json());
+        }
+        out.push(']');
+    }
+    out.push_str(",\"summary\":");
+    out.push_str(&summary.render_json());
+    out.push('}');
+    out
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Recursively collects `.taco` files under `dir` in sorted order, so runs
+/// are deterministic across filesystems.
+pub fn collect_scripts(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    let mut children: Vec<PathBuf> = entries.filter_map(Result::ok).map(|e| e.path()).collect();
+    children.sort();
+    for child in children {
+        if child.is_dir() {
+            collect_scripts(&child, out)?;
+        } else if child.extension().is_some_and(|e| e == "taco") {
+            out.push(child);
+        }
+    }
+    Ok(())
+}
+
+/// Expands CLI inputs: files are kept as given, directories are walked for
+/// `.taco` scripts.  A missing path is an error (exit 2 at the caller).
+pub fn expand_inputs(inputs: &[PathBuf]) -> Result<Vec<PathBuf>, String> {
+    let mut files = Vec::new();
+    for input in inputs {
+        if !input.exists() {
+            return Err(format!("{}: no such file or directory", input.display()));
+        }
+        if input.is_dir() {
+            collect_scripts(input, &mut files)?;
+        } else {
+            files.push(input.clone());
+        }
+    }
+    Ok(files)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tacoma_script::Span;
+
+    #[test]
+    fn json_rendering_has_stable_field_order() {
+        let d = FileDiagnostic {
+            file: "a \"b\".taco".to_string(),
+            diag: Diagnostic::error("unknown-command", Span::new(3, 7), "unknown command 'foo'"),
+        };
+        assert_eq!(
+            d.render_json(),
+            "{\"file\":\"a \\\"b\\\".taco\",\"line\":3,\"col\":7,\"severity\":\"error\",\"code\":\"unknown-command\",\"message\":\"unknown command 'foo'\"}"
+        );
+        let row = CostRow {
+            file: "x.taco".to_string(),
+            bound: tacoma_script::cost_bound("set a 1\nset b 2").expect("parses"),
+        };
+        let json = row.render_json();
+        assert!(json.starts_with("{\"file\":\"x.taco\",\"steps\":{\"lo\":2,\"hi\":2}"));
+        assert!(json.ends_with("\"verdict\":\"bounded\"}"));
+
+        let mut summary = RunSummary {
+            files: 1,
+            ..RunSummary::default()
+        };
+        summary.count(&d.diag);
+        assert!(summary.denied(false));
+        let report = render_json_report(&[d], Some(&[row]), &summary);
+        assert!(report.contains("\"diagnostics\":["));
+        assert!(report.contains("\"bounds\":["));
+        assert!(report.ends_with("\"summary\":{\"files\":1,\"errors\":1,\"warnings\":0}}"));
+        // No-bounds modes must not emit the key at all.
+        assert!(!render_json_report(&[], None, &RunSummary::default()).contains("\"bounds\""));
+    }
+
+    #[test]
+    fn escaping_covers_control_characters() {
+        assert_eq!(
+            json_escape("a\nb\t\"c\"\\d\u{1}"),
+            "a\\nb\\t\\\"c\\\"\\\\d\\u0001"
+        );
+    }
+
+    #[test]
+    fn format_parses_and_defaults_to_text() {
+        assert_eq!(OutputFormat::parse("json").unwrap(), OutputFormat::Json);
+        assert_eq!(OutputFormat::parse("text").unwrap(), OutputFormat::Text);
+        assert_eq!(OutputFormat::default(), OutputFormat::Text);
+        assert!(OutputFormat::parse("xml").is_err());
+    }
+
+    #[test]
+    fn warnings_deny_only_when_asked() {
+        let mut s = RunSummary::default();
+        s.count(&Diagnostic::warning("unreachable", Span::new(1, 1), "m"));
+        assert!(!s.denied(false));
+        assert!(s.denied(true));
+    }
+}

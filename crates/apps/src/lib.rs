@@ -21,10 +21,15 @@
 
 pub mod agentmail;
 pub mod audit_manifest;
+pub mod cli;
 pub mod stormcast;
 
 pub use agentmail::{mail_agent_code, run_mail_experiment, MailConfig, MailResult, UserDirectory};
 pub use audit_manifest::load_manifest;
+pub use cli::{
+    collect_scripts, expand_inputs, render_json_report, CostRow, FileDiagnostic, OutputFormat,
+    RunSummary,
+};
 pub use stormcast::{
     run_stormcast, StormcastConfig, StormcastPlan, StormcastResult, SubscriberModel,
 };

@@ -1,0 +1,95 @@
+//! Golden cost-bound report for the shipped TacoScript corpus.
+//!
+//! `examples/scripts/expected_costs.txt` pins the exact table `taco-vet
+//! --cost` prints for every example script — one line per script, byte for
+//! byte.  Any change to the analyzer that moves a bound (tighter, looser, or
+//! a verdict flip) shows up here as a diff against the blessed file, so
+//! precision regressions cannot land silently.  The file also encodes the CI
+//! contract: no shipped script may be `unbounded`, which is what lets the
+//! lint job run `--cost --deny-unbounded` over the corpus.
+
+use std::path::PathBuf;
+use tacoma_apps::{load_manifest, mail_agent_code};
+use tacoma_script::cost_bound;
+
+fn scripts_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../examples/scripts")
+}
+
+/// Renders the corpus cost table exactly as the golden file stores it:
+/// `name.taco: steps L..H depth L..H growth L..H [verdict]`, sorted by name.
+fn corpus_table() -> String {
+    let mut entries: Vec<_> = std::fs::read_dir(scripts_dir())
+        .expect("examples/scripts exists")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "taco"))
+        .collect();
+    entries.sort();
+    let mut out = String::new();
+    for path in &entries {
+        let src = std::fs::read_to_string(path).expect("readable script");
+        let name = path.file_name().unwrap().to_string_lossy();
+        let bound = cost_bound(&src).unwrap_or_else(|e| panic!("{}", e.render(&name)));
+        out.push_str(&format!("{name}: {}\n", bound.summary()));
+    }
+    out
+}
+
+#[test]
+fn example_corpus_matches_the_blessed_cost_table() {
+    let expected = std::fs::read_to_string(scripts_dir().join("expected_costs.txt"))
+        .expect("expected_costs.txt exists");
+    assert_eq!(
+        corpus_table(),
+        expected,
+        "cost bounds drifted from examples/scripts/expected_costs.txt — if the \
+         analyzer legitimately got more (or less) precise, re-bless the file"
+    );
+}
+
+#[test]
+fn no_shipped_script_is_unbounded() {
+    // The `--deny-unbounded` CI gate must hold for everything we ship: the
+    // examples corpus, the fleet manifest's agents, and the application
+    // scripts embedded in the crates.
+    let table = corpus_table();
+    assert!(
+        !table.contains("[unbounded]"),
+        "a shipped example lost its bound:\n{table}"
+    );
+
+    let manifest = load_manifest(&scripts_dir().join("fleet.audit")).expect("manifest parses");
+    for agent in manifest.agents() {
+        let Some(code) = &agent.code else { continue };
+        let bound = cost_bound(code).expect("agent code parses");
+        assert_ne!(
+            bound.verdict(),
+            "unbounded",
+            "fleet agent '{}' has no finite bound",
+            agent.name
+        );
+    }
+
+    let mail = cost_bound(mail_agent_code()).expect("mail agent parses");
+    assert_ne!(
+        mail.verdict(),
+        "unbounded",
+        "agentmail script lost its bound"
+    );
+}
+
+#[test]
+fn loop_heavy_examples_keep_finite_worst_cases() {
+    // The two scripts with counted retry/hop loops are the precision canary:
+    // they must stay fully `bounded` (finite hi), not just input-bound.
+    for name in ["retry_meet.taco", "hop_counter.taco"] {
+        let src = std::fs::read_to_string(scripts_dir().join(name)).expect("readable script");
+        let bound = cost_bound(&src).expect("parses");
+        assert_eq!(bound.verdict(), "bounded", "{name} lost its finite bound");
+        assert!(
+            bound.steps.hi.is_some(),
+            "{name}: counted-loop inference regressed"
+        );
+    }
+}

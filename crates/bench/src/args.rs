@@ -10,7 +10,7 @@ use std::path::PathBuf;
 pub const USAGE: &str = "\
 usage: harness [OPTIONS]
 
-Runs the TACOMA experiment suite (E1-E19 + ablations) and prints one table
+Runs the TACOMA experiment suite (E1-E20 + ablations) and prints one table
 per experiment. All experiments are deterministic per seed.
 
 options:

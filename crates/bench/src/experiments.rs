@@ -1,9 +1,11 @@
-//! The E1–E19 experiment drivers and the design-choice ablations.
+//! The E1–E20 experiment drivers and the design-choice ablations.
 
 use crate::runner::RunOpts;
 use crate::table::Table;
 use tacoma_agents::testing::SinkAgent;
-use tacoma_agents::{diffusion_briefcase, naive_flood_briefcase, standard_agents, NaiveFloodAgent};
+use tacoma_agents::{
+    diffusion_briefcase, naive_flood_briefcase, standard_agents, AgTacAgent, NaiveFloodAgent,
+};
 use tacoma_apps::{run_mail_experiment, run_stormcast, MailConfig, StormcastConfig, StormcastPlan};
 use tacoma_cash::{AuditCourt, ExchangeConfig, ExchangeProtocol, Mint, PartyBehavior};
 use tacoma_core::prelude::*;
@@ -16,7 +18,8 @@ use tacoma_sched::federation::{
 };
 use tacoma_sched::protected::{secret_agent_name, AdmissionPolicy, REQUESTER};
 use tacoma_sched::{
-    run_scheduling_experiment, PlacementPolicy, ProtectedBrokerAgent, SchedulingConfig,
+    run_scheduling_experiment, LoadReport, PlacementPolicy, ProtectedBrokerAgent, ReportDb,
+    SchedulingConfig,
 };
 use tacoma_util::{DetRng, SiteId as USiteId};
 
@@ -1686,6 +1689,7 @@ fn e18_run(multiplier: f64, bounded: bool, opts: RunOpts) -> E18Outcome {
         capacity: if bounded { 32 } else { usize::MAX },
         service_floor: Duration::from_millis(2),
         service_per_kib: Duration::from_millis(1),
+        service_per_kilostep: Duration::from_micros(0),
         deadline: if bounded {
             Some(Duration::from_millis(400))
         } else {
@@ -2067,6 +2071,262 @@ pub fn e19_flash_crowd(opts: RunOpts) -> Table {
          unshed crowd collapse ({:.1})",
         gated.calm_p95_ms,
         open.crowd_p95_ms
+    );
+    table
+}
+
+// ---------------------------------------------------------------------------
+// E20 — cost-aware placement of a heterogeneous script fleet
+// ---------------------------------------------------------------------------
+
+/// The step budget every E20 provider's interpreter enforces — and the bound
+/// the cost gate proves admitted scripts against.
+const E20_BUDGET: u64 = 50_000;
+
+/// A counted-loop aggregator script: `4 + 3k` interpreter steps, all of them
+/// provable by the static analysis.
+fn e20_heavy(k: u32) -> String {
+    format!("set i 0\nset acc 0\nwhile {{$i < {k}}} {{\nincr acc 2\nincr i\n}}\nbc_push OUT $acc")
+}
+
+/// The E20 script corpus: one light reader and three sizes of heavy loop
+/// agent.  Every entry is statically bounded, vet-clean, and runtime-clean.
+fn e20_corpus() -> Vec<(&'static str, String)> {
+    vec![
+        (
+            "light",
+            "set sum 0\nforeach x {1 2 3 4} { incr sum $x }\nbc_push OUT $sum".to_string(),
+        ),
+        ("heavy-3k", e20_heavy(3_000)),
+        ("heavy-6k", e20_heavy(6_000)),
+        ("heavy-9k", e20_heavy(9_000)),
+    ]
+}
+
+/// One E20 measurement: the same script stream placed cost-blind (job-count
+/// bumps) or cost-aware (kilostep bumps).
+struct E20Outcome {
+    requested: u64,
+    completed: u64,
+    failed: u64,
+    rejected: u64,
+    p95_ms: f64,
+    p99_ms: f64,
+    max_ms: f64,
+    conserved: bool,
+}
+
+fn e20_run(aware: bool, opts: RunOpts) -> E20Outcome {
+    use tacoma_script::CostGate;
+
+    let sites = 8u32;
+    let corpus = e20_corpus();
+    // The proven upper bounds drive both the gate's COST stamp (service
+    // stretching) and the aware arm's placement bumps.
+    let bounds: Vec<u64> = corpus
+        .iter()
+        .map(|(name, src)| {
+            tacoma_script::cost_bound(src)
+                .unwrap_or_else(|e| panic!("E20 corpus '{name}' must parse: {e}"))
+                .steps
+                .hi
+                .unwrap_or_else(|| panic!("E20 corpus '{name}' must be bounded"))
+        })
+        .collect();
+
+    // Service time is dominated by the script's step bound: heavy agents are
+    // an order of magnitude more work than light ones, which is exactly the
+    // heterogeneity a job-count queue measure cannot see.
+    let admission = AdmissionConfig {
+        capacity: usize::MAX,
+        service_floor: Duration::from_micros(200),
+        service_per_kib: Duration::from_micros(100),
+        service_per_kilostep: Duration::from_micros(500),
+        deadline: None,
+        janitor_period: Duration::from_millis(50),
+    };
+    let mut sys = TacomaSystem::builder()
+        .topology(Topology::full_mesh(sites, LinkSpec::default()))
+        .seed(2020)
+        .shards(opts.shards)
+        .admission(admission)
+        .cost_gate(CostGate::strict(E20_BUDGET, 64))
+        .with_agents(|_| vec![Box::new(AgTacAgent::with_step_budget(E20_BUDGET)) as Box<dyn Agent>])
+        .build();
+
+    // Driver-side broker state: one zero report per provider, optimistically
+    // bumped at every placement — by job count (blind) or by the script's
+    // expected kilosteps (aware).  Both arms use power-of-two-choices over
+    // the same reports; the queue *measure* is the only difference.
+    let mut db = ReportDb::new(Duration::from_secs(3_600));
+    for s in 0..sites {
+        db.ingest(
+            LoadReport {
+                site: USiteId(s),
+                queue_len: 0,
+                queue_cost: 0.0,
+                capacity: 1.0,
+                at_micros: 0,
+            },
+            0,
+        );
+    }
+
+    let jobs = if opts.quick { 240 } else { 800 };
+    let mut mix_rng = DetRng::new(2020);
+    let mut place_rng = DetRng::new(2021);
+    let mut rr = 0u64;
+    for i in 0..jobs {
+        // Three light readers to one heavy loop agent, heavies cycling
+        // uniformly through the three loop sizes.
+        let idx = if mix_rng.next_below(4) < 3 {
+            0
+        } else {
+            1 + mix_rng.next_below(3) as usize
+        };
+        let reports = db.live(|_| true);
+        let site = PlacementPolicy::PowerOfTwo
+            .choose(&reports, 0, 0, &mut place_rng, &mut rr)
+            .expect("E20 providers are always known");
+        if aware {
+            db.bump_cost(site, bounds[idx] as f64 / 1000.0);
+        } else {
+            db.bump(site);
+        }
+        let mut bc = Briefcase::new();
+        bc.put_string(wellknown::CODE, corpus[idx].1.clone());
+        sys.schedule_meet(
+            site,
+            AgentName::new(wellknown::AG_TAC),
+            bc,
+            Duration::from_micros(i),
+        );
+    }
+
+    // The gate's two rejection classes, offered in both arms: a divergent
+    // shell (no finite bound) and a certain-death loop whose proven *minimum*
+    // exceeds the budget.  Neither may reach an interpreter.
+    for bad in ["while {1} { bc_push OUT x }".to_string(), e20_heavy(20_000)] {
+        let mut bc = Briefcase::new();
+        bc.put_string(wellknown::CODE, bad);
+        sys.schedule_meet(
+            USiteId(0),
+            AgentName::new(wellknown::AG_TAC),
+            bc,
+            Duration::from_micros(0),
+        );
+    }
+
+    sys.run_until_quiescent(u64::MAX / 2);
+    let s = sys.stats();
+    let w = sys.net_metrics().admission_waits().clone();
+    E20Outcome {
+        requested: s.meets_requested,
+        completed: s.meets_completed,
+        failed: s.meets_failed,
+        rejected: s.costs_rejected,
+        p95_ms: w.percentile(95.0),
+        p99_ms: w.percentile(99.0),
+        max_ms: w.max(),
+        conserved: s.meets_requested
+            == s.meets_completed
+                + s.meets_failed
+                + s.send_failures
+                + s.meets_expired
+                + s.meets_shed,
+    }
+}
+
+/// E20: cost-aware placement of a heterogeneous script fleet.
+///
+/// A mixed stream of light reader scripts and heavy counted-loop agents is
+/// placed over eight providers by power-of-two-choices, once with the
+/// classic job-count queue measure and once with the cost-weighted measure
+/// fed by the static analysis (`LoadReport::queue_cost`).  The cost gate is
+/// armed in both arms: a divergent script and a certain-death loop are
+/// rejected before any interpreter sees them (`costs_rejected`), and every
+/// admitted script's proven bound is checked against the interpreter by the
+/// driver — `meets_failed == 0` is the runtime half of the soundness claim,
+/// since a blown step budget would fail its meet.  The acceptance bar is the
+/// placement payoff: the cost-aware arm's p95 admission wait must beat the
+/// cost-blind arm's.
+pub fn e20_cost_placement(opts: RunOpts) -> Table {
+    // In-driver soundness gate: every corpus script, run under a budget of
+    // exactly its static upper bound, completes without exhausting it, and
+    // its actual step count lands inside the proven interval.
+    for (name, src) in e20_corpus() {
+        let bound = tacoma_script::cost_bound(&src).expect("corpus parses");
+        let hi = bound.steps.hi.expect("corpus is bounded");
+        let mut host = tacoma_script::NullHost;
+        let mut interp = tacoma_script::Interp::with_config(
+            &mut host,
+            tacoma_script::InterpConfig {
+                max_steps: hi,
+                max_depth: 64,
+            },
+        );
+        let outcome = interp
+            .run(&src)
+            .unwrap_or_else(|e| panic!("E20 {name}: static bound {hi} is unsound: {e}"));
+        assert!(
+            bound.steps.lo <= outcome.steps && outcome.steps <= hi,
+            "E20 {name}: ran {} steps outside proven [{}, {hi}]",
+            outcome.steps,
+            bound.steps.lo
+        );
+    }
+
+    let mut table = Table::new(
+        "E20 — cost-aware placement of a heterogeneous script fleet",
+        "static cost bounds pay twice: the gate turns runaway scripts away at install time, and placing by expected kilosteps instead of job count cuts the tail wait of a heterogeneous fleet",
+        &[
+            "placement",
+            "requested",
+            "completed",
+            "rejected",
+            "p95 ms",
+            "p99 ms",
+            "max ms",
+            "conserved",
+        ],
+    );
+    let blind = e20_run(false, opts);
+    let aware = e20_run(true, opts);
+    for (label, o) in [
+        ("cost-blind (job count)", &blind),
+        ("cost-aware (kilosteps)", &aware),
+    ] {
+        table.row(vec![
+            label.to_string(),
+            o.requested.to_string(),
+            o.completed.to_string(),
+            o.rejected.to_string(),
+            format!("{:.1}", o.p95_ms),
+            format!("{:.1}", o.p99_ms),
+            format!("{:.1}", o.max_ms),
+            o.conserved.to_string(),
+        ]);
+    }
+    for (label, o) in [("blind", &blind), ("aware", &aware)] {
+        assert!(o.conserved, "E20 {label}: meet conservation violated");
+        assert_eq!(
+            o.rejected, 2,
+            "E20 {label}: the divergent and certain-death scripts must both be rejected"
+        );
+        assert_eq!(
+            o.failed, 0,
+            "E20 {label}: an admitted script died at runtime — the gate's soundness claim is broken"
+        );
+        assert_eq!(
+            o.completed, o.requested,
+            "E20 {label}: every admitted script must complete"
+        );
+    }
+    assert!(
+        aware.p95_ms < blind.p95_ms,
+        "E20: cost-aware placement must beat job-count placement on p95 wait ({:.1} vs {:.1})",
+        aware.p95_ms,
+        blind.p95_ms
     );
     table
 }

@@ -1,10 +1,11 @@
 //! Experiment drivers for the TACOMA reproduction.
 //!
 //! The paper (a HotOS position paper) contains no numbered tables or figures;
-//! DESIGN.md defines experiments E1–E19, one per measurable claim in the
+//! DESIGN.md defines experiments E1–E20, one per measurable claim in the
 //! text (plus the E11/E12 scale experiments the ROADMAP's north star asks
 //! for, the E13/E14 custody experiments, the E15/E16 broker-federation
-//! experiments, and the E17 sharded event-core sweep).  Each `eN_*` function here runs one experiment and returns a
+//! experiments, the E17 sharded event-core sweep, and the E20 cost-aware
+//! placement comparison).  Each `eN_*` function here runs one experiment and returns a
 //! [`Table`]; the `harness` binary prints them all (this is the artifact that
 //! stands in for "regenerating the paper's tables"), and the Criterion
 //! benches in `benches/` time the same code paths.

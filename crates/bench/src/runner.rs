@@ -190,6 +190,12 @@ pub fn registry() -> Vec<JobSpec> {
             run: crate::e19_flash_crowd,
         },
         JobSpec {
+            id: "E20",
+            summary: "cost-aware placement of a heterogeneous script fleet",
+            seed: 2020,
+            run: crate::e20_cost_placement,
+        },
+        JobSpec {
             id: "A3",
             summary: "ablation: rear-guard chain depth",
             seed: 31_001,
@@ -307,7 +313,7 @@ mod tests {
     #[test]
     fn registry_ids_are_unique_and_cover_e1_to_a4() {
         let specs = registry();
-        assert_eq!(specs.len(), 21);
+        assert_eq!(specs.len(), 22);
         let mut ids: Vec<&str> = specs.iter().map(|s| s.id).collect();
         assert_eq!(ids.first(), Some(&"E1"));
         assert_eq!(ids.last(), Some(&"A4"));
@@ -316,9 +322,10 @@ mod tests {
         assert!(ids.contains(&"E15") && ids.contains(&"E16"));
         assert!(ids.contains(&"E17"));
         assert!(ids.contains(&"E18") && ids.contains(&"E19"));
+        assert!(ids.contains(&"E20"));
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 21, "duplicate experiment ids in the registry");
+        assert_eq!(ids.len(), 22, "duplicate experiment ids in the registry");
     }
 
     #[test]
@@ -330,7 +337,7 @@ mod tests {
             .unwrap_err()
             .contains("unknown experiment id"));
         assert!(select(&["a1".into()]).unwrap_err().contains("reserved"));
-        assert_eq!(select(&[]).unwrap().len(), 21);
+        assert_eq!(select(&[]).unwrap().len(), 22);
     }
 
     #[test]

@@ -81,6 +81,12 @@ pub struct SystemStats {
     /// `scripts_rejected`, the refusal happens before the meet is counted in
     /// `meets_requested`.
     pub audits_rejected: u64,
+    /// Script agents rejected by the install-time cost gate
+    /// ([`SystemBuilder::cost_gate`]): static analysis proved the CODE
+    /// folder's cost bound violates the configured step/depth budget.  Like
+    /// `scripts_rejected`, the refusal happens before the meet is counted in
+    /// `meets_requested`.
+    pub costs_rejected: u64,
     /// Site crashes observed.
     pub crashes: u64,
     /// Site recoveries observed.
@@ -121,6 +127,11 @@ pub struct AdmissionConfig {
     pub service_floor: Duration,
     /// Additional service cost per KiB of encoded meet request.
     pub service_per_kib: Duration,
+    /// Additional service cost per 1000 statically proven interpreter steps
+    /// (the `COST` folder stamped by the cost gate).  Zero (the default)
+    /// preserves the pure size-based model; meets without a `COST` folder
+    /// are charged size only either way.
+    pub service_per_kilostep: Duration,
     /// Janitor deadline: queued entries older than this are shed by the next
     /// sweep.  `None` disables deadline shedding.
     pub deadline: Option<Duration>,
@@ -134,6 +145,7 @@ impl Default for AdmissionConfig {
             capacity: 64,
             service_floor: Duration::from_micros(500),
             service_per_kib: Duration::from_micros(250),
+            service_per_kilostep: Duration::from_micros(0),
             deadline: Some(Duration::from_millis(500)),
             janitor_period: Duration::from_millis(100),
         }
@@ -158,6 +170,17 @@ impl AdmissionConfig {
                 .saturating_add(self.service_per_kib.micros().saturating_mul(kib)),
         )
     }
+
+    /// Service time for an encoded request of `bytes` bytes whose script has
+    /// a statically proven worst-case of `steps` interpreter steps.
+    pub fn service_time_with_steps(&self, bytes: u64, steps: u64) -> Duration {
+        let kilosteps = steps.div_ceil(1000);
+        Duration::from_micros(
+            self.service_time(bytes)
+                .micros()
+                .saturating_add(self.service_per_kilostep.micros().saturating_mul(kilosteps)),
+        )
+    }
 }
 
 /// Builder for [`TacomaSystem`].
@@ -170,6 +193,7 @@ pub struct SystemBuilder {
     factories: Vec<AgentFactory>,
     vet_scripts: bool,
     audit_fleet: Option<tacoma_script::AuditConfig>,
+    cost_gate: Option<tacoma_script::CostGate>,
     sim_shards: u32,
 }
 
@@ -185,6 +209,7 @@ impl SystemBuilder {
             factories: Vec::new(),
             vet_scripts: true,
             audit_fleet: None,
+            cost_gate: None,
             sim_shards: 1,
         }
     }
@@ -261,6 +286,24 @@ impl SystemBuilder {
     /// filled in automatically if the config does not declare one.
     pub fn audit_fleet(mut self, config: tacoma_script::AuditConfig) -> Self {
         self.audit_fleet = Some(config);
+        self
+    }
+
+    /// Enables the install-time *cost gate* (off by default).
+    ///
+    /// Every entry-point briefcase carrying a `CODE` folder has its static
+    /// cost bound ([`tacoma_script::cost_bound`]) checked against the gate's
+    /// step/depth budget before the meet request is queued.  A lenient gate
+    /// rejects only certain death (proven *lower* bound above budget — zero
+    /// false positives); a strict gate additionally rejects scripts without a
+    /// proven finite bound within budget, so every admitted script is
+    /// guaranteed to finish inside the interpreter's budget.  Rejections are
+    /// counted in [`SystemStats::costs_rejected`]; admitted scripts with a
+    /// finite bound are annotated with a [`wellknown::COST`] folder carrying
+    /// the proven worst-case step count, which admission control's
+    /// `service_per_kilostep` term and cost-aware placement consume.
+    pub fn cost_gate(mut self, gate: tacoma_script::CostGate) -> Self {
+        self.cost_gate = Some(gate);
         self
     }
 
@@ -344,6 +387,7 @@ impl SystemBuilder {
                 }
                 audit
             },
+            cost_gate: self.cost_gate,
             stats,
             rng: master.derive(1),
             trace: Vec::new(),
@@ -388,6 +432,8 @@ pub struct TacomaSystem {
     vet_scripts: bool,
     /// Fleet-level audit applied to entry-point CODE folders, when enabled.
     audit_fleet: Option<tacoma_script::AuditConfig>,
+    /// Static cost budget applied to entry-point CODE folders, when enabled.
+    cost_gate: Option<tacoma_script::CostGate>,
     stats: SystemStats,
     rng: DetRng,
     trace: Vec<String>,
@@ -507,7 +553,7 @@ impl TacomaSystem {
         origin: SiteId,
         site: SiteId,
         contact: AgentName,
-        briefcase: Briefcase,
+        mut briefcase: Briefcase,
     ) {
         if let Err(report) = self.vet_briefcase(site, &briefcase) {
             self.stats.scripts_rejected += 1;
@@ -521,6 +567,14 @@ impl TacomaSystem {
             self.stats.audits_rejected += 1;
             self.trace.push(format!(
                 "[{}] fleet audit rejected CODE folder bound for {contact} at {site}:\n{report}",
+                self.net.now()
+            ));
+            return;
+        }
+        if let Err(reason) = self.apply_cost_gate(&mut briefcase) {
+            self.stats.costs_rejected += 1;
+            self.trace.push(format!(
+                "[{}] cost gate rejected CODE folder bound for {contact} at {site}: {reason}",
                 self.net.now()
             ));
             return;
@@ -714,9 +768,22 @@ impl TacomaSystem {
         &mut self,
         site: SiteId,
         contact: AgentName,
-        briefcase: Briefcase,
+        mut briefcase: Briefcase,
         delay: Duration,
     ) {
+        // The cost gate runs at schedule time (not when the timer fires), so
+        // preloaded arrival traces replay identically at any `--jobs` /
+        // `--shards` setting; vet/audit intentionally do not run here — the
+        // timer path has never gated, and the cost gate is the one defense
+        // that open-arrival workloads need.
+        if let Err(reason) = self.apply_cost_gate(&mut briefcase) {
+            self.stats.costs_rejected += 1;
+            self.trace.push(format!(
+                "[{}] cost gate rejected scheduled CODE folder bound for {contact} at {site}: {reason}",
+                self.net.now()
+            ));
+            return;
+        }
         let key = self.next_timer_key;
         self.next_timer_key += 1;
         self.pending_timers.insert(key, (site, contact, briefcase));
@@ -775,7 +842,8 @@ impl TacomaSystem {
         let depth = self.admission_queues[site.index()].len() as u64 + 1;
         let bytes = codec::encode_meet_request(&req).len() as u64;
         self.net.metrics_mut().record_admission(wait_ms, depth);
-        let service = config.service_time(bytes);
+        let steps = req.briefcase.peek_u64(wellknown::COST).unwrap_or(0);
+        let service = config.service_time_with_steps(bytes, steps);
         let key = SERVICE_KEY_FLAG | self.next_timer_key;
         self.next_timer_key += 1;
         self.in_service[site.index()] = Some((key, req));
@@ -1078,6 +1146,34 @@ impl TacomaSystem {
         }
     }
 
+    /// Checks the briefcase's CODE folder (if any) against the configured
+    /// cost gate.  Returns the proven finite worst-case step bound (to stamp
+    /// into the [`wellknown::COST`] folder) on success, `Ok(None)` when there
+    /// is nothing to check or no finite bound to stamp, and the rejection
+    /// reason when the gate refuses the script.  Like vet and audit, only
+    /// entry points are checked.
+    fn cost_check(&self, briefcase: &Briefcase) -> Result<Option<u64>, String> {
+        let Some(gate) = self.cost_gate else {
+            return Ok(None);
+        };
+        let Some(code) = briefcase.peek_string(wellknown::CODE) else {
+            return Ok(None);
+        };
+        let bound = tacoma_script::cost_bound(&code)
+            .map_err(|e| format!("cost: CODE folder does not parse: {}", e.render("CODE")))?;
+        gate.check(&bound)?;
+        Ok(bound.steps.hi)
+    }
+
+    /// Runs the cost gate over a briefcase and stamps the proven bound into
+    /// its [`wellknown::COST`] folder on admission.
+    fn apply_cost_gate(&self, briefcase: &mut Briefcase) -> Result<(), String> {
+        if let Some(hi) = self.cost_check(briefcase)? {
+            briefcase.put_u64(wellknown::COST, hi);
+        }
+        Ok(())
+    }
+
     /// Returns an error descriptor if the agent name cannot be met at the site
     /// right now (used by tests to assert protected-agent isolation without
     /// going through the event loop).
@@ -1085,7 +1181,7 @@ impl TacomaSystem {
         &mut self,
         site: SiteId,
         contact: &AgentName,
-        briefcase: Briefcase,
+        mut briefcase: Briefcase,
     ) -> Result<Briefcase, TacomaError> {
         if let Err(report) = self.vet_briefcase(site, &briefcase) {
             self.stats.scripts_rejected += 1;
@@ -1095,6 +1191,12 @@ impl TacomaSystem {
             self.stats.audits_rejected += 1;
             return Err(TacomaError::Script(format!(
                 "script rejected by fleet audit:\n{report}"
+            )));
+        }
+        if let Err(reason) = self.apply_cost_gate(&mut briefcase) {
+            self.stats.costs_rejected += 1;
+            return Err(TacomaError::Script(format!(
+                "script rejected by cost gate: {reason}"
             )));
         }
         let (alive, reachable, custody) = self.dispatch_inputs(site);
@@ -1602,6 +1704,134 @@ mod tests {
     }
 
     #[test]
+    fn cost_gate_rejects_certain_death_and_stamps_bounds() {
+        // A loop whose proven *lower* bound (202 steps) exceeds the budget:
+        // running it is guaranteed to die on the interpreter's step budget,
+        // so even the lenient gate refuses it up front.
+        let mut heavy = Briefcase::new();
+        heavy.put(
+            wellknown::CODE,
+            Folder::of_str("set i 0\nwhile {$i < 100} { incr i }\nreturn done"),
+        );
+        let mut sys = TacomaSystem::builder()
+            .topology(Topology::full_mesh(2, LinkSpec::default()))
+            .cost_gate(tacoma_script::CostGate::lenient(50, 8))
+            .build();
+        sys.inject_meet(SiteId(0), AgentName::new(wellknown::AG_TAC), heavy.clone());
+        sys.run_until_quiescent(100);
+        let s = sys.stats();
+        assert_eq!(s.costs_rejected, 1);
+        assert_eq!(s.scripts_rejected, 0, "the vet saw nothing wrong");
+        assert_eq!(s.meets_requested, 0, "rejected before the request counts");
+        assert!(sys.trace().iter().any(|l| l.contains("lower bound")));
+
+        // The synchronous entry point surfaces the reason too.
+        let err = sys
+            .try_direct_meet(SiteId(0), &AgentName::new(wellknown::AG_TAC), heavy.clone())
+            .unwrap_err();
+        assert!(err.to_string().contains("cost"));
+        assert_eq!(sys.stats().costs_rejected, 2);
+
+        // A light script passes and is annotated with its proven bound.
+        let mut light = Briefcase::new();
+        light.put(wellknown::CODE, Folder::of_str("set x 1\nreturn ok"));
+        sys.inject_meet(SiteId(0), AgentName::new(wellknown::AG_TAC), light);
+        sys.run_until_quiescent(100);
+        assert_eq!(sys.stats().costs_rejected, 2);
+        assert_eq!(sys.stats().meets_requested, 1);
+
+        // Without a gate (the default) the heavy briefcase is admitted: the
+        // cost gate is strictly opt-in.
+        let mut raw = TacomaSystem::builder()
+            .topology(Topology::full_mesh(2, LinkSpec::default()))
+            .build();
+        raw.inject_meet(SiteId(0), AgentName::new(wellknown::AG_TAC), heavy);
+        raw.run_until_quiescent(100);
+        assert_eq!(raw.stats().costs_rejected, 0);
+        assert_eq!(raw.stats().meets_requested, 1);
+    }
+
+    #[test]
+    fn strict_cost_gate_requires_proven_finite_bounds() {
+        // Input-bound (foreach over a runtime list) has no finite static
+        // bound: the lenient gate admits it, the strict gate refuses it.
+        let mut bc = Briefcase::new();
+        bc.put(
+            wellknown::CODE,
+            Folder::of_str("foreach x [bc_list ITEMS] { bc_push OUT $x }\nreturn ok"),
+        );
+        let mut lenient = TacomaSystem::builder()
+            .topology(Topology::full_mesh(2, LinkSpec::default()))
+            .cost_gate(tacoma_script::CostGate::lenient(1000, 8))
+            .build();
+        lenient.inject_meet(SiteId(0), AgentName::new(wellknown::AG_TAC), bc.clone());
+        lenient.run_until_quiescent(100);
+        assert_eq!(lenient.stats().costs_rejected, 0);
+        assert_eq!(lenient.stats().meets_requested, 1);
+
+        let mut strict = TacomaSystem::builder()
+            .topology(Topology::full_mesh(2, LinkSpec::default()))
+            .cost_gate(tacoma_script::CostGate::strict(1000, 8))
+            .build();
+        strict.inject_meet(SiteId(0), AgentName::new(wellknown::AG_TAC), bc);
+        strict.run_until_quiescent(100);
+        assert_eq!(strict.stats().costs_rejected, 1);
+        assert_eq!(strict.stats().meets_requested, 0);
+    }
+
+    #[test]
+    fn scheduled_meets_are_cost_gated_at_schedule_time() {
+        let mut heavy = Briefcase::new();
+        heavy.put(
+            wellknown::CODE,
+            Folder::of_str("set i 0\nwhile {$i < 100} { incr i }\nreturn done"),
+        );
+        let mut sys = TacomaSystem::builder()
+            .topology(Topology::full_mesh(2, LinkSpec::default()))
+            .cost_gate(tacoma_script::CostGate::lenient(50, 8))
+            .build();
+        sys.schedule_meet(
+            SiteId(0),
+            AgentName::new(wellknown::AG_TAC),
+            heavy,
+            Duration::from_millis(1),
+        );
+        // Rejected synchronously: no timer armed, nothing fires.
+        assert_eq!(sys.stats().costs_rejected, 1);
+        sys.run_until_quiescent(100);
+        assert_eq!(sys.stats().timer_meets, 0);
+        assert_eq!(sys.stats().meets_requested, 0);
+    }
+
+    #[test]
+    fn cost_annotation_stretches_service_time() {
+        // Two identical-size requests, one carrying a COST annotation: with a
+        // per-kilostep charge the annotated one must hold the server longer.
+        let config = AdmissionConfig {
+            capacity: usize::MAX,
+            service_floor: Duration::from_micros(500),
+            service_per_kib: Duration::from_micros(0),
+            service_per_kilostep: Duration::from_millis(3),
+            deadline: None,
+            janitor_period: Duration::from_millis(100),
+        };
+        assert_eq!(
+            config.service_time_with_steps(100, 0),
+            Duration::from_micros(500)
+        );
+        assert_eq!(
+            config.service_time_with_steps(100, 4_500),
+            Duration::from_micros(500 + 5 * 3_000)
+        );
+        // And the zero default keeps the historical pure-size model.
+        let legacy = AdmissionConfig::default();
+        assert_eq!(
+            legacy.service_time_with_steps(2048, 10_000),
+            legacy.service_time(2048)
+        );
+    }
+
+    #[test]
     fn wellknown_agents_are_modelled_by_the_audit() {
         // Every wellknown agent the kernel installs must be known to the
         // audit's implicit-agent model, or literal meets against it would
@@ -1641,6 +1871,7 @@ mod tests {
             capacity: 2,
             service_floor: Duration::from_millis(50),
             service_per_kib: Duration::from_micros(0),
+            service_per_kilostep: Duration::from_micros(0),
             deadline: None,
             janitor_period: Duration::from_millis(100),
         });
@@ -1667,6 +1898,7 @@ mod tests {
                 capacity: 2,
                 service_floor: Duration::from_millis(5),
                 service_per_kib: Duration::from_micros(0),
+                service_per_kilostep: Duration::from_micros(0),
                 deadline: Some(Duration::from_millis(1)),
                 janitor_period: Duration::from_millis(1),
             }
@@ -1693,6 +1925,7 @@ mod tests {
             capacity: usize::MAX,
             service_floor: Duration::from_millis(50),
             service_per_kib: Duration::from_micros(0),
+            service_per_kilostep: Duration::from_micros(0),
             deadline: Some(Duration::from_millis(10)),
             janitor_period: Duration::from_millis(5),
         });
@@ -1742,6 +1975,7 @@ mod tests {
             capacity: usize::MAX,
             service_floor: Duration::from_millis(50),
             service_per_kib: Duration::from_micros(0),
+            service_per_kilostep: Duration::from_micros(0),
             deadline: None,
             janitor_period: Duration::from_millis(100),
         });

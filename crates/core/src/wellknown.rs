@@ -44,6 +44,9 @@ pub const ADOPT: &str = "ADOPT";
 pub const DIGEST: &str = "DIGEST";
 /// Folder naming a broker federation shard.
 pub const SHARD: &str = "SHARD";
+/// Folder carrying the statically proven worst-case step bound of the
+/// briefcase's `CODE` script, stamped by the cost gate at admission.
+pub const COST: &str = "COST";
 
 /// The interpreter agent that executes `CODE` folders (the prototype's `ag_tcl`).
 pub const AG_TAC: &str = "ag_tac";

@@ -186,6 +186,7 @@ impl MonitorAgent {
         let report = LoadReport {
             site: ctx.site(),
             queue_len,
+            queue_cost: 0.0,
             capacity: self.capacity,
             at_micros: ctx.now().micros(),
         };

@@ -73,6 +73,9 @@ pub struct ShardDigest {
     pub live_providers: u32,
     /// Sum of their reported queue lengths.
     pub total_queue: u64,
+    /// Sum of their cost-weighted queues (kilosteps); zero when every
+    /// report in the shard is cost-blind.
+    pub total_cost: f64,
     /// Sum of their capacities.
     pub total_capacity: f64,
     /// Simulated time the digest was computed.
@@ -80,11 +83,14 @@ pub struct ShardDigest {
 }
 
 impl ShardDigest {
-    /// Shard-aggregate expected wait: total queue over total capacity.
-    /// Infinite when the shard has no live capacity.
+    /// Shard-aggregate expected wait: total effective queue (cost-weighted
+    /// when any report carried cost, job count otherwise) over total
+    /// capacity.  Infinite when the shard has no live capacity.
     pub fn aggregate_wait(&self) -> f64 {
         if self.total_capacity.is_nan() || self.total_capacity <= 0.0 {
             f64::INFINITY
+        } else if self.total_cost > 0.0 {
+            self.total_cost / self.total_capacity
         } else {
             self.total_queue as f64 / self.total_capacity
         }
@@ -98,6 +104,9 @@ impl ShardDigest {
         bc.put_string("DIG_SITE", self.broker_site.0.to_string());
         bc.put_string("DIG_LIVE", self.live_providers.to_string());
         bc.put_string("DIG_QUEUE", self.total_queue.to_string());
+        if self.total_cost != 0.0 {
+            bc.put_string("DIG_COST", format!("{}", self.total_cost));
+        }
         bc.put_string("DIG_CAPACITY", format!("{}", self.total_capacity));
         bc.put_string("DIG_AT", self.at_micros.to_string());
         bc
@@ -110,6 +119,10 @@ impl ShardDigest {
             broker_site: SiteId(bc.peek_string("DIG_SITE")?.parse().ok()?),
             live_providers: bc.peek_string("DIG_LIVE")?.parse().ok()?,
             total_queue: bc.peek_string("DIG_QUEUE")?.parse().ok()?,
+            total_cost: bc
+                .peek_string("DIG_COST")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0.0),
             total_capacity: bc.peek_string("DIG_CAPACITY")?.parse().ok()?,
             at_micros: bc.peek_string("DIG_AT")?.parse().ok()?,
         })
@@ -218,6 +231,7 @@ impl FederatedBrokerAgent {
             broker_site: ctx.site(),
             live_providers: fresh.len() as u32,
             total_queue: fresh.iter().map(|r| r.queue_len).sum(),
+            total_cost: fresh.iter().map(|r| r.queue_cost).sum(),
             total_capacity: fresh.iter().map(|r| r.capacity).sum(),
             at_micros: now,
         }
@@ -902,6 +916,7 @@ mod tests {
             broker_site: SiteId(12),
             live_providers: 0,
             total_queue: 0,
+            total_cost: 0.0,
             total_capacity: 0.0,
             at_micros: 99,
         };

@@ -14,6 +14,11 @@ pub struct LoadReport {
     pub site: SiteId,
     /// Jobs currently queued (including the one in service).
     pub queue_len: u64,
+    /// Expected outstanding *work* in kilosteps (sum of the statically
+    /// proven step bounds of queued jobs, ÷1000).  Zero means "unknown /
+    /// cost-blind", in which case placement falls back to the job count —
+    /// so legacy reports and cost-aware reports share one ordering.
+    pub queue_cost: f64,
     /// Relative processing capacity (jobs per simulated second at nominal size).
     pub capacity: f64,
     /// Simulated time (microseconds) the sample was taken.
@@ -21,8 +26,19 @@ pub struct LoadReport {
 }
 
 impl LoadReport {
-    /// Expected wait for a newly arriving job, in seconds: queue length
-    /// divided by capacity.  Lower is better; brokers pick the minimum.
+    /// The queue measure placement compares: expected cost when known
+    /// (`queue_cost > 0`), job count otherwise.
+    pub fn effective_queue(&self) -> f64 {
+        if self.queue_cost > 0.0 {
+            self.queue_cost
+        } else {
+            self.queue_len as f64
+        }
+    }
+
+    /// Expected wait for a newly arriving job, in seconds: effective queue
+    /// (cost-weighted when known) divided by capacity.  Lower is better;
+    /// brokers pick the minimum.
     ///
     /// A non-positive or NaN capacity describes a provider that cannot make
     /// progress, so its wait is infinite — never NaN, which would corrupt any
@@ -31,7 +47,7 @@ impl LoadReport {
         if self.capacity.is_nan() || self.capacity <= 0.0 {
             f64::INFINITY
         } else {
-            self.queue_len as f64 / self.capacity
+            self.effective_queue() / self.capacity
         }
     }
 
@@ -61,25 +77,34 @@ impl LoadReport {
         // Cap the exponent: beyond ~2^32 half-lives the report is hopeless
         // anyway and overflow to infinity would defeat the finite filter.
         let m = 2f64.powf(age.min(32.0));
-        ((self.queue_len as f64 + 1.0) * m - 1.0) / self.capacity
+        ((self.effective_queue() + 1.0) * m - 1.0) / self.capacity
     }
 
     /// Serializes the report into briefcase folders (strings, so TacoScript
-    /// agents can also read them).
+    /// agents can also read them).  The cost field is written only when
+    /// non-zero, so cost-blind reports keep their historical wire shape.
     pub fn to_briefcase(&self) -> Briefcase {
         let mut bc = Briefcase::new();
         bc.put_string("LOAD_SITE", self.site.0.to_string());
         bc.put_string("LOAD_QUEUE", self.queue_len.to_string());
+        if self.queue_cost != 0.0 {
+            bc.put_string("LOAD_COST", format!("{}", self.queue_cost));
+        }
         bc.put_string("LOAD_CAPACITY", format!("{}", self.capacity));
         bc.put_string("LOAD_AT", self.at_micros.to_string());
         bc
     }
 
     /// Parses a report out of briefcase folders, if all fields are present.
+    /// A missing `LOAD_COST` folder reads as 0 (cost-blind).
     pub fn from_briefcase(bc: &Briefcase) -> Option<LoadReport> {
         Some(LoadReport {
             site: SiteId(bc.peek_string("LOAD_SITE")?.parse().ok()?),
             queue_len: bc.peek_string("LOAD_QUEUE")?.parse().ok()?,
+            queue_cost: bc
+                .peek_string("LOAD_COST")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0.0),
             capacity: bc.peek_string("LOAD_CAPACITY")?.parse().ok()?,
             at_micros: bc.peek_string("LOAD_AT")?.parse().ok()?,
         })
@@ -176,6 +201,18 @@ impl ReportDb {
             r.queue_len += 1;
         }
     }
+
+    /// Cost-aware variant of [`ReportDb::bump`]: additionally charges the
+    /// placed job's expected cost (kilosteps) to the provider's outstanding
+    /// work, so heavy jobs repel the next placement harder than light ones.
+    pub fn bump_cost(&mut self, site: SiteId, cost: f64) {
+        if let Some(r) = self.reports.get_mut(&site) {
+            r.queue_len += 1;
+            if cost > 0.0 {
+                r.queue_cost += cost;
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -187,24 +224,28 @@ mod tests {
         let idle_fast = LoadReport {
             site: SiteId(0),
             queue_len: 0,
+            queue_cost: 0.0,
             capacity: 4.0,
             at_micros: 0,
         };
         let busy_fast = LoadReport {
             site: SiteId(1),
             queue_len: 8,
+            queue_cost: 0.0,
             capacity: 4.0,
             at_micros: 0,
         };
         let idle_slow = LoadReport {
             site: SiteId(2),
             queue_len: 0,
+            queue_cost: 0.0,
             capacity: 1.0,
             at_micros: 0,
         };
         let busy_slow = LoadReport {
             site: SiteId(3),
             queue_len: 8,
+            queue_cost: 0.0,
             capacity: 1.0,
             at_micros: 0,
         };
@@ -217,6 +258,7 @@ mod tests {
         let broken = LoadReport {
             site: SiteId(4),
             queue_len: 1,
+            queue_cost: 0.0,
             capacity: 0.0,
             at_micros: 0,
         };
@@ -228,6 +270,7 @@ mod tests {
         let broken = LoadReport {
             site: SiteId(9),
             queue_len: 3,
+            queue_cost: 0.0,
             capacity: f64::NAN,
             at_micros: 0,
         };
@@ -240,6 +283,7 @@ mod tests {
         let r = LoadReport {
             site: SiteId(1),
             queue_len: 4,
+            queue_cost: 0.0,
             capacity: 2.0,
             at_micros: 1_000,
         };
@@ -253,6 +297,7 @@ mod tests {
         let idle = LoadReport {
             site: SiteId(2),
             queue_len: 0,
+            queue_cost: 0.0,
             capacity: 2.0,
             at_micros: 0,
         };
@@ -266,6 +311,7 @@ mod tests {
         let r = LoadReport {
             site: SiteId(0),
             queue_len: 0,
+            queue_cost: 0.0,
             capacity: 1.0,
             at_micros: 5_000,
         };
@@ -281,6 +327,7 @@ mod tests {
         let report = |site: u32, at: u64| LoadReport {
             site: SiteId(site),
             queue_len: 1,
+            queue_cost: 0.0,
             capacity: 1.0,
             at_micros: at,
         };
@@ -313,10 +360,56 @@ mod tests {
     }
 
     #[test]
+    fn cost_weighted_queue_orders_ahead_of_job_count() {
+        // Same job count, very different outstanding work: the cost-aware
+        // comparison must prefer the site holding light jobs.
+        let heavy = LoadReport {
+            site: SiteId(0),
+            queue_len: 2,
+            queue_cost: 40.0,
+            capacity: 1.0,
+            at_micros: 0,
+        };
+        let light = LoadReport {
+            site: SiteId(1),
+            queue_len: 2,
+            queue_cost: 2.0,
+            capacity: 1.0,
+            at_micros: 0,
+        };
+        assert!(light.expected_wait() < heavy.expected_wait());
+        assert!(light.decayed_wait(10_000, 10_000) < heavy.decayed_wait(10_000, 10_000));
+        // Cost-blind reports fall back to the job count, so mixing old and
+        // new reports keeps a single comparable ordering.
+        let blind = LoadReport {
+            site: SiteId(2),
+            queue_len: 3,
+            queue_cost: 0.0,
+            capacity: 1.0,
+            at_micros: 0,
+        };
+        assert_eq!(blind.effective_queue(), 3.0);
+        assert_eq!(blind.expected_wait(), 3.0);
+        // The cost folder round-trips, and is omitted when zero so legacy
+        // wire shapes stay byte-identical.
+        let parsed = LoadReport::from_briefcase(&heavy.to_briefcase()).unwrap();
+        assert_eq!(parsed, heavy);
+        assert!(!blind.to_briefcase().contains("LOAD_COST"));
+        // bump_cost charges both the job count and the outstanding work.
+        let mut db = ReportDb::new(Duration::from_secs(1));
+        db.ingest(light, 0);
+        db.bump_cost(SiteId(1), 5.0);
+        let r = db.fresh(0, |_| true)[0];
+        assert_eq!(r.queue_len, 3);
+        assert_eq!(r.queue_cost, 7.0);
+    }
+
+    #[test]
     fn briefcase_round_trip() {
         let r = LoadReport {
             site: SiteId(7),
             queue_len: 3,
+            queue_cost: 0.0,
             capacity: 2.5,
             at_micros: 42,
         };

@@ -139,18 +139,21 @@ mod tests {
             LoadReport {
                 site: SiteId(1),
                 queue_len: 4,
+                queue_cost: 0.0,
                 capacity: 8.0,
                 at_micros: 0,
             }, // wait 0.5
             LoadReport {
                 site: SiteId(2),
                 queue_len: 1,
+                queue_cost: 0.0,
                 capacity: 1.0,
                 at_micros: 0,
             }, // wait 1.0
             LoadReport {
                 site: SiteId(3),
                 queue_len: 3,
+                queue_cost: 0.0,
                 capacity: 2.0,
                 at_micros: 0,
             }, // wait 1.5
@@ -219,6 +222,7 @@ mod tests {
         LoadReport {
             site: SiteId(site),
             queue_len,
+            queue_cost: 0.0,
             capacity,
             at_micros,
         }

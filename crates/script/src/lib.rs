@@ -30,6 +30,7 @@
 pub mod analysis;
 pub mod audit;
 pub mod builtins;
+pub mod cost;
 pub mod diag;
 pub mod expr;
 pub mod graph;
@@ -44,6 +45,7 @@ pub use audit::{
     EffectSummary,
 };
 pub use builtins::{builtin, BuiltinSpec, BUILTINS};
+pub use cost::{cost_bound, CostBound, CostGate, CostInterval};
 pub use diag::{has_errors, render_report, Diagnostic, Severity};
 pub use host::{HostCall, NullHost, RecordingHost, ScriptHost};
 pub use interp::{Interp, InterpConfig, ScriptError, ScriptOutcome};

@@ -244,7 +244,7 @@ proptest! {
             f64::MAX,
             f64::from_bits(bits),
         ][selector];
-        let report = LoadReport { site: SiteId(site), queue_len, capacity, at_micros };
+        let report = LoadReport { site: SiteId(site), queue_len, queue_cost: 0.0, capacity, at_micros };
         let parsed = LoadReport::from_briefcase(&report.to_briefcase())
             .expect("complete briefcase parses");
         prop_assert_eq!(parsed.site, report.site);
